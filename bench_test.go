@@ -1,0 +1,246 @@
+// Benchmark harness: one benchmark per paper table/figure plus the ablation
+// benches DESIGN.md calls out. Figure benches run reduced ("quick") horizons
+// so `go test -bench=.` finishes in minutes; cmd/birpbench regenerates the
+// full 300-slot evaluation. Custom metrics report the experiment outcomes
+// (loss, p%) alongside the timing so regressions in either show up in the
+// same place.
+package birp_test
+
+import (
+	"io"
+	"testing"
+
+	birp "repro"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1 regenerates Table 1 (serial utilization and FPS).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := birp.Table1(io.Discard)
+		if len(rows) != 8 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (TIR measurement + piecewise fits).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := birp.Fig2(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 3 {
+			b.Fatal("panel count")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the ΔLoss(ε1, ε2) preset sweep (quick grid).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := birp.PresetSweep(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 20}, []int{10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the p%(ε1, ε2) preset sweep (quick grid); it
+// shares the sweep engine with Fig. 4 but reports the failure surface.
+func BenchmarkFig5(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts, err := birp.PresetSweep(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 20}, []int{20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.FailPct[20] > worst {
+				worst = p.FailPct[20]
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-p%")
+}
+
+// BenchmarkFig6 regenerates the small-scale comparison (quick horizon).
+func BenchmarkFig6(b *testing.B) {
+	var birpP, oaeiP float64
+	for i := 0; i < b.N; i++ {
+		results, err := birp.Fig6(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			switch r.Name {
+			case "BIRP":
+				birpP = 100 * r.FailureRate
+			case "OAEI":
+				oaeiP = 100 * r.FailureRate
+			}
+		}
+	}
+	b.ReportMetric(birpP, "BIRP-p%")
+	b.ReportMetric(oaeiP, "OAEI-p%")
+}
+
+// BenchmarkFig7 regenerates the large-scale comparison (quick horizon).
+func BenchmarkFig7(b *testing.B) {
+	var lossRatio float64
+	for i := 0; i < b.N; i++ {
+		results, err := birp.Fig7(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var birpLoss, oaeiLoss float64
+		for _, r := range results {
+			switch r.Name {
+			case "BIRP":
+				birpLoss = r.TotalLoss()
+			case "OAEI":
+				oaeiLoss = r.TotalLoss()
+			}
+		}
+		if oaeiLoss > 0 {
+			lossRatio = birpLoss / oaeiLoss
+		}
+	}
+	b.ReportMetric(lossRatio, "loss-ratio-vs-OAEI")
+}
+
+// ablationRun executes a configured BIRP variant on a fixed workload and
+// returns (total loss, failure rate).
+func ablationRun(b *testing.B, mod func(*core.Config)) (float64, float64) {
+	b.Helper()
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	cfg := core.Config{Cluster: c, Apps: apps}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.Config{
+		Apps: 2, Edges: c.N(), Slots: 40, Seed: 5,
+		MeanPerSlot: 45, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Loss.Total(), res.FailureRate()
+}
+
+// BenchmarkAblationLCB compares the corrected LCB padding (default) against
+// the paper-literal Eq. 17/22 rule whose padding grows without bound for
+// sub-threshold plateaus.
+func BenchmarkAblationLCB(b *testing.B) {
+	var lossFixed, lossLiteral float64
+	for i := 0; i < b.N; i++ {
+		lossFixed, _ = ablationRun(b, nil)
+		lossLiteral, _ = ablationRun(b, func(cfg *core.Config) {
+			tuner := core.NewOnlineTuner(0.04, 0.07)
+			tuner.LiteralEq22 = true
+			cfg.Provider = tuner
+		})
+	}
+	b.ReportMetric(lossFixed, "loss-fixed")
+	b.ReportMetric(lossLiteral, "loss-literal")
+}
+
+// BenchmarkAblationPiecewise compares the default multi-batch execution
+// against the paper-literal single-batch knee cap (Eq. 11/12).
+func BenchmarkAblationPiecewise(b *testing.B) {
+	var lossMulti, lossCap float64
+	for i := 0; i < b.N; i++ {
+		lossMulti, _ = ablationRun(b, nil)
+		lossCap, _ = ablationRun(b, func(cfg *core.Config) { cfg.KneeCap = true })
+	}
+	b.ReportMetric(lossMulti, "loss-multibatch")
+	b.ReportMetric(lossCap, "loss-kneecap")
+}
+
+// BenchmarkAblationMemModel compares the time-sliced Eq. 6 reading (default)
+// against the literal summed-activation constraint.
+func BenchmarkAblationMemModel(b *testing.B) {
+	var lossTS, lossSum float64
+	for i := 0; i < b.N; i++ {
+		lossTS, _ = ablationRun(b, nil)
+		lossSum, _ = ablationRun(b, func(cfg *core.Config) { cfg.Mem = core.MemSum })
+	}
+	b.ReportMetric(lossTS, "loss-timesliced")
+	b.ReportMetric(lossSum, "loss-eq6sum")
+}
+
+// BenchmarkAblationSolver compares the scalable decomposed solver (default)
+// against the exact joint program on the small-scale system.
+func BenchmarkAblationSolver(b *testing.B) {
+	var lossDec, lossJoint float64
+	for i := 0; i < b.N; i++ {
+		lossDec, _ = ablationRun(b, nil)
+		lossJoint, _ = ablationRun(b, func(cfg *core.Config) { cfg.SolveMode = core.SolveModeJoint })
+	}
+	b.ReportMetric(lossDec, "loss-decomposed")
+	b.ReportMetric(lossJoint, "loss-joint")
+}
+
+// BenchmarkDecideLargeScale measures one scheduling decision at the paper's
+// large-scale configuration (the per-slot latency budget of the system).
+func BenchmarkDecideLargeScale(b *testing.B) {
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	s, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decide(i, tr.R[i%tr.Slots]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOAEIDecide measures the baseline's per-slot decision for
+// comparison with BenchmarkDecideLargeScale.
+func BenchmarkOAEIDecide(b *testing.B) {
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	o, err := baseline.NewOAEI(c, apps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Decide(i, tr.R[i%tr.Slots]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

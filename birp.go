@@ -1,0 +1,237 @@
+// Package birp is the public API of this BIRP reproduction: batch-aware
+// inference workload redistribution and parallel execution for edge
+// collaborative systems (Sun et al., ICPP 2023).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - topology and workloads: DefaultCluster, SmallCluster, Catalogue,
+//     GenerateTrace;
+//   - schedulers: NewBIRP (the paper's contribution), NewBIRPOff, NewOAEI,
+//     NewMAX (the evaluation baselines);
+//   - executors: NewSimulator (slot-level simulation) and the edgenet
+//     distributed prototype re-exported as SchedulerServer/EdgeAgent;
+//   - experiments: Table1, Fig2, Fig6, Fig7, PresetSweep regenerate the
+//     paper's tables and figures.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package birp
+
+import (
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgenet"
+	"repro/internal/edgesim"
+	"repro/internal/experiments"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// Re-exported core types. These aliases are the supported public names; the
+// internal packages may reorganize underneath them.
+type (
+	// Cluster is the edge collaborative system topology.
+	Cluster = cluster.Cluster
+	// Edge is one participant edge.
+	Edge = cluster.Edge
+	// Application is one intelligent application with its model ladder.
+	Application = models.Application
+	// Model is one deployable DNN model version.
+	Model = models.Model
+	// Scheduler is a per-slot decision maker.
+	Scheduler = edgesim.Scheduler
+	// Plan is one slot's decision (deployments, transfers, drops).
+	Plan = edgesim.Plan
+	// Results aggregates a simulation run.
+	Results = edgesim.Results
+	// Trace is an arrival stream r[t][i][k].
+	Trace = trace.Trace
+	// TraceConfig parameterizes the synthetic workload generator.
+	TraceConfig = trace.Config
+	// SchedulerServer is the distributed prototype's coordinator.
+	SchedulerServer = edgenet.Server
+	// EdgeAgent is the distributed prototype's per-edge worker.
+	EdgeAgent = edgenet.Agent
+	// ServerConfig configures a SchedulerServer.
+	ServerConfig = edgenet.ServerConfig
+	// AgentConfig configures an EdgeAgent.
+	AgentConfig = edgenet.AgentConfig
+	// ExperimentOptions parameterizes the paper-experiment runners.
+	ExperimentOptions = experiments.Options
+	// EvalResult is one algorithm's outcome in a comparison experiment.
+	EvalResult = experiments.EvalResult
+)
+
+// DefaultCluster returns the paper's testbed: Jetson NX, Jetson Nano, and
+// Atlas 200DK, two instances each.
+func DefaultCluster() *Cluster { return cluster.Default() }
+
+// SmallCluster returns the small-scale testbed: one edge per device type.
+func SmallCluster() *Cluster { return cluster.Small() }
+
+// EdgeSpec describes one edge for CustomCluster.
+type EdgeSpec = cluster.EdgeSpec
+
+// Devices available for custom clusters.
+var (
+	JetsonNano = &accel.JetsonNano
+	JetsonNX   = &accel.JetsonNX
+	Atlas200DK = &accel.Atlas200DK
+	EdgeTPU    = &accel.EdgeTPU
+)
+
+// CustomCluster builds an arbitrary validated topology.
+func CustomCluster(specs []EdgeSpec, opts ...cluster.Option) (*Cluster, error) {
+	return cluster.Custom(specs, opts...)
+}
+
+// WithSlotSeconds overrides a cluster's slot duration at construction.
+func WithSlotSeconds(s float64) cluster.Option { return cluster.WithSlotSeconds(s) }
+
+// Catalogue builds the evaluation model catalogue (nApps applications ×
+// nVersions model versions spanning the paper's parameter ranges).
+func Catalogue(nApps, nVersions int) []*Application { return models.Catalogue(nApps, nVersions) }
+
+// DefaultTraceConfig is the evaluation workload setting (5 apps, 6 edges,
+// three days of 15-minute slots).
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// GenerateTrace builds a synthetic arrival stream.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// LoadTrace reads a trace previously written with Trace.Save.
+func LoadTrace(r io.Reader) (*Trace, error) { return trace.Load(r) }
+
+// SchedulerOptions tunes scheduler construction.
+type SchedulerOptions struct {
+	// Eps1, Eps2 are BIRP's MAB presets (0 = the paper's 0.04/0.07).
+	Eps1, Eps2 float64
+	// Seed drives OAEI's randomized rounding.
+	Seed int64
+	// B0 is MAX's fixed batch size (0 = 16).
+	B0 int
+	// ProfileMaxBatch bounds BIRP-OFF's offline TIR profiling (0 = 16).
+	ProfileMaxBatch int
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Eps1 == 0 {
+		o.Eps1 = 0.04
+	}
+	if o.Eps2 == 0 {
+		o.Eps2 = 0.07
+	}
+	if o.B0 == 0 {
+		o.B0 = 16
+	}
+	if o.ProfileMaxBatch == 0 {
+		o.ProfileMaxBatch = 16
+	}
+	return o
+}
+
+// NewBIRP builds the paper's scheduler: batch-aware redistribution with
+// online MAB hyperparameter tuning.
+func NewBIRP(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
+	opt = opt.withDefaults()
+	return core.New(core.Config{
+		Cluster: c, Apps: apps,
+		Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+	})
+}
+
+// NewBIRPOff builds the BIRP-OFF baseline (offline-profiled TIR, no tuning).
+func NewBIRPOff(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
+	opt = opt.withDefaults()
+	return baseline.NewBIRPOff(c, apps, opt.ProfileMaxBatch)
+}
+
+// NewOAEI builds the serial model-selection baseline.
+func NewOAEI(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
+	return baseline.NewOAEI(c, apps, opt.Seed)
+}
+
+// NewMAX builds the fixed-batch baseline.
+func NewMAX(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
+	opt = opt.withDefaults()
+	return baseline.NewMAX(c, apps, opt.B0)
+}
+
+// Simulator runs schedulers against arrival streams on the device models.
+type Simulator = edgesim.Sim
+
+// NewSimulator builds a slot-level simulator. noiseSigma is the relative
+// execution-time noise; seed drives it.
+func NewSimulator(c *Cluster, apps []*Application, noiseSigma float64, seed int64) (*Simulator, error) {
+	return edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: noiseSigma, Seed: seed})
+}
+
+// NewSchedulerServer builds the distributed prototype's coordinator.
+func NewSchedulerServer(cfg ServerConfig) (*SchedulerServer, error) { return edgenet.NewServer(cfg) }
+
+// NewEdgeAgent builds one distributed edge worker.
+func NewEdgeAgent(cfg AgentConfig) (*EdgeAgent, error) { return edgenet.NewAgent(cfg) }
+
+// Fig1 quantifies the redistribution behaviour the paper's Fig. 1 sketches.
+func Fig1(w io.Writer, opt ExperimentOptions) (*experiments.Fig1Stats, error) {
+	return experiments.Fig1(w, opt)
+}
+
+// Table1 regenerates the paper's Table 1 (utilization and FPS rows).
+func Table1(w io.Writer) []experiments.Table1Row { return experiments.Table1(w) }
+
+// Fig2 regenerates the paper's Fig. 2 (TIR laws with piecewise fits).
+func Fig2(w io.Writer, seed int64) ([]experiments.Fig2Panel, error) {
+	return experiments.Fig2(w, seed)
+}
+
+// Fig6 regenerates the small-scale comparison (paper Fig. 6).
+func Fig6(w io.Writer, opt ExperimentOptions) ([]EvalResult, error) {
+	return experiments.Fig6(w, opt)
+}
+
+// Fig7 regenerates the large-scale comparison (paper Fig. 7).
+func Fig7(w io.Writer, opt ExperimentOptions) ([]EvalResult, error) {
+	return experiments.Fig7(w, opt)
+}
+
+// PresetSweep regenerates the ε1/ε2 preset analysis (paper Fig. 4 and 5).
+func PresetSweep(w io.Writer, opt ExperimentOptions, snapshots []int) ([]experiments.SweepPoint, error) {
+	return experiments.PresetSweep(w, opt, snapshots)
+}
+
+// Convergence runs the extension experiment tracking how the online MAB
+// tuner's TIR estimates approach the offline-profiled truth.
+func Convergence(w io.Writer, opt ExperimentOptions) ([]experiments.ConvergencePoint, error) {
+	return experiments.Convergence(w, opt)
+}
+
+// Ablations runs the four design-choice ablations DESIGN.md documents and
+// returns each configuration's loss/failure outcome.
+func Ablations(w io.Writer, opt ExperimentOptions) ([]experiments.AblationResult, error) {
+	return experiments.Ablations(w, opt)
+}
+
+// Scorecard grades every qualitative claim of the paper's evaluation against
+// measured results and prints a PASS/FAIL table.
+func Scorecard(w io.Writer, opt ExperimentOptions) ([]experiments.Check, error) {
+	return experiments.Scorecard(w, opt)
+}
+
+// Sensitivity sweeps workload intensity and reports loss/p% per algorithm.
+func Sensitivity(w io.Writer, opt ExperimentOptions, loads []float64) ([]experiments.SensitivityPoint, error) {
+	return experiments.Sensitivity(w, opt, loads)
+}
+
+// WriteComparisonCSV exports a comparison's panels as CSV files.
+func WriteComparisonCSV(dir, prefix string, results []EvalResult) error {
+	return experiments.WriteComparisonCSV(dir, prefix, results)
+}
+
+// WriteSweepCSV exports the Fig. 4/5 preset surfaces as CSV.
+func WriteSweepCSV(dir string, points []experiments.SweepPoint, snapshots []int) error {
+	return experiments.WriteSweepCSV(dir, points, snapshots)
+}

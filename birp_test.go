@@ -1,0 +1,183 @@
+package birp_test
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	birp "repro"
+)
+
+func TestClusters(t *testing.T) {
+	if n := birp.DefaultCluster().N(); n != 6 {
+		t.Fatalf("default cluster has %d edges, want 6", n)
+	}
+	if n := birp.SmallCluster().N(); n != 3 {
+		t.Fatalf("small cluster has %d edges, want 3", n)
+	}
+}
+
+func TestCatalogueAndTrace(t *testing.T) {
+	apps := birp.Catalogue(5, 5)
+	if len(apps) != 5 || len(apps[0].Models) != 5 {
+		t.Fatal("catalogue shape wrong")
+	}
+	cfg := birp.DefaultTraceConfig()
+	tr, err := birp.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Slots != cfg.Slots {
+		t.Fatalf("trace slots = %d", tr.Slots)
+	}
+}
+
+func TestAllSchedulerConstructors(t *testing.T) {
+	c := birp.SmallCluster()
+	apps := birp.Catalogue(1, 3)
+	mks := map[string]func() (birp.Scheduler, error){
+		"BIRP":     func() (birp.Scheduler, error) { return birp.NewBIRP(c, apps, birp.SchedulerOptions{}) },
+		"BIRP-OFF": func() (birp.Scheduler, error) { return birp.NewBIRPOff(c, apps, birp.SchedulerOptions{}) },
+		"OAEI":     func() (birp.Scheduler, error) { return birp.NewOAEI(c, apps, birp.SchedulerOptions{Seed: 1}) },
+		"MAX":      func() (birp.Scheduler, error) { return birp.NewMAX(c, apps, birp.SchedulerOptions{}) },
+	}
+	for want, mk := range mks {
+		s, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if s.Name() != want {
+			t.Fatalf("name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestEndToEndThroughFacade(t *testing.T) {
+	c := birp.SmallCluster()
+	apps := birp.Catalogue(1, 3)
+	s, err := birp.NewBIRP(c, apps, birp.SchedulerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := birp.GenerateTrace(birp.TraceConfig{
+		Apps: 1, Edges: c.N(), Slots: 10, Seed: 2, MeanPerSlot: 30, Imbalance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := birp.NewSimulator(c, apps, 0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestExperimentsThroughFacade(t *testing.T) {
+	var sb strings.Builder
+	rows := birp.Table1(&sb)
+	if len(rows) != 8 || !strings.Contains(sb.String(), "Table 1") {
+		t.Fatal("Table1 facade broken")
+	}
+	panels, err := birp.Fig2(io.Discard, 1)
+	if err != nil || len(panels) != 3 {
+		t.Fatalf("Fig2 facade broken: %v", err)
+	}
+	results, err := birp.Fig6(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 15})
+	if err != nil || len(results) != 4 {
+		t.Fatalf("Fig6 facade broken: %v", err)
+	}
+	pts, err := birp.PresetSweep(io.Discard, birp.ExperimentOptions{Quick: true, Slots: 10}, []int{10})
+	if err != nil || len(pts) == 0 {
+		t.Fatalf("PresetSweep facade broken: %v", err)
+	}
+}
+
+func TestDistributedThroughFacade(t *testing.T) {
+	c := birp.SmallCluster()
+	apps := birp.Catalogue(1, 2)
+	slots := 3
+	sched, err := birp.NewBIRP(c, apps, birp.SchedulerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := birp.NewSchedulerServer(birp.ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots, SlotTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < c.N(); k++ {
+		arr := make([][]int, slots)
+		for tt := range arr {
+			arr[tt] = []int{3 + k}
+		}
+		agent, err := birp.NewEdgeAgent(birp.AgentConfig{
+			Addr: srv.Addr().String(), EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps, Arrivals: arr, Seed: int64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = agent.Run(ctx)
+		}()
+	}
+	rep, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rep.Served == 0 {
+		t.Fatal("distributed run served nothing")
+	}
+}
+
+func TestCustomClusterThroughFacade(t *testing.T) {
+	c, err := birp.CustomCluster([]birp.EdgeSpec{
+		{Device: birp.JetsonNX},
+		{Device: birp.EdgeTPU, MemoryMB: 900},
+	}, birp.WithSlotSeconds(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := birp.Catalogue(1, 2)
+	s, err := birp.NewBIRP(c, apps, birp.SchedulerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := birp.NewSimulator(c, apps, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := birp.GenerateTrace(birp.TraceConfig{
+		Apps: 1, Edges: 2, Slots: 5, Seed: 1, MeanPerSlot: 10,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 {
+		t.Fatal("custom cluster served nothing")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}

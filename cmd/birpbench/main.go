@@ -1,0 +1,141 @@
+// Command birpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	birpbench -exp table1,fig2,fig4,fig5,fig6,fig7   # or "all"
+//	birpbench -exp fig7 -slots 300 -seed 1
+//
+// Every experiment prints the rows/series the paper reports; EXPERIMENTS.md
+// records a captured run against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	birp "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig2,fig4,fig5,fig6,fig7,convergence,ablations,scorecard,sensitivity")
+	slots := flag.Int("slots", 300, "evaluation horizon in slots")
+	seed := flag.Int64("seed", 1, "trace and noise seed")
+	quick := flag.Bool("quick", false, "reduced sizes (fast smoke run)")
+	csvDir := flag.String("csv", "", "also export figure series as CSV files to this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick}
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", func() error { _, err := birp.Fig1(os.Stdout, opt); return err })
+	run("table1", func() error { birp.Table1(os.Stdout); return nil })
+	run("fig2", func() error { _, err := birp.Fig2(os.Stdout, *seed); return err })
+	run("fig4", func() error {
+		// Fig. 4 and 5 come from one sweep; snapshots per the paper.
+		pts, err := birp.PresetSweep(os.Stdout, opt, snapshots(*slots))
+		if err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			return birp.WriteSweepCSV(*csvDir, pts, snapshots(*slots))
+		}
+		return nil
+	})
+	if !all && want["fig5"] && !want["fig4"] {
+		run("fig5", func() error {
+			_, err := birp.PresetSweep(os.Stdout, opt, snapshots(*slots))
+			return err
+		})
+	}
+	run("fig6", func() error {
+		results, err := birp.Fig6(os.Stdout, opt)
+		if err != nil {
+			return err
+		}
+		summarize(results)
+		if *csvDir != "" {
+			return birp.WriteComparisonCSV(*csvDir, "fig6", results)
+		}
+		return nil
+	})
+	run("sensitivity", func() error {
+		_, err := birp.Sensitivity(os.Stdout, opt, nil)
+		return err
+	})
+	run("scorecard", func() error {
+		_, err := birp.Scorecard(os.Stdout, opt)
+		return err
+	})
+	run("ablations", func() error {
+		_, err := birp.Ablations(os.Stdout, opt)
+		return err
+	})
+	run("convergence", func() error {
+		_, err := birp.Convergence(os.Stdout, opt)
+		return err
+	})
+	run("fig7", func() error {
+		results, err := birp.Fig7(os.Stdout, opt)
+		if err != nil {
+			return err
+		}
+		summarize(results)
+		if *csvDir != "" {
+			return birp.WriteComparisonCSV(*csvDir, "fig7", results)
+		}
+		return nil
+	})
+}
+
+func snapshots(slots int) []int {
+	out := []int{}
+	for _, t := range []int{10, 100, 300} {
+		if t <= slots {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{slots}
+	}
+	return out
+}
+
+func summarize(results []birp.EvalResult) {
+	fmt.Println("headline summary:")
+	for _, r := range results {
+		fmt.Printf("  %-9s total loss %10.0f   p%% %6.2f%%   dropped %d\n",
+			r.Name, r.TotalLoss(), 100*r.FailureRate, r.Dropped)
+	}
+	if b, o := find(results, "BIRP"), find(results, "OAEI"); b != nil && o != nil && o.TotalLoss() > 0 {
+		fmt.Printf("  BIRP vs OAEI: loss %+.1f%%, SLO-failure ratio %.1f%% (paper: -32.9%% and 19.8%%)\n",
+			100*(b.TotalLoss()/o.TotalLoss()-1), 100*b.FailureRate/o.FailureRate)
+	}
+	fmt.Println()
+}
+
+func find(results []birp.EvalResult, name string) *birp.EvalResult {
+	for i := range results {
+		if results[i].Name == name {
+			return &results[i]
+		}
+	}
+	return nil
+}

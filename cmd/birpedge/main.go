@@ -1,0 +1,76 @@
+// Command birpedge runs one edge agent of the distributed prototype: it
+// generates its region's arrivals, reports them to the scheduler every slot,
+// executes the assignments it receives on its local device model, and sends
+// execution feedback back.
+//
+// Usage (one process per edge, matching birpsched's cluster):
+//
+//	birpedge -addr 127.0.0.1:7700 -edge 0 -apps 1 -versions 3 -slots 50
+//	birpedge -addr 127.0.0.1:7700 -edge 1 ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	birp "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "scheduler address")
+	edge := flag.Int("edge", 0, "edge id (index into the cluster)")
+	small := flag.Bool("small", true, "use the 3-edge small-scale cluster")
+	apps := flag.Int("apps", 1, "number of applications")
+	versions := flag.Int("versions", 3, "model versions per application")
+	slots := flag.Int("slots", 50, "slots to serve")
+	mean := flag.Float64("mean", 95, "mean requests per (app, edge) per slot")
+	seed := flag.Int64("seed", 1, "trace and noise seed (shared across agents)")
+	noise := flag.Float64("noise", 0.02, "relative execution-time noise")
+	realtime := flag.Float64("realtime", 0, "sleep factor per simulated ms (0 = instant)")
+	flag.Parse()
+
+	c := birp.DefaultCluster()
+	if *small {
+		c = birp.SmallCluster()
+	}
+	if *edge < 0 || *edge >= c.N() {
+		fmt.Fprintf(os.Stderr, "edge id %d out of range [0, %d)\n", *edge, c.N())
+		os.Exit(2)
+	}
+	catalogue := birp.Catalogue(*apps, *versions)
+	// All agents generate from the same seeded trace and slice out their own
+	// edge, so the cluster-wide workload is consistent without coordination.
+	tr, err := birp.GenerateTrace(birp.TraceConfig{
+		Apps: *apps, Edges: c.N(), Slots: *slots, Seed: *seed,
+		MeanPerSlot: *mean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	arrivals := make([][]int, *slots)
+	for t := 0; t < *slots; t++ {
+		arrivals[t] = make([]int, *apps)
+		for i := 0; i < *apps; i++ {
+			arrivals[t][i] = tr.R[t][i][*edge]
+		}
+	}
+	agent, err := birp.NewEdgeAgent(birp.AgentConfig{
+		Addr: *addr, EdgeID: *edge,
+		Device: c.Edges[*edge].Device, Apps: catalogue,
+		Arrivals: arrivals, NoiseSigma: *noise, Seed: *seed + int64(*edge),
+		Realtime: *realtime,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("edge %d (%s) connecting to %s\n", *edge, c.Edges[*edge].Device.Name, *addr)
+	if err := agent.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("edge %d done\n", *edge)
+}

@@ -1,0 +1,54 @@
+// Command birpsched runs the distributed prototype's scheduler server: it
+// waits for one birpedge agent per edge, then drives the BIRP slot protocol.
+//
+// Usage:
+//
+//	birpsched -listen 127.0.0.1:7700 -small -apps 1 -versions 3 -slots 50
+//
+// Start the matching agents with cmd/birpedge (edge ids 0..N-1).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	birp "repro"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "TCP listen address")
+	small := flag.Bool("small", true, "use the 3-edge small-scale cluster")
+	apps := flag.Int("apps", 1, "number of applications")
+	versions := flag.Int("versions", 3, "model versions per application")
+	slots := flag.Int("slots", 50, "slots to schedule")
+	flag.Parse()
+
+	c := birp.DefaultCluster()
+	if *small {
+		c = birp.SmallCluster()
+	}
+	catalogue := birp.Catalogue(*apps, *versions)
+	sched, err := birp.NewBIRP(c, catalogue, birp.SchedulerOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := birp.NewSchedulerServer(birp.ServerConfig{
+		Listen: *listen, Cluster: c, Apps: catalogue,
+		Scheduler: sched, Slots: *slots,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheduler listening on %s; waiting for %d edge agents\n", srv.Addr(), c.N())
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("done: served %d requests (dropped %d), total loss %.1f, p%% %.2f%%\n",
+		rep.Served, rep.Dropped, rep.Loss.Total(), 100*rep.FailureRate())
+}

@@ -1,0 +1,168 @@
+// Command birpsim runs one scheduler against a synthetic workload on the
+// simulated edge collaborative system and prints the evaluation metrics.
+//
+// Usage:
+//
+//	birpsim -alg birp -apps 5 -versions 5 -slots 288 -mean 31
+//	birpsim -alg oaei -small -slots 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	birp "repro"
+)
+
+// verboseScheduler prints every plan it passes through.
+type verboseScheduler struct {
+	birp.Scheduler
+	c    *birp.Cluster
+	apps []*birp.Application
+}
+
+func (v *verboseScheduler) Decide(t int, arrivals [][]int) (*birp.Plan, error) {
+	plan, err := v.Scheduler.Decide(t, arrivals)
+	if plan != nil {
+		fmt.Printf("--- slot %d ---\n%s", t, plan.Summary(v.c, v.apps))
+	}
+	return plan, err
+}
+
+func main() {
+	alg := flag.String("alg", "birp", "scheduler: birp, birpoff, oaei, max, or all (comparison table)")
+	small := flag.Bool("small", false, "use the 3-edge small-scale cluster")
+	apps := flag.Int("apps", 5, "number of applications")
+	versions := flag.Int("versions", 5, "model versions per application")
+	slots := flag.Int("slots", 288, "slots to simulate")
+	mean := flag.Float64("mean", 31, "mean requests per (app, edge) per slot")
+	seed := flag.Int64("seed", 1, "trace and noise seed")
+	noise := flag.Float64("noise", 0.02, "relative execution-time noise")
+	traceIn := flag.String("trace-in", "", "replay a saved trace instead of generating one")
+	traceOut := flag.String("trace-out", "", "save the generated trace for later replay")
+	verbose := flag.Bool("verbose", false, "print each slot's plan (deployments, transfers, drops)")
+	flag.Parse()
+
+	c := birp.DefaultCluster()
+	if *small {
+		c = birp.SmallCluster()
+	}
+	catalogue := birp.Catalogue(*apps, *versions)
+
+	opt := birp.SchedulerOptions{Seed: *seed}
+	mk := func(name string) (birp.Scheduler, error) {
+		switch name {
+		case "birp":
+			return birp.NewBIRP(c, catalogue, opt)
+		case "birpoff":
+			return birp.NewBIRPOff(c, catalogue, opt)
+		case "oaei":
+			return birp.NewOAEI(c, catalogue, opt)
+		case "max":
+			return birp.NewMAX(c, catalogue, opt)
+		}
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+	var sched birp.Scheduler
+	var err error
+	if *alg != "all" {
+		sched, err = mk(*alg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	var tr *birp.Trace
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err = birp.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if tr.Apps != *apps || tr.Edges != c.N() {
+			fmt.Fprintf(os.Stderr, "trace shape %d apps x %d edges does not match -apps/-small\n",
+				tr.Apps, tr.Edges)
+			os.Exit(2)
+		}
+		*slots = tr.Slots
+	} else {
+		var err error
+		tr, err = birp.GenerateTrace(birp.TraceConfig{
+			Apps: *apps, Edges: c.N(), Slots: *slots, Seed: *seed,
+			MeanPerSlot: *mean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		st := tr.Summarize()
+		fmt.Printf("trace saved to %s (%d requests, peak slot %d, mean imbalance %.2f)\n",
+			*traceOut, st.Total, st.PeakSlotTotal, st.MeanImbalance)
+	}
+	if *verbose {
+		sched = &verboseScheduler{Scheduler: sched, c: c, apps: catalogue}
+	}
+	if *alg == "all" {
+		fmt.Printf("%-9s %12s %8s %9s %9s\n", "algorithm", "loss", "p%", "dropped", "energy kJ")
+		for _, name := range []string{"birp", "birpoff", "oaei", "max"} {
+			s2, err := mk(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sim, err := birp.NewSimulator(c, catalogue, *noise, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res, err := sim.Run(s2, tr.R)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-9s %12.1f %7.2f%% %9d %9.1f\n", res.Scheduler,
+				res.Loss.Total(), 100*res.FailureRate(), res.Dropped, res.EnergyJ/1000)
+		}
+		return
+	}
+	sim, err := birp.NewSimulator(c, catalogue, *noise, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(sched, tr.R)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm        %s\n", res.Scheduler)
+	fmt.Printf("edges/apps       %d / %d (x%d versions)\n", c.N(), *apps, *versions)
+	fmt.Printf("slots            %d (slot = %.0fs)\n", *slots, c.SlotSeconds)
+	fmt.Printf("requests served  %d (dropped %d)\n", res.Served, res.Dropped)
+	fmt.Printf("total loss       %.1f\n", res.Loss.Total())
+	fmt.Printf("SLO failures p%%  %.2f%%\n", 100*res.FailureRate())
+	if len(res.Violations) > 0 {
+		fmt.Printf("plan violations  %d (first: %s)\n", len(res.Violations), res.Violations[0])
+	}
+}

@@ -1,0 +1,75 @@
+// Command tirprofile measures and fits TIR curves — the offline profiling
+// step BIRP-OFF depends on and the data behind the paper's Fig. 2.
+//
+// Usage:
+//
+//	tirprofile                 # Fig. 2 models on the Jetson Nano
+//	tirprofile -device atlas -maxb 32 -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+func main() {
+	device := flag.String("device", "nano", "device: nano, nx, atlas")
+	maxB := flag.Int("maxb", 16, "largest batch size to profile")
+	reps := flag.Int("reps", 5, "measurements per batch size")
+	sigma := flag.Float64("noise", 0.02, "relative measurement noise")
+	seed := flag.Int64("seed", 1, "measurement noise seed")
+	flag.Parse()
+
+	var d *accel.Device
+	switch *device {
+	case "nano":
+		d = &accel.JetsonNano
+	case "nx":
+		d = &accel.JetsonNX
+	case "atlas":
+		d = &accel.Atlas200DK
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("TIR profiles on %s (b = 1..%d, %d reps, σ = %.0f%%)\n\n",
+		d.Name, *maxB, *reps, 100**sigma)
+	for _, m := range models.Fig2Models() {
+		var samples []fit.Sample
+		for b := 1; b <= *maxB; b++ {
+			for r := 0; r < *reps; r++ {
+				samples = append(samples, fit.Sample{B: b, TIR: d.TIRNoisy(m.Profile, b, *sigma, rng)})
+			}
+		}
+		p, err := fit.Piecewise(samples)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: TIR(b) = b^%.3f for b ≤ %.0f, %.3f beyond   (RMSE %.4f)\n",
+			m.Name, p.Eta, p.Beta, p.C, fit.RMSE(p, samples))
+		tab := metrics.NewTable("b", "mean TIR", "fit", "batch ms")
+		for b := 1; b <= *maxB; b++ {
+			var sum float64
+			n := 0
+			for _, s := range samples {
+				if s.B == b {
+					sum += s.TIR
+					n++
+				}
+			}
+			tab.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%.3f", sum/float64(n)),
+				fmt.Sprintf("%.3f", p.TIR(float64(b))),
+				fmt.Sprintf("%.1f", d.BatchTimeMS(m.Profile, b)))
+		}
+		fmt.Println(tab)
+	}
+}

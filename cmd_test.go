@@ -1,0 +1,152 @@
+package birp_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildOnce compiles every CLI into a shared temp dir so integration tests
+// exercise the real binaries.
+var (
+	buildDir  string
+	buildErr  error
+	buildLock sync.Once
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildLock.Do(func() {
+		dir, err := os.MkdirTemp("", "birp-bins-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		for _, tool := range []string{"birpsim", "birpbench", "birpsched", "birpedge", "tirprofile"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", tool, err, out)
+				return
+			}
+		}
+		buildDir = dir
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildDir
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIBirpsim(t *testing.T) {
+	out := runTool(t, "birpsim", "-small", "-apps", "1", "-versions", "3", "-slots", "10", "-mean", "40")
+	for _, want := range []string{"algorithm", "BIRP", "requests served", "SLO failures"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBirpsimTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	out1 := runTool(t, "birpsim", "-small", "-apps", "1", "-versions", "3",
+		"-slots", "8", "-mean", "30", "-trace-out", trace)
+	if !strings.Contains(out1, "trace saved") {
+		t.Fatalf("no save confirmation:\n%s", out1)
+	}
+	out2 := runTool(t, "birpsim", "-small", "-apps", "1", "-versions", "3", "-trace-in", trace)
+	// Replay must serve the identical request count.
+	line := func(out string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, "requests served") {
+				return l
+			}
+		}
+		return ""
+	}
+	if line(out1) == "" || line(out1) != line(out2) {
+		t.Fatalf("replay differs:\n%s\nvs\n%s", line(out1), line(out2))
+	}
+}
+
+func TestCLIBirpbenchQuick(t *testing.T) {
+	out := runTool(t, "birpbench", "-exp", "table1,fig2", "-quick")
+	for _, want := range []string{"Table 1", "Fig. 2", "LeNet", "ResNet-18"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestCLITirprofile(t *testing.T) {
+	out := runTool(t, "tirprofile", "-device", "atlas", "-maxb", "8", "-reps", "3")
+	if !strings.Contains(out, "Atlas 200DK") || !strings.Contains(out, "TIR(b)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIDistributedPair(t *testing.T) {
+	dir := binaries(t)
+	// Pick a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	sched := exec.Command(filepath.Join(dir, "birpsched"),
+		"-listen", addr, "-small", "-apps", "1", "-versions", "2", "-slots", "5")
+	schedOut := &strings.Builder{}
+	sched.Stdout = schedOut
+	sched.Stderr = schedOut
+	if err := sched.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // listener startup
+
+	var wg sync.WaitGroup
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			agent := exec.Command(filepath.Join(dir, "birpedge"),
+				"-addr", addr, "-edge", fmt.Sprint(k), "-small",
+				"-apps", "1", "-versions", "2", "-slots", "5", "-mean", "20")
+			if out, err := agent.CombinedOutput(); err != nil {
+				t.Errorf("agent %d: %v\n%s", k, err, out)
+			}
+		}(k)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sched.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("scheduler: %v\n%s", err, schedOut.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = sched.Process.Kill()
+		t.Fatalf("distributed pair timed out\n%s", schedOut.String())
+	}
+	wg.Wait()
+	if !strings.Contains(schedOut.String(), "done: served") {
+		t.Fatalf("scheduler summary missing:\n%s", schedOut.String())
+	}
+}

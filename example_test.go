@@ -1,0 +1,58 @@
+package birp_test
+
+import (
+	"fmt"
+
+	birp "repro"
+)
+
+// Example demonstrates the minimal end-to-end loop: build the paper's
+// small-scale cluster, run BIRP on a deterministic workload, read the
+// metrics. Deterministic (noise 0), so the output is stable.
+func Example() {
+	cluster := birp.SmallCluster()
+	apps := birp.Catalogue(1, 3)
+	sched, err := birp.NewBIRP(cluster, apps, birp.SchedulerOptions{})
+	if err != nil {
+		panic(err)
+	}
+	trace, err := birp.GenerateTrace(birp.TraceConfig{
+		Apps: 1, Edges: cluster.N(), Slots: 5, Seed: 7, MeanPerSlot: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim, err := birp.NewSimulator(cluster, apps, 0, 7)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run(sched, trace.R)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d requests, dropped %d, SLO failures %.0f%%\n",
+		res.Served, res.Dropped, 100*res.FailureRate())
+	// Output: served 176 requests, dropped 0, SLO failures 0%
+}
+
+// ExampleTable1 regenerates the paper's Table 1 row structure.
+func ExampleTable1() {
+	rows := birp.Table1(nil)
+	fmt.Printf("%d rows; first: %s on %s\n", len(rows), rows[0].Model, rows[0].Device)
+	// Output: 8 rows; first: Yolov4-t on Jetson Nano
+}
+
+// ExampleFig2 fits the TIR laws of the Fig. 2 networks.
+func ExampleFig2() {
+	panels, err := birp.Fig2(nil, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range panels {
+		fmt.Printf("%s plateau %.2f\n", p.Model, p.Fit.C)
+	}
+	// Output:
+	// LeNet plateau 1.62
+	// GoogLeNet plateau 1.29
+	// ResNet-18 plateau 1.26
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's small-scale edge collaborative system, run
+// BIRP for 20 slots on a synthetic workload, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	birp "repro"
+)
+
+func main() {
+	// One edge per device type (Jetson NX, Jetson Nano, Atlas 200DK).
+	cluster := birp.SmallCluster()
+	// One application with a three-version model ladder (ResNet-18 → BERT).
+	apps := birp.Catalogue(1, 3)
+
+	// BIRP with the paper's ε1 = 0.04, ε2 = 0.07 presets.
+	scheduler, err := birp.NewBIRP(cluster, apps, birp.SchedulerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A bursty, diurnally-skewed workload: hot edges emerge and rotate.
+	trace, err := birp.GenerateTrace(birp.TraceConfig{
+		Apps: 1, Edges: cluster.N(), Slots: 20, Seed: 42,
+		MeanPerSlot: 60, Imbalance: 0.8, BurstProb: 0.1, BurstScale: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate with 2% execution-time noise.
+	sim, err := birp.NewSimulator(cluster, apps, 0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(scheduler, trace.R)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d requests over %d slots\n", res.Served, res.Loss.Slots())
+	fmt.Printf("total inference loss: %.1f (%.3f per request)\n",
+		res.Loss.Total(), res.Loss.Total()/float64(res.Served))
+	fmt.Printf("SLO failure rate: %.2f%%\n", 100*res.FailureRate())
+	fmt.Printf("per-slot loss (first 10): ")
+	for t := 0; t < 10 && t < res.Loss.Slots(); t++ {
+		fmt.Printf("%.0f ", res.Loss.PerSlot()[t])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,76 @@
+package birp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	birp "repro"
+)
+
+// TestFuzzFacadePipelines runs randomized end-to-end configurations through
+// the public API with strict-mode semantics approximated by checking the
+// Violations list: random topologies (including custom TPU/NX mixes), random
+// catalogue shapes, random load regimes and schedulers must all produce
+// clean, accountable runs.
+func TestFuzzFacadePipelines(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		// Random topology: 2–4 edges from the device library.
+		lib := []birp.EdgeSpec{
+			{Device: birp.JetsonNano},
+			{Device: birp.JetsonNX},
+			{Device: birp.Atlas200DK},
+			{Device: birp.EdgeTPU, MemoryMB: 1000},
+		}
+		n := 2 + rng.Intn(3)
+		specs := make([]birp.EdgeSpec, n)
+		for i := range specs {
+			specs[i] = lib[rng.Intn(len(lib))]
+		}
+		c, err := birp.CustomCluster(specs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		apps := birp.Catalogue(1+rng.Intn(3), 2+rng.Intn(2))
+
+		var sched birp.Scheduler
+		switch rng.Intn(3) {
+		case 0:
+			sched, err = birp.NewBIRP(c, apps, birp.SchedulerOptions{})
+		case 1:
+			sched, err = birp.NewOAEI(c, apps, birp.SchedulerOptions{Seed: int64(trial)})
+		default:
+			sched, err = birp.NewMAX(c, apps, birp.SchedulerOptions{B0: 8})
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		tr, err := birp.GenerateTrace(birp.TraceConfig{
+			Apps: len(apps), Edges: c.N(), Slots: 6, Seed: int64(trial),
+			MeanPerSlot: 2 + rng.Float64()*48, Imbalance: rng.Float64(),
+			BurstProb: 0.1, BurstScale: 2,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sim, err := birp.NewSimulator(c, apps, 0.03, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := sim.Run(sched, tr.R)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, sched.Name(), err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("trial %d (%s): %s", trial, sched.Name(), res.Violations[0])
+		}
+		if res.Served+res.Dropped != tr.Total() {
+			t.Fatalf("trial %d (%s): served %d + dropped %d != arrivals %d",
+				trial, sched.Name(), res.Served, res.Dropped, tr.Total())
+		}
+		if res.EnergyJ <= 0 {
+			t.Fatalf("trial %d: non-positive energy %v", trial, res.EnergyJ)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testProfile = KernelProfile{
+	Kernels: 20, BlocksPerSample: 2, WaveMS: 0.5, HostMSPerSample: 10,
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if GPU.String() != "GPU" || NPU.String() != "NPU" {
+		t.Fatal("device type strings wrong")
+	}
+	if DeviceType(9).String() == "" {
+		t.Fatal("unknown device type must still stringify")
+	}
+}
+
+func TestBatchTimeZeroAndNegative(t *testing.T) {
+	if JetsonNano.BatchTimeMS(testProfile, 0) != 0 {
+		t.Fatal("batch 0 must take no time")
+	}
+	if JetsonNano.BatchTimeMS(testProfile, -4) != 0 {
+		t.Fatal("negative batch must take no time")
+	}
+}
+
+func TestBatchTimeMonotone(t *testing.T) {
+	prev := 0.0
+	for b := 1; b <= 64; b++ {
+		cur := JetsonNano.BatchTimeMS(testProfile, b)
+		if cur < prev {
+			t.Fatalf("batch time decreased at b=%d: %v < %v", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBatchTimeComponents(t *testing.T) {
+	// Hand-computed: launch 20·0.25 = 5; device 20·ceil(2/8)·0.5 = 10;
+	// host 10·1 = 10; total = 5 + max(10, 10) = 15.
+	got := JetsonNano.BatchTimeMS(testProfile, 1)
+	if math.Abs(got-15) > 1e-12 {
+		t.Fatalf("BatchTimeMS(1) = %v, want 15", got)
+	}
+	// b = 8: blocks 16 → 2 waves → device 20; host 80 → total 5 + 80 = 85.
+	got = JetsonNano.BatchTimeMS(testProfile, 8)
+	if math.Abs(got-85) > 1e-12 {
+		t.Fatalf("BatchTimeMS(8) = %v, want 85", got)
+	}
+}
+
+func TestThroughputAndTIR(t *testing.T) {
+	d := &JetsonNano
+	if tir := d.TIR(testProfile, 1); math.Abs(tir-1) > 1e-12 {
+		t.Fatalf("TIR(1) = %v, want 1", tir)
+	}
+	// TIR must be ≥ 1 (batching never hurts in this model) and bounded by b.
+	for b := 2; b <= 32; b++ {
+		tir := d.TIR(testProfile, b)
+		if tir < 1-1e-9 || tir > float64(b)+1e-9 {
+			t.Fatalf("TIR(%d) = %v out of [1, b]", b, tir)
+		}
+	}
+}
+
+func TestTIRSaturates(t *testing.T) {
+	d := &JetsonNano
+	// Far beyond the knee, TIR(2b) ≈ TIR(b): growth must flatten.
+	t64 := d.TIR(testProfile, 64)
+	t128 := d.TIR(testProfile, 128)
+	if math.Abs(t128-t64)/t64 > 0.02 {
+		t.Fatalf("TIR did not saturate: TIR(64)=%v TIR(128)=%v", t64, t128)
+	}
+}
+
+func TestTIRAsymptoteMatchesClosedForm(t *testing.T) {
+	// For a host-bound profile the plateau is 1 + K·L/h (launch amortization
+	// over per-sample host work).
+	p := KernelProfile{Kernels: 8, BlocksPerSample: 1.6, WaveMS: 0.2, HostMSPerSample: 2.78}
+	d := &JetsonNano
+	want := 1 + float64(p.Kernels)*d.LaunchOverheadMS/(p.HostMSPerSample/d.HostSpeed)
+	got := d.TIR(p, 4096)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("TIR asymptote = %v, closed form %v", got, want)
+	}
+}
+
+func TestUtilizationRegimes(t *testing.T) {
+	// Host-bound profile: CPU near 100, device under 80.
+	host := KernelProfile{Kernels: 28, BlocksPerSample: 1.8, WaveMS: 0.68, HostMSPerSample: 24}
+	cpu, busy, occ := JetsonNano.Utilization(host, 1)
+	if cpu < 95 {
+		t.Fatalf("host-bound profile should saturate CPU: %v", cpu)
+	}
+	if busy > 80 {
+		t.Fatalf("host-bound profile should underuse the device: %v", busy)
+	}
+	if occ > busy+1e-9 {
+		t.Fatalf("occupancy-weighted usage %v cannot exceed busy %v", occ, busy)
+	}
+	// Device-bound profile: device near 100, CPU low.
+	dev := KernelProfile{Kernels: 144, BlocksPerSample: 40, WaveMS: 1.26, HostMSPerSample: 265}
+	cpu, busy, _ = JetsonNano.Utilization(dev, 1)
+	if busy < 90 {
+		t.Fatalf("device-bound profile should saturate the device: %v", busy)
+	}
+	if cpu > 50 {
+		t.Fatalf("device-bound profile should leave CPU light: %v", cpu)
+	}
+}
+
+func TestUtilizationZeroBatch(t *testing.T) {
+	cpu, busy, occ := JetsonNano.Utilization(testProfile, 0)
+	if cpu != 0 || busy != 0 || occ != 0 {
+		t.Fatal("zero batch must report zero utilization")
+	}
+}
+
+func TestSingleLatencyInPaperRange(t *testing.T) {
+	// Paper: single-request latency spans [18, 770] ms over models × edges.
+	// The calibrated extreme profiles must stay within a loose envelope.
+	small := KernelProfile{Kernels: 20, BlocksPerSample: 2.0, WaveMS: 1.52, HostMSPerSample: 36}
+	large := KernelProfile{Kernels: 144, BlocksPerSample: 40, WaveMS: 1.26, HostMSPerSample: 265}
+	for _, d := range []*Device{&JetsonNano, &JetsonNX, &Atlas200DK} {
+		lo := d.SingleLatencyMS(small)
+		hi := d.SingleLatencyMS(large)
+		if lo < 5 || hi > 1100 {
+			t.Fatalf("%s: latencies (%v, %v) outside plausible envelope", d.Name, lo, hi)
+		}
+		if hi <= lo {
+			t.Fatalf("%s: large model must be slower than small", d.Name)
+		}
+	}
+}
+
+func TestDeviceSpeedOrdering(t *testing.T) {
+	// Atlas and NX must beat the Nano on every profile (they do in Table 1).
+	for _, p := range []KernelProfile{testProfile,
+		{Kernels: 144, BlocksPerSample: 40, WaveMS: 1.26, HostMSPerSample: 265}} {
+		nano := JetsonNano.Throughput(p, 1)
+		nx := JetsonNX.Throughput(p, 1)
+		atlas := Atlas200DK.Throughput(p, 1)
+		if nx <= nano || atlas <= nano {
+			t.Fatalf("device ordering violated: nano=%v nx=%v atlas=%v", nano, nx, atlas)
+		}
+	}
+}
+
+func TestBatchTimeNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := JetsonNano.BatchTimeMS(testProfile, 4)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := JetsonNano.BatchTimeNoisyMS(testProfile, 4, 0.05, rng)
+		if v <= 0 {
+			t.Fatal("noisy time must stay positive")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-base)/base > 0.02 {
+		t.Fatalf("noise must be unbiased: mean %v vs base %v", mean, base)
+	}
+	if got := JetsonNano.BatchTimeNoisyMS(testProfile, 4, 0, rng); got != base {
+		t.Fatal("sigma=0 must be deterministic")
+	}
+}
+
+func TestTIRNoisyPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for b := 1; b <= 16; b++ {
+		v := JetsonNano.TIRNoisy(testProfile, b, 0.05, rng)
+		if v <= 0 {
+			t.Fatalf("TIRNoisy(%d) = %v", b, v)
+		}
+	}
+}
+
+func TestMaxUsefulBatch(t *testing.T) {
+	b := JetsonNano.MaxUsefulBatch(testProfile, 0.01, 64)
+	if b < 2 || b > 64 {
+		t.Fatalf("MaxUsefulBatch = %d", b)
+	}
+	// With an enormous epsilon nothing is ever useful beyond 1.
+	if got := JetsonNano.MaxUsefulBatch(testProfile, 100, 64); got != 1 {
+		t.Fatalf("MaxUsefulBatch(eps=100) = %d, want 1", got)
+	}
+}
+
+// Property: throughput(b)·BatchTime(b) == 1000·b for all devices/batches.
+func TestQuickThroughputTimeIdentity(t *testing.T) {
+	devices := []*Device{&JetsonNano, &JetsonNX, &Atlas200DK}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := KernelProfile{
+			Kernels:         1 + rng.Intn(150),
+			BlocksPerSample: 0.5 + rng.Float64()*40,
+			WaveMS:          0.1 + rng.Float64()*2,
+			HostMSPerSample: rng.Float64() * 300,
+		}
+		d := devices[rng.Intn(len(devices))]
+		b := 1 + rng.Intn(64)
+		lhs := d.Throughput(p, b) * d.BatchTimeMS(p, b)
+		return math.Abs(lhs-1000*float64(b)) < 1e-6*1000*float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TIR is always in [1, b] — batching can only amortize overheads.
+func TestQuickTIRBounds(t *testing.T) {
+	devices := []*Device{&JetsonNano, &JetsonNX, &Atlas200DK}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := KernelProfile{
+			Kernels:         1 + rng.Intn(150),
+			BlocksPerSample: 0.5 + rng.Float64()*40,
+			WaveMS:          0.1 + rng.Float64()*2,
+			HostMSPerSample: rng.Float64() * 300,
+		}
+		d := devices[rng.Intn(len(devices))]
+		b := 1 + rng.Intn(64)
+		tir := d.TIR(p, b)
+		return tir >= 1-1e-9 && tir <= float64(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBatchTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JetsonNano.BatchTimeMS(testProfile, 8)
+	}
+}
+
+func TestThrottleScale(t *testing.T) {
+	d := JetsonNano // zero thermal fields: always 1
+	if d.ThrottleScale(0) != 1 || d.ThrottleScale(1e9) != 1 {
+		t.Fatal("throttling must be off by default")
+	}
+	hot := Device{Name: "hot", NumSM: 4, Clock: 1, HostSpeed: 1,
+		LaunchOverheadMS: 0.1, ThrottleAfterMS: 1000, ThrottleFactor: 1.5}
+	if hot.ThrottleScale(500) != 1 {
+		t.Fatal("below the threshold no throttling")
+	}
+	if hot.ThrottleScale(1500) != 1.5 {
+		t.Fatal("above the threshold the factor applies")
+	}
+	// Degenerate factor ≤ 1 disables.
+	weird := hot
+	weird.ThrottleFactor = 0.5
+	if weird.ThrottleScale(1e6) != 1 {
+		t.Fatal("factor ≤ 1 must disable throttling")
+	}
+}

@@ -1,0 +1,225 @@
+// Package bandit implements the online hyperparameter tuning of BIRP §4.2:
+// per (edge, model) estimation of the three TIR-law hyperparameters
+//
+//	TIR(b) = b^η  for b ≤ β,   TIR(b) = C  for b > β        (paper Eq. 2)
+//
+// from realized TIR observations, using running-mean historical estimates
+// (Eq. 16, 19) shaded by a lower-confidence-bound padding term (Eq. 17, 22)
+// in the Multi-Armed Bandit style, so the scheduler keeps exploring larger
+// batch sizes instead of locking onto early noisy estimates.
+//
+// A classic UCB1 arm selector is also provided; it backs the ablation bench
+// that swaps BIRP's structured tuner for unstructured arm pulls.
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// TIRParams bundles the TIR-law hyperparameters for one (edge, model) pair.
+type TIRParams struct {
+	Eta  float64 // power-law growth exponent η
+	Beta float64 // knee: largest batch size still on the power segment
+	C    float64 // plateau value beyond the knee
+}
+
+// TIR evaluates the piecewise TIR law (Eq. 2) at batch size b.
+func (p TIRParams) TIR(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	if b <= p.Beta {
+		return math.Pow(b, p.Eta)
+	}
+	return p.C
+}
+
+// BatchTime returns the batch completion time f(b) = b·γ / TIR(b) (Eq. 7)
+// for single-request latency gamma.
+func (p TIRParams) BatchTime(gamma float64, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return b * gamma / p.TIR(b)
+}
+
+// Defaults per Eq. 23: a conservative initialization observed to lower-bound
+// real devices (η ≥ 0.1, β ≤ 16, C = 16^0.1 ≈ 1.31).
+const (
+	InitEta  = 0.1
+	InitBeta = 16
+)
+
+// InitC is the Eq. 23 initial plateau, 16^0.1.
+var InitC = math.Pow(16, 0.1)
+
+// Tuner tracks the historical estimates and observation counts for one
+// (edge, model) pair and produces LCB-shaded parameters for the optimizer.
+type Tuner struct {
+	// Eps1 is the plateau-tolerance ε1 of Eq. 15: observations exceeding
+	// (1+ε1)·C̄ mean the knee estimate is stale and must be re-tuned.
+	Eps1 float64
+	// Eps2 scales the confidence-interval padding of Eq. 17/22.
+	Eps2 float64
+	// LiteralEq22 selects the denominators of the Eq. 17/22 padding terms.
+	// The paper literally divides every padding by n₂+1 (the beyond-knee
+	// "surprise" count). For models whose true plateau never exceeds the
+	// (1+ε1) surprise gate, n₂ stays 0 forever, so the padding grows like
+	// sqrt(ln t) without bound and the shaded η, β, C decay toward their
+	// floors — the scheduler becomes *more* pessimistic with experience.
+	// The default (false) therefore scales η's padding by n₁ (the count of
+	// observations that update η̄) and β/C's padding by n₁+n₂ (every
+	// observation that fails to surprise is evidence the plateau estimate is
+	// not too low). Set true for the paper-literal rule; the abl-lcb bench
+	// quantifies the difference.
+	LiteralEq22 bool
+
+	etaBar, betaBar, cBar float64 // historical estimates (η̄, β̄, C̄)
+	n1, n2                int     // observation counts within / beyond the knee
+	t                     int     // time-slot counter
+}
+
+// NewTuner returns a Tuner initialized per Eq. 23.
+func NewTuner(eps1, eps2 float64) *Tuner {
+	return &Tuner{
+		Eps1:        eps1,
+		Eps2:        eps2,
+		LiteralEq22: false,
+		etaBar:      InitEta,
+		betaBar:     InitBeta,
+		cBar:        InitC,
+	}
+}
+
+// Tick advances the time-slot counter once per scheduling slot. The paper's
+// padding shrinks with ln(t+1)/(n+1); t counts slots, not observations.
+func (tu *Tuner) Tick() { tu.t++ }
+
+// Observe feeds one realized TIR measurement at batch size b.
+//
+// It implements the §4.2 case split: when the observation exceeds the
+// (1+ε1)-shaded plateau estimate (Eq. 15) the knee and plateau move toward
+// the observation (Eq. 16) and n₂ advances (Eq. 18); otherwise the exponent
+// estimate moves toward the implied η̂ = ln(TIR)/ln(b) (Eq. 19, 21) and n₁
+// advances (Eq. 20). Observations at b ≤ 1 carry no exponent information and
+// only count toward n₁.
+func (tu *Tuner) Observe(b int, tir float64) {
+	if b <= 0 || tir <= 0 || math.IsNaN(tir) || math.IsInf(tir, 0) {
+		return
+	}
+	if tir >= (1+tu.Eps1)*tu.cBar {
+		// Beyond the knee: the plateau was underestimated.
+		tu.betaBar += (float64(b) - tu.betaBar) / float64(tu.n2+1)
+		tu.cBar += (tir - tu.cBar) / float64(tu.n2+1)
+		tu.n2++
+		return
+	}
+	if b > 1 {
+		etaHat := math.Log(tir) / math.Log(float64(b))
+		tu.etaBar += (etaHat - tu.etaBar) / float64(tu.n1+1)
+	}
+	tu.n1++
+}
+
+// padding returns the Eq. 17 confidence-interval ratio
+// sqrt(ε2·ln(t+1)/(n+1)), clamped to [0, 1) so shaded values stay positive.
+func (tu *Tuner) padding(n int) float64 {
+	p := math.Sqrt(tu.Eps2 * math.Log(float64(tu.t+1)) / float64(n+1))
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	return p
+}
+
+// Params returns the LCB-shaded hyperparameters (Eq. 17, 22) for use when
+// building the next slot's optimization problem.
+func (tu *Tuner) Params() TIRParams {
+	pad2 := tu.padding(tu.n2)
+	padEta := pad2
+	if !tu.LiteralEq22 {
+		pad2 = tu.padding(tu.n1 + tu.n2)
+		padEta = tu.padding(tu.n1)
+	}
+	beta := math.Ceil(tu.betaBar * (1 - pad2))
+	if beta < 1 {
+		beta = 1
+	}
+	c := tu.cBar * (1 - pad2)
+	if c < 1 {
+		c = 1
+	}
+	eta := tu.etaBar * (1 - padEta)
+	if eta < 0 {
+		eta = 0
+	}
+	return TIRParams{Eta: eta, Beta: beta, C: c}
+}
+
+// Historical returns the unshaded running-mean estimates (η̄, β̄, C̄); tests
+// and the offline baseline read these directly.
+func (tu *Tuner) Historical() TIRParams {
+	return TIRParams{Eta: tu.etaBar, Beta: tu.betaBar, C: tu.cBar}
+}
+
+// Counts returns (n₁, n₂), the within-knee and beyond-knee observation tallies.
+func (tu *Tuner) Counts() (n1, n2 int) { return tu.n1, tu.n2 }
+
+// String summarizes the tuner state for logs.
+func (tu *Tuner) String() string {
+	return fmt.Sprintf("tuner{η̄=%.3f β̄=%.1f C̄=%.3f n1=%d n2=%d t=%d}",
+		tu.etaBar, tu.betaBar, tu.cBar, tu.n1, tu.n2, tu.t)
+}
+
+// UCB1 is a standard upper-confidence-bound arm selector over a fixed arm
+// set, used by the abl-lcb ablation in place of the structured Tuner.
+type UCB1 struct {
+	counts  []int
+	rewards []float64
+	total   int
+	// Explore scales the confidence radius (√2 in the textbook rule).
+	Explore float64
+}
+
+// NewUCB1 creates a selector with n arms.
+func NewUCB1(n int) *UCB1 {
+	return &UCB1{counts: make([]int, n), rewards: make([]float64, n), Explore: math.Sqrt2}
+}
+
+// Select returns the arm with the highest upper confidence bound; unpulled
+// arms are tried first in index order.
+func (u *UCB1) Select() int {
+	for i, c := range u.counts {
+		if c == 0 {
+			return i
+		}
+	}
+	best, bestVal := 0, math.Inf(-1)
+	for i := range u.counts {
+		mean := u.rewards[i] / float64(u.counts[i])
+		bound := mean + u.Explore*math.Sqrt(math.Log(float64(u.total))/float64(u.counts[i]))
+		if bound > bestVal {
+			bestVal = bound
+			best = i
+		}
+	}
+	return best
+}
+
+// Update records reward r for arm i.
+func (u *UCB1) Update(i int, r float64) {
+	u.counts[i]++
+	u.rewards[i] += r
+	u.total++
+}
+
+// Arms returns the number of arms.
+func (u *UCB1) Arms() int { return len(u.counts) }
+
+// Mean returns the empirical mean reward of arm i (0 if never pulled).
+func (u *UCB1) Mean(i int) float64 {
+	if u.counts[i] == 0 {
+		return 0
+	}
+	return u.rewards[i] / float64(u.counts[i])
+}

@@ -1,0 +1,344 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTIRParamsPiecewise(t *testing.T) {
+	p := TIRParams{Eta: 0.32, Beta: 5, C: 1.68}
+	if got := p.TIR(1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TIR(1) = %v, want 1", got)
+	}
+	if got := p.TIR(5); math.Abs(got-math.Pow(5, 0.32)) > 1e-12 {
+		t.Fatalf("TIR(5) = %v", got)
+	}
+	if got := p.TIR(6); got != 1.68 {
+		t.Fatalf("TIR(6) = %v, want plateau 1.68", got)
+	}
+	if got := p.TIR(0); got != 0 {
+		t.Fatalf("TIR(0) = %v, want 0", got)
+	}
+	if got := p.TIR(-3); got != 0 {
+		t.Fatalf("TIR(-3) = %v, want 0", got)
+	}
+}
+
+func TestBatchTime(t *testing.T) {
+	p := TIRParams{Eta: 0.5, Beta: 8, C: math.Pow(8, 0.5)}
+	gamma := 10.0
+	// f(b) = b·γ/b^0.5 = γ·b^0.5 on the power segment.
+	if got, want := p.BatchTime(gamma, 4), 20.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BatchTime(4) = %v, want %v", got, want)
+	}
+	// Beyond the knee execution is linear in b.
+	if got, want := p.BatchTime(gamma, 16), 16*gamma/p.C; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BatchTime(16) = %v, want %v", got, want)
+	}
+	if got := p.BatchTime(gamma, 0); got != 0 {
+		t.Fatalf("BatchTime(0) = %v, want 0", got)
+	}
+}
+
+func TestBatchTimeMonotoneInB(t *testing.T) {
+	// Completion time must never decrease as the batch grows.
+	p := TIRParams{Eta: 0.32, Beta: 5, C: 1.68}
+	prev := 0.0
+	for b := 1; b <= 32; b++ {
+		cur := p.BatchTime(7, float64(b))
+		if cur < prev-1e-12 {
+			t.Fatalf("BatchTime not monotone at b=%d: %v < %v", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestNewTunerInitialization(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	h := tu.Historical()
+	if h.Eta != InitEta || h.Beta != InitBeta || math.Abs(h.C-InitC) > 1e-12 {
+		t.Fatalf("init = %+v", h)
+	}
+	if math.Abs(InitC-1.3195) > 0.01 {
+		t.Fatalf("InitC = %v, paper says ≈1.31", InitC)
+	}
+}
+
+func TestObserveBeyondKneeMovesBetaAndC(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	// An observation well above (1+ε1)·C̄ triggers the Eq. 16 branch.
+	tu.Observe(20, 2.0)
+	h := tu.Historical()
+	if h.Beta != 20 {
+		t.Fatalf("β̄ = %v, want 20 (first n2 observation replaces the prior)", h.Beta)
+	}
+	if h.C != 2.0 {
+		t.Fatalf("C̄ = %v, want 2.0", h.C)
+	}
+	n1, n2 := tu.Counts()
+	if n1 != 0 || n2 != 1 {
+		t.Fatalf("counts = (%d,%d), want (0,1)", n1, n2)
+	}
+	// A second surprise (2.4 ≥ 1.04·2.0) averages in with weight 1/2.
+	tu.Observe(10, 2.4)
+	h = tu.Historical()
+	if math.Abs(h.Beta-15) > 1e-12 {
+		t.Fatalf("β̄ = %v, want 15", h.Beta)
+	}
+	if math.Abs(h.C-2.2) > 1e-12 {
+		t.Fatalf("C̄ = %v, want 2.2", h.C)
+	}
+	// A non-surprise (1.6 < 1.04·2.2) must land in the η branch instead.
+	tu.Observe(12, 1.6)
+	if _, n2 := tu.Counts(); n2 != 2 {
+		t.Fatalf("n2 = %d, want 2 (third obs was not a surprise)", n2)
+	}
+}
+
+func TestObserveWithinKneeMovesEta(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	// TIR = 4^0.15 ≈ 1.23 < (1+ε1)·1.32 → within-knee branch.
+	tu.Observe(4, math.Pow(4, 0.15))
+	h := tu.Historical()
+	if math.Abs(h.Eta-0.15) > 1e-12 {
+		t.Fatalf("η̄ = %v, want exactly the implied 0.15 after one obs", h.Eta)
+	}
+	n1, n2 := tu.Counts()
+	if n1 != 1 || n2 != 0 {
+		t.Fatalf("counts = (%d,%d), want (1,0)", n1, n2)
+	}
+}
+
+func TestObserveBatchOneCarriesNoEtaInfo(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	before := tu.Historical().Eta
+	tu.Observe(1, 1.0)
+	if tu.Historical().Eta != before {
+		t.Fatal("b=1 observation must not change η̄")
+	}
+	n1, _ := tu.Counts()
+	if n1 != 1 {
+		t.Fatalf("n1 = %d, want 1", n1)
+	}
+}
+
+func TestObserveIgnoresGarbage(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	tu.Observe(0, 1)
+	tu.Observe(-5, 1)
+	tu.Observe(4, 0)
+	tu.Observe(4, -1)
+	tu.Observe(4, math.NaN())
+	tu.Observe(4, math.Inf(1))
+	n1, n2 := tu.Counts()
+	if n1 != 0 || n2 != 0 {
+		t.Fatalf("garbage observations must be dropped, counts (%d,%d)", n1, n2)
+	}
+}
+
+func TestEtaConvergesToTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trueEta := 0.32
+	tu := NewTuner(0.04, 0.07)
+	for i := 0; i < 2000; i++ {
+		tu.Tick()
+		b := 2 + rng.Intn(4) // stay under the knee
+		noise := 1 + rng.NormFloat64()*0.01
+		tu.Observe(b, math.Pow(float64(b), trueEta)*noise)
+	}
+	if got := tu.Historical().Eta; math.Abs(got-trueEta) > 0.02 {
+		t.Fatalf("η̄ = %v, want ≈ %v", got, trueEta)
+	}
+}
+
+func TestPaddingShrinksWithObservations(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	for i := 0; i < 10; i++ {
+		tu.Tick()
+	}
+	p0 := tu.Params()
+	// Each observation exceeds the (1+ε1)-shaded plateau, so every one is a
+	// "surprise": n2 rises and the Eq. 17 padding shrinks.
+	for i := 0; i < 100; i++ {
+		tu.Observe(20, tu.Historical().C*1.05)
+	}
+	p1 := tu.Params()
+	h := tu.Historical()
+	if p1.C <= p0.C {
+		t.Fatalf("shaded C should rise toward C̄: before %v after %v", p0.C, p1.C)
+	}
+	if p1.C < 0.85*h.C {
+		t.Fatalf("shaded C = %v should be within 15%% of C̄ = %v after 100 surprises", p1.C, h.C)
+	}
+}
+
+func TestParamsClamps(t *testing.T) {
+	tu := NewTuner(0.04, 5) // absurd ε2 makes padding saturate
+	for i := 0; i < 1000; i++ {
+		tu.Tick()
+	}
+	p := tu.Params()
+	if p.Beta < 1 {
+		t.Fatalf("β must be ≥ 1, got %v", p.Beta)
+	}
+	if p.C < 1 {
+		t.Fatalf("C must be ≥ 1, got %v", p.C)
+	}
+	if p.Eta < 0 {
+		t.Fatalf("η must be ≥ 0, got %v", p.Eta)
+	}
+}
+
+func TestBetaIsCeiled(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	tu.Tick()
+	p := tu.Params()
+	if p.Beta != math.Trunc(p.Beta) {
+		t.Fatalf("β = %v must be integral (Eq. 17 ceiling)", p.Beta)
+	}
+}
+
+func TestLiteralEq22Toggle(t *testing.T) {
+	mk := func(literal bool) TIRParams {
+		tu := NewTuner(0.04, 0.07)
+		tu.LiteralEq22 = literal
+		for i := 0; i < 50; i++ {
+			tu.Tick()
+			tu.Observe(4, math.Pow(4, 0.3)) // only n1 grows
+		}
+		return tu.Params()
+	}
+	lit := mk(true)
+	fix := mk(false)
+	// With n1 = 50 and n2 = 0, the n1-based padding is much smaller, so the
+	// shaded η must be closer to the estimate when LiteralEq22 is false.
+	if !(fix.Eta > lit.Eta) {
+		t.Fatalf("expected n1-based padding to shade less: literal %v fixed %v", lit.Eta, fix.Eta)
+	}
+}
+
+func TestTunerString(t *testing.T) {
+	tu := NewTuner(0.04, 0.07)
+	if s := tu.String(); !strings.Contains(s, "tuner{") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: the shaded parameters never exceed the historical estimates
+// (lower-confidence shading is pessimistic), for any observation stream.
+func TestQuickShadedBelowHistorical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tu := NewTuner(0.01+rng.Float64()*0.06, 0.04+rng.Float64()*0.06)
+		for i := 0; i < 200; i++ {
+			tu.Tick()
+			b := 1 + rng.Intn(20)
+			tir := 0.8 + rng.Float64()*1.5
+			tu.Observe(b, tir)
+		}
+		p, h := tu.Params(), tu.Historical()
+		return p.Eta <= h.Eta+1e-12 &&
+			p.C <= math.Max(h.C, 1)+1e-12 &&
+			p.Beta <= math.Ceil(h.Beta)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counts always equal the number of accepted observations.
+func TestQuickCountsConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tu := NewTuner(0.04, 0.07)
+		accepted := 0
+		for i := 0; i < 100; i++ {
+			b := rng.Intn(24) - 2
+			tir := rng.Float64()*2.4 - 0.2
+			if b > 0 && tir > 0 {
+				accepted++
+			}
+			tu.Observe(b, tir)
+		}
+		n1, n2 := tu.Counts()
+		return n1+n2 == accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCB1TriesEveryArmFirst(t *testing.T) {
+	u := NewUCB1(4)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		a := u.Select()
+		if seen[a] {
+			t.Fatalf("arm %d selected twice before all arms tried", a)
+		}
+		seen[a] = true
+		u.Update(a, 0.5)
+	}
+}
+
+func TestUCB1ConvergesToBestArm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	means := []float64{0.2, 0.5, 0.8}
+	u := NewUCB1(len(means))
+	for i := 0; i < 3000; i++ {
+		a := u.Select()
+		r := 0.0
+		if rng.Float64() < means[a] {
+			r = 1
+		}
+		u.Update(a, r)
+	}
+	best := 0
+	for i := 1; i < u.Arms(); i++ {
+		if u.Mean(i) > u.Mean(best) {
+			best = i
+		}
+	}
+	if best != 2 {
+		t.Fatalf("best arm = %d, want 2 (means: %v %v %v)", best, u.Mean(0), u.Mean(1), u.Mean(2))
+	}
+	if u.counts[2] < 2000 {
+		t.Fatalf("UCB1 should pull the best arm most: counts %v", u.counts)
+	}
+}
+
+func TestUCB1MeanUnpulled(t *testing.T) {
+	u := NewUCB1(2)
+	if u.Mean(0) != 0 {
+		t.Fatal("unpulled arm mean should be 0")
+	}
+}
+
+// TestTunerTracksDriftingPlateau reproduces the paper's §4.2 motivation:
+// "when the inference workload changes gradually" the MAB padding keeps the
+// estimator exploring, so a plateau that drifts upward over time is followed
+// via Eq. 15/16 surprises.
+func TestTunerTracksDriftingPlateau(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tu := NewTuner(0.04, 0.07)
+	trueC := 1.3
+	for slot := 0; slot < 600; slot++ {
+		tu.Tick()
+		if slot%2 == 0 {
+			trueC += 0.001 // slow upward drift to 1.6
+		}
+		noise := 1 + rng.NormFloat64()*0.02
+		tu.Observe(16, trueC*noise)
+	}
+	got := tu.Historical().C
+	if math.Abs(got-trueC) > 0.12 {
+		t.Fatalf("C̄ = %v did not follow the drift to %v", got, trueC)
+	}
+	_, n2 := tu.Counts()
+	if n2 < 10 {
+		t.Fatalf("drift should keep producing surprises, n2 = %d", n2)
+	}
+}

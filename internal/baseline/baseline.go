@@ -1,0 +1,171 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (§5.2):
+//
+//   - OAEI — the state-of-the-art model-selection-based inference workload
+//     redistribution algorithm (Jin et al., SECON 2020): serial execution,
+//     per-request model selection by online-learned latencies, and
+//     randomized rounding of the fractional redistribution.
+//   - MAX — batches fixed at a large B0 chosen for resource utilization;
+//     partial batches are padded.
+//   - BIRPOff — BIRP with offline-profiled TIR functions and no online
+//     tuning (upper reference line in Fig. 6).
+//
+// All three reuse the core solving machinery so that differences in results
+// come from the algorithms, not implementation quality.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+)
+
+// NewMAX builds the MAX baseline: fixed batch size B0, padded batches.
+func NewMAX(c *cluster.Cluster, apps []*models.Application, b0 int) (*core.Scheduler, error) {
+	return core.New(core.Config{
+		Cluster: c, Apps: apps,
+		Mode: core.ModeFixed, FixedB0: b0,
+		DisplayName: "MAX",
+	})
+}
+
+// NewBIRPOff builds the BIRP-OFF baseline: merged batches planned with
+// offline-profiled TIR laws (profiled up to maxB), no online tuning.
+func NewBIRPOff(c *cluster.Cluster, apps []*models.Application, maxB int) (*core.Scheduler, error) {
+	prov, err := core.ProfileOffline(c, apps, maxB)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Config{
+		Cluster: c, Apps: apps,
+		Provider:    prov,
+		DisplayName: "BIRP-OFF",
+	})
+}
+
+// OAEI is the serial model-selection baseline. It wraps a core scheduler in
+// ModeSerial, injects an online latency learner as the γ predictor (OAEI's
+// online-learning component), and uses randomized rounding in stage 1.
+type OAEI struct {
+	inner   *core.Scheduler
+	learner *latencyLearner
+}
+
+// NewOAEI constructs the baseline. seed drives the randomized rounding.
+func NewOAEI(c *cluster.Cluster, apps []*models.Application, seed int64) (*OAEI, error) {
+	return NewOAEIConfig(c, apps, seed, nil)
+}
+
+// NewOAEIConfig constructs the baseline with a config hook applied before the
+// inner scheduler is built (penalty overrides for ablations; the hook must
+// not change Mode, GammaMS, or the rounding RNG).
+func NewOAEIConfig(c *cluster.Cluster, apps []*models.Application, seed int64, mod func(*core.Config)) (*OAEI, error) {
+	l := newLatencyLearner(c, apps)
+	cfg := core.Config{
+		Cluster: c, Apps: apps,
+		Mode:        core.ModeSerial,
+		DisplayName: "OAEI",
+		GammaMS:     l.Predict,
+		// OAEI is "model selection-based": one version per (app, edge).
+		SingleVersion: true,
+		Redist:        core.RedistOptions{RoundRNG: rand.New(rand.NewSource(seed))},
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OAEI{inner: inner, learner: l}, nil
+}
+
+// Name implements edgesim.Scheduler.
+func (o *OAEI) Name() string { return o.inner.Name() }
+
+// Decide implements edgesim.Scheduler.
+func (o *OAEI) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	return o.inner.Decide(t, arrivals)
+}
+
+// Observe implements edgesim.Scheduler: realized per-request times feed the
+// latency learner (serial batches have size 1, so BatchMS is the request
+// latency); TIR observations also reach the (unused) tuner for symmetry.
+func (o *OAEI) Observe(t int, fbs []edgesim.Feedback) {
+	for _, fb := range fbs {
+		if fb.Batch == 1 {
+			o.learner.Update(fb.Edge, fb.App, fb.Version, fb.BatchMS)
+		}
+	}
+	o.inner.Observe(t, fbs)
+}
+
+// Learner exposes the latency estimator for tests.
+func (o *OAEI) Learner() interface{ Predict(core.ModelKey) float64 } { return o.learner }
+
+// latencyLearner estimates per-(edge, model) single-request latency from
+// observations, starting from a deliberately coarse prior (OAEI learns the
+// system online rather than assuming a calibrated predictor).
+type latencyLearner struct {
+	mu    sync.Mutex
+	prior float64
+	mean  map[core.ModelKey]float64
+	count map[core.ModelKey]int
+}
+
+func newLatencyLearner(c *cluster.Cluster, apps []*models.Application) *latencyLearner {
+	// Prior: the cluster-wide average latency, known from coarse specs.
+	var sum float64
+	n := 0
+	for _, e := range c.Edges {
+		for _, a := range apps {
+			for _, m := range a.Models {
+				sum += e.Device.SingleLatencyMS(m.Profile)
+				n++
+			}
+		}
+	}
+	prior := 100.0
+	if n > 0 {
+		prior = sum / float64(n)
+	}
+	return &latencyLearner{
+		prior: prior,
+		mean:  map[core.ModelKey]float64{},
+		count: map[core.ModelKey]int{},
+	}
+}
+
+// Predict returns the current latency estimate for a key.
+func (l *latencyLearner) Predict(k core.ModelKey) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c := l.count[k]; c > 0 {
+		return l.mean[k]
+	}
+	return l.prior
+}
+
+// Update folds one observed latency into the running mean.
+func (l *latencyLearner) Update(edge, app, version int, ms float64) {
+	if ms <= 0 {
+		return
+	}
+	k := core.ModelKey{Edge: edge, App: app, Version: version}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count[k]++
+	l.mean[k] += (ms - l.mean[k]) / float64(l.count[k])
+}
+
+// String describes the learner state size.
+func (l *latencyLearner) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("latencyLearner{keys=%d prior=%.1fms}", len(l.mean), l.prior)
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, sched edgesim.Scheduler, c *cluster.Cluster, apps []*models.Application, slots int, seed int64) *edgesim.Results {
+	return runLoad(t, sched, c, apps, slots, seed, 6)
+}
+
+func runLoad(t *testing.T, sched edgesim.Scheduler, c *cluster.Cluster, apps []*models.Application, slots int, seed int64, mean float64) *edgesim.Results {
+	t.Helper()
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: slots, Seed: seed,
+		MeanPerSlot: mean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sched, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOAEIRunsCleanly(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	o, err := NewOAEI(c, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "OAEI" {
+		t.Fatalf("name = %q", o.Name())
+	}
+	res := run(t, o, c, apps, 40, 3)
+	if res.Served == 0 {
+		t.Fatal("OAEI served nothing")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestOAEIExecutesSerially(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	o, err := NewOAEI(c, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Decide(0, [][]int{{6, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Deployments {
+		if len(d.BatchSizes) != d.Requests {
+			t.Fatalf("OAEI must run serial batches: %+v", d)
+		}
+		for _, b := range d.BatchSizes {
+			if b != 1 {
+				t.Fatalf("OAEI batch size %d, want 1", b)
+			}
+		}
+	}
+}
+
+func TestOAEILatencyLearnerConverges(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	o, err := NewOAEI(c, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := core.ModelKey{Edge: 0, App: 0, Version: 0}
+	before := o.Learner().Predict(key)
+	// Feed consistent observations via the Observe path.
+	for i := 0; i < 50; i++ {
+		o.Observe(i, []edgesim.Feedback{{App: 0, Version: 0, Edge: 0, Batch: 1, TIR: 1, BatchMS: 42}})
+	}
+	after := o.Learner().Predict(key)
+	if after == before {
+		t.Fatal("learner did not move from prior")
+	}
+	if after != 42 {
+		t.Fatalf("learned latency = %v, want 42", after)
+	}
+	// Non-serial feedback (batch > 1) must not pollute the estimate.
+	o.Observe(99, []edgesim.Feedback{{App: 0, Version: 0, Edge: 0, Batch: 4, TIR: 1.5, BatchMS: 999}})
+	if got := o.Learner().Predict(key); got != 42 {
+		t.Fatalf("batched feedback polluted the learner: %v", got)
+	}
+}
+
+func TestMAXUsesFixedBatches(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	m, err := NewMAX(c, apps, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Decide(0, [][]int{{20, 3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Deployments) == 0 {
+		t.Fatal("MAX deployed nothing")
+	}
+	for _, d := range plan.Deployments {
+		for _, b := range d.BatchSizes {
+			if b != 16 {
+				t.Fatalf("MAX batch %d, want exactly B0=16", b)
+			}
+		}
+	}
+}
+
+func TestBIRPOffUsesOfflineProfiles(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := NewBIRPOff(c, apps, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "BIRP-OFF" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if _, ok := s.Provider().(*core.OfflineProvider); !ok {
+		t.Fatalf("provider is %T, want offline", s.Provider())
+	}
+	res := run(t, s, c, apps, 30, 5)
+	if res.Served == 0 {
+		t.Fatal("BIRP-OFF served nothing")
+	}
+}
+
+// The paper's headline ordering on a moderate workload: BIRP-family loss
+// beats OAEI (batching frees compute for better models), and everyone beats
+// MAX under constrained memory.
+func TestLossOrderingMatchesPaper(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	slots := 60
+	seed := int64(11)
+	// Operating point in the compute-bound band where batching pays
+	// (see the TestDebugLoadScan sweep).
+
+	birp, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oaei, err := NewOAEI(c, apps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := runLoad(t, birp, c, apps, slots, seed, 50)
+	ro := runLoad(t, oaei, c, apps, slots, seed, 50)
+	if rb.Loss.Total() >= ro.Loss.Total() {
+		t.Fatalf("BIRP loss %.1f should beat OAEI loss %.1f", rb.Loss.Total(), ro.Loss.Total())
+	}
+	if rb.FailureRate() > ro.FailureRate()+0.02 {
+		t.Fatalf("BIRP failure rate %.3f should not exceed OAEI %.3f",
+			rb.FailureRate(), ro.FailureRate())
+	}
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestNewOAEIConfigHook(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	called := false
+	o, err := NewOAEIConfig(c, apps, 1, func(cfg *core.Config) {
+		called = true
+		cfg.OverflowPenaltyPerMS = 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("hook not invoked")
+	}
+	if o.Name() != "OAEI" {
+		t.Fatalf("name = %q", o.Name())
+	}
+}
+
+func TestLatencyLearnerString(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	l := newLatencyLearner(c, apps)
+	if s := l.String(); !strings.Contains(s, "latencyLearner") {
+		t.Fatalf("String = %q", s)
+	}
+	l.Update(0, 0, 0, -1) // non-positive samples ignored
+	if l.Predict(core.ModelKey{}) != l.prior {
+		t.Fatal("invalid update must not move the estimate")
+	}
+}
+
+func TestLatencyLearnerPriorIsClusterAverage(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	l := newLatencyLearner(c, apps)
+	var sum float64
+	n := 0
+	for _, e := range c.Edges {
+		for _, a := range apps {
+			for _, m := range a.Models {
+				sum += e.Device.SingleLatencyMS(m.Profile)
+				n++
+			}
+		}
+	}
+	if want := sum / float64(n); l.prior != want {
+		t.Fatalf("prior = %v, want %v", l.prior, want)
+	}
+}
+
+func TestNewBIRPOffRejectsBadProfileRange(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	if _, err := NewBIRPOff(c, apps, 1); err == nil {
+		t.Fatal("maxB=1 cannot identify a TIR law and must error")
+	}
+}
+
+func TestMAXRejectsZeroB0(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	if _, err := NewMAX(c, apps, 0); err == nil {
+		t.Fatal("B0=0 must error")
+	}
+}

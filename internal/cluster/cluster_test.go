@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestDefaultTopology(t *testing.T) {
+	c := Default()
+	if c.N() != 6 {
+		t.Fatalf("default cluster has %d edges, want 6", c.N())
+	}
+	types := map[string]int{}
+	for _, e := range c.Edges {
+		types[e.Device.Name]++
+		if e.MemoryMB < 4500 || e.MemoryMB > 6500 {
+			t.Errorf("%s: memory %v outside paper range [4500, 6500]", e.Name, e.MemoryMB)
+		}
+		if e.BandwidthLoMbps != 50 || e.BandwidthHiMbps != 100 {
+			t.Errorf("%s: bandwidth range [%v, %v], paper uses [50, 100]",
+				e.Name, e.BandwidthLoMbps, e.BandwidthHiMbps)
+		}
+	}
+	for name, n := range types {
+		if n != 2 {
+			t.Errorf("device type %s has %d instances, want 2", name, n)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallTopology(t *testing.T) {
+	c := Small()
+	if c.N() != 3 {
+		t.Fatalf("small cluster has %d edges, want 3", c.N())
+	}
+	seen := map[string]bool{}
+	for _, e := range c.Edges {
+		seen[e.Device.Name] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("small cluster should have one edge per device type, got %v", seen)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	c := Default(WithSlotSeconds(42), WithSeed(9))
+	if c.SlotSeconds != 42 {
+		t.Fatalf("SlotSeconds = %v", c.SlotSeconds)
+	}
+	if c.SlotMS() != 42000 {
+		t.Fatalf("SlotMS = %v", c.SlotMS())
+	}
+}
+
+func TestBandwidthWithinRangeAndDeterministic(t *testing.T) {
+	c := Default(WithSeed(3))
+	lo := 50 * c.SlotSeconds / 8
+	hi := 100 * c.SlotSeconds / 8
+	for tt := 0; tt < 50; tt++ {
+		for k := 0; k < c.N(); k++ {
+			v := c.BandwidthMBAt(tt, k)
+			if v < lo || v > hi {
+				t.Fatalf("bandwidth %v outside [%v, %v]", v, lo, hi)
+			}
+			if v != c.BandwidthMBAt(tt, k) {
+				t.Fatal("bandwidth must be deterministic per (t, k)")
+			}
+		}
+	}
+	// Different slots should usually differ.
+	if c.BandwidthMBAt(0, 0) == c.BandwidthMBAt(1, 0) && c.BandwidthMBAt(1, 0) == c.BandwidthMBAt(2, 0) {
+		t.Fatal("bandwidth does not vary across slots")
+	}
+}
+
+func TestValidateCatchesMistakes(t *testing.T) {
+	cases := []*Cluster{
+		{SlotSeconds: 10},
+		{SlotSeconds: 0, Edges: []*Edge{{Device: &accel.JetsonNano, MemoryMB: 100, BandwidthLoMbps: 1, BandwidthHiMbps: 2}}},
+		{SlotSeconds: 10, Edges: []*Edge{{Device: nil, MemoryMB: 100, BandwidthLoMbps: 1, BandwidthHiMbps: 2}}},
+		{SlotSeconds: 10, Edges: []*Edge{{Device: &accel.JetsonNano, MemoryMB: 0, BandwidthLoMbps: 1, BandwidthHiMbps: 2}}},
+		{SlotSeconds: 10, Edges: []*Edge{{Device: &accel.JetsonNano, MemoryMB: 100, BandwidthLoMbps: 5, BandwidthHiMbps: 2}}},
+		{SlotSeconds: 10, Edges: []*Edge{{Device: &accel.JetsonNano, MemoryMB: 100, BandwidthLoMbps: 0, BandwidthHiMbps: 2}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestCustomDefaultsAndValidation(t *testing.T) {
+	c, err := Custom([]EdgeSpec{
+		{Device: &accel.EdgeTPU},
+		{Device: &accel.JetsonNano, MemoryMB: 2000, BandwidthLoMbps: 20, BandwidthHiMbps: 40},
+	}, WithSlotSeconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 2 || c.SlotSeconds != 5 {
+		t.Fatalf("cluster = %+v", c)
+	}
+	if c.Edges[0].MemoryMB != accel.EdgeTPU.MemoryMB {
+		t.Fatalf("memory default not applied: %v", c.Edges[0].MemoryMB)
+	}
+	if c.Edges[0].BandwidthLoMbps != 50 || c.Edges[0].BandwidthHiMbps != 100 {
+		t.Fatal("bandwidth default not applied")
+	}
+	if c.Edges[1].BandwidthLoMbps != 20 {
+		t.Fatal("explicit bandwidth ignored")
+	}
+	if c.Edges[0].Name != "edge-0(Edge TPU)" {
+		t.Fatalf("name = %q", c.Edges[0].Name)
+	}
+}
+
+func TestCustomErrors(t *testing.T) {
+	if _, err := Custom(nil); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	if _, err := Custom([]EdgeSpec{{}}); err == nil {
+		t.Fatal("nil device must error")
+	}
+	if _, err := Custom([]EdgeSpec{{Device: &accel.EdgeTPU}}, WithSlotSeconds(-1)); err == nil {
+		t.Fatal("invalid slot duration must fail validation")
+	}
+}
+
+func TestEdgeTPUCharacter(t *testing.T) {
+	// The TPU's character is efficiency: far lower energy per inference
+	// than the Nano on small CNNs, but it loses throughput on the
+	// transformer-class profile (narrow array, weak host, tiny memory).
+	small := accel.KernelProfile{Kernels: 8, BlocksPerSample: 1.6, WaveMS: 0.2, HostMSPerSample: 2.78}
+	big := accel.KernelProfile{Kernels: 144, BlocksPerSample: 40, WaveMS: 1.26, HostMSPerSample: 265}
+	if accel.EdgeTPU.Throughput(small, 1) <= 0 {
+		t.Fatal("TPU must run the small profile")
+	}
+	nanoBig := accel.JetsonNano.Throughput(big, 1)
+	tpuBig := accel.EdgeTPU.Throughput(big, 1)
+	if tpuBig >= nanoBig {
+		t.Fatalf("TPU should lose on big models: %v vs %v", tpuBig, nanoBig)
+	}
+	nanoE := accel.JetsonNano.BatchEnergyJ(small, 1)
+	tpuE := accel.EdgeTPU.BatchEnergyJ(small, 1)
+	if tpuE >= 0.7*nanoE {
+		t.Fatalf("TPU energy per inference should be well below Nano: %v vs %v", tpuE, nanoE)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// utilizationSpread computes the variance of per-edge planned compute for a
+// redistribution under fixed per-request costs.
+func utilizationSpread(c *cluster.Cluster, apps []*models.Application, red *Redistribution,
+	gamma func(ModelKey) float64) float64 {
+	K := c.N()
+	util := make([]float64, K)
+	for k := 0; k < K; k++ {
+		for i := range red.Alloc {
+			// Cheapest model as the cost proxy (matches what stage 1 picks
+			// under light constraints).
+			util[k] += gamma(ModelKey{Edge: k, App: i, Version: 0}) * float64(red.Alloc[i][k])
+		}
+		util[k] /= c.SlotMS()
+	}
+	var mean float64
+	for _, u := range util {
+		mean += u
+	}
+	mean /= float64(K)
+	var v float64
+	for _, u := range util {
+		v += (u - mean) * (u - mean)
+	}
+	return v / float64(K)
+}
+
+func TestBalanceWeightEvensUtilization(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	params := func(ModelKey) bandit.TIRParams { return bandit.TIRParams{Eta: 0.1, Beta: 16, C: 1.3} }
+	gamma := func(k ModelKey) float64 {
+		return c.Edges[k.Edge].Device.SingleLatencyMS(apps[k.App].Models[k.Version].Profile)
+	}
+	// All load lands on edge 0, comfortably within its own capacity: the
+	// unbalanced LP has no reason to move it; the balanced one spreads it.
+	arrivals := [][]int{{90, 0, 0}}
+	plain, err := Redistribute(c, apps, arrivals, params, gamma, 0, RedistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := Redistribute(c, apps, arrivals, params, gamma, 0, RedistOptions{BalanceWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPlain := utilizationSpread(c, apps, plain, gamma)
+	vBal := utilizationSpread(c, apps, balanced, gamma)
+	if !(vBal < vPlain) {
+		t.Fatalf("balancing did not reduce utilization variance: %v vs %v", vBal, vPlain)
+	}
+	// Conservation still holds.
+	total := 0
+	for _, row := range balanced.Alloc {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 90 {
+		t.Fatalf("balanced allocation total %d, want 90", total)
+	}
+}
+
+func TestBalanceWeightEndToEnd(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	s, err := New(Config{
+		Cluster: c, Apps: apps,
+		Redist: RedistOptions{BalanceWeight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{
+		Cluster: c, Apps: apps, NoiseSigma: 0.02, SlotNoiseSigma: 0.08, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 2, Edges: c.N(), Slots: 30, Seed: 8, MeanPerSlot: 40, Imbalance: 0.9,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if math.IsNaN(res.Loss.Total()) {
+		t.Fatal("NaN loss")
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+func testApps() []*models.Application { return models.Catalogue(2, 3) }
+
+func flatParams(eta, beta, c float64) func(app, version int) bandit.TIRParams {
+	return func(int, int) bandit.TIRParams { return bandit.TIRParams{Eta: eta, Beta: beta, C: c} }
+}
+
+func TestOnlineTunerLazyAndTick(t *testing.T) {
+	o := NewOnlineTuner(0.04, 0.07)
+	k := ModelKey{Edge: 1, App: 0, Version: 2}
+	p := o.Params(k)
+	if p.Beta < 1 || p.Eta < 0 {
+		t.Fatalf("params = %+v", p)
+	}
+	o.Tick()
+	o.Tick()
+	// A tuner created after ticks must report the same shading as one
+	// created before (slot counters synchronized).
+	k2 := ModelKey{Edge: 0, App: 1, Version: 0}
+	if o.Params(k2) != o.Params(k) {
+		t.Fatalf("late tuner out of sync: %+v vs %+v", o.Params(k2), o.Params(k))
+	}
+	o.Observe(k, 4, 1.2)
+	if h := o.Historical(k); h.Eta == bandit.InitEta {
+		t.Fatal("observation did not reach the tuner")
+	}
+}
+
+func TestOfflineProviderFallbackAndFixed(t *testing.T) {
+	p := &OfflineProvider{Table: map[ModelKey]bandit.TIRParams{
+		{Edge: 0, App: 0, Version: 0}: {Eta: 0.2, Beta: 8, C: 1.5},
+	}}
+	got := p.Params(ModelKey{Edge: 0, App: 0, Version: 0})
+	if got.Eta != 0.2 {
+		t.Fatalf("known key = %+v", got)
+	}
+	fb := p.Params(ModelKey{Edge: 9, App: 9, Version: 9})
+	if fb.Beta != bandit.InitBeta {
+		t.Fatalf("fallback = %+v", fb)
+	}
+	p.Observe(ModelKey{}, 4, 2.0) // must be a no-op
+	p.Tick()
+	if got2 := p.Params(ModelKey{Edge: 0, App: 0, Version: 0}); got2 != got {
+		t.Fatal("offline provider must be immutable")
+	}
+}
+
+func TestProfileOffline(t *testing.T) {
+	c := cluster.Small()
+	apps := testApps()
+	prov, err := ProfileOffline(c, apps, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prov.Table) != c.N()*2*3 {
+		t.Fatalf("profiled %d keys, want %d", len(prov.Table), c.N()*2*3)
+	}
+	for k, p := range prov.Table {
+		if p.Eta <= 0 || p.Eta > 1 || p.Beta < 2 || p.C < 1 {
+			t.Fatalf("implausible profile %+v at %+v", p, k)
+		}
+	}
+	if _, err := ProfileOffline(c, apps, 1); err == nil {
+		t.Fatal("maxB < 2 must error")
+	}
+}
+
+func edgeProblem(workload []int, mode BatchMode) *EdgeProblem {
+	c := cluster.Small()
+	apps := testApps()
+	return &EdgeProblem{
+		Edge: c.Edges[0], EdgeIdx: 0, Apps: apps, Workload: workload,
+		Params:  flatParams(0.2, 16, 1.6),
+		GammaMS: func(i, j int) float64 { return c.Edges[0].Device.SingleLatencyMS(apps[i].Models[j].Profile) },
+		SlotMS:  c.SlotMS(), ShipBudgetMB: 1000,
+		PrevDeployed: map[[2]int]bool{},
+		Mode:         mode, FixedB0: 8,
+	}
+}
+
+func TestSolveEdgeValidation(t *testing.T) {
+	bad := []*EdgeProblem{
+		{},
+		func() *EdgeProblem { p := edgeProblem([]int{1}, ModeMerged); return p }(), // workload len mismatch
+		func() *EdgeProblem { p := edgeProblem([]int{1, 1}, ModeMerged); p.Params = nil; return p }(),
+		func() *EdgeProblem { p := edgeProblem([]int{1, 1}, ModeMerged); p.SlotMS = 0; return p }(),
+		func() *EdgeProblem { p := edgeProblem([]int{1, 1}, ModeFixed); p.FixedB0 = 0; return p }(),
+		func() *EdgeProblem { p := edgeProblem([]int{-1, 1}, ModeMerged); return p }(),
+	}
+	for i, p := range bad {
+		if _, err := SolveEdge(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSolveEdgeMergedServesEverythingWhenEasy(t *testing.T) {
+	p := edgeProblem([]int{5, 3}, ModeMerged)
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, d := range asg.Deployments {
+		if len(d.BatchSizes) != 1 || d.BatchSizes[0] != d.Requests {
+			t.Fatalf("merged mode must use one batch: %+v", d)
+		}
+		served += d.Requests
+	}
+	if served != 8 {
+		t.Fatalf("served %d, want 8", served)
+	}
+	for i, d := range asg.Dropped {
+		if d != 0 {
+			t.Fatalf("app %d dropped %d requests on an easy instance", i, d)
+		}
+	}
+	// With a roomy slot the solver must choose the most accurate model.
+	for _, d := range asg.Deployments {
+		if d.Version != len(p.Apps[d.App].Models)-1 {
+			t.Fatalf("easy instance should use the best model, got version %d", d.Version)
+		}
+	}
+	if asg.OverflowMS > 1e-6 {
+		t.Fatalf("unexpected overflow %v", asg.OverflowMS)
+	}
+}
+
+func TestSolveEdgeTightSlotPrefersSmallerModels(t *testing.T) {
+	easy := edgeProblem([]int{8, 0}, ModeMerged)
+	easyAsg, err := SolveEdge(easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := edgeProblem([]int{8, 0}, ModeMerged)
+	tight.SlotMS = 400 // barely room for the small model
+	tightAsg, err := SolveEdge(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossOf := func(asg *EdgeAssignment) float64 {
+		var l float64
+		for _, d := range asg.Deployments {
+			l += easy.Apps[d.App].Models[d.Version].Loss * float64(d.Requests)
+		}
+		return l
+	}
+	if !(lossOf(tightAsg) > lossOf(easyAsg)) {
+		t.Fatalf("tight slot should force higher loss: %v vs %v", lossOf(tightAsg), lossOf(easyAsg))
+	}
+}
+
+func TestSolveEdgeSerialMode(t *testing.T) {
+	p := edgeProblem([]int{4, 0}, ModeSerial)
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg.Deployments) == 0 {
+		t.Fatal("no deployments")
+	}
+	for _, d := range asg.Deployments {
+		if len(d.BatchSizes) != d.Requests {
+			t.Fatalf("serial mode must emit one batch per request: %+v", d)
+		}
+		for _, b := range d.BatchSizes {
+			if b != 1 {
+				t.Fatalf("serial batches must be size 1: %+v", d)
+			}
+		}
+	}
+}
+
+func TestSolveEdgeFixedMode(t *testing.T) {
+	p := edgeProblem([]int{10, 0}, ModeFixed) // B0 = 8 → 2 padded batches
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, d := range asg.Deployments {
+		served += d.Requests
+		total := 0
+		for _, b := range d.BatchSizes {
+			if b != 8 {
+				t.Fatalf("fixed mode must use B0-sized batches: %+v", d)
+			}
+			total += b
+		}
+		if total < d.Requests {
+			t.Fatalf("batches cover %d < %d requests", total, d.Requests)
+		}
+	}
+	if served+asg.Dropped[0] != 10 {
+		t.Fatalf("conservation broken: served %d dropped %d", served, asg.Dropped[0])
+	}
+}
+
+func TestSolveEdgeDropsUnderImpossibleLoad(t *testing.T) {
+	p := edgeProblem([]int{500, 500}, ModeMerged)
+	p.SlotMS = 200
+	p.DropPenalty = 0.6 // cheap drops so the solver prefers them to overflow
+	p.OverflowPenaltyPerMS = 10
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Dropped[0]+asg.Dropped[1] == 0 {
+		t.Fatal("expected drops under impossible load")
+	}
+}
+
+func TestSolveEdgeZeroWorkload(t *testing.T) {
+	p := edgeProblem([]int{0, 0}, ModeMerged)
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg.Deployments) != 0 {
+		t.Fatalf("zero workload must deploy nothing: %+v", asg.Deployments)
+	}
+}
+
+func TestSolveEdgeShipBudgetForcesResidentModels(t *testing.T) {
+	p := edgeProblem([]int{5, 0}, ModeMerged)
+	// Only the smallest model of app 0 is resident; shipping budget is zero,
+	// so the solver must reuse it despite its higher loss.
+	p.ShipBudgetMB = 0
+	p.PrevDeployed = map[[2]int]bool{{0, 0}: true}
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range asg.Deployments {
+		if d.App == 0 && d.Version != 0 {
+			t.Fatalf("no bandwidth to ship model v%d", d.Version)
+		}
+	}
+	if len(asg.Deployments) == 0 {
+		t.Fatal("resident model should still serve")
+	}
+}
+
+func TestSolveEdgeMemoryLimitsBatch(t *testing.T) {
+	p := edgeProblem([]int{30, 0}, ModeMerged)
+	// Shrink memory so big batches of big models cannot fit.
+	tiny := *p.Edge
+	tiny.MemoryMB = 700
+	p.Edge = &tiny
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem float64
+	seen := map[[2]int]bool{}
+	for _, d := range asg.Deployments {
+		m := p.Apps[d.App].Models[d.Version]
+		if !seen[[2]int{d.App, d.Version}] {
+			seen[[2]int{d.App, d.Version}] = true
+			mem += m.WeightsMB
+		}
+		mem += m.IntermediateMB * float64(d.BatchSizes[0])
+	}
+	if mem > 700+1e-6 {
+		t.Fatalf("memory plan %v exceeds 700", mem)
+	}
+}
+
+func TestBatchModeAndSolveModeStrings(t *testing.T) {
+	for _, m := range []BatchMode{ModeMerged, ModeSerial, ModeFixed, BatchMode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty BatchMode string")
+		}
+	}
+	for _, m := range []SolveMode{SolveModeDecomposed, SolveModeJoint, SolveMode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty SolveMode string")
+		}
+	}
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if _, err := New(Config{Cluster: cluster.Small(), Apps: testApps(), Mode: ModeFixed}); err == nil {
+		t.Fatal("ModeFixed without B0 must fail")
+	}
+}
+
+func TestSchedulerDefaults(t *testing.T) {
+	s, err := New(Config{Cluster: cluster.Small(), Apps: testApps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "BIRP" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if _, ok := s.Provider().(*OnlineTuner); !ok {
+		t.Fatalf("default provider should be the online tuner, got %T", s.Provider())
+	}
+}
+
+func TestGammaPredictionsInPaperEnvelope(t *testing.T) {
+	s, err := New(Config{Cluster: cluster.Default(), Apps: models.Catalogue(5, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := 0; k < s.cfg.Cluster.N(); k++ {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				g := s.gamma(ModelKey{Edge: k, App: i, Version: j})
+				lo = math.Min(lo, g)
+				hi = math.Max(hi, g)
+			}
+		}
+	}
+	if lo < 3 || hi > 1200 {
+		t.Fatalf("gamma envelope [%v, %v] outside plausible band", lo, hi)
+	}
+}

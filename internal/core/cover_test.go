@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func clusterSmallForCover() *cluster.Cluster { return cluster.Small() }
+
+func TestSmallHelperCoverage(t *testing.T) {
+	if MemTimeSliced.String() != "time-sliced" || MemSum.String() != "eq6-sum" || MemModel(9).String() == "" {
+		t.Fatal("MemModel strings wrong")
+	}
+	if orDefault(0, 5) != 5 || orDefault(2, 5) != 2 {
+		t.Fatal("orDefault wrong")
+	}
+	red := localRedistribution([][]int{{3, 1}}, 1, 2)
+	if red.Alloc[0][0] != 3 || red.Alloc[0][1] != 1 || len(red.Transfers) != 0 {
+		t.Fatalf("localRedistribution = %+v", red)
+	}
+	// SetEdgeDown bounds are forgiving.
+	s, err := New(Config{Cluster: clusterSmallForCover(), Apps: testApps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEdgeDown(-1, true) // no-op, no panic
+	s.SetEdgeDown(99, true) // no-op, no panic
+	s.SetEdgeDown(0, true)
+	s.SetEdgeDown(0, false)
+}
+
+func TestDecideInputValidation(t *testing.T) {
+	s, err := New(Config{Cluster: clusterSmallForCover(), Apps: testApps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decide(0, [][]int{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong app count must error")
+	}
+	if _, err := s.Decide(0, [][]int{{1, 2}, {1, 2}}); err == nil {
+		t.Fatal("wrong edge count must error")
+	}
+	if _, err := s.Decide(0, [][]int{{1, -2, 3}, {0, 0, 0}}); err == nil {
+		t.Fatal("negative arrivals must error")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func TestSingleVersionRestriction(t *testing.T) {
+	p := edgeProblem([]int{20, 12}, ModeMerged)
+	p.SingleVersion = true
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perApp := map[int]map[int]bool{}
+	for _, d := range asg.Deployments {
+		if perApp[d.App] == nil {
+			perApp[d.App] = map[int]bool{}
+		}
+		perApp[d.App][d.Version] = true
+	}
+	for app, versions := range perApp {
+		if len(versions) > 1 {
+			t.Fatalf("app %d deployed %d versions under SingleVersion", app, len(versions))
+		}
+	}
+	// Without the restriction, the same heavy instance mixes versions when
+	// one model's batch cap or memory binds — verify it CAN mix (so the
+	// restriction above is actually binding for the comparison).
+	p2 := edgeProblem([]int{20, 12}, ModeMerged)
+	p2.SlotMS = 1200 // tight slot forces a mix of cheap and good models
+	asg2, err := SolveEdge(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = asg2 // mixing is allowed but not guaranteed; no assertion here
+}
+
+func TestMemSumIsMoreConservative(t *testing.T) {
+	// Under MemSum the same workload must never use more peak memory, which
+	// shows up as equal-or-worse loss (fewer/smaller batch deployments).
+	mk := func(mem MemModel) *EdgeAssignment {
+		p := edgeProblem([]int{40, 40}, ModeMerged)
+		p.Mem = mem
+		tiny := *p.Edge
+		tiny.MemoryMB = 2500
+		p.Edge = &tiny
+		asg, err := SolveEdge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asg
+	}
+	ts := mk(MemTimeSliced)
+	sum := mk(MemSum)
+	lossOf := func(a *EdgeAssignment, p *EdgeProblem) float64 {
+		var l float64
+		for _, d := range a.Deployments {
+			l += p.Apps[d.App].Models[d.Version].Loss * float64(d.Requests)
+		}
+		for i, n := range a.Dropped {
+			_ = i
+			l += 25 * float64(n)
+		}
+		return l
+	}
+	ref := edgeProblem(nil, ModeMerged)
+	if lossOf(sum, ref) < lossOf(ts, ref)-1e-9 {
+		t.Fatalf("MemSum (%v) should not beat time-sliced (%v)",
+			lossOf(sum, ref), lossOf(ts, ref))
+	}
+}
+
+func TestKneeCapLimitsBatchSizes(t *testing.T) {
+	p := edgeProblem([]int{60, 0}, ModeMerged)
+	p.KneeCap = true
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range asg.Deployments {
+		if len(d.BatchSizes) != 1 {
+			t.Fatalf("KneeCap must use a single batch: %+v", d)
+		}
+		if float64(d.BatchSizes[0]) > 16 {
+			t.Fatalf("batch %d exceeds the β̂ cap", d.BatchSizes[0])
+		}
+	}
+	// The knee-capped capacity per app is Σ_j β̂; overload must drop.
+	served := 0
+	for _, d := range asg.Deployments {
+		served += d.Requests
+	}
+	if served+asg.Dropped[0] != 60 {
+		t.Fatalf("conservation broken: %d + %d != 60", served, asg.Dropped[0])
+	}
+}
+
+func TestMultiBatchSplitsLargeWorkload(t *testing.T) {
+	p := edgeProblem([]int{100, 0}, ModeMerged)
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := false
+	for _, d := range asg.Deployments {
+		if len(d.BatchSizes) > 1 {
+			multi = true
+			total := 0
+			for _, b := range d.BatchSizes {
+				total += b
+			}
+			if total < d.Requests {
+				t.Fatalf("batches cover %d of %d", total, d.Requests)
+			}
+		}
+	}
+	if !multi {
+		t.Fatal("100 requests should need multiple physical batches")
+	}
+	if asg.Dropped[0] != 0 {
+		t.Fatalf("multi-batch mode dropped %d of a servable load", asg.Dropped[0])
+	}
+}
+
+func TestPenaltyOverridesChangeBehaviour(t *testing.T) {
+	// With a sky-high overflow price and a cheap drop, an impossible load is
+	// shed; with a cheap overflow price it is served late.
+	mk := func(drop, ov float64) *EdgeAssignment {
+		p := edgeProblem([]int{300, 300}, ModeMerged)
+		p.SlotMS = 300
+		p.DropPenalty = drop
+		p.OverflowPenaltyPerMS = ov
+		asg, err := SolveEdge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asg
+	}
+	shed := mk(0.6, 50)
+	late := mk(1000, 0.0001)
+	if shed.Dropped[0]+shed.Dropped[1] == 0 {
+		t.Fatal("cheap drops + dear overflow must shed load")
+	}
+	if late.Dropped[0]+late.Dropped[1] != 0 {
+		t.Fatal("dear drops + cheap overflow must serve everything")
+	}
+	if late.OverflowMS <= 0 {
+		t.Fatal("late plan must overflow")
+	}
+}
+
+func TestSchedulerWithSingleVersionEndToEnd(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, SingleVersion: true, DisplayName: "SV"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 2, Edges: c.N(), Slots: 10, Seed: 1, MeanPerSlot: 20, Imbalance: 0.5,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestMemSumSchedulerEndToEnd(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, Mem: MemSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: 10, Seed: 2, MeanPerSlot: 30, Imbalance: 0.5,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MemSum plans satisfy the (looser) time-sliced validator a fortiori.
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestKneeCapSchedulerEndToEnd(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, KneeCap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: 10, Seed: 3, MeanPerSlot: 15, Imbalance: 0.5,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+func TestBottleneckDiagnostics(t *testing.T) {
+	// Roomy instance: nothing binds.
+	easy := edgeProblem([]int{4, 0}, ModeMerged)
+	asg, err := SolveEdge(easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Bottleneck != "none" {
+		t.Fatalf("easy instance bottleneck = %q (%v)", asg.Bottleneck, asg.Utilizations)
+	}
+	for name, u := range asg.Utilizations {
+		if u < 0 || u > 1.5 {
+			t.Fatalf("%s utilization %v implausible", name, u)
+		}
+	}
+	// Compute-starved instance: compute binds.
+	tight := edgeProblem([]int{200, 200}, ModeMerged)
+	tight.SlotMS = 2000
+	asg, err = SolveEdge(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Bottleneck != "compute" {
+		t.Fatalf("tight instance bottleneck = %q (%v)", asg.Bottleneck, asg.Utilizations)
+	}
+	// Ship-starved: only the resident model is usable, bandwidth flagged
+	// once any shipping is attempted... with zero budget and nothing
+	// resident the solver must reflect bandwidth pressure via utilization 1.
+	noship := edgeProblem([]int{10, 0}, ModeMerged)
+	noship.ShipBudgetMB = 0.5
+	asg, err = SolveEdge(noship)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Utilizations["bandwidth"] > 1+1e-9 {
+		t.Fatalf("bandwidth utilization %v exceeds budget", asg.Utilizations["bandwidth"])
+	}
+}

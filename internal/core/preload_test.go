@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+)
+
+// rampTrace builds a demand ramp: light warm-up, then a heavy phase.
+func rampTrace(apps, edges, warm, heavy, lightLoad, heavyLoad int) [][][]int {
+	out := make([][][]int, warm+heavy)
+	for t := range out {
+		out[t] = make([][]int, apps)
+		for i := range out[t] {
+			out[t][i] = make([]int, edges)
+			for k := range out[t][i] {
+				if t < warm {
+					out[t][i][k] = lightLoad
+				} else {
+					out[t][i][k] = heavyLoad
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestMaybePreloadMechanism(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, Preload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed predicted demand at edge 0 above the threshold; edge 1 below it.
+	s.ewma[0][0] = 40
+	s.ewma[0][1] = 1
+	// Edge 0 currently holds only v0; the plan this slot redeploys v0.
+	s.prev[0][[2]int{0, 0}] = true
+	plan := &edgesim.Plan{Deployments: []edgesim.Deployment{
+		{App: 0, Version: 0, Edge: 0, Requests: 10, BatchSizes: []int{10}},
+	}}
+	// Zero arrivals this slot: the EWMA decays but stays over threshold.
+	s.maybePreload(0, [][]int{{0, 0, 0}}, plan)
+	if len(plan.Preloads) == 0 {
+		t.Fatalf("expected a preload for the predicted-hot edge; ewma=%v", s.ewma[0])
+	}
+	found := false
+	for _, pl := range plan.Preloads {
+		if pl.Edge == 1 {
+			t.Fatalf("cold edge must not receive preloads: %+v", pl)
+		}
+		if pl.Edge == 0 {
+			found = true
+			if pl.Version <= 0 {
+				t.Fatalf("preload should upgrade beyond the resident v0: %+v", pl)
+			}
+			// It must fit the slot's spare bandwidth.
+			if apps[0].Models[pl.Version].CompressedMB > c.BandwidthMBAt(0, 0) {
+				t.Fatalf("preload exceeds the slot budget: %+v", pl)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no preload at edge 0")
+	}
+	// Strict end-to-end: plans carrying preloads stay valid.
+	s2, _ := New(Config{Cluster: c, Apps: apps, Preload: true, PreloadMinDemand: 1})
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 1, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := &preloadSpy{Scheduler: s2}
+	if _, err := sim.Run(spy, rampTrace(1, c.N(), 4, 3, 5, 50)); err != nil {
+		t.Fatalf("strict run with preloading: %v", err)
+	}
+}
+
+type preloadSpy struct {
+	edgesim.Scheduler
+	count int
+}
+
+func (p *preloadSpy) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	plan, err := p.Scheduler.Decide(t, arrivals)
+	if plan != nil {
+		p.count += len(plan.Preloads)
+	}
+	return plan, err
+}
+
+func TestPreloadNeverHurtsOnRamp(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	arr := rampTrace(2, c.N(), 5, 5, 4, 45)
+	run := func(preload bool) float64 {
+		s, err := New(Config{Cluster: c, Apps: apps, Preload: preload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(s, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations: %v", res.Violations[0])
+		}
+		return res.Loss.Total()
+	}
+	with := run(true)
+	without := run(false)
+	// Preloading spends only spare bandwidth, so it can only make more model
+	// versions resident; allow a small numerical band for solver ties.
+	if with > without*1.02 {
+		t.Fatalf("preloading hurt the ramp: %v vs %v", with, without)
+	}
+	t.Logf("loss with preload %.1f vs without %.1f", with, without)
+}
+
+func TestPreloadDisabledByDefault(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	s, err := New(Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Decide(0, [][]int{{30, 30, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Preloads) != 0 {
+		t.Fatalf("preloads emitted without opt-in: %v", plan.Preloads)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+func redistArgs() (*cluster.Cluster, []*models.Application, func(ModelKey) bandit.TIRParams, func(ModelKey) float64) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	params := func(ModelKey) bandit.TIRParams { return bandit.TIRParams{Eta: 0.2, Beta: 16, C: 1.6} }
+	gamma := func(k ModelKey) float64 {
+		m := apps[k.App].Models[k.Version]
+		return c.Edges[k.Edge].Device.SingleLatencyMS(m.Profile)
+	}
+	return c, apps, params, gamma
+}
+
+func allocTotals(alloc [][]int) []int {
+	out := make([]int, len(alloc))
+	for i := range alloc {
+		for _, v := range alloc[i] {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func TestRedistributePreservesTotals(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	arrivals := [][]int{{12, 0, 3}, {0, 7, 1}}
+	red, err := Redistribute(c, apps, arrivals, params, gamma, 0, RedistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := allocTotals(red.Alloc)
+	if got[0] != 15 || got[1] != 8 {
+		t.Fatalf("allocation totals %v, want [15 8]", got)
+	}
+	// Transfers must realize the allocation from arrivals exactly.
+	net := make([][]int, len(arrivals))
+	for i := range arrivals {
+		net[i] = append([]int(nil), arrivals[i]...)
+	}
+	for _, tr := range red.Transfers {
+		net[tr.App][tr.From] -= tr.Count
+		net[tr.App][tr.To] += tr.Count
+		if tr.Count <= 0 {
+			t.Fatalf("empty transfer %+v", tr)
+		}
+	}
+	for i := range net {
+		for k := range net[i] {
+			if net[i][k] != red.Alloc[i][k] {
+				t.Fatalf("transfers do not realize allocation at (%d,%d): %d vs %d",
+					i, k, net[i][k], red.Alloc[i][k])
+			}
+		}
+	}
+}
+
+func TestRedistributeOffloadsHotEdge(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	// Everything lands on edge 0; with three edges and tight slots, stage 1
+	// should spread it.
+	short := cluster.Small(cluster.WithSlotSeconds(2))
+	_ = c
+	arrivals := [][]int{{60, 0, 0}, {40, 0, 0}}
+	red, err := Redistribute(short, apps, arrivals, params, gamma, 0, RedistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, tr := range red.Transfers {
+		if tr.From == 0 {
+			moved += tr.Count
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("hot edge not offloaded; alloc %v", red.Alloc)
+	}
+}
+
+func TestRedistributeRespectsBandwidth(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	arrivals := [][]int{{200, 0, 0}, {150, 0, 0}}
+	red, err := Redistribute(c, apps, arrivals, params, gamma, 0, RedistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]float64, c.N())
+	for _, tr := range red.Transfers {
+		mb := float64(tr.Count) * apps[tr.App].RequestMB
+		used[tr.From] += mb
+		used[tr.To] += mb
+	}
+	for k := range used {
+		budget := 0.7 * c.BandwidthMBAt(0, k)
+		if used[k] > budget+1e-6 {
+			t.Fatalf("edge %d forwarding %v exceeds reserved budget %v", k, used[k], budget)
+		}
+	}
+}
+
+func TestRedistributeZeroArrivals(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	arrivals := [][]int{{0, 0, 0}, {0, 0, 0}}
+	red, err := Redistribute(c, apps, arrivals, params, gamma, 0, RedistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Transfers) != 0 {
+		t.Fatalf("transfers on empty slot: %v", red.Transfers)
+	}
+	for _, row := range red.Alloc {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("nonzero allocation on empty slot")
+			}
+		}
+	}
+}
+
+func TestRedistributeArrivalMismatch(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	if _, err := Redistribute(c, apps, [][]int{{1, 2, 3}}, params, gamma, 0, RedistOptions{}); err == nil {
+		t.Fatal("wrong arrivals shape must error")
+	}
+}
+
+func TestRandomizedRoundingStillConserves(t *testing.T) {
+	c, apps, params, gamma := redistArgs()
+	arrivals := [][]int{{9, 4, 2}, {3, 3, 3}}
+	opt := RedistOptions{RoundRNG: rand.New(rand.NewSource(5))}
+	red, err := Redistribute(c, apps, arrivals, params, gamma, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := allocTotals(red.Alloc)
+	if got[0] != 15 || got[1] != 9 {
+		t.Fatalf("randomized rounding broke totals: %v", got)
+	}
+}
+
+// Property: rounding preserves per-app totals and non-negativity for any
+// fractional serve matrix consistent with arrivals.
+func TestQuickRoundAllocConserves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		I := 1 + rng.Intn(3)
+		K := 1 + rng.Intn(5)
+		arrivals := make([][]int, I)
+		serve := make([][]float64, I)
+		for i := 0; i < I; i++ {
+			arrivals[i] = make([]int, K)
+			serve[i] = make([]float64, K)
+			total := 0
+			for k := 0; k < K; k++ {
+				arrivals[i][k] = rng.Intn(10)
+				total += arrivals[i][k]
+			}
+			// Random fractional split of the total.
+			if total > 0 {
+				w := make([]float64, K)
+				var sum float64
+				for k := range w {
+					w[k] = rng.Float64()
+					sum += w[k]
+				}
+				for k := range w {
+					serve[i][k] = float64(total) * w[k] / sum
+				}
+			}
+		}
+		var rrng *rand.Rand
+		if seed%2 == 0 {
+			rrng = rand.New(rand.NewSource(seed))
+		}
+		alloc := roundAlloc(serve, arrivals, rrng)
+		for i := 0; i < I; i++ {
+			total, allocd := 0, 0
+			for k := 0; k < K; k++ {
+				if alloc[i][k] < 0 {
+					return false
+				}
+				total += arrivals[i][k]
+				allocd += alloc[i][k]
+			}
+			if total != allocd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchTransfersExactness(t *testing.T) {
+	arrivals := [][]int{{10, 0, 0}}
+	alloc := [][]int{{2, 5, 3}}
+	trs := matchTransfers(arrivals, alloc)
+	moved := map[int]int{}
+	for _, tr := range trs {
+		if tr.From != 0 {
+			t.Fatalf("only edge 0 has surplus: %+v", tr)
+		}
+		moved[tr.To] += tr.Count
+	}
+	if moved[1] != 5 || moved[2] != 3 {
+		t.Fatalf("moved %v, want 5→1 and 3→2", moved)
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+)
+
+// SolveMode selects the per-slot solver strategy.
+type SolveMode int
+
+const (
+	// SolveModeDecomposed runs the stage-1 redistribution LP followed by
+	// per-edge exact MILPs — the scalable default.
+	SolveModeDecomposed SolveMode = iota
+	// SolveModeJoint solves the paper's full per-slot integer program over
+	// all edges at once (exact, but only practical at small scale).
+	SolveModeJoint
+)
+
+// String implements fmt.Stringer.
+func (m SolveMode) String() string {
+	switch m {
+	case SolveModeDecomposed:
+		return "decomposed"
+	case SolveModeJoint:
+		return "joint"
+	default:
+		return fmt.Sprintf("SolveMode(%d)", int(m))
+	}
+}
+
+// Config assembles a BIRP-family scheduler.
+type Config struct {
+	Cluster *cluster.Cluster
+	Apps    []*models.Application
+	// Provider supplies TIR parameters. Nil means a fresh OnlineTuner with
+	// the paper's chosen presets ε1 = 0.04, ε2 = 0.07 (§5.3).
+	Provider ParamsProvider
+	// DisplayName overrides the reported scheduler name.
+	DisplayName string
+	// Mode selects the batch execution style (BIRP: merged).
+	Mode BatchMode
+	// FixedB0 is required for ModeFixed (the MAX baseline).
+	FixedB0 int
+	// SolveMode selects joint vs decomposed solving.
+	SolveMode SolveMode
+	// MaxBatch caps merged batches (0 = DefaultMaxBatch).
+	MaxBatch int
+	// KneeCap enforces the paper's literal b ≤ β̂ batch cap (see
+	// EdgeProblem.KneeCap); off by default.
+	KneeCap bool
+	// Mem selects the Eq. 6 memory interpretation (default MemTimeSliced).
+	Mem MemModel
+	// DropPenalty and OverflowPenaltyPerMS override the objective penalties
+	// (0 = the package defaults).
+	DropPenalty          float64
+	OverflowPenaltyPerMS float64
+	// SingleVersion restricts each application to one model version per edge
+	// (the OAEI baseline's "model selection" granularity).
+	SingleVersion bool
+	// Preload enables predictive model pre-shipping: spare slot bandwidth
+	// ships better model versions to edges whose EWMA-predicted demand
+	// warrants them, so peaks find the models already resident instead of
+	// competing with request forwarding for bandwidth (the workload-
+	// prediction direction of the paper's related work [7]).
+	Preload bool
+	// PreloadMinDemand is the predicted per-(app, edge) demand below which
+	// nothing is pre-shipped (0 = 3 requests/slot).
+	PreloadMinDemand float64
+	// Redist tunes stage 1 (decomposed mode only).
+	Redist RedistOptions
+	// SolveNodes bounds branch-and-bound effort per program (0 = default).
+	SolveNodes int
+	// GammaMS predicts single-request latency; nil uses the device model
+	// (the paper plugs in the nn-Meter-style predictor here).
+	GammaMS func(k ModelKey) float64
+	// RoundSeed seeds the randomized rounding when Redist.RoundRNG is wanted
+	// but not supplied directly.
+	RoundSeed int64
+}
+
+// Scheduler is the BIRP-family per-slot decision maker. BIRP itself, BIRP-OFF
+// (offline provider), and MAX (fixed B0) are all configurations of this type;
+// OAEI lives in package baseline with its own latency learner.
+type Scheduler struct {
+	cfg      Config
+	provider ParamsProvider
+	name     string
+	prev     []map[[2]int]bool // per edge: models resident from last slot
+	gamma    func(k ModelKey) float64
+	down     []bool      // edges currently marked failed (SetEdgeDown)
+	ewma     [][]float64 // per (app, edge) demand estimate for preloading
+}
+
+// New builds a scheduler. The zero Config value is invalid; Cluster and Apps
+// are required.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Cluster == nil || len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("core: scheduler needs a cluster and applications")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == ModeFixed && cfg.FixedB0 <= 0 {
+		return nil, fmt.Errorf("core: ModeFixed requires FixedB0 > 0")
+	}
+	s := &Scheduler{cfg: cfg, provider: cfg.Provider}
+	if s.provider == nil {
+		s.provider = NewOnlineTuner(0.04, 0.07)
+	}
+	s.name = cfg.DisplayName
+	if s.name == "" {
+		s.name = "BIRP"
+	}
+	s.gamma = cfg.GammaMS
+	if s.gamma == nil {
+		s.gamma = func(k ModelKey) float64 {
+			m := cfg.Apps[k.App].Models[k.Version]
+			return cfg.Cluster.Edges[k.Edge].Device.SingleLatencyMS(m.Profile)
+		}
+	}
+	if cfg.Redist.RoundRNG == nil && cfg.RoundSeed != 0 {
+		s.cfg.Redist.RoundRNG = rand.New(rand.NewSource(cfg.RoundSeed))
+	}
+	// Stage 1 and stage 2 must agree on the batch-cap and memory regimes.
+	s.cfg.Redist.KneeCap = cfg.KneeCap
+	s.cfg.Redist.MaxBatch = cfg.MaxBatch
+	s.cfg.Redist.Mem = cfg.Mem
+	s.reset()
+	return s, nil
+}
+
+func (s *Scheduler) reset() {
+	s.prev = make([]map[[2]int]bool, s.cfg.Cluster.N())
+	for k := range s.prev {
+		s.prev[k] = map[[2]int]bool{}
+	}
+	s.down = make([]bool, s.cfg.Cluster.N())
+	s.ewma = make([][]float64, len(s.cfg.Apps))
+	for i := range s.ewma {
+		s.ewma[i] = make([]float64, s.cfg.Cluster.N())
+	}
+}
+
+// SetEdgeDown marks an edge failed (true) or recovered (false). Failed edges
+// receive no redistributed workload and no deployments; the distributed
+// prototype calls this when an agent's connection dies so the remaining
+// edges absorb the load.
+func (s *Scheduler) SetEdgeDown(k int, down bool) {
+	if k >= 0 && k < len(s.down) {
+		s.down[k] = down
+	}
+}
+
+// Name implements edgesim.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Provider exposes the TIR parameter provider (tests, diagnostics).
+func (s *Scheduler) Provider() ParamsProvider { return s.provider }
+
+// Decide implements edgesim.Scheduler.
+func (s *Scheduler) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	if len(arrivals) != len(s.cfg.Apps) {
+		return nil, fmt.Errorf("core: arrivals for %d apps, want %d", len(arrivals), len(s.cfg.Apps))
+	}
+	for i, row := range arrivals {
+		if len(row) != s.cfg.Cluster.N() {
+			return nil, fmt.Errorf("core: arrivals row %d has %d edges, want %d", i, len(row), s.cfg.Cluster.N())
+		}
+		for k, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("core: negative arrivals at (%d, %d)", i, k)
+			}
+		}
+	}
+	s.provider.Tick()
+	if s.cfg.SolveMode == SolveModeJoint {
+		return s.decideJoint(t, arrivals)
+	}
+	return s.decideDecomposed(t, arrivals)
+}
+
+// repairAttempts bounds the drop-repair loop of the decomposed solver.
+const repairAttempts = 3
+
+func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	c := s.cfg.Cluster
+	I := len(s.cfg.Apps)
+	K := c.N()
+	bwFrac := orDefault(s.cfg.Redist.BwFrac, 0.7)
+
+	redistOpts := s.cfg.Redist
+	redistOpts.DownEdges = s.down
+	red, err := Redistribute(c, s.cfg.Apps, arrivals,
+		s.provider.Params, s.gamma, t, redistOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2 with drop repair: if an edge must drop requests (batch caps,
+	// model-shipping budget, memory), move them to edges with compute
+	// headroom and re-solve. The joint solver handles this coupling
+	// natively; this loop recovers most of it at a fraction of the cost.
+	var plan *edgesim.Plan
+	for attempt := 0; ; attempt++ {
+		var asgs []*EdgeAssignment
+		plan = &edgesim.Plan{Transfers: red.Transfers}
+		plan.Dropped = make([][]int, I)
+		for i := range plan.Dropped {
+			plan.Dropped[i] = make([]int, K)
+		}
+		totalDrops := 0
+		for k := 0; k < K; k++ {
+			w := make([]int, I)
+			for i := 0; i < I; i++ {
+				w[i] = red.Alloc[i][k]
+			}
+			if s.down[k] {
+				// A failed edge cannot execute: whatever rounding left here
+				// is dropped (stage 1 already steers flow away).
+				for i := 0; i < I; i++ {
+					plan.Dropped[i][k] = w[i]
+					totalDrops += w[i]
+				}
+				asgs = append(asgs, &EdgeAssignment{Dropped: w, PredictedMS: c.SlotMS() * 100})
+				continue
+			}
+			// Stage 1 reserved (1 − bwFrac) of the bandwidth for shipping;
+			// whatever forwarding left unspent is released to shipping too.
+			ship := c.BandwidthMBAt(t, k) - red.ForwardMB[k]
+			if ship < 0 {
+				ship = 0
+			}
+			k := k
+			asg, err := SolveEdge(&EdgeProblem{
+				Edge: c.Edges[k], EdgeIdx: k, Apps: s.cfg.Apps, Workload: w,
+				Params: func(i, j int) bandit.TIRParams {
+					return s.provider.Params(ModelKey{Edge: k, App: i, Version: j})
+				},
+				GammaMS: func(i, j int) float64 {
+					return s.gamma(ModelKey{Edge: k, App: i, Version: j})
+				},
+				SlotMS:               c.SlotMS(),
+				ShipBudgetMB:         ship,
+				PrevDeployed:         s.prev[k],
+				Mode:                 s.cfg.Mode,
+				FixedB0:              s.cfg.FixedB0,
+				MaxBatch:             s.cfg.MaxBatch,
+				Mem:                  s.cfg.Mem,
+				KneeCap:              s.cfg.KneeCap,
+				SolveNodes:           s.cfg.SolveNodes,
+				DropPenalty:          s.cfg.DropPenalty,
+				OverflowPenaltyPerMS: s.cfg.OverflowPenaltyPerMS,
+				SingleVersion:        s.cfg.SingleVersion,
+			})
+			if err != nil {
+				return nil, err
+			}
+			asgs = append(asgs, asg)
+			plan.Deployments = append(plan.Deployments, asg.Deployments...)
+			for i := 0; i < I; i++ {
+				plan.Dropped[i][k] = asg.Dropped[i]
+				totalDrops += asg.Dropped[i]
+			}
+		}
+		if totalDrops == 0 || attempt >= repairAttempts-1 {
+			break
+		}
+		moved := s.moveDrops(red.Alloc, plan.Dropped, asgs)
+		if !moved {
+			break
+		}
+		red = RealizeAllocation(c, s.cfg.Apps, arrivals, red.Alloc, t, bwFrac)
+	}
+	s.maybePreload(t, arrivals, plan)
+	s.noteDeployments(plan)
+	return plan, nil
+}
+
+// moveDrops reassigns dropped requests to the edges with the most compute
+// headroom. It mutates alloc in place and reports whether anything moved.
+func (s *Scheduler) moveDrops(alloc [][]int, dropped [][]int, asgs []*EdgeAssignment) bool {
+	K := s.cfg.Cluster.N()
+	slotMS := s.cfg.Cluster.SlotMS()
+	headroom := make([]float64, K)
+	for k := 0; k < K; k++ {
+		headroom[k] = slotMS - asgs[k].PredictedMS
+	}
+	moved := false
+	for i := range dropped {
+		for k := 0; k < K; k++ {
+			n := dropped[i][k]
+			if n <= 0 {
+				continue
+			}
+			// Candidate targets: other edges, most headroom first.
+			order := argsortDesc(headroom)
+			for _, k2 := range order {
+				if n == 0 {
+					break
+				}
+				if k2 == k || headroom[k2] < 0.1*slotMS {
+					continue
+				}
+				// A rough per-request cost estimate limits how much one
+				// target absorbs this round.
+				g := s.gamma(ModelKey{Edge: k2, App: i, Version: 0})
+				fit := int(headroom[k2] / math.Max(g, 1))
+				if fit <= 0 {
+					continue
+				}
+				if fit > n {
+					fit = n
+				}
+				alloc[i][k] -= fit
+				alloc[i][k2] += fit
+				headroom[k2] -= float64(fit) * g
+				n -= fit
+				moved = true
+			}
+		}
+	}
+	return moved
+}
+
+func (s *Scheduler) noteDeployments(plan *edgesim.Plan) {
+	for k := range s.prev {
+		s.prev[k] = map[[2]int]bool{}
+	}
+	for _, d := range plan.Deployments {
+		s.prev[d.Edge][[2]int{d.App, d.Version}] = true
+	}
+	for _, pl := range plan.Preloads {
+		s.prev[pl.Edge][[2]int{pl.App, pl.Version}] = true
+	}
+}
+
+// preloadAlpha is the EWMA smoothing factor for demand prediction.
+const preloadAlpha = 0.3
+
+// maybePreload spends leftover slot bandwidth shipping better model versions
+// to edges whose predicted demand justifies them. It appends to
+// plan.Preloads; residency is recorded by noteDeployments.
+func (s *Scheduler) maybePreload(t int, arrivals [][]int, plan *edgesim.Plan) {
+	// Update demand estimates first (predict t+1 from everything ≤ t).
+	for i := range arrivals {
+		for k, v := range arrivals[i] {
+			s.ewma[i][k] += preloadAlpha * (float64(v) - s.ewma[i][k])
+		}
+	}
+	if !s.cfg.Preload {
+		return
+	}
+	minDemand := s.cfg.PreloadMinDemand
+	if minDemand == 0 {
+		minDemand = 3
+	}
+	c := s.cfg.Cluster
+	K := c.N()
+	// Spare bandwidth per edge after this plan's forwarding and shipping.
+	spare := make([]float64, K)
+	for k := 0; k < K; k++ {
+		spare[k] = c.BandwidthMBAt(t, k)
+	}
+	for _, tr := range plan.Transfers {
+		mb := float64(tr.Count) * s.cfg.Apps[tr.App].RequestMB
+		spare[tr.From] -= mb
+		spare[tr.To] -= mb
+	}
+	shipped := make([]map[[2]int]bool, K)
+	for k := range shipped {
+		shipped[k] = map[[2]int]bool{}
+	}
+	for _, d := range plan.Deployments {
+		key := [2]int{d.App, d.Version}
+		if !s.prev[d.Edge][key] && !shipped[d.Edge][key] {
+			shipped[d.Edge][key] = true
+			spare[d.Edge] -= s.cfg.Apps[d.App].Models[d.Version].CompressedMB
+		}
+	}
+	for k := 0; k < K; k++ {
+		if s.down[k] || spare[k] <= 0 {
+			continue
+		}
+		// Best candidate: the highest-demand app whose next-better version
+		// (above anything resident or deployed this slot) fits the spare.
+		bestApp, bestVer := -1, -1
+		bestDemand := minDemand
+		for i := range s.cfg.Apps {
+			if s.ewma[i][k] < bestDemand {
+				continue
+			}
+			top := -1
+			for j := range s.cfg.Apps[i].Models {
+				key := [2]int{i, j}
+				if s.prev[k][key] || shipped[k][key] {
+					if j > top {
+						top = j
+					}
+				}
+			}
+			for j := len(s.cfg.Apps[i].Models) - 1; j > top; j-- {
+				if s.cfg.Apps[i].Models[j].CompressedMB <= spare[k] {
+					bestApp, bestVer = i, j
+					bestDemand = s.ewma[i][k]
+					break
+				}
+			}
+		}
+		if bestApp >= 0 {
+			plan.Preloads = append(plan.Preloads, edgesim.Preload{App: bestApp, Version: bestVer, Edge: k})
+			spare[k] -= s.cfg.Apps[bestApp].Models[bestVer].CompressedMB
+		}
+	}
+}
+
+// Observe implements edgesim.Scheduler: realized TIR measurements flow into
+// the MAB tuners (Eq. 15–22).
+func (s *Scheduler) Observe(t int, fbs []edgesim.Feedback) {
+	for _, fb := range fbs {
+		s.provider.Observe(ModelKey{Edge: fb.Edge, App: fb.App, Version: fb.Version}, fb.Batch, fb.TIR)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bandit"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func runSim(t *testing.T, sched edgesim.Scheduler, c *cluster.Cluster, apps []*models.Application, slots int, seed int64) *edgesim.Results {
+	t.Helper()
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: slots, Seed: seed,
+		MeanPerSlot: 6, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sched, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSchedulerEndToEndSmallScale(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, s, c, apps, 40, 1)
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[:min(3, len(res.Violations))])
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if res.Dropped > res.Served/10 {
+		t.Fatalf("excessive drops: %d dropped vs %d served", res.Dropped, res.Served)
+	}
+	if fr := res.FailureRate(); fr > 0.2 {
+		t.Fatalf("failure rate %v too high for a light workload", fr)
+	}
+}
+
+func TestSchedulerObserveFeedsTuner(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, s, c, apps, 30, 2)
+	tuner := s.Provider().(*OnlineTuner)
+	// At least one (edge, model) key must have moved off the prior.
+	moved := false
+	for k := range tuner.tuners {
+		n1, n2 := tuner.tuners[k].Counts()
+		if n1+n2 > 0 {
+			moved = true
+		}
+		_ = k
+	}
+	if !moved {
+		t.Fatal("no TIR observations reached the tuner")
+	}
+}
+
+func TestSchedulerJointSmallScale(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, SolveMode: SolveModeJoint, DisplayName: "BIRP-joint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, s, c, apps, 15, 3)
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[:min(3, len(res.Violations))])
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+}
+
+func TestJointRejectsNonMergedModes(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	s, err := New(Config{Cluster: c, Apps: apps, SolveMode: SolveModeJoint, Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decide(0, [][]int{{1, 0, 0}}); err == nil {
+		t.Fatal("joint mode must reject serial execution")
+	}
+}
+
+func TestJointAndDecomposedAgreeApproximately(t *testing.T) {
+	// On a small instance the decomposed solve should land within a modest
+	// factor of the exact joint optimum (same workload, same params).
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	prov, err := ProfileOffline(c, apps, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mode SolveMode, name string) *Scheduler {
+		s, err := New(Config{Cluster: c, Apps: apps, Provider: prov, SolveMode: mode, DisplayName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	arrivals := [][]int{{14, 2, 1}}
+	lossOf := func(s *Scheduler) float64 {
+		plan, err := s.Decide(0, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for _, d := range plan.Deployments {
+			l += apps[d.App].Models[d.Version].Loss * float64(d.Requests)
+		}
+		for i := range plan.Dropped {
+			for _, n := range plan.Dropped[i] {
+				if n > 0 {
+					l += 10 * float64(n)
+				}
+			}
+		}
+		return l
+	}
+	joint := lossOf(mk(SolveModeJoint, "joint"))
+	dec := lossOf(mk(SolveModeDecomposed, "dec"))
+	if dec < joint-1e-6 {
+		t.Fatalf("decomposed (%v) beat the exact joint optimum (%v): joint solve is broken", dec, joint)
+	}
+	if dec > joint*1.5+1e-6 {
+		t.Fatalf("decomposed loss %v too far above joint %v", dec, joint)
+	}
+}
+
+func TestMAXConfiguration(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, Mode: ModeFixed, FixedB0: 16, DisplayName: "MAX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "MAX" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	res := runSim(t, s, c, apps, 20, 4)
+	if res.Served == 0 {
+		t.Fatal("MAX served nothing")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[:min(3, len(res.Violations))])
+	}
+}
+
+func TestBIRPBeatsMAXOnLoss(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	birp, _ := New(Config{Cluster: c, Apps: apps})
+	max, _ := New(Config{Cluster: c, Apps: apps, Mode: ModeFixed, FixedB0: 16, DisplayName: "MAX"})
+	rb := runSim(t, birp, c, apps, 60, 7)
+	rm := runSim(t, max, c, apps, 60, 7)
+	if rb.Loss.Total() >= rm.Loss.Total() {
+		t.Fatalf("BIRP loss %v should beat MAX loss %v", rb.Loss.Total(), rm.Loss.Total())
+	}
+}
+
+func TestLargeScaleDecideUnderTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	s, err := New(Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.DefaultConfig())
+	start := time.Now()
+	slots := 5
+	for tt := 0; tt < slots; tt++ {
+		if _, err := s.Decide(tt, tr.R[tt]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := time.Since(start) / time.Duration(slots)
+	t.Logf("large-scale Decide: %v per slot", per)
+	if per > 500*time.Millisecond {
+		t.Fatalf("Decide too slow for 300-slot runs: %v per slot", per)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkSolveEdgeLarge(b *testing.B) {
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	prov := NewOnlineTuner(0.04, 0.07)
+	p := &EdgeProblem{
+		Edge: c.Edges[0], EdgeIdx: 0, Apps: apps,
+		Workload: []int{30, 25, 40, 15, 35},
+		Params: func(i, j int) bandit.TIRParams {
+			return prov.Params(ModelKey{Edge: 0, App: i, Version: j})
+		},
+		GammaMS: func(i, j int) float64 {
+			return c.Edges[0].Device.SingleLatencyMS(apps[i].Models[j].Profile)
+		},
+		SlotMS: c.SlotMS(), ShipBudgetMB: 300,
+		PrevDeployed: map[[2]int]bool{},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEdge(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRedistributeLarge(b *testing.B) {
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	prov := NewOnlineTuner(0.04, 0.07)
+	gamma := func(k ModelKey) float64 {
+		return c.Edges[k.Edge].Device.SingleLatencyMS(apps[k.App].Models[k.Version].Profile)
+	}
+	tr, err := trace.Generate(trace.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Redistribute(c, apps, tr.R[i%tr.Slots], prov.Params, gamma, i, RedistOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

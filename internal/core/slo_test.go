@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func TestSLOClassesHelper(t *testing.T) {
+	apps := models.Catalogue(3, 2)
+	apps[0].SLOFrac = 0.5
+	apps[1].SLOFrac = 1.0
+	apps[2].SLOFrac = 0.5
+	got := sloClasses(apps, []int{1, 1, 1})
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 1.0 {
+		t.Fatalf("classes = %v, want [0.5 1.0]", got)
+	}
+	// Zero-workload apps contribute no class.
+	got = sloClasses(apps, []int{0, 1, 0})
+	if len(got) != 1 || got[0] != 1.0 {
+		t.Fatalf("classes = %v, want [1.0]", got)
+	}
+	// Empty input defaults to the slot itself.
+	got = sloClasses(nil, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("classes = %v, want [1]", got)
+	}
+}
+
+func TestTightSLOBudgetsConstrainPlanning(t *testing.T) {
+	apps := models.Catalogue(1, 3)
+	apps[0].SLOFrac = 0.25 // must finish in a quarter slot
+	p := edgeProblem(nil, ModeMerged)
+	p.Apps = apps
+	p.Workload = []int{60}
+	asg, err := SolveEdge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planned time must respect the tightened budget (within the small
+	// overflow the penalty admits).
+	if asg.PredictedMS > 0.25*p.SlotMS+asg.OverflowMS+1e-6 {
+		t.Fatalf("planned %v ms exceeds tight budget %v + overflow %v",
+			asg.PredictedMS, 0.25*p.SlotMS, asg.OverflowMS)
+	}
+	// Against the full-slot variant, the tight-SLO plan must not serve with
+	// strictly better models (it has a quarter of the compute).
+	full := edgeProblem(nil, ModeMerged)
+	full.Apps = models.Catalogue(1, 3)
+	full.Workload = []int{60}
+	fullAsg, err := SolveEdge(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossOf := func(a *EdgeAssignment, apps []*models.Application) float64 {
+		var l float64
+		for _, d := range a.Deployments {
+			l += apps[d.App].Models[d.Version].Loss * float64(d.Requests)
+		}
+		return l
+	}
+	if lossOf(asg, apps) < lossOf(fullAsg, full.Apps)-1e-9 {
+		t.Fatalf("quarter-slot budget cannot beat full slot: %v vs %v",
+			lossOf(asg, apps), lossOf(fullAsg, full.Apps))
+	}
+}
+
+func TestMixedSLOsEndToEnd(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	apps[0].SLOFrac = 0.3 // latency-critical application
+	s, err := New(Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 2, Edges: c.N(), Slots: 30, Seed: 4, MeanPerSlot: 35, Imbalance: 0.8,
+	})
+	res, err := sim.Run(s, tr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	// With the planner honoring the nested budget and the executor running
+	// the tight class first, the latency-critical app's failures must stay
+	// manageable even at a 0.3-slot deadline.
+	if fr := res.FailureRate(); fr > 0.10 {
+		t.Fatalf("failure rate %v too high for SLO-aware planning", fr)
+	}
+}
+
+func TestSLOAwareBeatsUnawareExecutorOrder(t *testing.T) {
+	// The same plans executed with the tight class first must produce fewer
+	// tight-class violations than the app-order baseline. We approximate by
+	// comparing failure rates with SLOFrac set vs cleared on the SAME
+	// workload: the cleared run treats 1.0 as the deadline for everyone, so
+	// instead we assert the tight-SLO run is not catastrophically worse than
+	// the default run's overall failure rate.
+	c := cluster.Small()
+	mk := func(tight bool) float64 {
+		apps := models.Catalogue(2, 3)
+		if tight {
+			apps[0].SLOFrac = 0.4
+		}
+		s, err := New(Config{Cluster: c, Apps: apps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := trace.Generate(trace.Config{
+			Apps: 2, Edges: c.N(), Slots: 25, Seed: 6, MeanPerSlot: 30, Imbalance: 0.8,
+		})
+		res, err := sim.Run(s, tr.R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FailureRate()
+	}
+	tightFR := mk(true)
+	baseFR := mk(false)
+	if tightFR > baseFR+0.1 {
+		t.Fatalf("tight-SLO failure rate %v far above baseline %v", tightFR, baseFR)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// TestStrictValidationOverRandomTraces runs BIRP-family schedulers in the
+// simulator's strict mode — any plan violating the Eq. 3–9 constraint system
+// aborts the run — across random workload regimes. This is the repository's
+// strongest integration property: whatever the load, every emitted plan must
+// be exactly feasible.
+func TestStrictValidationOverRandomTraces(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	configs := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"birp", nil},
+		{"kneecap", func(cfg *Config) { cfg.KneeCap = true }},
+		{"memsum", func(cfg *Config) { cfg.Mem = MemSum }},
+		{"singleversion", func(cfg *Config) { cfg.SingleVersion = true }},
+		{"max", func(cfg *Config) { cfg.Mode = ModeFixed; cfg.FixedB0 = 16 }},
+		{"serial", func(cfg *Config) { cfg.Mode = ModeSerial }},
+		{"balanced", func(cfg *Config) { cfg.Redist.BalanceWeight = 3 }},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, mean := range []float64{5, 45, 120} {
+			tr, err := trace.Generate(trace.Config{
+				Apps: 2, Edges: c.N(), Slots: 12, Seed: seed,
+				MeanPerSlot: mean, Imbalance: 0.9, BurstProb: 0.1, BurstScale: 2.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cc := range configs {
+				cfg := Config{Cluster: c, Apps: apps, DisplayName: cc.name}
+				if cc.mod != nil {
+					cc.mod(&cfg)
+				}
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := edgesim.New(edgesim.Config{
+					Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: seed, Strict: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sim.Run(s, tr.R); err != nil {
+					t.Fatalf("seed %d mean %.0f %s: strict violation: %v", seed, mean, cc.name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestStrictJointSmall does the same for the joint exact solver.
+func TestStrictJointSmall(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	tr, _ := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: 8, Seed: 2, MeanPerSlot: 40, Imbalance: 0.9,
+	})
+	s, err := New(Config{Cluster: c, Apps: apps, SolveMode: SolveModeJoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := edgesim.New(edgesim.Config{Cluster: c, Apps: apps, Seed: 2, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(s, tr.R); err != nil {
+		t.Fatalf("joint strict violation: %v", err)
+	}
+}

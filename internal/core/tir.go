@@ -1,0 +1,139 @@
+// Package core implements the BIRP scheduler: batch-aware inference workload
+// redistribution with online TIR hyperparameter tuning (paper §4).
+//
+// Per slot the scheduler (1) shades its TIR hyperparameter estimates with the
+// MAB lower-confidence rule of §4.2, (2) linearizes the batch-time law via
+// the Taylor expansion of §4.3, (3) solves the redistribution + model
+// selection + batch sizing problem P1/P2, and (4) feeds realized TIR
+// observations back into the tuners.
+//
+// Two solver strategies are provided. SolveModeJoint builds the paper's full
+// per-slot integer program over all edges at once and solves it exactly with
+// the miqp branch-and-bound — faithful but only practical at small scale
+// (the paper hands this to Gurobi). SolveModeDecomposed first fixes the
+// redistribution with a fractional LP (stage 1) and then solves each edge's
+// model-selection/batch-sizing program exactly and independently (stage 2);
+// it is the scalable default, and the abl-solver bench quantifies the gap
+// between the two on instances where both run.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/fit"
+	"repro/internal/models"
+)
+
+// ModelKey identifies one (edge, app, version) combination.
+type ModelKey struct {
+	Edge, App, Version int
+}
+
+// ParamsProvider supplies TIR hyperparameters per (edge, model).
+type ParamsProvider interface {
+	// Params returns the TIR-law parameters to plan with.
+	Params(k ModelKey) bandit.TIRParams
+	// Observe feeds a realized TIR measurement at batch size b.
+	Observe(k ModelKey, b int, tir float64)
+	// Tick advances one scheduling slot.
+	Tick()
+}
+
+// OnlineTuner is the paper's §4.2 provider: one MAB tuner per (edge, model).
+type OnlineTuner struct {
+	Eps1, Eps2 float64
+	// LiteralEq22 is forwarded to each bandit.Tuner.
+	LiteralEq22 bool
+	tuners      map[ModelKey]*bandit.Tuner
+	slots       int // Ticks so far; late-created tuners catch up
+}
+
+// NewOnlineTuner builds an empty online provider with the given presets.
+func NewOnlineTuner(eps1, eps2 float64) *OnlineTuner {
+	return &OnlineTuner{Eps1: eps1, Eps2: eps2, tuners: map[ModelKey]*bandit.Tuner{}}
+}
+
+func (o *OnlineTuner) tuner(k ModelKey) *bandit.Tuner {
+	t, ok := o.tuners[k]
+	if !ok {
+		t = bandit.NewTuner(o.Eps1, o.Eps2)
+		t.LiteralEq22 = o.LiteralEq22
+		for i := 0; i < o.slots; i++ {
+			t.Tick()
+		}
+		o.tuners[k] = t
+	}
+	return t
+}
+
+// Params implements ParamsProvider.
+func (o *OnlineTuner) Params(k ModelKey) bandit.TIRParams { return o.tuner(k).Params() }
+
+// Observe implements ParamsProvider.
+func (o *OnlineTuner) Observe(k ModelKey, b int, tir float64) { o.tuner(k).Observe(b, tir) }
+
+// Tick implements ParamsProvider: every tuner's slot counter advances, so the
+// Eq. 17 padding keeps its ln(t+1) numerator in sync with wall-clock slots.
+func (o *OnlineTuner) Tick() {
+	for _, t := range o.tuners {
+		t.Tick()
+	}
+	o.slots++
+}
+
+// Historical returns the unshaded estimates for a key (tests/diagnostics).
+func (o *OnlineTuner) Historical(k ModelKey) bandit.TIRParams { return o.tuner(k).Historical() }
+
+// OfflineProvider serves fixed, pre-profiled parameters (BIRP-OFF): no
+// shading, no updates.
+type OfflineProvider struct {
+	Table map[ModelKey]bandit.TIRParams
+	// Fallback is returned for unknown keys (defaults to Eq. 23 values).
+	Fallback bandit.TIRParams
+}
+
+// Params implements ParamsProvider.
+func (p *OfflineProvider) Params(k ModelKey) bandit.TIRParams {
+	if v, ok := p.Table[k]; ok {
+		return v
+	}
+	if p.Fallback.Beta == 0 {
+		return bandit.TIRParams{Eta: bandit.InitEta, Beta: bandit.InitBeta, C: bandit.InitC}
+	}
+	return p.Fallback
+}
+
+// Observe implements ParamsProvider (no-op: offline profiles are fixed).
+func (p *OfflineProvider) Observe(ModelKey, int, float64) {}
+
+// Tick implements ParamsProvider (no-op).
+func (p *OfflineProvider) Tick() {}
+
+// ProfileOffline measures each (edge, model) TIR curve on the deterministic
+// device model and fits the Eq. 2 law — the "offline analysis of the
+// relationship between batch size and TIR" that BIRP-OFF performs. maxB
+// bounds the profiled batch range (the paper profiles up to 16).
+func ProfileOffline(c *cluster.Cluster, apps []*models.Application, maxB int) (*OfflineProvider, error) {
+	if maxB < 2 {
+		return nil, fmt.Errorf("core: ProfileOffline needs maxB ≥ 2, got %d", maxB)
+	}
+	out := &OfflineProvider{Table: map[ModelKey]bandit.TIRParams{}}
+	for kIdx, e := range c.Edges {
+		for _, app := range apps {
+			for _, m := range app.Models {
+				var samples []fit.Sample
+				for b := 1; b <= maxB; b++ {
+					samples = append(samples, fit.Sample{B: b, TIR: e.Device.TIR(m.Profile, b)})
+				}
+				p, err := fit.Piecewise(samples)
+				if err != nil {
+					return nil, fmt.Errorf("core: profiling %s on %s: %w", m.Name, e.Name, err)
+				}
+				out.Table[ModelKey{Edge: kIdx, App: app.Index, Version: m.Version}] = p
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package edgenet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+)
+
+// AgentConfig assembles one edge agent.
+type AgentConfig struct {
+	// Addr is the scheduler's TCP address.
+	Addr string
+	// EdgeID is this agent's index in the server's cluster.
+	EdgeID int
+	// Device is the local accelerator model.
+	Device *accel.Device
+	// Apps is the application catalogue (must match the server's).
+	Apps []*models.Application
+	// Arrivals[t][i] is this edge's local arrival stream.
+	Arrivals [][]int
+	// NoiseSigma perturbs execution times; SlotNoiseSigma adds correlated
+	// per-slot interference (see edgesim.Config); Seed drives both.
+	NoiseSigma     float64
+	SlotNoiseSigma float64
+	Seed           int64
+	// Realtime, when positive, makes the agent actually sleep
+	// execution-time × Realtime (e.g. 0.001 to demo live pacing); zero
+	// executes instantly on the device model.
+	Realtime float64
+	// DialTimeout bounds the initial connection (0 = 10s).
+	DialTimeout time.Duration
+}
+
+// Agent is one edge node of the distributed prototype.
+type Agent struct {
+	cfg AgentConfig
+	rng *rand.Rand
+}
+
+// NewAgent validates the configuration.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Device == nil || len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("edgenet: agent needs a device and applications")
+	}
+	if cfg.EdgeID < 0 {
+		return nil, fmt.Errorf("edgenet: negative edge id")
+	}
+	if len(cfg.Arrivals) == 0 {
+		return nil, fmt.Errorf("edgenet: agent needs an arrival stream")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	return &Agent{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Run connects, registers, and serves the slot protocol until the scheduler
+// sends done (or an error/cancellation occurs).
+func (a *Agent) Run(ctx context.Context) error {
+	d := net.Dialer{Timeout: a.cfg.DialTimeout}
+	raw, err := d.DialContext(ctx, "tcp", a.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("edgenet: agent %d dial: %w", a.cfg.EdgeID, err)
+	}
+	c := &conn{raw: raw}
+	defer c.close()
+	stop := context.AfterFunc(ctx, func() { c.close() })
+	defer stop()
+
+	if err := c.send(&Message{Type: TypeHello, EdgeID: a.cfg.EdgeID, Name: a.cfg.Device.Name, Version: ProtocolVersion}); err != nil {
+		return fmt.Errorf("edgenet: agent %d hello: %w", a.cfg.EdgeID, err)
+	}
+	for t := 0; ; t++ {
+		arr := make([]int, len(a.cfg.Apps))
+		if t < len(a.cfg.Arrivals) {
+			copy(arr, a.cfg.Arrivals[t])
+		}
+		if err := c.send(&Message{Type: TypeArrivals, EdgeID: a.cfg.EdgeID, Slot: t, Arrivals: arr}); err != nil {
+			return fmt.Errorf("edgenet: agent %d arrivals: %w", a.cfg.EdgeID, err)
+		}
+		m, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("edgenet: agent %d recv: %w", a.cfg.EdgeID, err)
+		}
+		switch m.Type {
+		case TypeDone:
+			return nil
+		case TypeError:
+			return fmt.Errorf("edgenet: agent %d: scheduler error: %s", a.cfg.EdgeID, m.Err)
+		case TypeAssign:
+			// fall through to execution
+		default:
+			return fmt.Errorf("edgenet: agent %d: unexpected %q", a.cfg.EdgeID, m.Type)
+		}
+		deps := make([]edgesim.Deployment, len(m.Assignments))
+		for i, asg := range m.Assignments {
+			deps[i] = edgesim.Deployment{
+				App: asg.App, Version: asg.Version, Edge: a.cfg.EdgeID,
+				Requests: asg.Requests, BatchSizes: asg.BatchSizes,
+			}
+		}
+		scale := 1.0
+		if a.cfg.SlotNoiseSigma > 0 {
+			scale = 1 + a.rng.NormFloat64()*a.cfg.SlotNoiseSigma
+			if scale < 0.5 {
+				scale = 0.5
+			}
+		}
+		exec := edgesim.ExecuteEdge(a.cfg.Device, a.cfg.Apps, a.cfg.EdgeID,
+			deps, a.cfg.NoiseSigma, scale, a.rng)
+		if a.cfg.Realtime > 0 {
+			select {
+			case <-time.After(time.Duration(exec.MakespanMS*a.cfg.Realtime) * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := c.send(&Message{
+			Type: TypeReport, EdgeID: a.cfg.EdgeID, Slot: m.Slot,
+			CompletionMS: exec.CompletionMS, CompletionApp: exec.CompletionApp,
+			Loss: exec.Loss, Feedback: exec.Feedback,
+		}); err != nil {
+			return fmt.Errorf("edgenet: agent %d report: %w", a.cfg.EdgeID, err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package edgenet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// runFlakyAgent speaks the slot protocol directly and slams the connection
+// shut after serving dieAfter slots — a deterministic agent crash.
+func runFlakyAgent(t *testing.T, addr string, edgeID, apps, dieAfter int, exec func(*Message) *Message) {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("flaky agent dial: %v", err)
+		return
+	}
+	defer raw.Close()
+	c := &conn{raw: raw}
+	if err := c.send(&Message{Type: TypeHello, EdgeID: edgeID, Version: ProtocolVersion}); err != nil {
+		t.Errorf("flaky hello: %v", err)
+		return
+	}
+	for slot := 0; slot < dieAfter; slot++ {
+		arr := make([]int, apps)
+		arr[0] = 2
+		if err := c.send(&Message{Type: TypeArrivals, EdgeID: edgeID, Slot: slot, Arrivals: arr}); err != nil {
+			return // server may have shut us down already
+		}
+		m, err := c.recv()
+		if err != nil || m.Type != TypeAssign {
+			return
+		}
+		if err := c.send(exec(m)); err != nil {
+			return
+		}
+	}
+	// Crash: close without a word, mid-protocol.
+}
+
+// emptyReport pretends the edge executed nothing (it still answers the slot).
+func emptyReport(m *Message) *Message {
+	return &Message{Type: TypeReport, EdgeID: m.EdgeID, Slot: m.Slot}
+}
+
+func TestServerToleratesAgentFailure(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	slots := 30
+	tr, err := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: slots, Seed: 3, MeanPerSlot: 15, Imbalance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots,
+		SlotTimeout:      5 * time.Second,
+		TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for k := 0; k < c.N(); k++ {
+		k := k
+		if k == 1 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runFlakyAgent(t, srv.Addr().String(), 1, 1, 3, emptyReport)
+			}()
+			continue
+		}
+		arr := make([][]int, slots)
+		for tt := 0; tt < slots; tt++ {
+			arr[tt] = []int{tr.R[tt][0][k]}
+		}
+		agent, err := NewAgent(AgentConfig{
+			Addr: srv.Addr().String(), EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps,
+			Arrivals: arr, Seed: int64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("healthy agent %d: %v", k, err)
+			}
+		}()
+	}
+	rep, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatalf("server must survive one agent failure: %v", err)
+	}
+	wg.Wait()
+	if len(rep.FailedEdges) != 1 || rep.FailedEdges[0] != 1 {
+		t.Fatalf("failed edges = %v, want [1]", rep.FailedEdges)
+	}
+	if rep.Served == 0 {
+		t.Fatal("surviving edges served nothing")
+	}
+	if rep.Loss.Slots() != slots {
+		t.Fatalf("loss recorded for %d slots, want %d", rep.Loss.Slots(), slots)
+	}
+}
+
+func TestServerAbortsWhenAllAgentsFail(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: 50,
+		SlotTimeout:      2 * time.Second,
+		TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = ctx
+	var wg sync.WaitGroup
+	for k := 0; k < c.N(); k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runFlakyAgent(t, srv.Addr().String(), k, 1, 2+k, emptyReport)
+		}()
+	}
+	if _, err := srv.Run(ctx); err == nil {
+		t.Fatal("server must abort once every edge is dead")
+	}
+	wg.Wait()
+}
+
+func TestFailedEdgeWorkCountsAsDropped(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	slots := 10
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots,
+		SlotTimeout:      5 * time.Second,
+		TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < c.N(); k++ {
+		k := k
+		if k == 0 {
+			// This agent carries real load and dies after 2 slots; any work
+			// routed to it afterwards must surface as drops, not vanish.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runFlakyAgent(t, srv.Addr().String(), 0, 1, 2, emptyReport)
+			}()
+			continue
+		}
+		arr := make([][]int, slots)
+		for tt := range arr {
+			arr[tt] = []int{5}
+		}
+		agent, err := NewAgent(AgentConfig{
+			Addr: srv.Addr().String(), EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps, Arrivals: arr, Seed: int64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = agent.Run(ctx)
+		}()
+	}
+	rep, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// The healthy edges' arrivals continue to be served after the failure.
+	if rep.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if len(rep.FailedEdges) != 1 {
+		t.Fatalf("failed edges = %v", rep.FailedEdges)
+	}
+}
+
+func TestSetEdgeDownExcludesEdgeFromPlans(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	s, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEdgeDown(1, true)
+	// Arrivals only at healthy edges; edge 1 must receive nothing.
+	plan, err := s.Decide(0, [][]int{{20, 0, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Deployments {
+		if d.Edge == 1 {
+			t.Fatalf("deployment on downed edge: %+v", d)
+		}
+	}
+	for _, tr := range plan.Transfers {
+		if tr.To == 1 {
+			t.Fatalf("transfer into downed edge: %+v", tr)
+		}
+	}
+	// Recovery restores the edge as a target.
+	s.SetEdgeDown(1, false)
+	sawEdge1 := false
+	for t2 := 1; t2 < 6 && !sawEdge1; t2++ {
+		plan, err = s.Decide(t2, [][]int{{120, 120, 120}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range plan.Deployments {
+			if d.Edge == 1 {
+				sawEdge1 = true
+			}
+		}
+	}
+	if !sawEdge1 {
+		t.Fatal("recovered edge never used again")
+	}
+}
+
+var _ EdgeDownMarker = (*core.Scheduler)(nil)
+
+var _ = edgesim.Deployment{} // document the shared plan vocabulary

@@ -1,0 +1,330 @@
+package edgenet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// ServerConfig assembles a scheduler server.
+type ServerConfig struct {
+	// Listen is the TCP address ("127.0.0.1:0" for an ephemeral port).
+	Listen string
+	// Cluster and Apps define the system; EdgeID k in the protocol refers to
+	// Cluster.Edges[k].
+	Cluster *cluster.Cluster
+	Apps    []*models.Application
+	// Scheduler is the decision algorithm (BIRP, OAEI, ...).
+	Scheduler edgesim.Scheduler
+	// Slots is the number of scheduling rounds to run.
+	Slots int
+	// SlotTimeout bounds each protocol phase (0 = 30s).
+	SlotTimeout time.Duration
+	// TolerateFailures keeps the run alive when an edge agent dies: the dead
+	// edge is excluded from planning (via the scheduler's SetEdgeDown, when
+	// supported), its in-flight assignments count as drops, and the remaining
+	// edges absorb the load. Without it, any agent failure aborts the run.
+	TolerateFailures bool
+}
+
+// EdgeDownMarker is implemented by schedulers that can exclude failed edges
+// from planning (core.Scheduler does).
+type EdgeDownMarker interface {
+	SetEdgeDown(k int, down bool)
+}
+
+// Report aggregates a distributed run; it mirrors edgesim.Results so the two
+// executors can be compared directly.
+type Report struct {
+	Scheduler  string
+	Completion []float64
+	Loss       metrics.LossAccumulator
+	Served     int
+	Dropped    int
+	// Failures counts per-application SLO violations (drops included).
+	Failures int
+	// FailedEdges lists edges whose agents died mid-run (TolerateFailures).
+	FailedEdges []int
+}
+
+// FailureRate returns the paper's p%.
+func (r *Report) FailureRate() float64 {
+	if len(r.Completion) == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(len(r.Completion))
+}
+
+// Server coordinates edge agents through the slot protocol.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+}
+
+// NewServer binds the listen address; call Run to serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Cluster == nil || len(cfg.Apps) == 0 || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("edgenet: server needs cluster, apps, and scheduler")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("edgenet: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.SlotTimeout == 0 {
+		cfg.SlotTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("edgenet: listen: %w", err)
+	}
+	return &Server{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (for agents to dial).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close releases the listener (Run closes it on return as well).
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Run accepts one agent per edge, then drives the slot protocol to
+// completion and returns the aggregated report. It honors ctx cancellation
+// between phases.
+func (s *Server) Run(ctx context.Context) (*Report, error) {
+	defer s.ln.Close()
+	K := s.cfg.Cluster.N()
+	conns := make([]*conn, K)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.close()
+			}
+		}
+	}()
+
+	// Registration: every edge must say hello with a unique id.
+	deadline := time.Now().Add(s.cfg.SlotTimeout)
+	if err := s.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	for registered := 0; registered < K; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("edgenet: accept (have %d/%d agents): %w", registered, K, err)
+		}
+		c := &conn{raw: raw}
+		_ = raw.SetReadDeadline(deadline)
+		m, err := c.recv()
+		if err != nil || m.Type != TypeHello {
+			c.close()
+			return nil, fmt.Errorf("edgenet: bad hello: %v", err)
+		}
+		if m.Version != ProtocolVersion {
+			_ = c.send(&Message{Type: TypeError, Err: fmt.Sprintf("protocol version %d, want %d", m.Version, ProtocolVersion)})
+			c.close()
+			return nil, fmt.Errorf("edgenet: agent speaks protocol %d, want %d", m.Version, ProtocolVersion)
+		}
+		if m.EdgeID < 0 || m.EdgeID >= K || conns[m.EdgeID] != nil {
+			_ = c.send(&Message{Type: TypeError, Err: fmt.Sprintf("bad edge id %d", m.EdgeID)})
+			c.close()
+			return nil, fmt.Errorf("edgenet: agent registered invalid edge id %d", m.EdgeID)
+		}
+		_ = raw.SetReadDeadline(time.Time{})
+		conns[m.EdgeID] = c
+		registered++
+	}
+
+	rep := &Report{Scheduler: s.cfg.Scheduler.Name()}
+	slotMS := s.cfg.Cluster.SlotMS()
+	I := len(s.cfg.Apps)
+	maxLoss := make([]float64, I)
+	for i, app := range s.cfg.Apps {
+		for _, m := range app.Models {
+			if m.Loss > maxLoss[i] {
+				maxLoss[i] = m.Loss
+			}
+		}
+	}
+
+	// fail marks edge k dead; it returns the original error when failures
+	// are not tolerated (or when no edge remains).
+	fail := func(k int, cause error) error {
+		if !s.cfg.TolerateFailures {
+			return cause
+		}
+		if conns[k] != nil {
+			conns[k].close()
+			conns[k] = nil
+		}
+		for _, f := range rep.FailedEdges {
+			if f == k {
+				return nil
+			}
+		}
+		rep.FailedEdges = append(rep.FailedEdges, k)
+		if marker, ok := s.cfg.Scheduler.(EdgeDownMarker); ok {
+			marker.SetEdgeDown(k, true)
+		}
+		alive := 0
+		for _, c := range conns {
+			if c != nil {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return fmt.Errorf("edgenet: every edge agent failed (last: %w)", cause)
+		}
+		return nil
+	}
+
+	for t := 0; t < s.cfg.Slots; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Phase 1: collect arrivals (dead edges contribute none — their
+		// regions are offline with them).
+		arrivals := make([][]int, I)
+		for i := range arrivals {
+			arrivals[i] = make([]int, K)
+		}
+		for k, c := range conns {
+			if c == nil {
+				continue
+			}
+			_ = c.raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
+			m, err := c.recv()
+			if err != nil {
+				if ferr := fail(k, fmt.Errorf("edgenet: edge %d arrivals: %w", k, err)); ferr != nil {
+					return nil, ferr
+				}
+				continue
+			}
+			if m.Type != TypeArrivals || m.Slot != t {
+				return nil, fmt.Errorf("edgenet: edge %d sent %q for slot %d, want arrivals for %d",
+					k, m.Type, m.Slot, t)
+			}
+			if len(m.Arrivals) != I {
+				return nil, fmt.Errorf("edgenet: edge %d reported %d apps, want %d", k, len(m.Arrivals), I)
+			}
+			for i, n := range m.Arrivals {
+				if n < 0 {
+					return nil, fmt.Errorf("edgenet: edge %d negative arrivals", k)
+				}
+				arrivals[i][k] = n
+			}
+		}
+		// Phase 2: decide.
+		plan, err := s.cfg.Scheduler.Decide(t, arrivals)
+		if err != nil {
+			s.broadcast(conns, &Message{Type: TypeError, Err: err.Error()})
+			return nil, fmt.Errorf("edgenet: decide slot %d: %w", t, err)
+		}
+		// Phase 3: push per-edge assignments (transfers are already netted
+		// into the deployments, which is all an executor needs).
+		slotLoss := 0.0
+		dropAssignment := func(msg *Message) {
+			for _, asg := range msg.Assignments {
+				rep.Dropped += asg.Requests
+				rep.Failures += asg.Requests
+				slotLoss += maxLoss[asg.App] * float64(asg.Requests)
+				for q := 0; q < asg.Requests; q++ {
+					rep.Completion = append(rep.Completion, edgesim.DroppedPenaltyTau)
+				}
+			}
+		}
+		msgs := make([]*Message, K)
+		for k := 0; k < K; k++ {
+			msg := &Message{Type: TypeAssign, Slot: t, EdgeID: k, Dropped: make([]int, I)}
+			for _, d := range plan.Deployments {
+				if d.Edge != k {
+					continue
+				}
+				msg.Assignments = append(msg.Assignments, Assignment{
+					App: d.App, Version: d.Version, Requests: d.Requests,
+					BatchSizes: d.BatchSizes,
+				})
+			}
+			if plan.Dropped != nil {
+				for i := 0; i < I; i++ {
+					n := plan.Dropped[i][k]
+					msg.Dropped[i] = n
+					if n > 0 {
+						rep.Dropped += n
+						rep.Failures += n
+						slotLoss += maxLoss[i] * float64(n)
+						for q := 0; q < n; q++ {
+							rep.Completion = append(rep.Completion, edgesim.DroppedPenaltyTau)
+						}
+					}
+				}
+			}
+			msgs[k] = msg
+			c := conns[k]
+			if c == nil {
+				// Edge already dead: its planned work is lost.
+				dropAssignment(msg)
+				continue
+			}
+			if err := c.send(msg); err != nil {
+				if ferr := fail(k, fmt.Errorf("edgenet: edge %d assign: %w", k, err)); ferr != nil {
+					return nil, ferr
+				}
+				dropAssignment(msg)
+			}
+		}
+		// Phase 4: collect execution reports.
+		var fbs []edgesim.Feedback
+		for k, c := range conns {
+			if c == nil {
+				continue
+			}
+			_ = c.raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
+			m, err := c.recv()
+			if err != nil {
+				if ferr := fail(k, fmt.Errorf("edgenet: edge %d report: %w", k, err)); ferr != nil {
+					return nil, ferr
+				}
+				dropAssignment(msgs[k])
+				continue
+			}
+			if m.Type != TypeReport || m.Slot != t {
+				return nil, fmt.Errorf("edgenet: edge %d sent %q, want report", k, m.Type)
+			}
+			for q, ms := range m.CompletionMS {
+				tau := ms / slotMS
+				rep.Completion = append(rep.Completion, tau)
+				slo := 1.0
+				if q < len(m.CompletionApp) {
+					if app := m.CompletionApp[q]; app >= 0 && app < I {
+						slo = s.cfg.Apps[app].SLO()
+					}
+				}
+				if tau > slo {
+					rep.Failures++
+				}
+			}
+			rep.Served += len(m.CompletionMS)
+			slotLoss += m.Loss
+			fbs = append(fbs, m.Feedback...)
+		}
+		rep.Loss.Add(slotLoss)
+		s.cfg.Scheduler.Observe(t, fbs)
+	}
+	s.broadcast(conns, &Message{Type: TypeDone})
+	return rep, nil
+}
+
+func (s *Server) broadcast(conns []*conn, m *Message) {
+	for _, c := range conns {
+		if c != nil {
+			_ = c.send(m)
+		}
+	}
+}

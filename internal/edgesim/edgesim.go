@@ -1,0 +1,325 @@
+// Package edgesim is the slot-level simulator of the edge collaborative
+// system: it feeds per-slot arrivals to a Scheduler, validates the returned
+// plan against the paper's resource constraints (Eq. 3–9), executes the
+// planned batches on the accel device models, and records the evaluation
+// metrics (per-request completion times, inference loss, SLO failures).
+//
+// The same Scheduler implementations drive both this simulator and the
+// distributed TCP prototype in package edgenet — the decision layer never
+// sees which executor it is attached to.
+package edgesim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// Deployment is one (application, model version, edge) assignment for a slot:
+// the x^t_{ijk} = 1 entries of the paper together with their batch plan.
+type Deployment struct {
+	App     int
+	Version int
+	Edge    int
+	// Requests is the number of real requests this deployment serves
+	// (the b^t_{ijk} of Eq. 5 summed over its physical batches).
+	Requests int
+	// BatchSizes are the physical batches to execute in order. Their sum may
+	// exceed Requests (MAX pads batches to B0); padded slots consume compute
+	// but produce no completions.
+	BatchSizes []int
+}
+
+// Transfer moves Count requests of application App from edge From to edge To
+// at the start of the slot (the y^t_{ikk'} of Eq. 3).
+type Transfer struct {
+	App   int
+	From  int
+	To    int
+	Count int
+}
+
+// Preload ships a model to an edge this slot without executing it, so it is
+// resident (free to deploy) from the next slot on — predictive pre-warming.
+type Preload struct {
+	App     int
+	Version int
+	Edge    int
+}
+
+// Plan is a full slot decision.
+type Plan struct {
+	Deployments []Deployment
+	Transfers   []Transfer
+	// Dropped[i][k] counts requests of app i at edge k the scheduler could
+	// not serve this slot (overload fallback). Dropped requests score the
+	// worst model loss and an SLO failure.
+	Dropped [][]int
+	// Preloads are models shipped ahead of demand; they consume this slot's
+	// bandwidth and join the edge's resident set for subsequent slots.
+	Preloads []Preload
+}
+
+// Feedback reports one executed physical batch back to the scheduler — the
+// observation stream driving BIRP's MAB tuner.
+type Feedback struct {
+	App     int
+	Version int
+	Edge    int
+	Batch   int // physical batch size
+	// TIR is the realized throughput improvement ratio vs. batch 1.
+	TIR float64
+	// BatchMS is the realized execution time.
+	BatchMS float64
+}
+
+// Scheduler is a per-slot decision maker.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Decide returns the plan for slot t given arrivals[i][k].
+	Decide(t int, arrivals [][]int) (*Plan, error)
+	// Observe receives execution feedback after the slot runs.
+	Observe(t int, fb []Feedback)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Cluster *cluster.Cluster
+	Apps    []*models.Application
+	// NoiseSigma is the relative per-batch execution-time noise
+	// (0 = deterministic).
+	NoiseSigma float64
+	// SlotNoiseSigma adds correlated per-(slot, edge) interference: every
+	// batch duration on an edge is scaled by the same ~N(1, σ) factor for
+	// the whole slot. Per-batch noise averages out over a busy slot; this
+	// does not, and is what makes realized makespans miss the budget the
+	// way loaded testbeds do.
+	SlotNoiseSigma float64
+	// Seed drives execution noise.
+	Seed int64
+	// Strict makes constraint violations fatal errors instead of records.
+	Strict bool
+}
+
+// Results aggregates a run.
+type Results struct {
+	Scheduler string
+	// Completion holds per-request completion times normalized by the slot
+	// duration (the τ axis of Fig. 6a/7a); dropped requests appear as 2.0.
+	Completion []float64
+	// Loss tracks per-slot and cumulative inference loss (Fig. 6b/c, 7b/c).
+	Loss metrics.LossAccumulator
+	// Violations lists constraint violations detected in submitted plans.
+	Violations []string
+	// Dropped is the total number of dropped requests.
+	Dropped int
+	// Served is the total number of completed requests.
+	Served int
+	// SlotMakespanMS records each edge's makespan per slot (K entries per
+	// slot, in slot-major order).
+	SlotMakespanMS []float64
+	// SlotCompletionCounts records how many Completion entries each slot
+	// appended (served + dropped), so time-truncated statistics like the
+	// Fig. 5 p%(t) sweep can be computed from prefixes.
+	SlotCompletionCounts []int
+	// Failures counts requests that violated their application's SLO
+	// (completion past SLOFrac·slot, or dropped); SlotFailureCounts holds
+	// the per-slot breakdown.
+	Failures          int
+	SlotFailureCounts []int
+	// EnergyJ is total cluster energy: active execution plus idle draw over
+	// every slot (an edge that finishes early idles for the remainder).
+	EnergyJ float64
+}
+
+// FailureRateUpTo returns p% over the first slots entries of the run.
+func (r *Results) FailureRateUpTo(slots int) float64 {
+	if slots >= len(r.SlotCompletionCounts) {
+		return r.FailureRate()
+	}
+	n, f := 0, 0
+	for i := 0; i < slots; i++ {
+		n += r.SlotCompletionCounts[i]
+		f += r.SlotFailureCounts[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(f) / float64(n)
+}
+
+// FailureRate returns the paper's p%: the fraction of requests that violated
+// their application's response-time SLO (by default, the slot itself).
+func (r *Results) FailureRate() float64 {
+	if len(r.Completion) == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(len(r.Completion))
+}
+
+// DroppedPenaltyTau is the normalized completion time recorded for dropped
+// requests (an unambiguous SLO failure).
+const DroppedPenaltyTau = 2.0
+
+// Sim executes schedulers against arrival streams.
+type Sim struct {
+	cfg     Config
+	slotMS  float64
+	maxLoss []float64 // per app: worst model loss, charged for drops
+	// prevDeployed[k][model key] tracks x^{t-1} for bandwidth accounting.
+	prevDeployed []map[[2]int]bool
+	rng          *rand.Rand
+}
+
+// New creates a simulator. It validates the cluster topology.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("edgesim: nil cluster")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("edgesim: no applications")
+	}
+	s := &Sim{
+		cfg:    cfg,
+		slotMS: cfg.Cluster.SlotMS(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, app := range cfg.Apps {
+		if len(app.Models) == 0 {
+			return nil, fmt.Errorf("edgesim: application %q has no models", app.Name)
+		}
+		worst := 0.0
+		for _, m := range app.Models {
+			if m.Loss > worst {
+				worst = m.Loss
+			}
+		}
+		s.maxLoss = append(s.maxLoss, worst)
+	}
+	s.resetDeployed()
+	return s, nil
+}
+
+func (s *Sim) resetDeployed() {
+	s.prevDeployed = make([]map[[2]int]bool, s.cfg.Cluster.N())
+	for k := range s.prevDeployed {
+		s.prevDeployed[k] = map[[2]int]bool{}
+	}
+}
+
+// Run drives sched over all slots of the arrival tensor arrivals[t][i][k]
+// and returns aggregated results. The simulator state (previous deployments,
+// noise stream) is reset at the start of each run.
+func (s *Sim) Run(sched Scheduler, arrivals [][][]int) (*Results, error) {
+	s.resetDeployed()
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	res := &Results{Scheduler: sched.Name()}
+	for t := 0; t < len(arrivals); t++ {
+		if err := s.runSlot(sched, t, arrivals[t], res); err != nil {
+			return nil, fmt.Errorf("slot %d: %w", t, err)
+		}
+	}
+	return res, nil
+}
+
+func (s *Sim) runSlot(sched Scheduler, t int, arrivals [][]int, res *Results) error {
+	completionsBefore := len(res.Completion)
+	failuresBefore := res.Failures
+	defer func() {
+		res.SlotCompletionCounts = append(res.SlotCompletionCounts, len(res.Completion)-completionsBefore)
+		res.SlotFailureCounts = append(res.SlotFailureCounts, res.Failures-failuresBefore)
+	}()
+	plan, err := sched.Decide(t, arrivals)
+	if err != nil {
+		return fmt.Errorf("%s.Decide: %w", sched.Name(), err)
+	}
+	viol := s.validate(t, arrivals, plan)
+	if len(viol) > 0 {
+		if s.cfg.Strict {
+			return fmt.Errorf("plan violations: %v", viol)
+		}
+		for _, v := range viol {
+			res.Violations = append(res.Violations, fmt.Sprintf("t=%d: %s", t, v))
+		}
+	}
+
+	// Execute per edge: deployments run sequentially on the accelerator.
+	K := s.cfg.Cluster.N()
+	perEdge := make([][]Deployment, K)
+	for _, d := range plan.Deployments {
+		if d.Edge >= 0 && d.Edge < K {
+			perEdge[d.Edge] = append(perEdge[d.Edge], d)
+		}
+	}
+	var fbs []Feedback
+	slotLoss := 0.0
+	for k := 0; k < K; k++ {
+		scale := 1.0
+		if s.cfg.SlotNoiseSigma > 0 {
+			scale = 1 + s.rng.NormFloat64()*s.cfg.SlotNoiseSigma
+			if scale < 0.5 {
+				scale = 0.5
+			}
+		}
+		exec := ExecuteEdge(s.cfg.Cluster.Edges[k].Device, s.cfg.Apps, k,
+			perEdge[k], s.cfg.NoiseSigma, scale, s.rng)
+		for q, ms := range exec.CompletionMS {
+			tau := ms / s.slotMS
+			res.Completion = append(res.Completion, tau)
+			if tau > s.cfg.Apps[exec.CompletionApp[q]].SLO() {
+				res.Failures++
+			}
+		}
+		res.Served += exec.Served
+		slotLoss += exec.Loss
+		fbs = append(fbs, exec.Feedback...)
+		res.SlotMakespanMS = append(res.SlotMakespanMS, exec.MakespanMS)
+		res.EnergyJ += exec.EnergyJ
+		if idle := s.slotMS - exec.MakespanMS; idle > 0 {
+			res.EnergyJ += s.cfg.Cluster.Edges[k].Device.IdleEnergyJ(idle)
+		}
+	}
+	// Dropped requests: worst loss and a hard SLO failure.
+	if plan.Dropped != nil {
+		for i := range plan.Dropped {
+			for k := range plan.Dropped[i] {
+				n := plan.Dropped[i][k]
+				if n <= 0 {
+					continue
+				}
+				res.Dropped += n
+				res.Failures += n // a dropped request always misses its SLO
+				slotLoss += s.maxLoss[i] * float64(n)
+				for q := 0; q < n; q++ {
+					res.Completion = append(res.Completion, DroppedPenaltyTau)
+				}
+			}
+		}
+	}
+	res.Loss.Add(slotLoss)
+
+	// Update residency for next-slot bandwidth accounting: whatever was
+	// deployed or preloaded this slot is on disk next slot.
+	for k := range s.prevDeployed {
+		s.prevDeployed[k] = map[[2]int]bool{}
+	}
+	for _, d := range plan.Deployments {
+		if d.Edge >= 0 && d.Edge < K {
+			s.prevDeployed[d.Edge][[2]int{d.App, d.Version}] = true
+		}
+	}
+	for _, pl := range plan.Preloads {
+		if pl.Edge >= 0 && pl.Edge < K {
+			s.prevDeployed[pl.Edge][[2]int{pl.App, pl.Version}] = true
+		}
+	}
+	sched.Observe(t, fbs)
+	return nil
+}

@@ -1,0 +1,463 @@
+package edgesim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+// localScheduler serves every arrival on its own edge with the smallest model
+// in one merged batch — the simplest valid policy.
+type localScheduler struct{ apps []*models.Application }
+
+func (l *localScheduler) Name() string { return "local" }
+func (l *localScheduler) Decide(t int, arrivals [][]int) (*Plan, error) {
+	p := &Plan{}
+	for i := range arrivals {
+		for k, n := range arrivals[i] {
+			if n == 0 {
+				continue
+			}
+			p.Deployments = append(p.Deployments, Deployment{
+				App: i, Version: 0, Edge: k, Requests: n, BatchSizes: []int{n},
+			})
+		}
+	}
+	return p, nil
+}
+func (l *localScheduler) Observe(int, []Feedback) {}
+
+// recordingScheduler wraps another scheduler and captures feedback.
+type recordingScheduler struct {
+	Scheduler
+	fbs []Feedback
+}
+
+func (r *recordingScheduler) Observe(t int, fb []Feedback) { r.fbs = append(r.fbs, fb...) }
+
+func smallConfig() Config {
+	return Config{
+		Cluster: cluster.Small(cluster.WithSlotSeconds(10)),
+		Apps:    models.Catalogue(2, 3),
+		Seed:    1,
+	}
+}
+
+func arrivalsTensor(slots int, perSlot [][]int) [][][]int {
+	out := make([][][]int, slots)
+	for t := range out {
+		cp := make([][]int, len(perSlot))
+		for i := range perSlot {
+			cp[i] = append([]int(nil), perSlot[i]...)
+		}
+		out[t] = cp
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil cluster must error")
+	}
+	if _, err := New(Config{Cluster: cluster.Small()}); err == nil {
+		t.Fatal("no apps must error")
+	}
+	bad := Config{Cluster: cluster.Small(), Apps: []*models.Application{{Name: "x"}}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("app without models must error")
+	}
+}
+
+func TestRunLocalScheduler(t *testing.T) {
+	cfg := smallConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := arrivalsTensor(5, [][]int{{3, 0, 2}, {1, 1, 1}})
+	res, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantServed := 5 * (3 + 2 + 1 + 1 + 1)
+	if res.Served != wantServed {
+		t.Fatalf("served = %d, want %d", res.Served, wantServed)
+	}
+	if len(res.Completion) != wantServed {
+		t.Fatalf("completions = %d, want %d", len(res.Completion), wantServed)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", res.Violations)
+	}
+	if res.Loss.Slots() != 5 {
+		t.Fatalf("loss slots = %d", res.Loss.Slots())
+	}
+	// Loss per slot: version 0 of each app × request counts.
+	want := cfg.Apps[0].Models[0].Loss*5 + cfg.Apps[1].Models[0].Loss*3
+	if math.Abs(res.Loss.PerSlot()[0]-want) > 1e-9 {
+		t.Fatalf("slot loss = %v, want %v", res.Loss.PerSlot()[0], want)
+	}
+	for _, tau := range res.Completion {
+		if tau <= 0 {
+			t.Fatalf("completion %v must be positive", tau)
+		}
+	}
+}
+
+func TestRunDeterministicForFixedSeed(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NoiseSigma = 0.05
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(3, [][]int{{4, 1, 0}, {0, 2, 3}})
+	r1, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Completion) != len(r2.Completion) {
+		t.Fatal("runs differ in size")
+	}
+	for i := range r1.Completion {
+		if r1.Completion[i] != r2.Completion[i] {
+			t.Fatal("Run must reset noise state: completions differ between runs")
+		}
+	}
+}
+
+func TestFeedbackStream(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	rec := &recordingScheduler{Scheduler: &localScheduler{apps: cfg.Apps}}
+	arr := arrivalsTensor(2, [][]int{{3, 0, 0}, {0, 0, 0}})
+	if _, err := sim.Run(rec, arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.fbs) != 2 {
+		t.Fatalf("feedback count = %d, want 2 (one batch per slot)", len(rec.fbs))
+	}
+	fb := rec.fbs[0]
+	if fb.Batch != 3 || fb.App != 0 || fb.Edge != 0 {
+		t.Fatalf("feedback = %+v", fb)
+	}
+	if fb.TIR < 1-1e-9 || fb.TIR > 3+1e-9 {
+		t.Fatalf("TIR = %v outside [1, b]", fb.TIR)
+	}
+}
+
+// transferScheduler moves all arrivals at edge 0 to edge 1.
+type transferScheduler struct{ apps []*models.Application }
+
+func (s *transferScheduler) Name() string { return "xfer" }
+func (s *transferScheduler) Decide(t int, arrivals [][]int) (*Plan, error) {
+	p := &Plan{}
+	for i := range arrivals {
+		moved := arrivals[i][0]
+		if moved > 0 {
+			p.Transfers = append(p.Transfers, Transfer{App: i, From: 0, To: 1, Count: moved})
+		}
+		for k, n := range arrivals[i] {
+			eff := n
+			if k == 0 {
+				eff = 0
+			}
+			if k == 1 {
+				eff += moved
+			}
+			if eff == 0 {
+				continue
+			}
+			p.Deployments = append(p.Deployments, Deployment{
+				App: i, Version: 0, Edge: k, Requests: eff, BatchSizes: []int{eff},
+			})
+		}
+	}
+	return p, nil
+}
+func (s *transferScheduler) Observe(int, []Feedback) {}
+
+func TestTransfersSatisfyConservation(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(2, [][]int{{4, 1, 0}, {2, 0, 0}})
+	res, err := sim.Run(&transferScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Served != 2*(4+1+2) {
+		t.Fatalf("served = %d", res.Served)
+	}
+}
+
+// brokenScheduler violates conservation (serves nothing, drops nothing).
+type brokenScheduler struct{}
+
+func (brokenScheduler) Name() string                       { return "broken" }
+func (brokenScheduler) Decide(int, [][]int) (*Plan, error) { return &Plan{}, nil }
+func (brokenScheduler) Observe(int, []Feedback)            {}
+
+func TestViolationDetectionAndStrictMode(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(1, [][]int{{1, 0, 0}, {0, 0, 0}})
+	res, err := sim.Run(brokenScheduler{}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("conservation violation not detected")
+	}
+	cfg.Strict = true
+	sim, _ = New(cfg)
+	if _, err := sim.Run(brokenScheduler{}, arr); err == nil {
+		t.Fatal("strict mode must fail on violations")
+	}
+}
+
+// droppingScheduler declares every arrival dropped.
+type droppingScheduler struct{ apps int }
+
+func (d *droppingScheduler) Name() string { return "drop" }
+func (d *droppingScheduler) Decide(t int, arrivals [][]int) (*Plan, error) {
+	p := &Plan{Dropped: make([][]int, len(arrivals))}
+	for i := range arrivals {
+		p.Dropped[i] = append([]int(nil), arrivals[i]...)
+	}
+	return p, nil
+}
+func (d *droppingScheduler) Observe(int, []Feedback) {}
+
+func TestDropsScoreWorstLossAndFail(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(1, [][]int{{2, 0, 0}, {0, 0, 0}})
+	res, err := sim.Run(&droppingScheduler{apps: 2}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("dropping everything is a legal (bad) plan: %v", res.Violations)
+	}
+	if res.Dropped != 2 {
+		t.Fatalf("dropped = %d", res.Dropped)
+	}
+	if res.FailureRate() != 1 {
+		t.Fatalf("failure rate = %v, want 1", res.FailureRate())
+	}
+	worst := cfg.Apps[0].Models[0].Loss
+	for _, m := range cfg.Apps[0].Models {
+		if m.Loss > worst {
+			worst = m.Loss
+		}
+	}
+	if math.Abs(res.Loss.Total()-2*worst) > 1e-9 {
+		t.Fatalf("loss = %v, want %v", res.Loss.Total(), 2*worst)
+	}
+}
+
+// paddedScheduler runs batches padded beyond the request count (MAX-style).
+type paddedScheduler struct{}
+
+func (paddedScheduler) Name() string { return "padded" }
+func (paddedScheduler) Decide(t int, arrivals [][]int) (*Plan, error) {
+	p := &Plan{}
+	for i := range arrivals {
+		for k, n := range arrivals[i] {
+			if n == 0 {
+				continue
+			}
+			p.Deployments = append(p.Deployments, Deployment{
+				App: i, Version: 0, Edge: k, Requests: n, BatchSizes: []int{8},
+			})
+		}
+	}
+	return p, nil
+}
+func (paddedScheduler) Observe(int, []Feedback) {}
+
+func TestPaddingProducesOnlyRealCompletions(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(1, [][]int{{3, 0, 0}, {0, 0, 0}})
+	res, err := sim.Run(paddedScheduler{}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 3 || len(res.Completion) != 3 {
+		t.Fatalf("served = %d, completions = %d; padding must not complete", res.Served, len(res.Completion))
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arrivals := [][]int{{2, 0, 0}, {0, 0, 0}}
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"out-of-range deployment", &Plan{Deployments: []Deployment{{App: 9, Edge: 0, Requests: 2, BatchSizes: []int{2}}}}, "out of range"},
+		{"negative requests", &Plan{Deployments: []Deployment{{App: 0, Edge: 0, Requests: -1, BatchSizes: []int{1}}}}, "negative requests"},
+		{"uncovered batches", &Plan{Deployments: []Deployment{{App: 0, Edge: 0, Requests: 2, BatchSizes: []int{1}}}}, "physical batches cover"},
+		{"bad transfer", &Plan{Transfers: []Transfer{{App: 0, From: 0, To: 99, Count: 1}}}, "out of range"},
+		{"negative transfer", &Plan{Transfers: []Transfer{{App: 0, From: 0, To: 1, Count: -2}}}, "negative transfer"},
+		{"over-forwarding", &Plan{
+			Transfers:   []Transfer{{App: 0, From: 0, To: 1, Count: 5}},
+			Deployments: []Deployment{{App: 0, Edge: 1, Requests: 5, BatchSizes: []int{5}}},
+		}, "forwards"},
+	}
+	for _, tc := range cases {
+		viol := sim.validate(0, arrivals, tc.plan)
+		found := false
+		for _, v := range viol {
+			if strings.Contains(v, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected violation containing %q, got %v", tc.name, tc.want, viol)
+		}
+	}
+}
+
+func TestMemoryViolationDetected(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	// Deploy the biggest model with an enormous batch: activation memory
+	// must blow past the edge budget.
+	big := len(cfg.Apps[0].Models) - 1
+	plan := &Plan{Deployments: []Deployment{{
+		App: 0, Version: big, Edge: 0, Requests: 200,
+		BatchSizes: []int{200},
+	}}}
+	arrivals := [][]int{{200, 0, 0}, {0, 0, 0}}
+	viol := sim.validate(0, arrivals, plan)
+	found := false
+	for _, v := range viol {
+		if strings.Contains(v, "memory") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected memory violation, got %v", viol)
+	}
+}
+
+func TestBandwidthViolationDetected(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	// Forward an absurd volume of the largest-payload application.
+	last := len(cfg.Apps) - 1
+	n := 100000
+	plan := &Plan{
+		Transfers: []Transfer{{App: last, From: 0, To: 1, Count: n}},
+		Deployments: []Deployment{{
+			App: last, Version: 0, Edge: 1, Requests: n + 0, BatchSizes: []int{n},
+		}},
+	}
+	arrivals := [][]int{{0, 0, 0}, {n, 0, 0}}
+	viol := sim.validate(0, arrivals, plan)
+	foundBW := false
+	for _, v := range viol {
+		if strings.Contains(v, "bandwidth") {
+			foundBW = true
+		}
+	}
+	if !foundBW {
+		t.Fatalf("expected bandwidth violation, got %v", viol)
+	}
+}
+
+func TestModelSwitchChargesBandwidthOnlyOnce(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(3, [][]int{{1, 0, 0}, {0, 0, 0}})
+	// localScheduler deploys the same model every slot; only slot 0 should
+	// be charged for the model weights — no bandwidth violations in any case
+	// here, but exercise the prevDeployed tracking path.
+	res, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestSelfTransferIsNoOp(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	plan := &Plan{
+		Transfers:   []Transfer{{App: 0, From: 0, To: 0, Count: 5}},
+		Deployments: []Deployment{{App: 0, Edge: 0, Requests: 2, BatchSizes: []int{2}}},
+	}
+	arrivals := [][]int{{2, 0, 0}, {0, 0, 0}}
+	if viol := sim.validate(0, arrivals, plan); len(viol) != 0 {
+		t.Fatalf("self transfer should be ignored: %v", viol)
+	}
+}
+
+func TestMakespanRecorded(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(2, [][]int{{1, 0, 0}, {0, 0, 0}})
+	res, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlotMakespanMS) != 2*cfg.Cluster.N() {
+		t.Fatalf("makespans = %d, want %d", len(res.SlotMakespanMS), 2*cfg.Cluster.N())
+	}
+}
+
+func TestPlanSummary(t *testing.T) {
+	cfg := smallConfig()
+	plan := &Plan{
+		Deployments: []Deployment{
+			{App: 0, Version: 1, Edge: 0, Requests: 5, BatchSizes: []int{5}},
+			{App: 1, Version: 0, Edge: 2, Requests: 3, BatchSizes: []int{2, 1}},
+		},
+		Transfers: []Transfer{{App: 0, From: 1, To: 0, Count: 2}},
+		Dropped:   [][]int{{0, 0, 1}, {0, 0, 0}},
+	}
+	out := plan.Summary(cfg.Cluster, cfg.Apps)
+	for _, want := range []string{
+		cfg.Cluster.Edges[0].Name,
+		cfg.Apps[0].Models[1].Name,
+		"transfers:",
+		"dropped: 1 requests",
+		"batches [2 1]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if got := (&Plan{}).Summary(nil, nil); got != "(empty plan)\n" {
+		t.Fatalf("empty plan summary = %q", got)
+	}
+}
+
+func TestResultsSummary(t *testing.T) {
+	cfg := smallConfig()
+	sim, _ := New(cfg)
+	arr := arrivalsTensor(2, [][]int{{3, 0, 0}, {0, 1, 0}})
+	res, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Summary()
+	for _, want := range []string{"scheduler", "local", "requests served", "total loss", "SLO failures", "energy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package edgesim
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/models"
+)
+
+// ExecResult is the outcome of executing one edge's slot assignment.
+type ExecResult struct {
+	// CompletionMS holds one entry per completed request: its finish time on
+	// the edge's accelerator clock.
+	CompletionMS []float64
+	// CompletionApp holds the application index of each CompletionMS entry,
+	// so per-application SLOs can be applied downstream.
+	CompletionApp []int
+	// Loss is the summed inference loss of completed requests.
+	Loss float64
+	// Served counts completed requests.
+	Served int
+	// Feedback carries the realized per-batch TIR observations.
+	Feedback []Feedback
+	// MakespanMS is the edge's total busy time.
+	MakespanMS float64
+	// EnergyJ is the active energy spent executing the batches (idle draw is
+	// the simulator's to add — it knows the slot length).
+	EnergyJ float64
+}
+
+// ExecuteEdge runs a slot's deployments for one edge on its device model:
+// deployments execute sequentially in deterministic (app, version) order,
+// each physical batch takes the (noisy) device batch time, and every real
+// request in a batch completes when the batch does. Both the in-process
+// simulator and the distributed edge agent call this, so the two executors
+// cannot drift apart.
+// slotScale multiplies every batch duration in the slot — correlated
+// interference (thermal throttling, co-located load) that per-batch noise
+// cannot express; pass 1 for none.
+func ExecuteEdge(
+	device *accel.Device,
+	apps []*models.Application,
+	edgeIdx int,
+	deployments []Deployment,
+	noiseSigma float64,
+	slotScale float64,
+	rng *rand.Rand,
+) ExecResult {
+	deps := append([]Deployment(nil), deployments...)
+	// Tighter-SLO applications execute first (earliest-deadline order);
+	// within an SLO class the order is canonical for reproducibility.
+	sort.SliceStable(deps, func(a, b int) bool {
+		da, db := deps[a], deps[b]
+		sa, sb := 1.0, 1.0
+		if da.App >= 0 && da.App < len(apps) {
+			sa = apps[da.App].SLO()
+		}
+		if db.App >= 0 && db.App < len(apps) {
+			sb = apps[db.App].SLO()
+		}
+		if sa != sb {
+			return sa < sb
+		}
+		if da.App != db.App {
+			return da.App < db.App
+		}
+		return da.Version < db.Version
+	})
+	var res ExecResult
+	clock := 0.0
+	for _, d := range deps {
+		if d.App < 0 || d.App >= len(apps) || d.Version < 0 || d.Version >= len(apps[d.App].Models) {
+			continue
+		}
+		m := apps[d.App].Models[d.Version]
+		remaining := d.Requests
+		base1 := device.BatchTimeMS(m.Profile, 1)
+		for _, b := range d.BatchSizes {
+			if b <= 0 {
+				continue
+			}
+			dur := device.BatchTimeNoisyMS(m.Profile, b, noiseSigma, rng) * slotScale *
+				device.ThrottleScale(clock)
+			clock += dur
+			res.EnergyJ += device.BatchEnergyJ(m.Profile, b)
+			done := b
+			if done > remaining {
+				done = remaining
+			}
+			remaining -= done
+			for q := 0; q < done; q++ {
+				res.CompletionMS = append(res.CompletionMS, clock)
+				res.CompletionApp = append(res.CompletionApp, d.App)
+			}
+			res.Served += done
+			res.Loss += m.Loss * float64(done)
+			if dur > 0 {
+				res.Feedback = append(res.Feedback, Feedback{
+					App: d.App, Version: d.Version, Edge: edgeIdx,
+					Batch: b, TIR: (float64(b) / dur) * base1, BatchMS: dur,
+				})
+			}
+		}
+	}
+	res.MakespanMS = clock
+	return res
+}

@@ -1,0 +1,199 @@
+package edgesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+func execArgs() (*cluster.Cluster, []*models.Application) {
+	return cluster.Small(), models.Catalogue(2, 3)
+}
+
+func TestExecuteEdgeBasics(t *testing.T) {
+	c, apps := execArgs()
+	deps := []Deployment{
+		{App: 0, Version: 0, Edge: 0, Requests: 5, BatchSizes: []int{5}},
+		{App: 1, Version: 1, Edge: 0, Requests: 3, BatchSizes: []int{2, 1}},
+	}
+	res := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	if res.Served != 8 {
+		t.Fatalf("served %d, want 8", res.Served)
+	}
+	if len(res.CompletionMS) != 8 {
+		t.Fatalf("completions %d, want 8", len(res.CompletionMS))
+	}
+	wantLoss := apps[0].Models[0].Loss*5 + apps[1].Models[1].Loss*3
+	if math.Abs(res.Loss-wantLoss) > 1e-9 {
+		t.Fatalf("loss %v, want %v", res.Loss, wantLoss)
+	}
+	if len(res.Feedback) != 3 {
+		t.Fatalf("feedback %d, want 3 (one per physical batch)", len(res.Feedback))
+	}
+	// Completions are nondecreasing within the edge (sequential execution).
+	for i := 1; i < len(res.CompletionMS); i++ {
+		if res.CompletionMS[i] < res.CompletionMS[i-1] {
+			t.Fatal("completion times went backwards")
+		}
+	}
+	if res.MakespanMS < res.CompletionMS[len(res.CompletionMS)-1] {
+		t.Fatal("makespan before last completion")
+	}
+}
+
+func TestExecuteEdgeDeterministicOrder(t *testing.T) {
+	c, apps := execArgs()
+	// Same deployments, shuffled input order, zero noise: identical output.
+	deps := []Deployment{
+		{App: 1, Version: 0, Edge: 0, Requests: 2, BatchSizes: []int{2}},
+		{App: 0, Version: 2, Edge: 0, Requests: 1, BatchSizes: []int{1}},
+		{App: 0, Version: 0, Edge: 0, Requests: 3, BatchSizes: []int{3}},
+	}
+	shuffled := []Deployment{deps[2], deps[0], deps[1]}
+	a := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	b := ExecuteEdge(c.Edges[0].Device, apps, 0, shuffled, 0, 1, rand.New(rand.NewSource(2)))
+	if len(a.CompletionMS) != len(b.CompletionMS) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.CompletionMS {
+		if a.CompletionMS[i] != b.CompletionMS[i] {
+			t.Fatal("execution order must be canonical, not input order")
+		}
+	}
+}
+
+func TestExecuteEdgeSlotScale(t *testing.T) {
+	c, apps := execArgs()
+	deps := []Deployment{{App: 0, Version: 0, Edge: 0, Requests: 4, BatchSizes: []int{4}}}
+	base := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	slow := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1.5, rand.New(rand.NewSource(1)))
+	if math.Abs(slow.MakespanMS-1.5*base.MakespanMS) > 1e-9 {
+		t.Fatalf("slot scale not applied: %v vs %v", slow.MakespanMS, base.MakespanMS)
+	}
+	// TIR feedback under uniform slowdown shrinks proportionally (the
+	// baseline is unscaled) — that is exactly the signal a loaded edge emits.
+	if slow.Feedback[0].TIR >= base.Feedback[0].TIR {
+		t.Fatal("slot slowdown must depress observed TIR")
+	}
+}
+
+func TestExecuteEdgeSkipsInvalidDeployments(t *testing.T) {
+	c, apps := execArgs()
+	deps := []Deployment{
+		{App: 99, Version: 0, Edge: 0, Requests: 4, BatchSizes: []int{4}},
+		{App: 0, Version: 99, Edge: 0, Requests: 4, BatchSizes: []int{4}},
+		{App: -1, Version: 0, Edge: 0, Requests: 4, BatchSizes: []int{4}},
+		{App: 0, Version: 0, Edge: 0, Requests: 2, BatchSizes: []int{2}},
+	}
+	res := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	if res.Served != 2 {
+		t.Fatalf("served %d, want only the valid deployment's 2", res.Served)
+	}
+}
+
+func TestExecuteEdgePaddingAndZeroBatches(t *testing.T) {
+	c, apps := execArgs()
+	deps := []Deployment{{App: 0, Version: 0, Edge: 0, Requests: 3, BatchSizes: []int{0, 8, -2}}}
+	res := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	if res.Served != 3 {
+		t.Fatalf("served %d, want 3 (padding completes nothing)", res.Served)
+	}
+	if len(res.Feedback) != 1 {
+		t.Fatalf("feedback %d, want 1 (zero/negative batches are skipped)", len(res.Feedback))
+	}
+}
+
+// Property: served == min(Requests, Σ positive batch sizes) per deployment,
+// and loss is exactly served × model loss.
+func TestQuickExecuteConservation(t *testing.T) {
+	c, apps := execArgs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var deps []Deployment
+		want := 0
+		var wantLoss float64
+		for n := 0; n < 1+rng.Intn(5); n++ {
+			app := rng.Intn(2)
+			ver := rng.Intn(3)
+			req := rng.Intn(12)
+			var sizes []int
+			covered := 0
+			for b := 0; b < 1+rng.Intn(3); b++ {
+				sz := rng.Intn(8)
+				sizes = append(sizes, sz)
+				covered += sz
+			}
+			served := req
+			if covered < served {
+				served = covered
+			}
+			want += served
+			wantLoss += apps[app].Models[ver].Loss * float64(served)
+			deps = append(deps, Deployment{App: app, Version: ver, Edge: 0, Requests: req, BatchSizes: sizes})
+		}
+		res := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0.05, 1, rng)
+		return res.Served == want && math.Abs(res.Loss-wantLoss) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotNoiseChangesCompletions(t *testing.T) {
+	c, apps := execArgs()
+	sim1, _ := New(Config{Cluster: c, Apps: apps, Seed: 1})
+	sim2, _ := New(Config{Cluster: c, Apps: apps, Seed: 1, SlotNoiseSigma: 0.2})
+	sched := &localScheduler{apps: apps}
+	arr := arrivalsTensor(4, [][]int{{6, 2, 1}, {0, 3, 2}})
+	r1, err := sim1.Run(sched, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim2.Run(sched, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Completion {
+		if r1.Completion[i] != r2.Completion[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("slot noise had no effect")
+	}
+	// And it must be reproducible for a fixed seed.
+	r3, err := sim2.Run(sched, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r2.Completion {
+		if r2.Completion[i] != r3.Completion[i] {
+			t.Fatal("slot noise must be deterministic per seed")
+		}
+	}
+}
+
+func TestThrottlingSlowsLateBatches(t *testing.T) {
+	c, apps := execArgs()
+	hot := *c.Edges[0].Device
+	hot.ThrottleAfterMS = 50
+	hot.ThrottleFactor = 2
+	deps := []Deployment{{App: 0, Version: 0, Edge: 0, Requests: 20,
+		BatchSizes: []int{5, 5, 5, 5}}}
+	cool := ExecuteEdge(c.Edges[0].Device, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	warm := ExecuteEdge(&hot, apps, 0, deps, 0, 1, rand.New(rand.NewSource(1)))
+	if warm.MakespanMS <= cool.MakespanMS {
+		t.Fatalf("throttled edge should be slower: %v vs %v", warm.MakespanMS, cool.MakespanMS)
+	}
+	// The first batch finishes before the threshold at the same time.
+	if warm.CompletionMS[0] != cool.CompletionMS[0] {
+		t.Fatalf("pre-threshold batch must be unaffected: %v vs %v",
+			warm.CompletionMS[0], cool.CompletionMS[0])
+	}
+}

@@ -1,0 +1,152 @@
+package edgesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+// randomPlanScheduler emits random but *valid* plans: it shuffles arrivals
+// between edges within bandwidth, serves each share with a random model and
+// random physical batching, and drops a random remainder. It exists to fuzz
+// the simulator's accounting: whatever a (buggy but constraint-respecting)
+// scheduler does, the simulator's books must balance.
+type randomPlanScheduler struct {
+	apps []*models.Application
+	K    int
+	rng  *rand.Rand
+}
+
+func (r *randomPlanScheduler) Name() string { return "fuzz" }
+
+func (r *randomPlanScheduler) Decide(t int, arrivals [][]int) (*Plan, error) {
+	I := len(arrivals)
+	plan := &Plan{Dropped: make([][]int, I)}
+	alloc := make([][]int, I)
+	for i := 0; i < I; i++ {
+		plan.Dropped[i] = make([]int, r.K)
+		alloc[i] = append([]int(nil), arrivals[i]...)
+		// A couple of random small transfers. Eq. 3 only lets an edge
+		// forward its *own* arrivals, so track the untransferred originals.
+		orig := append([]int(nil), arrivals[i]...)
+		for n := 0; n < 2; n++ {
+			from := r.rng.Intn(r.K)
+			to := r.rng.Intn(r.K)
+			if from == to || orig[from] == 0 {
+				continue
+			}
+			cnt := 1 + r.rng.Intn(orig[from])
+			if cnt > 4 {
+				cnt = 4
+			}
+			orig[from] -= cnt
+			alloc[i][from] -= cnt
+			alloc[i][to] += cnt
+			plan.Transfers = append(plan.Transfers, Transfer{App: i, From: from, To: to, Count: cnt})
+		}
+		for k := 0; k < r.K; k++ {
+			w := alloc[i][k]
+			if w == 0 {
+				continue
+			}
+			drop := r.rng.Intn(w + 1)
+			serve := w - drop
+			plan.Dropped[i][k] = drop
+			if serve == 0 {
+				continue
+			}
+			// Random batching of the served share, sometimes padded.
+			var sizes []int
+			left := serve
+			for left > 0 {
+				b := 1 + r.rng.Intn(left)
+				sizes = append(sizes, b)
+				left -= b
+			}
+			if r.rng.Intn(3) == 0 {
+				sizes = append(sizes, 1+r.rng.Intn(3)) // padding batch
+			}
+			plan.Deployments = append(plan.Deployments, Deployment{
+				App: i, Version: 0, Edge: k, Requests: serve, BatchSizes: sizes,
+			})
+		}
+	}
+	return plan, nil
+}
+
+func (r *randomPlanScheduler) Observe(int, []Feedback) {}
+
+// TestFuzzSimulatorAccounting runs many random-plan slots and checks the
+// simulator's global invariants: no violations, served + dropped == total
+// arrivals, loss equals Σ served·loss(v0) + Σ dropped·maxLoss, and every
+// dropped request appears in the completion sample at the penalty value.
+func TestFuzzSimulatorAccounting(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sched := &randomPlanScheduler{apps: apps, K: c.N(), rng: rng}
+		sim, err := New(Config{Cluster: c, Apps: apps, NoiseSigma: 0.03, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots := 6
+		arr := make([][][]int, slots)
+		total := 0
+		for tt := 0; tt < slots; tt++ {
+			arr[tt] = make([][]int, 2)
+			for i := 0; i < 2; i++ {
+				arr[tt][i] = make([]int, c.N())
+				for k := 0; k < c.N(); k++ {
+					arr[tt][i][k] = rng.Intn(10)
+					total += arr[tt][i][k]
+				}
+			}
+		}
+		res, err := sim.Run(sched, arr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("trial %d: violations from a valid random plan: %v", trial, res.Violations[0])
+		}
+		if res.Served+res.Dropped != total {
+			t.Fatalf("trial %d: served %d + dropped %d != arrivals %d",
+				trial, res.Served, res.Dropped, total)
+		}
+		if len(res.Completion) != total {
+			t.Fatalf("trial %d: %d completion entries, want %d", trial, len(res.Completion), total)
+		}
+		dropTau := 0
+		for _, tau := range res.Completion {
+			if tau == DroppedPenaltyTau {
+				dropTau++
+			}
+		}
+		if dropTau < res.Dropped {
+			t.Fatalf("trial %d: only %d penalty completions for %d drops", trial, dropTau, res.Dropped)
+		}
+		// Everything served used version 0, so total loss is bracketed by the
+		// per-app extremes of v0 loss plus worst-loss drop charges.
+		minLoss := math.Min(apps[0].Models[0].Loss, apps[1].Models[0].Loss) * float64(res.Served)
+		maxLoss := math.Max(apps[0].Models[0].Loss, apps[1].Models[0].Loss)*float64(res.Served) +
+			math.Max(worst(apps[0]), worst(apps[1]))*float64(res.Dropped)
+		got := res.Loss.Total()
+		if got < minLoss-1e-6 || got > maxLoss+1e-6 {
+			t.Fatalf("trial %d: loss %v outside [%v, %v]", trial, got, minLoss, maxLoss)
+		}
+	}
+}
+
+func worst(a *models.Application) float64 {
+	w := 0.0
+	for _, m := range a.Models {
+		if m.Loss > w {
+			w = m.Loss
+		}
+	}
+	return w
+}

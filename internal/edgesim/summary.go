@@ -1,0 +1,85 @@
+package edgesim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+// Summary renders a plan for humans: per-edge deployments with batch shapes,
+// the transfer list, and drops. birpsim -verbose prints one per slot.
+func (p *Plan) Summary(c *cluster.Cluster, apps []*models.Application) string {
+	var b strings.Builder
+	perEdge := map[int][]Deployment{}
+	for _, d := range p.Deployments {
+		perEdge[d.Edge] = append(perEdge[d.Edge], d)
+	}
+	var edges []int
+	for k := range perEdge {
+		edges = append(edges, k)
+	}
+	sort.Ints(edges)
+	for _, k := range edges {
+		name := fmt.Sprintf("edge-%d", k)
+		if c != nil && k >= 0 && k < c.N() {
+			name = c.Edges[k].Name
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		deps := perEdge[k]
+		sort.SliceStable(deps, func(a, z int) bool {
+			if deps[a].App != deps[z].App {
+				return deps[a].App < deps[z].App
+			}
+			return deps[a].Version < deps[z].Version
+		})
+		for _, d := range deps {
+			label := fmt.Sprintf("app%d/v%d", d.App, d.Version)
+			if apps != nil && d.App >= 0 && d.App < len(apps) &&
+				d.Version >= 0 && d.Version < len(apps[d.App].Models) {
+				label = apps[d.App].Models[d.Version].Name
+			}
+			fmt.Fprintf(&b, "  %-28s %3d requests in batches %v\n", label, d.Requests, d.BatchSizes)
+		}
+	}
+	if len(p.Transfers) > 0 {
+		fmt.Fprintf(&b, "transfers:\n")
+		for _, tr := range p.Transfers {
+			appName := fmt.Sprintf("app%d", tr.App)
+			if apps != nil && tr.App >= 0 && tr.App < len(apps) {
+				appName = apps[tr.App].Name
+			}
+			fmt.Fprintf(&b, "  %-24s %3d requests  edge %d → edge %d\n", appName, tr.Count, tr.From, tr.To)
+		}
+	}
+	dropped := 0
+	for _, row := range p.Dropped {
+		for _, n := range row {
+			dropped += n
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, "dropped: %d requests\n", dropped)
+	}
+	if b.Len() == 0 {
+		return "(empty plan)\n"
+	}
+	return b.String()
+}
+
+// Summary renders the run's headline metrics as a short human-readable
+// report.
+func (r *Results) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler        %s\n", r.Scheduler)
+	fmt.Fprintf(&b, "requests served  %d (dropped %d)\n", r.Served, r.Dropped)
+	fmt.Fprintf(&b, "total loss       %.1f\n", r.Loss.Total())
+	fmt.Fprintf(&b, "SLO failures     %.2f%% (%d requests)\n", 100*r.FailureRate(), r.Failures)
+	fmt.Fprintf(&b, "energy           %.1f kJ\n", r.EnergyJ/1000)
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&b, "plan violations  %d (first: %s)\n", len(r.Violations), r.Violations[0])
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package edgesim
+
+import (
+	"fmt"
+)
+
+// validate checks a plan against the paper's constraint system and returns a
+// human-readable list of violations. It never mutates the plan.
+//
+// Checks, in paper order:
+//
+//	Eq. 3/5  workload conservation: served + dropped = arrivals − out + in
+//	Eq. 4    batch/deployment coupling: Requests ≥ 1 per deployment and
+//	         physical batches cover Requests
+//	Eq. 6    memory: Σ (δ + μ·maxBatch) ≤ M_k per edge
+//	Eq. 9    bandwidth: request forwarding + newly shipped model weights fit
+//	         the slot budget N^t_k per edge
+//
+// The compute constraint (Eq. 8) is intentionally *not* validated: realized
+// execution may exceed the slot, and that overflow IS the SLO-failure signal
+// the evaluation measures.
+func (s *Sim) validate(t int, arrivals [][]int, plan *Plan) []string {
+	var viol []string
+	I := len(s.cfg.Apps)
+	K := s.cfg.Cluster.N()
+
+	// Index bounds first; out-of-range entries are reported and skipped.
+	okDep := func(d Deployment) bool {
+		return d.App >= 0 && d.App < I &&
+			d.Edge >= 0 && d.Edge < K &&
+			d.Version >= 0 && d.Version < len(s.cfg.Apps[d.App].Models)
+	}
+	okTr := func(tr Transfer) bool {
+		return tr.App >= 0 && tr.App < I &&
+			tr.From >= 0 && tr.From < K && tr.To >= 0 && tr.To < K
+	}
+
+	// Net flow per (i, k).
+	in := make([][]int, I)
+	out := make([][]int, I)
+	served := make([][]int, I)
+	for i := 0; i < I; i++ {
+		in[i] = make([]int, K)
+		out[i] = make([]int, K)
+		served[i] = make([]int, K)
+	}
+	for _, tr := range plan.Transfers {
+		if !okTr(tr) {
+			viol = append(viol, fmt.Sprintf("transfer out of range: %+v", tr))
+			continue
+		}
+		if tr.Count < 0 {
+			viol = append(viol, fmt.Sprintf("negative transfer count: %+v", tr))
+			continue
+		}
+		if tr.From == tr.To {
+			continue // self transfer is a no-op
+		}
+		out[tr.App][tr.From] += tr.Count
+		in[tr.App][tr.To] += tr.Count
+	}
+	for _, d := range plan.Deployments {
+		if !okDep(d) {
+			viol = append(viol, fmt.Sprintf("deployment out of range: app=%d v=%d edge=%d", d.App, d.Version, d.Edge))
+			continue
+		}
+		if d.Requests < 0 {
+			viol = append(viol, fmt.Sprintf("negative requests: %+v", d))
+			continue
+		}
+		served[d.App][d.Edge] += d.Requests
+		total := 0
+		for _, b := range d.BatchSizes {
+			if b < 0 {
+				viol = append(viol, fmt.Sprintf("negative batch size in %+v", d))
+			}
+			total += b
+		}
+		if total < d.Requests {
+			viol = append(viol, fmt.Sprintf(
+				"app %d v%d edge %d: physical batches cover %d of %d requests",
+				d.App, d.Version, d.Edge, total, d.Requests))
+		}
+	}
+
+	// Eq. 3/5: conservation.
+	for i := 0; i < I; i++ {
+		for k := 0; k < K; k++ {
+			dropped := 0
+			if plan.Dropped != nil && i < len(plan.Dropped) && k < len(plan.Dropped[i]) {
+				dropped = plan.Dropped[i][k]
+				if dropped < 0 {
+					viol = append(viol, fmt.Sprintf("negative drop count at (%d,%d)", i, k))
+					dropped = 0
+				}
+			}
+			want := arrivals[i][k] - out[i][k] + in[i][k]
+			if served[i][k]+dropped != want {
+				viol = append(viol, fmt.Sprintf(
+					"conservation broken at app %d edge %d: served %d + dropped %d != arrivals %d - out %d + in %d",
+					i, k, served[i][k], dropped, arrivals[i][k], out[i][k], in[i][k]))
+			}
+			if out[i][k] > arrivals[i][k] {
+				viol = append(viol, fmt.Sprintf(
+					"app %d edge %d forwards %d of only %d arrivals", i, k, out[i][k], arrivals[i][k]))
+			}
+		}
+	}
+
+	// Eq. 6 memory per edge, under the time-sliced reading the paper's own
+	// system description implies ("load all the inference models into the
+	// memory ... execute each inference in a time-sliced manner"): all
+	// deployed weights are resident simultaneously, but activations exist
+	// only for the batch currently executing — so the requirement is
+	// Σ δ·x + max over deployments of μ·b ≤ M.
+	for k := 0; k < K; k++ {
+		var weights, maxAct float64
+		seen := map[[2]int]bool{}
+		for _, d := range plan.Deployments {
+			if !okDep(d) || d.Edge != k {
+				continue
+			}
+			m := s.cfg.Apps[d.App].Models[d.Version]
+			key := [2]int{d.App, d.Version}
+			if !seen[key] {
+				seen[key] = true
+				weights += m.WeightsMB
+			}
+			for _, b := range d.BatchSizes {
+				if act := m.IntermediateMB * float64(b); act > maxAct {
+					maxAct = act
+				}
+			}
+		}
+		if cap := s.cfg.Cluster.Edges[k].MemoryMB; weights+maxAct > cap+1e-6 {
+			viol = append(viol, fmt.Sprintf("edge %d memory %.1f MB (weights %.1f + peak batch %.1f) exceeds %.1f MB",
+				k, weights+maxAct, weights, maxAct, cap))
+		}
+	}
+
+	// Eq. 9: bandwidth per edge — request forwarding (both directions charge
+	// the edge) plus compressed weights of newly deployed models.
+	for k := 0; k < K; k++ {
+		var mb float64
+		for _, tr := range plan.Transfers {
+			if !okTr(tr) || tr.From == tr.To || tr.Count <= 0 {
+				continue
+			}
+			if tr.From == k || tr.To == k {
+				mb += float64(tr.Count) * s.cfg.Apps[tr.App].RequestMB
+			}
+		}
+		shipped := map[[2]int]bool{}
+		for _, d := range plan.Deployments {
+			if !okDep(d) || d.Edge != k {
+				continue
+			}
+			key := [2]int{d.App, d.Version}
+			if !s.prevDeployed[k][key] && !shipped[key] {
+				shipped[key] = true
+				mb += s.cfg.Apps[d.App].Models[d.Version].CompressedMB
+			}
+		}
+		for _, pl := range plan.Preloads {
+			if pl.Edge != k || pl.App < 0 || pl.App >= I ||
+				pl.Version < 0 || pl.Version >= len(s.cfg.Apps[pl.App].Models) {
+				if pl.Edge == k {
+					viol = append(viol, fmt.Sprintf("preload out of range: %+v", pl))
+				}
+				continue
+			}
+			key := [2]int{pl.App, pl.Version}
+			if !s.prevDeployed[k][key] && !shipped[key] {
+				shipped[key] = true
+				mb += s.cfg.Apps[pl.App].Models[pl.Version].CompressedMB
+			}
+		}
+		if budget := s.cfg.Cluster.BandwidthMBAt(t, k); mb > budget+1e-6 {
+			viol = append(viol, fmt.Sprintf("edge %d bandwidth %.1f MB exceeds %.1f MB", k, mb, budget))
+		}
+	}
+	return viol
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Ablations(&buf, Options{Quick: true, Slots: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d ablation rows, want 5", len(results))
+	}
+	def := results[0]
+	if !strings.HasPrefix(def.Name, "default") {
+		t.Fatalf("first row should be the default, got %q", def.Name)
+	}
+	for _, r := range results {
+		if r.Loss <= 0 {
+			t.Fatalf("%s: loss %v", r.Name, r.Loss)
+		}
+		if r.FailureRate < 0 || r.FailureRate > 1 {
+			t.Fatalf("%s: p%% %v", r.Name, r.FailureRate)
+		}
+	}
+	// The literal knee cap must be the clearly-worst configuration under a
+	// workload beyond its Σβ̂ capacity.
+	var knee *AblationResult
+	for i := range results {
+		if strings.Contains(results[i].Name, "batchcap") {
+			knee = &results[i]
+		}
+	}
+	if knee == nil {
+		t.Fatal("missing knee-cap ablation")
+	}
+	if knee.Dropped == 0 {
+		t.Fatal("knee-capped variant should drop under this load")
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Fatal("missing table header")
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// ConvergencePoint is one snapshot of the online tuner's estimation error
+// against the offline-profiled truth, averaged over every (edge, model) key
+// the tuner has observed.
+type ConvergencePoint struct {
+	Slot int
+	// MeanAbsEtaErr is mean |η̄ − η_true| over observed keys.
+	MeanAbsEtaErr float64
+	// MeanAbsCErr is mean |C̄ − C_true|.
+	MeanAbsCErr float64
+	// MeanShading is the mean relative LCB shading (1 − η̂/η̄): how much
+	// exploration pessimism remains.
+	MeanShading float64
+	// Keys is the number of (edge, model) pairs with at least one observation.
+	Keys int
+}
+
+// convergenceSpy snapshots the tuner after each slot's feedback.
+type convergenceSpy struct {
+	*core.Scheduler
+	tuner  *core.OnlineTuner
+	truth  *core.OfflineProvider
+	keys   []core.ModelKey
+	every  int
+	points []ConvergencePoint
+}
+
+func (s *convergenceSpy) Observe(t int, fbs []edgesim.Feedback) {
+	s.Scheduler.Observe(t, fbs)
+	if (t+1)%s.every != 0 {
+		return
+	}
+	pt := ConvergencePoint{Slot: t + 1}
+	for _, k := range s.keys {
+		h := s.tuner.Historical(k)
+		shaded := s.tuner.Params(k)
+		truth := s.truth.Params(k)
+		pt.MeanAbsEtaErr += math.Abs(h.Eta - truth.Eta)
+		pt.MeanAbsCErr += math.Abs(h.C - truth.C)
+		if h.Eta > 0 {
+			pt.MeanShading += 1 - shaded.Eta/h.Eta
+		}
+		pt.Keys++
+	}
+	if pt.Keys > 0 {
+		pt.MeanAbsEtaErr /= float64(pt.Keys)
+		pt.MeanAbsCErr /= float64(pt.Keys)
+		pt.MeanShading /= float64(pt.Keys)
+	}
+	s.points = append(s.points, pt)
+}
+
+// Convergence runs BIRP on the small-scale system and tracks how the MAB
+// tuner's TIR-law estimates approach the offline-profiled ground truth — an
+// extension experiment the paper's §4.2 motivates but never plots.
+func Convergence(w io.Writer, opt Options) ([]ConvergencePoint, error) {
+	opt = opt.withDefaults()
+	c := cluster.Small()
+	apps := models.Catalogue(smallScaleApps, smallScaleVersions)
+	truth, err := core.ProfileOffline(c, apps, 16)
+	if err != nil {
+		return nil, err
+	}
+	tuner := core.NewOnlineTuner(opt.Eps1, opt.Eps2)
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps, Provider: tuner})
+	if err != nil {
+		return nil, err
+	}
+	var keys []core.ModelKey
+	for k := 0; k < c.N(); k++ {
+		for _, app := range apps {
+			for _, m := range app.Models {
+				keys = append(keys, core.ModelKey{Edge: k, App: app.Index, Version: m.Version})
+			}
+		}
+	}
+	every := 10
+	if opt.Quick {
+		every = 5
+	}
+	spy := &convergenceSpy{Scheduler: sched, tuner: tuner, truth: truth, keys: keys, every: every}
+
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: opt.Slots, Seed: opt.Seed,
+		MeanPerSlot: smallScaleMean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := edgesim.New(edgesim.Config{
+		Cluster: c, Apps: apps, NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.Run(spy, tr.R); err != nil {
+		return nil, err
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "== Convergence — online tuner vs offline-profiled TIR truth ==\n\n")
+		tab := metrics.NewTable("slot", "mean |η̄−η*|", "mean |C̄−C*|", "LCB shading", "keys")
+		for _, p := range spy.points {
+			tab.AddRow(fmt.Sprintf("%d", p.Slot),
+				fmt.Sprintf("%.4f", p.MeanAbsEtaErr),
+				fmt.Sprintf("%.4f", p.MeanAbsCErr),
+				fmt.Sprintf("%.1f%%", 100*p.MeanShading),
+				fmt.Sprintf("%d", p.Keys))
+		}
+		fmt.Fprintf(w, "%s\n", tab)
+	}
+	return spy.points, nil
+}

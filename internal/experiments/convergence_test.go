@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConvergenceShapes(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := Convergence(&buf, Options{Quick: true, Slots: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // snapshots every 5 slots in quick mode
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.Keys != 9 { // 3 edges × 1 app × 3 versions
+			t.Fatalf("keys = %d, want 9", p.Keys)
+		}
+		if p.MeanAbsEtaErr < 0 || p.MeanAbsEtaErr > 1 {
+			t.Fatalf("eta error %v implausible", p.MeanAbsEtaErr)
+		}
+		if p.MeanShading < 0 || p.MeanShading > 1 {
+			t.Fatalf("shading %v out of range", p.MeanShading)
+		}
+	}
+	// The LCB shading must shrink as observations accumulate.
+	if !(pts[len(pts)-1].MeanShading < pts[0].MeanShading) {
+		t.Fatalf("shading did not shrink: %v → %v",
+			pts[0].MeanShading, pts[len(pts)-1].MeanShading)
+	}
+	if !strings.Contains(buf.String(), "Convergence") {
+		t.Fatal("missing output header")
+	}
+}

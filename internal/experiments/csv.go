@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// WriteComparisonCSV exports a comparison experiment's three panels as CSV
+// files under dir: <prefix>_cdf.csv (τ grid × algorithm), <prefix>_loss.csv
+// (per-slot), and <prefix>_cumloss.csv (cumulative) — ready for any plotting
+// tool.
+func WriteComparisonCSV(dir, prefix string, results []EvalResult) error {
+	if len(results) == 0 {
+		return fmt.Errorf("experiments: nothing to export")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	header := append([]string{"x"}, names(results)...)
+
+	cdfRows := [][]string{header}
+	cdfs := make([]*metrics.CDF, len(results))
+	for i := range results {
+		cdfs[i] = results[i].CDF()
+	}
+	for i := 0; i <= 150; i++ {
+		x := float64(i) / 100 // τ ∈ [0, 1.5]
+		row := []string{fmt.Sprintf("%.2f", x)}
+		for _, c := range cdfs {
+			row = append(row, fmt.Sprintf("%.5f", c.At(x)))
+		}
+		cdfRows = append(cdfRows, row)
+	}
+	if err := writeCSV(filepath.Join(dir, prefix+"_cdf.csv"), cdfRows); err != nil {
+		return err
+	}
+
+	series := func(pick func(*EvalResult) []float64) [][]string {
+		rows := [][]string{header}
+		n := len(pick(&results[0]))
+		for t := 0; t < n; t++ {
+			row := []string{fmt.Sprintf("%d", t)}
+			for i := range results {
+				row = append(row, fmt.Sprintf("%.4f", pick(&results[i])[t]))
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	if err := writeCSV(filepath.Join(dir, prefix+"_loss.csv"),
+		series(func(r *EvalResult) []float64 { return r.PerSlot })); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, prefix+"_cumloss.csv"),
+		series(func(r *EvalResult) []float64 { return r.Cumulative }))
+}
+
+// WriteSweepCSV exports the Fig. 4/5 preset surfaces: one row per (ε1, ε2)
+// cell with a ΔLoss and p% column per snapshot.
+func WriteSweepCSV(dir string, points []SweepPoint, snapshots []int) error {
+	if len(points) == 0 {
+		return fmt.Errorf("experiments: empty sweep")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	header := []string{"eps1", "eps2"}
+	for _, t := range snapshots {
+		header = append(header, fmt.Sprintf("dloss_t%d", t), fmt.Sprintf("pfail_t%d", t))
+	}
+	rows := [][]string{header}
+	for _, p := range points {
+		row := []string{fmt.Sprintf("%.2f", p.Eps1), fmt.Sprintf("%.2f", p.Eps2)}
+		for _, t := range snapshots {
+			row = append(row, fmt.Sprintf("%.3f", p.DeltaLoss[t]), fmt.Sprintf("%.4f", p.FailPct[t]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(filepath.Join(dir, "fig45_sweep.csv"), rows)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteComparisonCSV(t *testing.T) {
+	dir := t.TempDir()
+	results, err := Fig6(nil, Options{Quick: true, Slots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteComparisonCSV(dir, "fig6", results); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig6_cdf.csv", "fig6_loss.csv", "fig6_cumloss.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) < 3 {
+			t.Fatalf("%s too short: %d lines", name, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "x,BIRP-OFF,BIRP,OAEI,MAX") {
+			t.Fatalf("%s header: %q", name, lines[0])
+		}
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	dir := t.TempDir()
+	pts, err := PresetSweep(nil, Options{Quick: true, Slots: 10}, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(dir, pts, []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig45_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "eps1,eps2,dloss_t10,pfail_t10") {
+		t.Fatalf("header: %q", strings.Split(string(b), "\n")[0])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	if err := WriteComparisonCSV(t.TempDir(), "x", nil); err == nil {
+		t.Fatal("empty results must error")
+	}
+	if err := WriteSweepCSV(t.TempDir(), nil, nil); err == nil {
+		t.Fatal("empty sweep must error")
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Rows(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table1(&buf)
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8 (4 models × 2 devices)", len(rows))
+	}
+	out := buf.String()
+	for _, want := range []string{"Yolov4-t", "Yolov4-n", "ResNet-18", "BERT", "Jetson Nano", "Atlas 200DK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+	for _, r := range rows {
+		if r.CPUPct < 0 || r.CPUPct > 100 {
+			t.Errorf("%s/%s: CPU %v out of range", r.Model, r.Device, r.CPUPct)
+		}
+		if r.FPS <= 0 {
+			t.Errorf("%s/%s: FPS %v", r.Model, r.Device, r.FPS)
+		}
+		// Exactly one of the accelerator column families should be set.
+		if (r.AccelPct > 0) == (r.NPUCorePct > 0) {
+			t.Errorf("%s/%s: GPU and NPU columns both (un)set", r.Model, r.Device)
+		}
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	rows := Table1(nil)
+	get := func(model, device string) Table1Row {
+		for _, r := range rows {
+			if r.Model == model && r.Device == device {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", model, device)
+		return Table1Row{}
+	}
+	// Paper's qualitative regimes on the Nano: Yolov4-t and ResNet-18
+	// host-bound, Yolov4-n and BERT device-bound.
+	for _, m := range []string{"Yolov4-t", "ResNet-18"} {
+		r := get(m, "Jetson Nano")
+		if r.CPUPct < 90 || r.AccelPct > 80 {
+			t.Errorf("%s on Nano should be host-bound: cpu=%v gpu=%v", m, r.CPUPct, r.AccelPct)
+		}
+	}
+	for _, m := range []string{"Yolov4-n", "BERT"} {
+		r := get(m, "Jetson Nano")
+		if r.AccelPct < 85 {
+			t.Errorf("%s on Nano should be device-bound: gpu=%v", m, r.AccelPct)
+		}
+	}
+	// Paper's quantitative anchors within 15%: ResNet-18 Nano FPS 32.2,
+	// Atlas FPS 78.8; BERT Nano FPS 1.1.
+	anchors := []struct {
+		model, device string
+		fps           float64
+	}{
+		{"ResNet-18", "Jetson Nano", 32.2},
+		{"ResNet-18", "Atlas 200DK", 78.8},
+		{"BERT", "Jetson Nano", 1.1},
+		{"Yolov4-t", "Atlas 200DK", 64.6},
+	}
+	for _, a := range anchors {
+		r := get(a.model, a.device)
+		if math.Abs(r.FPS-a.fps)/a.fps > 0.15 {
+			t.Errorf("%s/%s FPS %v, paper %v (>15%% off)", a.model, a.device, r.FPS, a.fps)
+		}
+	}
+	// Atlas must outperform the Nano on every model.
+	for _, m := range []string{"Yolov4-t", "Yolov4-n", "ResNet-18", "BERT"} {
+		if get(m, "Atlas 200DK").FPS <= get(m, "Jetson Nano").FPS {
+			t.Errorf("%s: Atlas should beat Nano", m)
+		}
+	}
+}
+
+func TestFig2PanelsMatchPaper(t *testing.T) {
+	var buf bytes.Buffer
+	panels, err := Fig2(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("Fig 2 has %d panels, want 3", len(panels))
+	}
+	want := []struct {
+		model  string
+		eta, c float64
+	}{
+		{"LeNet", 0.32, 1.68},
+		{"GoogLeNet", 0.12, 1.30},
+		{"ResNet-18", 0.12, 1.28},
+	}
+	for i, p := range panels {
+		if p.Model != want[i].model {
+			t.Fatalf("panel %d is %s, want %s", i, p.Model, want[i].model)
+		}
+		if len(p.Samples) != 16*5 {
+			t.Fatalf("%s: %d samples, want 80 (5 per batch size)", p.Model, len(p.Samples))
+		}
+		if math.Abs(p.Fit.Eta-want[i].eta) > 0.12 {
+			t.Errorf("%s: η %.3f vs paper %.2f", p.Model, p.Fit.Eta, want[i].eta)
+		}
+		if math.Abs(p.Fit.C-want[i].c) > 0.15 {
+			t.Errorf("%s: C %.3f vs paper %.2f", p.Model, p.Fit.C, want[i].c)
+		}
+	}
+	if !strings.Contains(buf.String(), "LeNet") {
+		t.Error("Fig 2 output missing model names")
+	}
+	// LeNet's TIR gain must be the largest (the paper's panel ordering).
+	if !(panels[0].Fit.C > panels[1].Fit.C && panels[0].Fit.C > panels[2].Fit.C) {
+		t.Errorf("LeNet should have the largest plateau: %v %v %v",
+			panels[0].Fit.C, panels[1].Fit.C, panels[2].Fit.C)
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Fig6(&buf, Options{Quick: true, Slots: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("Fig 6 compares %d algorithms, want 4", len(results))
+	}
+	birp := Find(results, "BIRP")
+	off := Find(results, "BIRP-OFF")
+	oaei := Find(results, "OAEI")
+	max := Find(results, "MAX")
+	if birp == nil || off == nil || oaei == nil || max == nil {
+		t.Fatal("missing algorithm result")
+	}
+	// Paper Fig. 6a: BIRP and BIRP-OFF have (much) lower failure rates than
+	// OAEI.
+	if birp.FailureRate >= oaei.FailureRate {
+		t.Errorf("BIRP p%% %.4f should beat OAEI %.4f", birp.FailureRate, oaei.FailureRate)
+	}
+	if off.FailureRate >= oaei.FailureRate {
+		t.Errorf("BIRP-OFF p%% %.4f should beat OAEI %.4f", off.FailureRate, oaei.FailureRate)
+	}
+	// Paper Fig. 6c: BIRP tracks BIRP-OFF within a modest factor.
+	if birp.TotalLoss() > off.TotalLoss()*1.25 {
+		t.Errorf("BIRP loss %.0f too far above BIRP-OFF %.0f", birp.TotalLoss(), off.TotalLoss())
+	}
+	// MAX's loss is the worst of the batch-aware family (Fig. 6b).
+	if max.TotalLoss() < birp.TotalLoss() {
+		t.Errorf("MAX loss %.0f should not beat BIRP %.0f", max.TotalLoss(), birp.TotalLoss())
+	}
+	if !strings.Contains(buf.String(), "CDF") {
+		t.Error("missing CDF panel in output")
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	results, err := Fig7(nil, Options{Quick: true, Slots: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Fig 7 compares %d algorithms, want 3 (no BIRP-OFF at scale)", len(results))
+	}
+	birp := Find(results, "BIRP")
+	oaei := Find(results, "OAEI")
+	if birp.FailureRate >= oaei.FailureRate {
+		t.Errorf("BIRP p%% %.4f should beat OAEI %.4f", birp.FailureRate, oaei.FailureRate)
+	}
+	// Series lengths must match the horizon.
+	if len(birp.PerSlot) != 60 || len(birp.Cumulative) != 60 {
+		t.Fatalf("series lengths %d/%d, want 60", len(birp.PerSlot), len(birp.Cumulative))
+	}
+	// Cumulative must be nondecreasing.
+	for i := 1; i < len(birp.Cumulative); i++ {
+		if birp.Cumulative[i] < birp.Cumulative[i-1] {
+			t.Fatal("cumulative loss decreased")
+		}
+	}
+}
+
+func TestPresetSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := PresetSweep(&buf, Options{Quick: true, Slots: 30}, []int{10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*2 {
+		t.Fatalf("quick sweep has %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		for _, tt := range []int{10, 30} {
+			if _, ok := p.DeltaLoss[tt]; !ok {
+				t.Fatalf("missing ΔLoss snapshot t=%d", tt)
+			}
+			if fp, ok := p.FailPct[tt]; !ok || fp < 0 || fp > 100 {
+				t.Fatalf("bad p%% snapshot at t=%d: %v", tt, fp)
+			}
+		}
+		// ΔLoss magnitude sanity: the tuner can't be catastrophically worse
+		// than offline profiling.
+		if math.Abs(p.DeltaLoss[30]) > 0.5*1e4 {
+			t.Fatalf("ΔLoss %v implausibly large", p.DeltaLoss[30])
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig. 4") || !strings.Contains(buf.String(), "Fig. 5") {
+		t.Error("sweep output missing figure headers")
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	if Find(nil, "x") != nil {
+		t.Fatal("Find on empty should be nil")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Slots != 300 || o.Eps1 != 0.04 || o.Eps2 != 0.07 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Slots != 40 {
+		t.Fatalf("quick slots = %d", q.Slots)
+	}
+}

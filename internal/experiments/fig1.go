@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// Fig1Stats quantifies the redistribution behaviour the paper's Fig. 1
+// illustrates schematically: how imbalanced the raw arrivals are, how much
+// workload BIRP forwards between edges, and how even the resulting per-edge
+// utilization is.
+type Fig1Stats struct {
+	// ArrivalImbalance is the mean max/mean per-edge arrival ratio.
+	ArrivalImbalance float64
+	// ForwardedFrac is the fraction of all requests that crossed edges.
+	ForwardedFrac float64
+	// UtilizationCV is the coefficient of variation of realized per-edge
+	// busy time after redistribution (lower = more balanced).
+	UtilizationCV float64
+	// PerEdgeBusyFrac is each edge's mean busy fraction over the run.
+	PerEdgeBusyFrac []float64
+}
+
+// flowSpy counts transferred requests.
+type flowSpy struct {
+	edgesim.Scheduler
+	forwarded int
+}
+
+func (f *flowSpy) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	plan, err := f.Scheduler.Decide(t, arrivals)
+	if plan != nil {
+		for _, tr := range plan.Transfers {
+			f.forwarded += tr.Count
+		}
+	}
+	return plan, err
+}
+
+// Fig1 runs BIRP on a strongly skewed workload and reports the
+// redistribution statistics behind the paper's Fig. 1 story: hot edges shed
+// load to idle ones until utilization evens out.
+func Fig1(w io.Writer, opt Options) (*Fig1Stats, error) {
+	opt = opt.withDefaults()
+	c := cluster.Default()
+	apps := models.Catalogue(3, 3)
+	tr, err := trace.Generate(trace.Config{
+		Apps: 3, Edges: c.N(), Slots: opt.Slots, Seed: opt.Seed,
+		MeanPerSlot: 25, Imbalance: 0.9, BurstProb: 0.08, BurstScale: 2.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		return nil, err
+	}
+	spy := &flowSpy{Scheduler: sched}
+	sim, err := edgesim.New(edgesim.Config{
+		Cluster: c, Apps: apps, NoiseSigma: 0.02, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(spy, tr.R)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &Fig1Stats{PerEdgeBusyFrac: make([]float64, c.N())}
+	var imbSum float64
+	imbN := 0
+	for t := 0; t < tr.Slots; t++ {
+		if v := tr.ImbalanceAt(t); v > 0 {
+			imbSum += v
+			imbN++
+		}
+	}
+	if imbN > 0 {
+		stats.ArrivalImbalance = imbSum / float64(imbN)
+	}
+	total := res.Served + res.Dropped
+	if total > 0 {
+		stats.ForwardedFrac = float64(spy.forwarded) / float64(total)
+	}
+	// SlotMakespanMS is slot-major with K entries per slot.
+	K := c.N()
+	slotMS := c.SlotMS()
+	for idx, ms := range res.SlotMakespanMS {
+		stats.PerEdgeBusyFrac[idx%K] += ms / slotMS
+	}
+	slots := len(res.SlotMakespanMS) / K
+	var mean float64
+	for k := range stats.PerEdgeBusyFrac {
+		stats.PerEdgeBusyFrac[k] /= float64(slots)
+		mean += stats.PerEdgeBusyFrac[k]
+	}
+	mean /= float64(K)
+	var variance float64
+	for _, u := range stats.PerEdgeBusyFrac {
+		variance += (u - mean) * (u - mean)
+	}
+	variance /= float64(K)
+	if mean > 0 {
+		stats.UtilizationCV = math.Sqrt(variance) / mean
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "== Fig. 1 — redistribution at work ==\n\n")
+		fmt.Fprintf(w, "arrival imbalance (max/mean per edge): %.2f\n", stats.ArrivalImbalance)
+		fmt.Fprintf(w, "requests forwarded between edges:      %.1f%%\n", 100*stats.ForwardedFrac)
+		fmt.Fprintf(w, "post-redistribution utilization CV:    %.3f\n\n", stats.UtilizationCV)
+		tab := metrics.NewTable("edge", "mean busy fraction")
+		for k, u := range stats.PerEdgeBusyFrac {
+			tab.AddRow(c.Edges[k].Name, fmt.Sprintf("%.2f", u))
+		}
+		fmt.Fprintf(w, "%s\n", tab)
+	}
+	return stats, nil
+}

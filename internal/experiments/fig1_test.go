@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1RedistributionStory(t *testing.T) {
+	var buf bytes.Buffer
+	stats, err := Fig1(&buf, Options{Quick: true, Slots: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ArrivalImbalance < 1.5 {
+		t.Fatalf("workload should be clearly imbalanced: %v", stats.ArrivalImbalance)
+	}
+	if stats.ForwardedFrac <= 0.05 {
+		t.Fatalf("BIRP should forward a meaningful share: %v", stats.ForwardedFrac)
+	}
+	if len(stats.PerEdgeBusyFrac) != 6 {
+		t.Fatalf("busy fractions for %d edges", len(stats.PerEdgeBusyFrac))
+	}
+	// Post-redistribution utilization must be far more even than arrivals:
+	// the CV of busy fractions should be well below the (max/mean − 1)
+	// spread of the raw workload.
+	if stats.UtilizationCV >= stats.ArrivalImbalance-1 {
+		t.Fatalf("redistribution failed to balance: CV %v vs arrival spread %v",
+			stats.UtilizationCV, stats.ArrivalImbalance-1)
+	}
+	if !strings.Contains(buf.String(), "redistribution at work") {
+		t.Fatal("missing output header")
+	}
+}

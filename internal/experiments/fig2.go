@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/bandit"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// Fig2Panel is one panel of Fig. 2: raw (batch, TIR) measurements on the
+// Jetson Nano plus the fitted piecewise law.
+type Fig2Panel struct {
+	Model   string
+	Samples []fit.Sample
+	Fit     bandit.TIRParams
+}
+
+// Fig2 reproduces the paper's Fig. 2: five TIR measurements per batch size
+// 1..16 for LeNet, GoogLeNet, and ResNet-18 on the Jetson Nano, with the
+// piecewise power/constant fit of Eq. 2.
+func Fig2(w io.Writer, seed int64) ([]Fig2Panel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var panels []Fig2Panel
+	for _, m := range models.Fig2Models() {
+		var samples []fit.Sample
+		for b := 1; b <= 16; b++ {
+			for rep := 0; rep < 5; rep++ {
+				samples = append(samples, fit.Sample{
+					B:   b,
+					TIR: accel.JetsonNano.TIRNoisy(m.Profile, b, 0.02, rng),
+				})
+			}
+		}
+		p, err := fit.Piecewise(samples)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s: %w", m.Name, err)
+		}
+		panels = append(panels, Fig2Panel{Model: m.Name, Samples: samples, Fit: p})
+	}
+	if w != nil {
+		fmt.Fprintf(w, "== Fig. 2 — TIR fitting on the Jetson Nano ==\n\n")
+		for _, p := range panels {
+			fmt.Fprintf(w, "%s: TIR = b^%.2f for b ≤ %.0f, %.2f beyond (RMSE %.3f)\n",
+				p.Model, p.Fit.Eta, p.Fit.Beta, p.Fit.C, fit.RMSE(p.Fit, p.Samples))
+			tab := metrics.NewTable("b", "mean TIR", "fit")
+			for b := 1; b <= 16; b++ {
+				var sum float64
+				n := 0
+				for _, s := range p.Samples {
+					if s.B == b {
+						sum += s.TIR
+						n++
+					}
+				}
+				tab.AddRow(fmt.Sprintf("%d", b), fmt.Sprintf("%.3f", sum/float64(n)),
+					fmt.Sprintf("%.3f", p.Fit.TIR(float64(b))))
+			}
+			fmt.Fprintf(w, "%s\n", tab)
+		}
+	}
+	return panels, nil
+}

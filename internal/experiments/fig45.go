@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// SweepPoint is one (ε1, ε2) grid cell of the Fig. 4/5 preset analysis.
+type SweepPoint struct {
+	Eps1, Eps2 float64
+	// DeltaLoss[t] is Σ_{t'≤t}(loss_BIRP − loss_BIRP-OFF), Fig. 4's surface,
+	// keyed by snapshot slot.
+	DeltaLoss map[int]float64
+	// FailPct[t] is the SLO failure percentage over the first t slots,
+	// Fig. 5's surface.
+	FailPct map[int]float64
+}
+
+// SweepGrid is the default preset grid: the paper plots ε1 ∈ [0.01, 0.07]
+// and ε2 ∈ [0.04, 0.10].
+var (
+	SweepEps1 = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07}
+	SweepEps2 = []float64{0.04, 0.06, 0.08, 0.10}
+)
+
+// PresetSweep runs the small-scale system under every (ε1, ε2) preset pair
+// and records ΔLoss (Fig. 4) and p% (Fig. 5) at the snapshot slots.
+// snapshots entries must be ≤ opt.Slots.
+func PresetSweep(w io.Writer, opt Options, snapshots []int) ([]SweepPoint, error) {
+	opt = opt.withDefaults()
+	eps1s, eps2s := SweepEps1, SweepEps2
+	if opt.Quick {
+		eps1s = []float64{0.01, 0.04, 0.07}
+		eps2s = []float64{0.04, 0.10}
+	}
+	c := cluster.Small()
+	apps := models.Catalogue(smallScaleApps, smallScaleVersions)
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: opt.Slots, Seed: opt.Seed,
+		MeanPerSlot: smallScaleMean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func(s edgesim.Scheduler) (*edgesim.Results, error) {
+		sim, err := edgesim.New(edgesim.Config{
+			Cluster: c, Apps: apps,
+			NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(s, tr.R)
+	}
+
+	off, err := baseline.NewBIRPOff(c, apps, 16)
+	if err != nil {
+		return nil, err
+	}
+	offRes, err := run(off)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: BIRP-OFF reference: %w", err)
+	}
+	offCum := offRes.Loss.Cumulative()
+
+	var points []SweepPoint
+	for _, e1 := range eps1s {
+		for _, e2 := range eps2s {
+			s, err := core.New(core.Config{
+				Cluster: c, Apps: apps,
+				Provider: core.NewOnlineTuner(e1, e2),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := run(s)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: BIRP(ε1=%v, ε2=%v): %w", e1, e2, err)
+			}
+			pt := SweepPoint{Eps1: e1, Eps2: e2, DeltaLoss: map[int]float64{}, FailPct: map[int]float64{}}
+			cum := res.Loss.Cumulative()
+			for _, t := range snapshots {
+				idx := t - 1
+				if idx >= len(cum) {
+					idx = len(cum) - 1
+				}
+				if idx < 0 {
+					idx = 0
+				}
+				pt.DeltaLoss[t] = cum[idx] - offCum[idx]
+				pt.FailPct[t] = 100 * res.FailureRateUpTo(t)
+			}
+			points = append(points, pt)
+		}
+	}
+	if w != nil {
+		for _, t := range snapshots {
+			tabD := metrics.NewTable(append([]string{"ε1\\ε2 ΔLoss"}, fmtEps(eps2s)...)...)
+			tabP := metrics.NewTable(append([]string{"ε1\\ε2 p%"}, fmtEps(eps2s)...)...)
+			for _, e1 := range eps1s {
+				rowD := []string{fmt.Sprintf("%.2f", e1)}
+				rowP := []string{fmt.Sprintf("%.2f", e1)}
+				for _, e2 := range eps2s {
+					for _, pt := range points {
+						if pt.Eps1 == e1 && pt.Eps2 == e2 {
+							rowD = append(rowD, fmt.Sprintf("%.1f", pt.DeltaLoss[t]))
+							rowP = append(rowP, fmt.Sprintf("%.2f", pt.FailPct[t]))
+						}
+					}
+				}
+				tabD.AddRow(rowD...)
+				tabP.AddRow(rowP...)
+			}
+			fmt.Fprintf(w, "== Fig. 4 — ΔLoss(ε1, ε2) at t=%d ==\n\n%s\n", t, tabD)
+			fmt.Fprintf(w, "== Fig. 5 — p%%(ε1, ε2) at t=%d ==\n\n%s\n", t, tabP)
+		}
+	}
+	return points, nil
+}
+
+func fmtEps(eps []float64) []string {
+	out := make([]string, len(eps))
+	for i, e := range eps {
+		out[i] = fmt.Sprintf("%.2f", e)
+	}
+	return out
+}

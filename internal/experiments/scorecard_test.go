@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScorecardAllChecksPass(t *testing.T) {
+	var buf bytes.Buffer
+	checks, err := Scorecard(&buf, Options{Quick: true, Slots: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 14 {
+		t.Fatalf("scorecard has %d checks, want 14", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Passed {
+			t.Errorf("%s FAILED: %s (measured: %s)", c.ID, c.Claim, c.Got)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "checks passed") {
+		t.Fatal("missing summary line")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// SensitivityPoint is one workload-intensity operating point.
+type SensitivityPoint struct {
+	MeanPerSlot float64
+	// Per algorithm name: total loss and failure rate.
+	Loss map[string]float64
+	Fail map[string]float64
+}
+
+// DefaultSensitivityLoads spans idle to far beyond the serial baseline's
+// capacity on the small-scale system.
+var DefaultSensitivityLoads = []float64{10, 25, 45, 70, 100}
+
+// Sensitivity sweeps workload intensity and reports every algorithm's loss
+// and SLO failures per operating point — the crossover analysis behind the
+// evaluation's operating-point choice: at light load serial execution is
+// fine, in the band where serial saturates batching wins both metrics, and
+// far beyond it everyone degrades.
+func Sensitivity(w io.Writer, opt Options, loads []float64) ([]SensitivityPoint, error) {
+	opt = opt.withDefaults()
+	if len(loads) == 0 {
+		loads = DefaultSensitivityLoads
+	}
+	if opt.Quick && len(loads) > 3 {
+		loads = []float64{loads[0], loads[len(loads)/2], loads[len(loads)-1]}
+	}
+	slots := opt.Slots
+	if slots > 100 {
+		slots = 100 // per-point horizon; the sweep is the object of interest
+	}
+	c := cluster.Small()
+	apps := models.Catalogue(2, 3)
+	algos := []struct {
+		name string
+		mk   func() (edgesim.Scheduler, error)
+	}{
+		{"BIRP", func() (edgesim.Scheduler, error) {
+			return core.New(core.Config{Cluster: c, Apps: apps,
+				Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2)})
+		}},
+		{"OAEI", func() (edgesim.Scheduler, error) { return baseline.NewOAEI(c, apps, opt.Seed) }},
+		{"MAX", func() (edgesim.Scheduler, error) { return baseline.NewMAX(c, apps, 16) }},
+	}
+
+	var points []SensitivityPoint
+	for _, mean := range loads {
+		tr, err := trace.Generate(trace.Config{
+			Apps: 2, Edges: c.N(), Slots: slots, Seed: opt.Seed,
+			MeanPerSlot: mean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := SensitivityPoint{
+			MeanPerSlot: mean,
+			Loss:        map[string]float64{},
+			Fail:        map[string]float64{},
+		}
+		for _, a := range algos {
+			sched, err := a.mk()
+			if err != nil {
+				return nil, err
+			}
+			sim, err := edgesim.New(edgesim.Config{
+				Cluster: c, Apps: apps,
+				NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sched, tr.R)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sensitivity %s at %.0f: %w", a.name, mean, err)
+			}
+			pt.Loss[a.name] = res.Loss.Total()
+			pt.Fail[a.name] = res.FailureRate()
+		}
+		points = append(points, pt)
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "== Sensitivity — loss and p%% vs workload intensity (small scale, %d slots/point) ==\n\n", slots)
+		tab := metrics.NewTable("mean/slot",
+			"BIRP loss", "OAEI loss", "MAX loss",
+			"BIRP p%", "OAEI p%", "MAX p%")
+		for _, p := range points {
+			tab.AddRow(fmt.Sprintf("%.0f", p.MeanPerSlot),
+				fmt.Sprintf("%.0f", p.Loss["BIRP"]),
+				fmt.Sprintf("%.0f", p.Loss["OAEI"]),
+				fmt.Sprintf("%.0f", p.Loss["MAX"]),
+				fmt.Sprintf("%.2f%%", 100*p.Fail["BIRP"]),
+				fmt.Sprintf("%.2f%%", 100*p.Fail["OAEI"]),
+				fmt.Sprintf("%.2f%%", 100*p.Fail["MAX"]))
+		}
+		fmt.Fprintf(w, "%s\n", tab)
+	}
+	return points, nil
+}

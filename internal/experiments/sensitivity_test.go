@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityCrossoverBand(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := Sensitivity(&buf, Options{Quick: true, Slots: 40}, []float64{10, 45, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		for _, name := range []string{"BIRP", "OAEI", "MAX"} {
+			if p.Loss[name] <= 0 {
+				t.Fatalf("%s loss %v at mean %v", name, p.Loss[name], p.MeanPerSlot)
+			}
+		}
+	}
+	// Loss grows with load for everyone.
+	for _, name := range []string{"BIRP", "OAEI", "MAX"} {
+		if !(pts[0].Loss[name] < pts[1].Loss[name] && pts[1].Loss[name] < pts[2].Loss[name]) {
+			t.Fatalf("%s loss not increasing with load: %v %v %v",
+				name, pts[0].Loss[name], pts[1].Loss[name], pts[2].Loss[name])
+		}
+	}
+	// At the heavy end, BIRP's failure rate stays below OAEI's.
+	last := pts[len(pts)-1]
+	if last.Fail["BIRP"] >= last.Fail["OAEI"] {
+		t.Fatalf("BIRP p%% %v should beat OAEI %v under load", last.Fail["BIRP"], last.Fail["OAEI"])
+	}
+	if !strings.Contains(buf.String(), "Sensitivity") {
+		t.Fatal("missing header")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// Table1Row is one measurement row of the paper's Table 1.
+type Table1Row struct {
+	Model  string
+	Device string
+	// CPUPct is host utilization; for GPU devices AccelPct is "GPU usage";
+	// for NPU devices NPUPct is "NPU usage" (occupancy-weighted) and
+	// NPUCorePct is "NPU core usage" (busy fraction).
+	CPUPct     float64
+	AccelPct   float64
+	NPUPct     float64
+	NPUCorePct float64
+	FPS        float64
+}
+
+// Table1 reproduces the paper's Table 1: serial (batch-1) inference resource
+// usage and FPS for Yolov4-t/Yolov4-n/ResNet-18/BERT on the Jetson Nano and
+// Atlas 200DK.
+func Table1(w io.Writer) []Table1Row {
+	devices := []*accel.Device{&accel.JetsonNano, &accel.Atlas200DK}
+	var rows []Table1Row
+	for _, m := range models.Table1Models() {
+		for _, d := range devices {
+			cpu, busy, occ := d.Utilization(m.Profile, 1)
+			row := Table1Row{
+				Model:  m.Name,
+				Device: d.Name,
+				CPUPct: cpu,
+				FPS:    d.Throughput(m.Profile, 1),
+			}
+			if d.Type == accel.GPU {
+				row.AccelPct = busy
+			} else {
+				row.NPUPct = occ
+				row.NPUCorePct = busy
+			}
+			rows = append(rows, row)
+		}
+	}
+	if w != nil {
+		tab := metrics.NewTable("Inference", "Edge Type", "CPU %", "GPU %", "NPU %", "NPU Core %", "Avg FPS")
+		for _, r := range rows {
+			gpu, npu, npuCore := "/", "/", "/"
+			if r.AccelPct > 0 {
+				gpu = fmt.Sprintf("%.1f", r.AccelPct)
+			} else {
+				npu = fmt.Sprintf("%.1f", r.NPUPct)
+				npuCore = fmt.Sprintf("%.1f", r.NPUCorePct)
+			}
+			tab.AddRow(r.Model, r.Device, fmt.Sprintf("%.1f", r.CPUPct), gpu, npu, npuCore,
+				fmt.Sprintf("%.1f", r.FPS))
+		}
+		fmt.Fprintf(w, "== Table 1 — serial inference resource usage and performance ==\n\n%s\n", tab)
+	}
+	return rows
+}

@@ -1,0 +1,166 @@
+// Package fit estimates the piecewise TIR law of BIRP Eq. 2,
+//
+//	TIR(b) = b^η  for b ≤ β,   TIR(b) = C  for b > β,
+//
+// from raw (batch size, TIR) measurements, reproducing the offline profiling
+// the paper performs for Fig. 2 and for the BIRP-OFF baseline.
+//
+// The exponent is fit by least squares in log space (ln TIR = η·ln b is
+// linear through the origin), the plateau by the sample mean beyond the
+// knee, and the knee by an exhaustive changepoint search minimizing total
+// squared error — exact for the small batch ranges involved (b ≤ 64).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bandit"
+)
+
+// Sample is one TIR measurement at integer batch size B.
+type Sample struct {
+	B   int
+	TIR float64
+}
+
+// ErrNoData is returned when the sample set cannot identify the law.
+var ErrNoData = errors.New("fit: not enough usable samples")
+
+// Piecewise fits the Eq. 2 law to the samples. Samples with B ≤ 0 or
+// TIR ≤ 0 are ignored. At least two distinct batch sizes with B > 1 are
+// required to identify the exponent.
+func Piecewise(samples []Sample) (bandit.TIRParams, error) {
+	clean := make([]Sample, 0, len(samples))
+	maxB := 0
+	distinct := map[int]bool{}
+	for _, s := range samples {
+		if s.B <= 0 || s.TIR <= 0 || math.IsNaN(s.TIR) || math.IsInf(s.TIR, 0) {
+			continue
+		}
+		clean = append(clean, s)
+		if s.B > maxB {
+			maxB = s.B
+		}
+		if s.B > 1 {
+			distinct[s.B] = true
+		}
+	}
+	if len(distinct) < 2 {
+		return bandit.TIRParams{}, fmt.Errorf("%w: %d distinct batch sizes > 1", ErrNoData, len(distinct))
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i].B < clean[j].B })
+
+	best := bandit.TIRParams{}
+	bestSSE := math.Inf(1)
+	found := false
+	for beta := 2; beta <= maxB; beta++ {
+		eta, ok := fitEta(clean, beta)
+		if !ok {
+			continue
+		}
+		c, nPlateau := plateauMean(clean, beta)
+		if nPlateau == 0 {
+			// No samples beyond the knee: plateau pinned by continuity.
+			c = math.Pow(float64(beta), eta)
+		}
+		var sse float64
+		for _, s := range clean {
+			var pred float64
+			if s.B <= beta {
+				pred = math.Pow(float64(s.B), eta)
+			} else {
+				pred = c
+			}
+			d := s.TIR - pred
+			sse += d * d
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			best = bandit.TIRParams{Eta: eta, Beta: float64(beta), C: c}
+			found = true
+		}
+	}
+	if !found {
+		return bandit.TIRParams{}, ErrNoData
+	}
+	return best, nil
+}
+
+// fitEta returns the least-squares exponent over samples with 1 < B ≤ beta.
+func fitEta(samples []Sample, beta int) (float64, bool) {
+	var num, den float64
+	n := 0
+	for _, s := range samples {
+		if s.B <= 1 || s.B > beta {
+			continue
+		}
+		lb := math.Log(float64(s.B))
+		num += lb * math.Log(s.TIR)
+		den += lb * lb
+		n++
+	}
+	if n == 0 || den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// plateauMean returns the mean TIR of samples beyond the knee and their count.
+func plateauMean(samples []Sample, beta int) (float64, int) {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		if s.B > beta {
+			sum += s.TIR
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// RMSE computes the root-mean-square error of the law on the samples.
+func RMSE(p bandit.TIRParams, samples []Sample) float64 {
+	var sse float64
+	n := 0
+	for _, s := range samples {
+		if s.B <= 0 || s.TIR <= 0 {
+			continue
+		}
+		d := s.TIR - p.TIR(float64(s.B))
+		sse += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sse / float64(n))
+}
+
+// LinearLS fits y = a + b·x by ordinary least squares; it returns a, b.
+// Used by the experiment harness for trend summaries.
+func LinearLS(x, y []float64) (a, b float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("%w: need ≥ 2 paired points", ErrNoData)
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("%w: x values are constant", ErrNoData)
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b, nil
+}

@@ -1,0 +1,211 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bandit"
+)
+
+// synth generates reps noisy samples at each batch size 1..maxB from a true law.
+func synth(p bandit.TIRParams, maxB, reps int, noise float64, rng *rand.Rand) []Sample {
+	var out []Sample
+	for b := 1; b <= maxB; b++ {
+		for r := 0; r < reps; r++ {
+			v := p.TIR(float64(b)) * (1 + rng.NormFloat64()*noise)
+			out = append(out, Sample{B: b, TIR: v})
+		}
+	}
+	return out
+}
+
+func TestRecoverLeNetLikeLaw(t *testing.T) {
+	// The paper's Fig. 2a law: TIR = b^0.32 for b ≤ 5, 1.68 beyond.
+	truth := bandit.TIRParams{Eta: 0.32, Beta: 5, C: 1.68}
+	rng := rand.New(rand.NewSource(1))
+	samples := synth(truth, 16, 5, 0.02, rng)
+	got, err := Piecewise(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Eta-0.32) > 0.05 {
+		t.Fatalf("η = %v, want ≈0.32", got.Eta)
+	}
+	if math.Abs(got.Beta-5) > 1 {
+		t.Fatalf("β = %v, want ≈5", got.Beta)
+	}
+	if math.Abs(got.C-1.68) > 0.08 {
+		t.Fatalf("C = %v, want ≈1.68", got.C)
+	}
+}
+
+func TestRecoverGoogLeNetLikeLaw(t *testing.T) {
+	// Fig. 2b: TIR = b^0.12 for b ≤ 10, 1.30 beyond.
+	truth := bandit.TIRParams{Eta: 0.12, Beta: 10, C: 1.30}
+	rng := rand.New(rand.NewSource(2))
+	samples := synth(truth, 16, 5, 0.015, rng)
+	got, err := Piecewise(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Eta-0.12) > 0.03 {
+		t.Fatalf("η = %v, want ≈0.12", got.Eta)
+	}
+	if math.Abs(got.C-1.30) > 0.06 {
+		t.Fatalf("C = %v, want ≈1.30", got.C)
+	}
+}
+
+func TestNoiselessExactRecovery(t *testing.T) {
+	truth := bandit.TIRParams{Eta: 0.25, Beta: 8, C: math.Pow(8, 0.25)}
+	var samples []Sample
+	for b := 1; b <= 16; b++ {
+		samples = append(samples, Sample{B: b, TIR: truth.TIR(float64(b))})
+	}
+	got, err := Piecewise(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Eta-0.25) > 1e-9 {
+		t.Fatalf("η = %v, want 0.25 exactly", got.Eta)
+	}
+	if got.Beta != 8 {
+		t.Fatalf("β = %v, want 8", got.Beta)
+	}
+}
+
+func TestPureConstantBeyondKneeOnly(t *testing.T) {
+	// All samples within the power regime (no plateau observed): continuity
+	// pins the plateau at β^η.
+	truth := bandit.TIRParams{Eta: 0.3, Beta: 100, C: math.Pow(100, 0.3)}
+	var samples []Sample
+	for b := 1; b <= 8; b++ {
+		samples = append(samples, Sample{B: b, TIR: truth.TIR(float64(b))})
+	}
+	got, err := Piecewise(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Eta-0.3) > 1e-6 {
+		t.Fatalf("η = %v, want 0.3", got.Eta)
+	}
+	// Several knee placements fit truncated pure-power data exactly; all
+	// that matters is a perfect fit on the observed range.
+	if r := RMSE(got, samples); r > 1e-9 {
+		t.Fatalf("RMSE = %v, want 0 for noiseless data", r)
+	}
+}
+
+func TestRejectsDegenerateInput(t *testing.T) {
+	cases := [][]Sample{
+		nil,
+		{{B: 1, TIR: 1}},
+		{{B: 1, TIR: 1}, {B: 1, TIR: 1.01}},
+		{{B: 4, TIR: 1.2}},                // single distinct b > 1
+		{{B: -1, TIR: 1}, {B: 0, TIR: 1}}, // all invalid
+		{{B: 4, TIR: -1}, {B: 8, TIR: math.NaN()}}, // invalid TIR values
+	}
+	for i, s := range cases {
+		if _, err := Piecewise(s); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestIgnoresGarbageSamples(t *testing.T) {
+	truth := bandit.TIRParams{Eta: 0.2, Beta: 6, C: math.Pow(6, 0.2)}
+	var samples []Sample
+	for b := 1; b <= 12; b++ {
+		samples = append(samples, Sample{B: b, TIR: truth.TIR(float64(b))})
+	}
+	samples = append(samples, Sample{B: -3, TIR: 5}, Sample{B: 4, TIR: math.Inf(1)})
+	got, err := Piecewise(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Eta-0.2) > 1e-6 {
+		t.Fatalf("η = %v, want 0.2 despite garbage rows", got.Eta)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	p := bandit.TIRParams{Eta: 0, Beta: 4, C: 1}
+	samples := []Sample{{B: 2, TIR: 1.1}, {B: 3, TIR: 0.9}}
+	want := math.Sqrt((0.01 + 0.01) / 2)
+	if got := RMSE(p, samples); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if got := RMSE(p, nil); got != 0 {
+		t.Fatalf("RMSE(nil) = %v, want 0", got)
+	}
+}
+
+func TestLinearLS(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, err := LinearLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+}
+
+func TestLinearLSErrors(t *testing.T) {
+	if _, _, err := LinearLS([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, _, err := LinearLS([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	if _, _, err := LinearLS([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("expected error for constant x")
+	}
+}
+
+// Property: fitted law never has a worse RMSE than the Eq. 23 default
+// parameters on the same clean data (the fit must actually fit).
+func TestQuickFitBeatsDefault(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := bandit.TIRParams{
+			Eta:  0.1 + rng.Float64()*0.3,
+			Beta: float64(3 + rng.Intn(10)),
+		}
+		truth.C = math.Pow(truth.Beta, truth.Eta)
+		samples := synth(truth, 16, 3, 0.02, rng)
+		got, err := Piecewise(samples)
+		if err != nil {
+			return false
+		}
+		def := bandit.TIRParams{Eta: bandit.InitEta, Beta: bandit.InitBeta, C: bandit.InitC}
+		return RMSE(got, samples) <= RMSE(def, samples)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fitted exponent is within a loose band of truth for moderate noise.
+func TestQuickEtaRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := bandit.TIRParams{
+			Eta:  0.15 + rng.Float64()*0.25,
+			Beta: float64(4 + rng.Intn(8)),
+		}
+		truth.C = math.Pow(truth.Beta, truth.Eta)
+		samples := synth(truth, 16, 5, 0.01, rng)
+		got, err := Piecewise(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Eta-truth.Eta) < 0.08
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

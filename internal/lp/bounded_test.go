@@ -1,0 +1,288 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// materializeBounds rewrites every finite variable bound as an explicit
+// inequality row (the formulation the pre-bounded engine used). Both
+// formulations are mathematically identical, so the solver must return the
+// same status and objective for each — a differential check of the native
+// bound handling.
+func materializeBounds(p *Problem) *Problem {
+	n := len(p.C)
+	q := &Problem{
+		C:   append([]float64(nil), p.C...),
+		Aeq: p.Aeq, Beq: p.Beq,
+		Aub: append([][]float64(nil), p.Aub...),
+		Bub: append([]float64(nil), p.Bub...),
+	}
+	lbs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		lbs[j] = lb
+		if !math.IsInf(ub, 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			q.Aub = append(q.Aub, row)
+			q.Bub = append(q.Bub, ub)
+		}
+	}
+	q.Lb = lbs
+	return q
+}
+
+func solveBoth(t *testing.T, p *Problem) (*Result, *Result) {
+	t.Helper()
+	native, err := Solve(p)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	rows, err := Solve(materializeBounds(p))
+	if err != nil {
+		t.Fatalf("materialized: %v", err)
+	}
+	return native, rows
+}
+
+func TestBoundedMatchesMaterializedRows(t *testing.T) {
+	cases := []*Problem{
+		{C: []float64{-1, -1}, Ub: []float64{2, 3}},
+		{C: []float64{-1, -1}, Aub: [][]float64{{1, 2}}, Bub: []float64{4}, Ub: []float64{3, 3}},
+		{C: []float64{1, -2, 3}, Aeq: [][]float64{{1, 1, 1}}, Beq: []float64{4}, Ub: []float64{2, 2, 2}},
+		{C: []float64{-5}, Lb: []float64{1}, Ub: []float64{7}},
+		{C: []float64{2, -1}, Lb: []float64{-3, 0}, Ub: []float64{3, 5}},
+	}
+	for i, p := range cases {
+		native, rows := solveBoth(t, p)
+		if native.Status != rows.Status {
+			t.Fatalf("case %d: status %v vs %v", i, native.Status, rows.Status)
+		}
+		if native.Status == StatusOptimal && math.Abs(native.Obj-rows.Obj) > 1e-7 {
+			t.Fatalf("case %d: obj %v vs %v", i, native.Obj, rows.Obj)
+		}
+	}
+}
+
+// Property: native bounds and materialized-row bounds agree on random boxed
+// LPs (status always; objective when optimal).
+func TestQuickBoundedDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		m := rng.Intn(5)
+		p := &Problem{C: make([]float64, n), Lb: make([]float64, n), Ub: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Lb[j] = -rng.Float64() * 3
+			p.Ub[j] = p.Lb[j] + rng.Float64()*6
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, rng.NormFloat64()*4)
+		}
+		native, err1 := Solve(p)
+		rows, err2 := Solve(materializeBounds(p))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if native.Status != rows.Status {
+			return false
+		}
+		if native.Status != StatusOptimal {
+			return true
+		}
+		if math.Abs(native.Obj-rows.Obj) > 1e-6*(1+math.Abs(rows.Obj)) {
+			return false
+		}
+		// The native solution must itself satisfy its box.
+		for j := 0; j < n; j++ {
+			if native.X[j] < p.Lb[j]-1e-7 || native.X[j] > p.Ub[j]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random equality-constrained boxed LPs agree too (these exercise
+// the Phase-I artificial path together with bound flips).
+func TestQuickBoundedDifferentialEqualities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		p := &Problem{C: make([]float64, n), Ub: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Ub[j] = 1 + rng.Float64()*4
+		}
+		// One feasible equality: Σ a_j x_j = a·x0 with x0 inside the box.
+		row := make([]float64, n)
+		var rhs float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			rhs += row[j] * (p.Ub[j] * rng.Float64())
+		}
+		p.Aeq = [][]float64{row}
+		p.Beq = []float64{rhs}
+		native, err1 := Solve(p)
+		rows, err2 := Solve(materializeBounds(p))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if native.Status != rows.Status {
+			return false
+		}
+		if native.Status != StatusOptimal {
+			return true
+		}
+		return math.Abs(native.Obj-rows.Obj) <= 1e-6*(1+math.Abs(rows.Obj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundFlipOnlyProblem(t *testing.T) {
+	// No constraints at all: optimum is a pure sequence of bound flips.
+	p := &Problem{
+		C:  []float64{-2, 3, -1},
+		Ub: []float64{5, 5, 5},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	want := []float64{5, 0, 5}
+	for j, w := range want {
+		if math.Abs(res.X[j]-w) > 1e-9 {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestBasicVariableHitsUpperBound(t *testing.T) {
+	// min −x−10y s.t. x + y ≤ 8, y ≤ 3 (native): push y to its bound while
+	// it is basic — exercises the leave-to-upper path.
+	p := &Problem{
+		C:   []float64{-1, -10},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{8},
+		Ub:  []float64{Inf, 3},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal || math.Abs(res.Obj-(-35)) > 1e-8 {
+		t.Fatalf("obj = %v (x=%v), want -35 at (5,3)", res.Obj, res.X)
+	}
+}
+
+func BenchmarkBoundedBoxLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n, m := 120, 40
+	p := &Problem{C: make([]float64, n), Ub: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.NormFloat64()
+		p.Ub[j] = 1 + rng.Float64()*4
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.Aub = append(p.Aub, row)
+		p.Bub = append(p.Bub, 10+rng.Float64()*20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIneqDualsShadowPrices(t *testing.T) {
+	// max x + y (min −x−y) s.t. x + y ≤ 4 (binding), x ≤ 10 (slack row).
+	p := &Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 1}, {1, 0}},
+		Bub: []float64{4, 10},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(res.IneqDuals) != 2 {
+		t.Fatalf("duals = %v", res.IneqDuals)
+	}
+	// Relaxing the binding row by 1 improves the objective by 1.
+	if math.Abs(res.IneqDuals[0]-1) > 1e-8 {
+		t.Fatalf("dual of binding row = %v, want 1", res.IneqDuals[0])
+	}
+	if math.Abs(res.IneqDuals[1]) > 1e-8 {
+		t.Fatalf("dual of slack row = %v, want 0", res.IneqDuals[1])
+	}
+}
+
+// Property: complementary slackness — a row with positive dual is tight, and
+// duals are nonnegative; spot-checked by perturbation on the binding row.
+func TestQuickDualsComplementarySlackness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		p := &Problem{C: make([]float64, n), Ub: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.C[j] = -rng.Float64() // maximize-ish: all rows can bind
+			p.Ub[j] = 1 + rng.Float64()*3
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, 0.5+rng.Float64()*3)
+		}
+		res, err := Solve(p)
+		if err != nil || res.Status != StatusOptimal {
+			return false
+		}
+		for i, d := range res.IneqDuals {
+			if d < -1e-7 {
+				return false // dual feasibility
+			}
+			if d > 1e-6 {
+				var lhs float64
+				for j := range p.C {
+					lhs += p.Aub[i][j] * res.X[j]
+				}
+				if math.Abs(lhs-p.Bub[i]) > 1e-5 {
+					return false // positive dual on a non-tight row
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

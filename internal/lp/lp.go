@@ -1,0 +1,369 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the general form
+//
+//	minimize    cᵀx
+//	subject to  Aeq·x  = beq
+//	            Aub·x ≤ bub
+//	            lb ≤ x ≤ ub        (entries may be ±Inf)
+//
+// The general form is mechanically reduced to the boxed standard form
+// "min cᵀx, A·x = b, 0 ≤ x ≤ u" (shifting finite lower bounds, splitting
+// free variables, adding slack variables for inequalities; upper bounds stay
+// native) and solved with a dense bounded-variable tableau simplex: nonbasic
+// variables rest at either bound and the ratio test admits bound flips, so
+// a box constraint costs no extra row. Phase I finds a basic feasible point
+// with artificial variables only for rows whose slack cannot seed the basis;
+// Phase II optimizes the true objective. Bland's rule is engaged after a
+// stall to guarantee termination.
+//
+// The solver targets the small per-slot instances produced by the BIRP
+// scheduler (tens to a few hundred variables), where the dense tableau is both
+// fast and easy to audit.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below on the feasible set.
+	StatusUnbounded
+	// StatusIterLimit means the iteration budget was exhausted.
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem is returned for structurally invalid inputs (mismatched
+// dimensions, NaN coefficients, crossed bounds).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Inf is a convenience alias for +Inf used in bound slices.
+var Inf = math.Inf(1)
+
+// Problem is a linear program in general form. Nil matrices/slices denote
+// "no constraints of that kind". Bounds default to [0, +Inf) when nil.
+type Problem struct {
+	C   []float64   // objective coefficients, length n
+	Aeq [][]float64 // equality constraint rows, each length n
+	Beq []float64
+	Aub [][]float64 // inequality (≤) constraint rows, each length n
+	Bub []float64
+	Lb  []float64 // lower bounds; nil means all zeros
+	Ub  []float64 // upper bounds; nil means all +Inf
+}
+
+// Result carries the solver outcome.
+type Result struct {
+	Status     Status
+	X          []float64 // primal solution in original variables (valid when optimal)
+	Obj        float64   // objective value cᵀx
+	Iterations int
+	// IneqDuals[i] is the shadow price of inequality row i (≥ 0; how much
+	// the optimum would improve per unit of extra bub[i]). Valid when
+	// optimal. Equality-row duals are not exposed.
+	IneqDuals []float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	MaxIter int     // 0 means automatic (20·(m+n)+200)
+	Tol     float64 // 0 means 1e-9
+}
+
+const defaultTol = 1e-9
+
+// Solve solves the problem with default options.
+func Solve(p *Problem) (*Result, error) { return SolveOpts(p, Options{}) }
+
+// SolveOpts solves the problem with the given options.
+func SolveOpts(p *Problem, opt Options) (*Result, error) {
+	n := len(p.C)
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = defaultTol
+	}
+
+	sf, err := toStandardForm(p, n)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 20*(len(sf.b)+sf.nCols) + 200
+	}
+
+	st, xs, duals, iters := solveBounded(sf, sf.colUB, tol, maxIter)
+	res := &Result{Status: st, Iterations: iters}
+	if st != StatusOptimal {
+		return res, nil
+	}
+	x := sf.recover(xs)
+	res.X = x
+	for j := 0; j < n; j++ {
+		res.Obj += p.C[j] * x[j]
+	}
+	// Map standard-form row duals back to the caller's inequality rows: the
+	// inequality block starts right after the equalities.
+	res.IneqDuals = make([]float64, len(p.Aub))
+	for i := range p.Aub {
+		res.IneqDuals[i] = duals[len(p.Aeq)+i]
+	}
+	return res, nil
+}
+
+func validate(p *Problem, n int) error {
+	check := func(v float64, what string) error {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w: NaN in %s", ErrBadProblem, what)
+		}
+		return nil
+	}
+	for _, v := range p.C {
+		if err := check(v, "objective"); err != nil {
+			return err
+		}
+	}
+	if len(p.Aeq) != len(p.Beq) {
+		return fmt.Errorf("%w: %d equality rows but %d rhs entries", ErrBadProblem, len(p.Aeq), len(p.Beq))
+	}
+	if len(p.Aub) != len(p.Bub) {
+		return fmt.Errorf("%w: %d inequality rows but %d rhs entries", ErrBadProblem, len(p.Aub), len(p.Bub))
+	}
+	for i, row := range p.Aeq {
+		if len(row) != n {
+			return fmt.Errorf("%w: equality row %d has %d cols, want %d", ErrBadProblem, i, len(row), n)
+		}
+		for _, v := range row {
+			if err := check(v, "Aeq"); err != nil {
+				return err
+			}
+		}
+	}
+	for i, row := range p.Aub {
+		if len(row) != n {
+			return fmt.Errorf("%w: inequality row %d has %d cols, want %d", ErrBadProblem, i, len(row), n)
+		}
+		for _, v := range row {
+			if err := check(v, "Aub"); err != nil {
+				return err
+			}
+		}
+	}
+	if p.Lb != nil && len(p.Lb) != n {
+		return fmt.Errorf("%w: lb length %d, want %d", ErrBadProblem, len(p.Lb), n)
+	}
+	if p.Ub != nil && len(p.Ub) != n {
+		return fmt.Errorf("%w: ub length %d, want %d", ErrBadProblem, len(p.Ub), n)
+	}
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		if math.IsNaN(lb) || math.IsNaN(ub) {
+			return fmt.Errorf("%w: NaN bound on variable %d", ErrBadProblem, j)
+		}
+		if lb > ub {
+			return fmt.Errorf("%w: variable %d has lb %g > ub %g", ErrBadProblem, j, lb, ub)
+		}
+	}
+	return nil
+}
+
+func boundsAt(p *Problem, j int) (lb, ub float64) {
+	lb, ub = 0, math.Inf(1)
+	if p.Lb != nil {
+		lb = p.Lb[j]
+	}
+	if p.Ub != nil {
+		ub = p.Ub[j]
+	}
+	return lb, ub
+}
+
+// standardForm is "min csᵀ·xs  s.t.  A·xs = b, xs ≥ 0" plus the bookkeeping to
+// map a standard-form solution back to the original variables.
+type standardForm struct {
+	a     [][]float64
+	b     []float64
+	c     []float64
+	nCols int
+	// slackCol[i] is the column of row i's slack variable, or -1. When the
+	// row's rhs is non-negative and the slack coefficient is +1 the slack can
+	// seed the Phase-I basis directly, avoiding an artificial variable.
+	slackCol []int
+	// colUB[j] is column j's native upper bound (+Inf when absent); the
+	// bounded-variable engine honors it without materializing a row.
+	colUB []float64
+	// recovery data: original variable j maps to
+	//   x[j] = shift[j] + xs[pos[j]] - (xs[neg[j]] if neg[j] >= 0)
+	shift []float64
+	pos   []int
+	neg   []int
+}
+
+func (s *standardForm) recover(xs []float64) []float64 {
+	x := make([]float64, len(s.pos))
+	for j := range x {
+		x[j] = s.shift[j] + xs[s.pos[j]]
+		if s.neg[j] >= 0 {
+			x[j] -= xs[s.neg[j]]
+		}
+	}
+	return x
+}
+
+// toStandardForm rewrites the general-form problem:
+//
+//   - finite lb: substitute x = lb + x′, x′ ≥ 0
+//   - lb = -Inf, finite ub: substitute x = ub − x′, x′ ≥ 0
+//   - free variable: split x = x⁺ − x⁻
+//   - both bounds finite: shift by lb; the residual upper bound ub − lb is
+//     kept native in colUB for the bounded engine
+//   - each ≤ row gains a slack variable
+func toStandardForm(p *Problem, n int) (*standardForm, error) {
+	sf := &standardForm{
+		shift: make([]float64, n),
+		pos:   make([]int, n),
+		neg:   make([]int, n),
+	}
+	// sign[j] is +1 when x = shift + x′ and −1 when x = shift − x′.
+	sign := make([]float64, n)
+	col := 0
+	var colUB []float64
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		switch {
+		case !math.IsInf(lb, -1):
+			sf.shift[j] = lb
+			sign[j] = 1
+			sf.pos[j] = col
+			sf.neg[j] = -1
+			colUB = append(colUB, ub-lb) // +Inf−finite stays +Inf
+			col++
+		case !math.IsInf(ub, 1): // lb = -Inf, finite ub
+			sf.shift[j] = ub
+			sign[j] = -1
+			sf.pos[j] = col
+			sf.neg[j] = -1
+			colUB = append(colUB, math.Inf(1))
+			col++
+		default: // free
+			sf.shift[j] = 0
+			sign[j] = 1
+			sf.pos[j] = col
+			sf.neg[j] = col + 1
+			colUB = append(colUB, math.Inf(1), math.Inf(1))
+			col += 2
+		}
+	}
+	nStruct := col
+	nSlack := len(p.Aub)
+	sf.nCols = nStruct + nSlack
+	for s := 0; s < nSlack; s++ {
+		colUB = append(colUB, math.Inf(1))
+	}
+	sf.colUB = colUB
+	m := len(p.Aeq) + len(p.Aub)
+	sf.a = make([][]float64, m)
+	sf.b = make([]float64, m)
+	sf.c = make([]float64, sf.nCols)
+
+	// Objective in the substituted variables. Constant offsets (cᵀ·shift) do
+	// not affect the argmin, so they are dropped; Obj is recomputed from the
+	// recovered x.
+	for j := 0; j < n; j++ {
+		cj := p.C[j]
+		sf.c[sf.pos[j]] += cj * sign[j] * signFix(sf, j)
+		if sf.neg[j] >= 0 {
+			sf.c[sf.neg[j]] -= cj
+		}
+	}
+
+	sf.slackCol = make([]int, m)
+	for i := range sf.slackCol {
+		sf.slackCol[i] = -1
+	}
+	row := 0
+	emit := func(coef []float64, rhs float64, slackCol int) {
+		r := make([]float64, sf.nCols)
+		for j := 0; j < n; j++ {
+			a := coef[j]
+			if a == 0 {
+				continue
+			}
+			r[sf.pos[j]] += a * sign[j] * signFix(sf, j)
+			if sf.neg[j] >= 0 {
+				r[sf.neg[j]] -= a
+			}
+			rhs -= a * sf.shift[j]
+		}
+		if slackCol >= 0 {
+			r[slackCol] = 1
+			sf.slackCol[row] = slackCol
+		}
+		sf.a[row] = r
+		sf.b[row] = rhs
+		row++
+	}
+	for i, r := range p.Aeq {
+		emit(r, p.Beq[i], -1)
+	}
+	slack := nStruct
+	for i, r := range p.Aub {
+		emit(r, p.Bub[i], slack)
+		slack++
+	}
+	// Normalize: standard form needs b ≥ 0 for the Phase-I construction.
+	// Negating a row flips its slack coefficient to −1, which disqualifies
+	// the slack from seeding the basis.
+	for i := range sf.a {
+		if sf.b[i] < 0 {
+			sf.b[i] = -sf.b[i]
+			for j := range sf.a[i] {
+				sf.a[i][j] = -sf.a[i][j]
+			}
+			sf.slackCol[i] = -1
+		}
+	}
+	return sf, nil
+}
+
+// signFix accounts for the x = ub − x′ substitution: pos-column coefficients
+// already carry sign[j]; signFix is the identity and exists to keep the two
+// call sites symmetric if the substitution scheme is extended.
+func signFix(*standardForm, int) float64 { return 1 }
+
+func maxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

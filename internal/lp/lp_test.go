@@ -1,0 +1,454 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func wantOptimal(t *testing.T, res *Result, obj float64, tol float64) {
+	t.Helper()
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.Obj-obj) > tol {
+		t.Fatalf("obj = %v, want %v (x=%v)", res.Obj, obj, res.X)
+	}
+}
+
+func TestSimple2DInequality(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6  →  min -(x+y); optimum at (8/5, 6/5), obj -14/5.
+	p := &Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 2}, {3, 1}},
+		Bub: []float64{4, 6},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -14.0/5, 1e-8)
+	if math.Abs(res.X[0]-1.6) > 1e-8 || math.Abs(res.X[1]-1.2) > 1e-8 {
+		t.Fatalf("x = %v, want (1.6, 1.2)", res.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x,y ≥ 0 → x=3, y=0, obj 3.
+	p := &Problem{
+		C:   []float64{1, 2},
+		Aeq: [][]float64{{1, 1}},
+		Beq: []float64{3},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, 3, 1e-9)
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≥ 0, x ≤ -1 via inequality row.
+	p := &Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{1}},
+		Bub: []float64{-1},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleEqualities(t *testing.T) {
+	// x + y = 1 and x + y = 2.
+	p := &Problem{
+		C:   []float64{0, 0},
+		Aeq: [][]float64{{1, 1}, {1, 1}},
+		Beq: []float64{1, 2},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with x ≥ 0 and no upper limit.
+	p := &Problem{C: []float64{-1}}
+	res := solveOK(t, p)
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestUnboundedNoConstraints(t *testing.T) {
+	p := &Problem{C: []float64{-1, 2}}
+	res := solveOK(t, p)
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestNoConstraintsOptimalAtZero(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}}
+	res := solveOK(t, p)
+	wantOptimal(t, res, 0, 0)
+}
+
+func TestUpperBounds(t *testing.T) {
+	// min -x - y with 0 ≤ x ≤ 2, 0 ≤ y ≤ 3 → obj -5 at (2,3).
+	p := &Problem{
+		C:  []float64{-1, -1},
+		Ub: []float64{2, 3},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -5, 1e-9)
+}
+
+func TestFiniteLowerBounds(t *testing.T) {
+	// min x + y with x ≥ 2, y ≥ -1 (ub +inf).
+	p := &Problem{
+		C:  []float64{1, 1},
+		Lb: []float64{2, -1},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, 1, 1e-9)
+	if res.X[0] != 2 || res.X[1] != -1 {
+		t.Fatalf("x = %v, want (2,-1)", res.X)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x ≥ -5 modelled as a free variable with an inequality −x ≤ 5.
+	p := &Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{5},
+		Lb:  []float64{math.Inf(-1)},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -5, 1e-9)
+}
+
+func TestNegativeUpperBoundOnly(t *testing.T) {
+	// min -x with x ∈ (−inf, −2]: optimum at the upper bound −2.
+	p := &Problem{
+		C:  []float64{-1},
+		Lb: []float64{math.Inf(-1)},
+		Ub: []float64{-2},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, 2, 1e-9)
+	if res.X[0] != -2 {
+		t.Fatalf("x = %v, want -2", res.X)
+	}
+}
+
+func TestBothBoundsFinite(t *testing.T) {
+	// min -x - 2y, 1 ≤ x ≤ 4, -3 ≤ y ≤ 5, x + y ≤ 6 → x=4? check: prefer y big.
+	// y=5 then x ≤ 1 → x=1. obj = -1-10 = -11.
+	p := &Problem{
+		C:   []float64{-1, -2},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{6},
+		Lb:  []float64{1, -3},
+		Ub:  []float64{4, 5},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -11, 1e-8)
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Classic degenerate vertex: multiple constraints active at optimum.
+	p := &Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		Bub: []float64{1, 1, 2},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -2, 1e-9)
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows must not report infeasible.
+	p := &Problem{
+		C:   []float64{1, 1},
+		Aeq: [][]float64{{1, 1}, {2, 2}},
+		Beq: []float64{2, 4},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, 2, 1e-9)
+}
+
+func TestBeale1955CyclingInstance(t *testing.T) {
+	// Beale's classic cycling example; Bland's fallback must terminate it.
+	p := &Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		Aub: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		Bub: []float64{0, 0, 1},
+	}
+	res := solveOK(t, p)
+	wantOptimal(t, res, -0.05, 1e-9)
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []*Problem{
+		{C: []float64{1}, Aeq: [][]float64{{1, 2}}, Beq: []float64{1}},
+		{C: []float64{1}, Aub: [][]float64{{1, 2}}, Bub: []float64{1}},
+		{C: []float64{1}, Aeq: [][]float64{{1}}, Beq: []float64{1, 2}},
+		{C: []float64{1}, Aub: [][]float64{{1}}, Bub: []float64{}},
+		{C: []float64{math.NaN()}},
+		{C: []float64{1}, Lb: []float64{2}, Ub: []float64{1}},
+		{C: []float64{1}, Lb: []float64{1, 2}},
+		{C: []float64{1}, Ub: []float64{}},
+		{C: []float64{1}, Aub: [][]float64{{math.NaN()}}, Bub: []float64{0}},
+		{C: []float64{1}, Aeq: [][]float64{{math.NaN()}}, Beq: []float64{0}},
+		{C: []float64{1}, Lb: []float64{math.NaN()}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusOptimal, StatusInfeasible, StatusUnbounded, StatusIterLimit, Status(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty status string for %d", int(s))
+		}
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-1, -1, -1},
+		Aub: [][]float64{{1, 2, 3}, {3, 2, 1}, {1, 1, 1}},
+		Bub: []float64{10, 10, 5},
+	}
+	res, err := SolveOpts(p, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusIterLimit {
+		t.Fatalf("status = %v, want iteration-limit", res.Status)
+	}
+}
+
+// knapsackLPValue solves the fractional knapsack greedily (the known optimum
+// of the LP relaxation) for cross-checking the simplex.
+func knapsackLPValue(value, weight []float64, cap float64) float64 {
+	type item struct{ v, w float64 }
+	items := make([]item, len(value))
+	for i := range value {
+		items[i] = item{value[i], weight[i]}
+	}
+	// insertion sort by density desc
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].v*items[j-1].w > items[j-1].v*items[j].w; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	var total float64
+	for _, it := range items {
+		if it.w <= cap {
+			cap -= it.w
+			total += it.v
+		} else {
+			total += it.v * cap / it.w
+			break
+		}
+	}
+	return total
+}
+
+func TestFractionalKnapsackAgainstGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		value := make([]float64, n)
+		weight := make([]float64, n)
+		row := make([]float64, n)
+		c := make([]float64, n)
+		ub := make([]float64, n)
+		for i := 0; i < n; i++ {
+			value[i] = 1 + rng.Float64()*9
+			weight[i] = 1 + rng.Float64()*9
+			row[i] = weight[i]
+			c[i] = -value[i]
+			ub[i] = 1
+		}
+		cap := rng.Float64() * 20
+		p := &Problem{C: c, Aub: [][]float64{row}, Bub: []float64{cap}, Ub: ub}
+		res := solveOK(t, p)
+		want := -knapsackLPValue(value, weight, cap)
+		if res.Status != StatusOptimal || math.Abs(res.Obj-want) > 1e-6 {
+			t.Fatalf("trial %d: obj %v want %v (status %v)", trial, res.Obj, want, res.Status)
+		}
+	}
+}
+
+// Property: any optimal solution must satisfy all constraints and bounds.
+func TestQuickOptimalIsFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		p := &Problem{
+			C:  make([]float64, n),
+			Ub: make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Ub[j] = 1 + rng.Float64()*10
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, rng.Float64()*10) // nonneg rhs keeps x=0 feasible
+		}
+		res, err := Solve(p)
+		if err != nil || res.Status != StatusOptimal {
+			return false // bounded (Ub) + feasible (0) instance must be optimal
+		}
+		for j := 0; j < n; j++ {
+			if res.X[j] < -1e-7 || res.X[j] > p.Ub[j]+1e-7 {
+				return false
+			}
+		}
+		for i := 0; i < m; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += p.Aub[i][j] * res.X[j]
+			}
+			if s > p.Bub[i]+1e-6 {
+				return false
+			}
+		}
+		// Optimality sanity: x=0 is feasible, so optimum ≤ 0.
+		return res.Obj <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (weak duality spot check): the optimum of min cᵀx over a box with
+// one coupling row is never better than the box-relaxation optimum.
+func TestQuickBoxRelaxationBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		c := make([]float64, n)
+		ub := make([]float64, n)
+		row := make([]float64, n)
+		boxOpt := 0.0
+		for j := 0; j < n; j++ {
+			c[j] = rng.NormFloat64()
+			ub[j] = rng.Float64() * 5
+			row[j] = rng.Float64()
+			if c[j] < 0 {
+				boxOpt += c[j] * ub[j]
+			}
+		}
+		p := &Problem{
+			C:   c,
+			Aub: [][]float64{row},
+			Bub: []float64{rng.Float64() * 10},
+			Ub:  ub,
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if res.Status != StatusOptimal {
+			return false
+		}
+		return res.Obj >= boxOpt-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Two sources (supply 20, 30), three sinks (demand 10, 25, 15).
+	// Costs: s1: [8,6,10], s2: [9,12,13]. Known optimum 395? Compute:
+	// Greedy check by brute force below instead.
+	cost := []float64{8, 6, 10, 9, 12, 13}
+	p := &Problem{
+		C: cost,
+		Aeq: [][]float64{
+			{1, 1, 1, 0, 0, 0}, // supply s1
+			{0, 0, 0, 1, 1, 1}, // supply s2
+			{1, 0, 0, 1, 0, 0}, // demand d1
+			{0, 1, 0, 0, 1, 0}, // demand d2
+			{0, 0, 1, 0, 0, 1}, // demand d3
+		},
+		Beq: []float64{20, 30, 10, 25, 15},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	// LP optimum equals the integral transportation optimum; verify against
+	// an exhaustive search over integral flows.
+	best := math.Inf(1)
+	for a := 0; a <= 10; a++ { // x11
+		for b := 0; b <= 25; b++ { // x12
+			c3 := 20 - a - b // x13
+			if c3 < 0 || c3 > 15 {
+				continue
+			}
+			x21 := 10 - a
+			x22 := 25 - b
+			x23 := 15 - c3
+			if x21 < 0 || x22 < 0 || x23 < 0 || x21+x22+x23 != 30 {
+				continue
+			}
+			v := 8*float64(a) + 6*float64(b) + 10*float64(c3) + 9*float64(x21) + 12*float64(x22) + 13*float64(x23)
+			if v < best {
+				best = v
+			}
+		}
+	}
+	if math.Abs(res.Obj-best) > 1e-6 {
+		t.Fatalf("obj = %v, brute force %v", res.Obj, best)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 60, 40
+	p := &Problem{C: make([]float64, n), Ub: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.NormFloat64()
+		p.Ub[j] = 1 + rng.Float64()*4
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.Aub = append(p.Aub, row)
+		p.Bub = append(p.Bub, 5+rng.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, -5, 6}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestVecDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecNorm2(t *testing.T) {
+	v := Vec{3, 4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := (Vec{}).Norm2(); got != 0 {
+		t.Fatalf("empty Norm2 = %v, want 0", got)
+	}
+}
+
+func TestVecNorm2LargeEntriesNoOverflow(t *testing.T) {
+	v := Vec{1e200, 1e200}
+	got := v.Norm2()
+	want := math.Sqrt2 * 1e200
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestVecNormInf(t *testing.T) {
+	v := Vec{1, -7, 3}
+	if got := v.NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestVecAddScaledAndScale(t *testing.T) {
+	v := Vec{1, 2}
+	v.AddScaled(2, Vec{3, 4})
+	if v[0] != 7 || v[1] != 10 {
+		t.Fatalf("AddScaled got %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 3.5 || v[1] != 5 {
+		t.Fatalf("Scale got %v", v)
+	}
+}
+
+func TestMatrixBasicOps(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatalf("Set failed")
+	}
+	r := m.Row(0)
+	r[1] = 42
+	if m.At(0, 1) != 42 {
+		t.Fatalf("Row should alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatalf("Clone should not alias storage")
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec(Vec{1, -1})
+	want := Vec{-1, -1, -1}
+	if !VecApproxEqual(got, want, 0) {
+		t.Fatalf("MulVec = %v, want %v", got, want)
+	}
+}
+
+func TestMulTransVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulTransVec(Vec{1, 1, 1})
+	want := Vec{9, 12}
+	if !VecApproxEqual(got, want, 0) {
+		t.Fatalf("MulTransVec = %v, want %v", got, want)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !ApproxEqual(got, want, 1e-14) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{2, -1, 0}, {0, 3, 7}, {1, 1, 1}})
+	if !ApproxEqual(Identity(3).Mul(a), a, 0) {
+		t.Fatalf("I*A != A")
+	}
+	if !ApproxEqual(a.Mul(Identity(3)), a, 0) {
+		t.Fatalf("A*I != A")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 4}, {2, 5}})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize got %v", a)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomMatrix(rng, n)
+		// Diagonal boost keeps the random instance well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := NewVec(n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if !VecApproxEqual(got, want, 1e-8) {
+			t.Fatalf("trial %d: solve mismatch\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Vec{1, 1}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := New(2, 3)
+	if _, err := FactorizeLU(a); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-6)) > 1e-12 {
+		t.Fatalf("Det = %v, want -6", got)
+	}
+}
+
+func TestLUSolveRHSLengthMismatch(t *testing.T) {
+	f, err := FactorizeLU(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(Vec{1, 2, 3}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestCholeskySPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(15)
+		g := randomMatrix(rng, n)
+		// A = GᵀG + n*I is SPD.
+		a := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		c, err := FactorizeCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: Cholesky: %v", trial, err)
+		}
+		// Reconstruct: L*Lᵀ should equal a.
+		recon := c.L().Mul(c.L().T())
+		if !ApproxEqual(recon, a, 1e-8) {
+			t.Fatalf("trial %d: L*Lᵀ != A", trial)
+		}
+		want := NewVec(n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := c.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VecApproxEqual(got, want, 1e-7) {
+			t.Fatalf("trial %d: Cholesky solve mismatch", trial)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorizeCholesky(a); err == nil {
+		t.Fatal("expected not-positive-definite error")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := FactorizeCholesky(New(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestCholeskySolveRHSMismatch(t *testing.T) {
+	c, err := FactorizeCholesky(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(Vec{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// Property: for random well-conditioned A and x, Solve(A, A*x) ≈ x.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomMatrix(r, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(2*n))
+		}
+		x := NewVec(n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got, err := Solve(a, a.MulVec(x))
+		if err != nil {
+			return false
+		}
+		return VecApproxEqual(got, x, 1e-7)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinant of a permutation-scaled identity matches the product
+// of its diagonal scaling.
+func TestQuickDetDiagonal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := New(n, n)
+		prod := 1.0
+		for i := 0; i < n; i++ {
+			d := 1 + r.Float64()*5
+			a.Set(i, i, d)
+			prod *= d
+		}
+		f2, err := FactorizeLU(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(f2.Det()-prod) < 1e-9*math.Abs(prod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func TestFromRowsEmptyAndRagged(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows got %dx%d", m.Rows, m.Cols)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestApproxEqualShapeMismatch(t *testing.T) {
+	if ApproxEqual(New(1, 2), New(2, 1), 1) {
+		t.Fatal("shape mismatch should not be equal")
+	}
+	if VecApproxEqual(Vec{1}, Vec{1, 2}, 1) {
+		t.Fatal("length mismatch should not be equal")
+	}
+}

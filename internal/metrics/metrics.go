@@ -1,0 +1,195 @@
+// Package metrics provides the evaluation statistics the paper reports:
+// completion-time CDFs (Fig. 6a/7a), per-slot and cumulative inference loss
+// (Fig. 6b/c, 7b/c), and the SLO failure rate p%.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P[X ≤ x].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0, 1]) by nearest-rank.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Series evaluates the CDF on an even grid over [lo, hi] with n points,
+// returning (xs, ys) ready for plotting or table rendering.
+func (c *CDF) Series(lo, hi float64, n int) (xs, ys []float64) {
+	if n < 2 {
+		n = 2
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = c.At(x)
+	}
+	return xs, ys
+}
+
+// FailureRate returns the fraction of samples strictly exceeding the SLO
+// threshold — the paper's p% with thresh = 1.0 (completion time normalized
+// by the slot).
+func FailureRate(samples []float64, thresh float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	fail := 0
+	for _, v := range samples {
+		if v > thresh {
+			fail++
+		}
+	}
+	return float64(fail) / float64(len(samples))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		s += v
+	}
+	return s / float64(len(samples))
+}
+
+// LossAccumulator tracks per-slot and cumulative inference loss, the
+// quantities plotted in Fig. 6b/6c and 7b/7c.
+type LossAccumulator struct {
+	perSlot []float64
+	cum     []float64
+	total   float64
+}
+
+// Add records the loss of one slot.
+func (a *LossAccumulator) Add(slotLoss float64) {
+	a.total += slotLoss
+	a.perSlot = append(a.perSlot, slotLoss)
+	a.cum = append(a.cum, a.total)
+}
+
+// PerSlot returns the per-slot loss series (aliased; do not mutate).
+func (a *LossAccumulator) PerSlot() []float64 { return a.perSlot }
+
+// Cumulative returns the running-total series (aliased; do not mutate).
+func (a *LossAccumulator) Cumulative() []float64 { return a.cum }
+
+// Total returns the cumulative loss so far.
+func (a *LossAccumulator) Total() float64 { return a.total }
+
+// Slots returns the number of recorded slots.
+func (a *LossAccumulator) Slots() int { return len(a.perSlot) }
+
+// Table renders a fixed-width text table: one row per entry, columns padded
+// to the widest cell. Used by the experiment binaries to print the
+// tables/figure series the paper reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf(format, c)
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table. Cell widths are measured in runes so unicode
+// content (η, ≈, τ, sparklines) stays aligned.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = utf8.RuneCountInString(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if n := utf8.RuneCountInString(c); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", width[i]-utf8.RuneCountInString(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := len(t.header)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Fatalf("At(4) = %v, want 1", got)
+	}
+	if got := c.At(2.5); got != 0.5 {
+		t.Fatalf("At(2.5) = %v, want 0.5", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF should be 0 everywhere")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c := NewCDF(in)
+	in[0] = -100
+	if c.At(0) != 0 {
+		t.Fatal("CDF must copy its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("median = %v, want 30", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Fatalf("Q0 = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Fatalf("Q1 = %v, want 50", got)
+	}
+	if got := c.Quantile(0.2); got != 10 {
+		t.Fatalf("Q0.2 = %v, want 10", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	xs, ys := c.Series(0, 3, 4)
+	if len(xs) != 4 || len(ys) != 4 {
+		t.Fatal("series length wrong")
+	}
+	if xs[0] != 0 || xs[3] != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if ys[0] != 0 || ys[3] != 1 {
+		t.Fatalf("ys = %v", ys)
+	}
+	// Degenerate n handled.
+	xs, _ = c.Series(0, 1, 1)
+	if len(xs) != 2 {
+		t.Fatal("n<2 must clamp to 2")
+	}
+}
+
+func TestFailureRate(t *testing.T) {
+	s := []float64{0.5, 0.9, 1.0, 1.1, 2.0}
+	if got := FailureRate(s, 1.0); got != 0.4 {
+		t.Fatalf("failure rate = %v, want 0.4 (1.0 itself meets the SLO)", got)
+	}
+	if got := FailureRate(nil, 1.0); got != 0 {
+		t.Fatalf("empty failure rate = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+}
+
+func TestLossAccumulator(t *testing.T) {
+	var a LossAccumulator
+	a.Add(1)
+	a.Add(2)
+	a.Add(3)
+	if a.Total() != 6 || a.Slots() != 3 {
+		t.Fatalf("total = %v slots = %d", a.Total(), a.Slots())
+	}
+	want := []float64{1, 3, 6}
+	for i, v := range a.Cumulative() {
+		if v != want[i] {
+			t.Fatalf("cumulative = %v", a.Cumulative())
+		}
+	}
+	if a.PerSlot()[1] != 2 {
+		t.Fatalf("per-slot = %v", a.PerSlot())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-very-long-name", "2")
+	tb.AddRow("short") // padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected header + rule + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("row missing: %q", lines[2])
+	}
+	// All data lines padded to equal width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned: %d vs %d", len(lines[2]), len(lines[3]))
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRowf("%.2f", 1.234, 5.678)
+	if !strings.Contains(tb.String(), "1.23") {
+		t.Fatal("AddRowf formatting missing")
+	}
+}
+
+// Property: CDF is monotone nondecreasing and At(max) == 1.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(s)
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for x := sorted[0] - 1; x <= sorted[n-1]+1; x += 0.25 {
+			v := c.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return c.At(sorted[n-1]) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile and At are (approximately) inverse.
+func TestQuickQuantileAtInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Float64() * 100
+		}
+		c := NewCDF(s)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			x := c.Quantile(q)
+			if c.At(x) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableUnicodeAlignment(t *testing.T) {
+	tb := NewTable("name", "val")
+	tb.AddRow("η≈τβ", "1")
+	tb.AddRow("ascii", "2")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Both data rows must have the same rune width.
+	w2 := len([]rune(lines[2]))
+	w3 := len([]rune(lines[3]))
+	if w2 != w3 {
+		t.Fatalf("unicode row width %d != ascii row width %d:\n%s", w2, w3, tb.String())
+	}
+}

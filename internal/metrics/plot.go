@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a unicode sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline, rescaled to the
+// data range. Empty input yields an empty string; NaN/Inf samples render as
+// spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces values to at most n points by averaging equal buckets;
+// it returns the input when already short enough.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := i * len(values) / n
+		end := (i + 1) * len(values) / n
+		if end == start {
+			end = start + 1
+		}
+		var s float64
+		for _, v := range values[start:end] {
+			s += v
+		}
+		out[i] = s / float64(end-start)
+	}
+	return out
+}
+
+// SeriesChart renders named series as labelled sparklines over a shared
+// horizontal axis, with min/max annotations — the terminal stand-in for the
+// paper's line plots.
+//
+//	BIRP      ▄▄▅▃▅▆▄▇█▆▅▃▂▁▂▄  [12.1, 98.5]
+//	OAEI      ▅▅▆▄▆▇▅███▇▆▄▃▂▃▅  [14.0, 121.2]
+func SeriesChart(width int, series map[string][]float64, order []string) string {
+	if width <= 0 {
+		width = 60
+	}
+	nameW := 0
+	for _, name := range order {
+		if len(name) > nameW {
+			nameW = len(name)
+		}
+	}
+	var b strings.Builder
+	for _, name := range order {
+		vals, ok := series[name]
+		if !ok {
+			continue
+		}
+		ds := Downsample(vals, width)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Fprintf(&b, "%-*s %s  [%.1f, %.1f]\n", nameW, name, Sparkline(ds), lo, hi)
+	}
+	return b.String()
+}
+
+// Percentiles summarizes a sample with the quantiles latency reports use.
+type Percentiles struct {
+	P50, P90, P99, Max float64
+}
+
+// SummarizePercentiles computes p50/p90/p99/max of the sample.
+func SummarizePercentiles(samples []float64) Percentiles {
+	c := NewCDF(samples)
+	return Percentiles{
+		P50: c.Quantile(0.50),
+		P90: c.Quantile(0.90),
+		P99: c.Quantile(0.99),
+		Max: c.Quantile(1.0),
+	}
+}
+
+// String renders the percentile summary.
+func (p Percentiles) String() string {
+	return fmt.Sprintf("p50=%.3f p90=%.3f p99=%.3f max=%.3f", p.P50, p.P90, p.P99, p.Max)
+}

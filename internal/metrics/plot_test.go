@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty input → %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d, want 8 runes", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("monotone input must give monotone sparkline: %q", s)
+		}
+	}
+}
+
+func TestSparklineFlatAndGarbage(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("flat series length wrong: %q", s)
+	}
+	s = Sparkline([]float64{math.NaN(), 1, math.Inf(1)})
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[2] != ' ' {
+		t.Fatalf("NaN/Inf must render as spaces: %q", s)
+	}
+	s = Sparkline([]float64{math.NaN(), math.NaN()})
+	if s != "  " {
+		t.Fatalf("all-invalid series: %q", s)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	out := Downsample(in, 4)
+	want := []float64{1, 2, 3, 4}
+	if len(out) != 4 {
+		t.Fatalf("length %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if got := Downsample(in, 100); len(got) != len(in) {
+		t.Fatal("short inputs pass through")
+	}
+	if got := Downsample(in, 0); len(got) != len(in) {
+		t.Fatal("n=0 passes through")
+	}
+}
+
+func TestSeriesChart(t *testing.T) {
+	series := map[string][]float64{
+		"BIRP": {1, 2, 3, 4},
+		"OAEI": {2, 3, 4, 5},
+	}
+	out := SeriesChart(10, series, []string{"BIRP", "OAEI", "missing"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "BIRP") || !strings.Contains(lines[0], "[1.0, 4.0]") {
+		t.Fatalf("line 0: %q", lines[0])
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	p := SummarizePercentiles(samples)
+	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	if s := p.String(); !strings.Contains(s, "p99=99.000") {
+		t.Fatalf("String = %q", s)
+	}
+}

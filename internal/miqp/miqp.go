@@ -1,0 +1,577 @@
+// Package miqp solves small mixed-integer linear/quadratic programs with
+// best-first branch and bound:
+//
+//	minimize    ½·xᵀQx + cᵀx                    (Q symmetric PSD or nil)
+//	subject to  Aeq·x  = beq
+//	            Aub·x ≤ bub
+//	            lb ≤ x ≤ ub                      (finite for integer variables)
+//	            x[j] ∈ ℤ   for j with Integer[j]
+//
+// Continuous relaxations are solved with package lp (when Q is nil) or
+// package qp (otherwise); branching splits on the most fractional integer
+// variable. This is the drop-in substitute for the Gurobi MIQP calls in the
+// BIRP paper: the per-slot instances are small (tens of binaries), so exact
+// enumeration with bound pruning is fast and — unlike a heuristic — provably
+// returns the optimum the paper's pipeline assumes.
+package miqp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+	"repro/internal/qp"
+)
+
+// Status describes the solve outcome.
+type Status int
+
+const (
+	// StatusOptimal means the incumbent is optimal within the gap tolerance.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integer-feasible point exists.
+	StatusInfeasible
+	// StatusNodeLimit means the node budget was exhausted; if X is non-nil it
+	// is the best incumbent found.
+	StatusNodeLimit
+	// StatusUnbounded means the root relaxation is unbounded below.
+	StatusUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusNodeLimit:
+		return "node-limit"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem reports malformed input.
+var ErrBadProblem = errors.New("miqp: malformed problem")
+
+// Problem is a mixed-integer quadratic program. Nil slices mean "absent".
+type Problem struct {
+	Q       *mat.Matrix
+	C       []float64
+	Aeq     [][]float64
+	Beq     []float64
+	Aub     [][]float64
+	Bub     []float64
+	Lb      []float64 // nil means all zeros
+	Ub      []float64 // nil means all +Inf (illegal for integer variables)
+	Integer []bool    // nil means all continuous
+}
+
+// Result is the solver outcome.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Nodes  int     // number of branch-and-bound nodes solved
+	Gap    float64 // |best bound − incumbent| at termination (0 when proven optimal)
+}
+
+// Options tunes the search.
+type Options struct {
+	MaxNodes int     // 0 means 200000
+	IntTol   float64 // integrality tolerance; 0 means 1e-6
+	GapTol   float64 // absolute optimality gap tolerance; 0 means 1e-7
+	// Incumbent, when non-nil, is a known integer-feasible starting point.
+	// It seeds the upper bound for pruning and guarantees the solver always
+	// returns a solution even when MaxNodes is exhausted. The caller is
+	// responsible for its feasibility; it is not re-checked.
+	Incumbent []float64
+}
+
+// Solve runs branch and bound with default options.
+func Solve(p *Problem) (*Result, error) { return SolveOpts(p, Options{}) }
+
+type node struct {
+	lb, ub []float64
+	bound  float64 // relaxation objective at the parent (lower bound)
+	depth  int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+
+// Less orders by best bound, breaking ties toward deeper nodes so the search
+// plunges to integer-feasible leaves instead of breadth-thrashing.
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].depth > h[j].depth
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SolveOpts runs branch and bound.
+func SolveOpts(p *Problem, opt Options) (*Result, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	if p.Q != nil && (p.Q.Rows != n || p.Q.Cols != n) {
+		return nil, fmt.Errorf("%w: Q shape", ErrBadProblem)
+	}
+	if p.Integer != nil && len(p.Integer) != n {
+		return nil, fmt.Errorf("%w: Integer length %d, want %d", ErrBadProblem, len(p.Integer), n)
+	}
+	if p.Lb != nil && len(p.Lb) != n {
+		return nil, fmt.Errorf("%w: Lb length", ErrBadProblem)
+	}
+	if p.Ub != nil && len(p.Ub) != n {
+		return nil, fmt.Errorf("%w: Ub length", ErrBadProblem)
+	}
+	lb := make([]float64, n)
+	ub := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lb[j] = 0
+		ub[j] = math.Inf(1)
+		if p.Lb != nil {
+			lb[j] = p.Lb[j]
+		}
+		if p.Ub != nil {
+			ub[j] = p.Ub[j]
+		}
+		if lb[j] > ub[j] {
+			return nil, fmt.Errorf("%w: crossed bounds on variable %d", ErrBadProblem, j)
+		}
+		if p.Integer != nil && p.Integer[j] {
+			if math.IsInf(lb[j], 0) || math.IsInf(ub[j], 0) {
+				return nil, fmt.Errorf("%w: integer variable %d must have finite bounds", ErrBadProblem, j)
+			}
+			lb[j] = math.Ceil(lb[j] - 1e-9)
+			ub[j] = math.Floor(ub[j] + 1e-9)
+			if lb[j] > ub[j] {
+				return &Result{Status: StatusInfeasible}, nil
+			}
+		}
+	}
+	intTol := opt.IntTol
+	if intTol == 0 {
+		intTol = 1e-6
+	}
+	gapTol := opt.GapTol
+	if gapTol == 0 {
+		gapTol = 1e-7
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+
+	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1)}}
+	heap.Init(h)
+	res := &Result{Status: StatusInfeasible, Obj: math.Inf(1)}
+	var incumbent []float64
+	bestBound := math.Inf(-1)
+	if opt.Incumbent != nil {
+		if len(opt.Incumbent) != n {
+			return nil, fmt.Errorf("%w: incumbent length %d, want %d", ErrBadProblem, len(opt.Incumbent), n)
+		}
+		incumbent = clone(opt.Incumbent)
+		res.Obj = evalObj(p, incumbent)
+		res.Status = StatusOptimal
+	}
+
+	for h.Len() > 0 {
+		if res.Nodes >= maxNodes {
+			st := StatusNodeLimit
+			res.Status = st
+			res.Gap = math.Abs(res.Obj - bestBound)
+			if incumbent != nil {
+				res.X = incumbent
+			}
+			return res, nil
+		}
+		nd := heap.Pop(h).(*node)
+		if nd.bound >= res.Obj-gapTol {
+			continue // pruned by bound
+		}
+		res.Nodes++
+		relax, err := solveRelaxation(p, nd.lb, nd.ub)
+		if err != nil {
+			return nil, err
+		}
+		switch relax.status {
+		case relaxInfeasible:
+			continue
+		case relaxUnbounded:
+			if res.Nodes == 1 && incumbent == nil {
+				return &Result{Status: StatusUnbounded, Nodes: res.Nodes}, nil
+			}
+			// A child relaxation cannot be unbounded if the root was bounded
+			// (children have tighter bounds); treat defensively as no-prune.
+			continue
+		case relaxFailed:
+			// Numerical failure: branch anyway using the parent bound, unless
+			// nothing remains to branch on.
+			if j := firstBranchable(p, nd.lb, nd.ub); j >= 0 {
+				branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound)
+				continue
+			}
+			continue
+		}
+		if relax.obj >= res.Obj-gapTol {
+			continue
+		}
+		if relax.obj > bestBound {
+			// Track the global bound loosely (best-first makes the heap top a
+			// valid bound; this is only used for gap reporting).
+			bestBound = relax.obj
+		}
+		// Find the most fractional integer variable. Binary variables win
+		// ties and beat general integers outright: fixing a binary usually
+		// moves the relaxation bound (fixed charges, big-M couplings) far
+		// more than splitting a general integer's range.
+		branch := -1
+		worst := intTol
+		branchBinary := false
+		for j := 0; j < len(p.C); j++ {
+			if p.Integer == nil || !p.Integer[j] {
+				continue
+			}
+			f := math.Abs(relax.x[j] - math.Round(relax.x[j]))
+			if f <= intTol {
+				continue
+			}
+			isBin := ub[j]-lb[j] == 1
+			switch {
+			case isBin && !branchBinary:
+				worst, branch, branchBinary = f, j, true
+			case isBin == branchBinary && f > worst:
+				worst, branch = f, j
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: round integer coordinates exactly and accept.
+			cand := make([]float64, len(relax.x))
+			copy(cand, relax.x)
+			for j := range cand {
+				if p.Integer != nil && p.Integer[j] {
+					cand[j] = math.Round(cand[j])
+				}
+			}
+			obj := evalObj(p, cand)
+			if obj < res.Obj {
+				res.Obj = obj
+				incumbent = cand
+				res.Status = StatusOptimal
+			}
+			continue
+		}
+		branchAt(h, nd, branch, relax.x[branch], relax.obj)
+	}
+	if incumbent != nil {
+		res.X = incumbent
+		res.Status = StatusOptimal
+		res.Gap = 0
+	}
+	return res, nil
+}
+
+func firstBranchable(p *Problem, lb, ub []float64) int {
+	for j := range p.C {
+		if p.Integer != nil && p.Integer[j] && ub[j]-lb[j] >= 1 {
+			return j
+		}
+	}
+	return -1
+}
+
+// branchAt pushes the floor/ceil children of nd split at value v on column j.
+func branchAt(h *nodeHeap, nd *node, j int, v, bound float64) {
+	lo := math.Floor(v)
+	if lo < nd.lb[j] {
+		lo = nd.lb[j]
+	}
+	hi := lo + 1
+	if lo >= nd.lb[j] {
+		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1}
+		left.ub[j] = lo
+		if left.lb[j] <= left.ub[j] {
+			heap.Push(h, left)
+		}
+	}
+	if hi <= nd.ub[j] {
+		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1}
+		right.lb[j] = hi
+		if right.lb[j] <= right.ub[j] {
+			heap.Push(h, right)
+		}
+	}
+}
+
+func clone(v []float64) []float64 {
+	w := make([]float64, len(v))
+	copy(w, v)
+	return w
+}
+
+func evalObj(p *Problem, x []float64) float64 {
+	var obj float64
+	for j, cj := range p.C {
+		obj += cj * x[j]
+	}
+	if p.Q != nil {
+		obj += 0.5 * mat.Vec(x).Dot(p.Q.MulVec(mat.Vec(x)))
+	}
+	return obj
+}
+
+type relaxStatus int
+
+const (
+	relaxOptimal relaxStatus = iota
+	relaxInfeasible
+	relaxUnbounded
+	relaxFailed
+)
+
+type relaxResult struct {
+	status relaxStatus
+	x      []float64
+	obj    float64
+}
+
+// solveRelaxation solves the continuous relaxation under node bounds.
+func solveRelaxation(p *Problem, lb, ub []float64) (relaxResult, error) {
+	if p.Q == nil {
+		res, err := lp.Solve(&lp.Problem{
+			C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb, Ub: ub,
+		})
+		if err != nil {
+			return relaxResult{}, err
+		}
+		switch res.Status {
+		case lp.StatusOptimal:
+			return relaxResult{status: relaxOptimal, x: res.X, obj: res.Obj}, nil
+		case lp.StatusInfeasible:
+			return relaxResult{status: relaxInfeasible}, nil
+		case lp.StatusUnbounded:
+			return relaxResult{status: relaxUnbounded}, nil
+		default:
+			return relaxResult{status: relaxFailed}, nil
+		}
+	}
+	// Box-only QP (no structural rows): the accelerated projected-gradient
+	// solver is faster and cannot cycle; its fixed points are the box-QP
+	// optima, so the relaxation bound stays valid.
+	if len(p.Aeq) == 0 && len(p.Aub) == 0 {
+		boxable := true
+		for j := range lb {
+			if math.IsInf(lb[j], -1) || math.IsInf(ub[j], 1) {
+				boxable = false
+				break
+			}
+		}
+		if boxable {
+			res, err := qp.SolveBox(&qp.BoxProblem{Q: p.Q, C: p.C, Lo: lb, Hi: ub}, qp.BoxOptions{})
+			if err != nil {
+				return relaxResult{}, err
+			}
+			if !res.Converged {
+				return relaxResult{status: relaxFailed}, nil
+			}
+			return relaxResult{status: relaxOptimal, x: res.X, obj: res.Obj}, nil
+		}
+	}
+
+	// QP path: fold node bounds into inequality rows.
+	n := len(p.C)
+	aub := make([][]float64, 0, len(p.Aub)+2*n)
+	bub := make([]float64, 0, len(p.Bub)+2*n)
+	aub = append(aub, p.Aub...)
+	bub = append(bub, p.Bub...)
+	for j := 0; j < n; j++ {
+		if !math.IsInf(ub[j], 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			aub = append(aub, row)
+			bub = append(bub, ub[j])
+		}
+		if !math.IsInf(lb[j], -1) {
+			row := make([]float64, n)
+			row[j] = -1
+			aub = append(aub, row)
+			bub = append(bub, -lb[j])
+		}
+	}
+	res, err := qp.Solve(&qp.Problem{Q: p.Q, C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: aub, Bub: bub})
+	if err != nil {
+		return relaxResult{}, err
+	}
+	switch res.Status {
+	case qp.StatusOptimal:
+		return relaxResult{status: relaxOptimal, x: res.X, obj: res.Obj}, nil
+	case qp.StatusInfeasible:
+		return relaxResult{status: relaxInfeasible}, nil
+	case qp.StatusUnbounded:
+		return relaxResult{status: relaxUnbounded}, nil
+	default:
+		return relaxResult{status: relaxFailed}, nil
+	}
+}
+
+// Builder incrementally assembles a Problem. It exists because the BIRP
+// per-slot models are built from many small constraint groups; the Builder
+// owns variable naming, bound setting, and the x·b product linearization.
+type Builder struct {
+	names   []string
+	lb, ub  []float64
+	integer []bool
+	c       []float64
+	q       map[[2]int]float64
+	aeq     [][]sparseEntry
+	beq     []float64
+	aub     [][]sparseEntry
+	bub     []float64
+}
+
+type sparseEntry struct {
+	col  int
+	coef float64
+}
+
+// NewBuilder returns an empty model builder.
+func NewBuilder() *Builder {
+	return &Builder{q: make(map[[2]int]float64)}
+}
+
+// AddVar adds a variable and returns its column index.
+func (b *Builder) AddVar(name string, lb, ub float64, integer bool) int {
+	b.names = append(b.names, name)
+	b.lb = append(b.lb, lb)
+	b.ub = append(b.ub, ub)
+	b.integer = append(b.integer, integer)
+	b.c = append(b.c, 0)
+	return len(b.names) - 1
+}
+
+// AddBinary adds a {0,1} variable.
+func (b *Builder) AddBinary(name string) int { return b.AddVar(name, 0, 1, true) }
+
+// SetObj adds coef to the linear objective coefficient of column j.
+func (b *Builder) SetObj(j int, coef float64) { b.c[j] += coef }
+
+// SetQuad adds coef·x_i·x_j to the objective (symmetrized into Q).
+func (b *Builder) SetQuad(i, j int, coef float64) {
+	if i > j {
+		i, j = j, i
+	}
+	b.q[[2]int{i, j}] += coef
+}
+
+// AddEq adds the constraint Σ coefs[k]·x[cols[k]] = rhs.
+func (b *Builder) AddEq(cols []int, coefs []float64, rhs float64) {
+	b.aeq = append(b.aeq, toSparse(cols, coefs))
+	b.beq = append(b.beq, rhs)
+}
+
+// AddLe adds the constraint Σ coefs[k]·x[cols[k]] ≤ rhs.
+func (b *Builder) AddLe(cols []int, coefs []float64, rhs float64) {
+	b.aub = append(b.aub, toSparse(cols, coefs))
+	b.bub = append(b.bub, rhs)
+}
+
+// AddGe adds the constraint Σ coefs[k]·x[cols[k]] ≥ rhs.
+func (b *Builder) AddGe(cols []int, coefs []float64, rhs float64) {
+	neg := make([]float64, len(coefs))
+	for i, v := range coefs {
+		neg[i] = -v
+	}
+	b.AddLe(cols, neg, -rhs)
+}
+
+func toSparse(cols []int, coefs []float64) []sparseEntry {
+	if len(cols) != len(coefs) {
+		panic("miqp: cols/coefs length mismatch")
+	}
+	s := make([]sparseEntry, len(cols))
+	for i := range cols {
+		s[i] = sparseEntry{cols[i], coefs[i]}
+	}
+	return s
+}
+
+// LinearizeProduct adds a variable z = x·y where x is binary and y lies in
+// [0, yMax], using the standard McCormick constraints
+//
+//	z ≤ yMax·x,   z ≤ y,   z ≥ y − yMax·(1−x),   z ≥ 0.
+//
+// It returns z's column index. This is how the bilinear loss·x·b objective
+// terms of problem P1/P2 become quadratic-programming compatible.
+func (b *Builder) LinearizeProduct(name string, x, y int, yMax float64) int {
+	z := b.AddVar(name, 0, yMax, false)
+	b.AddLe([]int{z, x}, []float64{1, -yMax}, 0)            // z − yMax·x ≤ 0
+	b.AddLe([]int{z, y}, []float64{1, -1}, 0)               // z − y ≤ 0
+	b.AddGe([]int{z, y, x}, []float64{1, -1, -yMax}, -yMax) // z − y − yMax·x ≥ −yMax
+	return z
+}
+
+// NumVars returns the number of variables added so far.
+func (b *Builder) NumVars() int { return len(b.names) }
+
+// Name returns the name of column j.
+func (b *Builder) Name(j int) string { return b.names[j] }
+
+// Build materializes the dense Problem.
+func (b *Builder) Build() *Problem {
+	n := len(b.names)
+	p := &Problem{
+		C:       clone(b.c),
+		Lb:      clone(b.lb),
+		Ub:      clone(b.ub),
+		Integer: append([]bool(nil), b.integer...),
+	}
+	if len(b.q) > 0 {
+		q := mat.New(n, n)
+		for key, v := range b.q {
+			i, j := key[0], key[1]
+			if i == j {
+				q.Set(i, i, q.At(i, i)+2*v) // ½xᵀQx convention
+			} else {
+				q.Set(i, j, q.At(i, j)+v)
+				q.Set(j, i, q.At(j, i)+v)
+			}
+		}
+		p.Q = q
+	}
+	dense := func(rows [][]sparseEntry) [][]float64 {
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			row := make([]float64, n)
+			for _, e := range r {
+				row[e.col] += e.coef
+			}
+			out[i] = row
+		}
+		return out
+	}
+	p.Aeq = dense(b.aeq)
+	p.Beq = clone(b.beq)
+	p.Aub = dense(b.aub)
+	p.Bub = clone(b.bub)
+	return p
+}

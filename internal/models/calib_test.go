@@ -1,0 +1,38 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/fit"
+)
+
+// TestCalibrationReport logs the Table-1-style and Fig-2-style observables of
+// the calibrated profiles; run with -v to inspect during re-calibration.
+func TestCalibrationReport(t *testing.T) {
+	devices := []*accel.Device{&accel.JetsonNano, &accel.Atlas200DK, &accel.JetsonNX}
+	for _, m := range Table1Models() {
+		for _, d := range devices[:2] {
+			cpu, acc, core := d.Utilization(m.Profile, 1)
+			fps := d.Throughput(m.Profile, 1)
+			t.Logf("Table1 %-10s %-12s cpu=%5.1f%% accel=%5.1f%% core=%5.1f%% fps=%6.1f lat=%6.1fms",
+				m.Name, d.Name, cpu, acc, core, fps, d.SingleLatencyMS(m.Profile))
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range Fig2Models() {
+		var samples []fit.Sample
+		for b := 1; b <= 16; b++ {
+			for r := 0; r < 5; r++ {
+				samples = append(samples, fit.Sample{B: b, TIR: accel.JetsonNano.TIRNoisy(m.Profile, b, 0.02, rng)})
+			}
+		}
+		p, err := fit.Piecewise(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		t.Logf("Fig2 %-10s eta=%.3f beta=%.0f C=%.3f  (paper: LeNet .32/5/1.68, GoogLeNet .12/10/1.30, ResNet .12/8/1.28)",
+			m.Name, p.Eta, p.Beta, p.C)
+	}
+}

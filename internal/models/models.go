@@ -1,0 +1,226 @@
+// Package models is the DNN model zoo: the named networks used by the
+// paper's motivation experiments (Table 1, Fig. 2) and the 5-application ×
+// 5-version catalogue used by its evaluation (§5.1).
+//
+// Real networks are replaced by their scheduling-relevant characteristics —
+// the only properties that ever enter BIRP's optimization problem or the
+// simulator:
+//
+//	loss           ∈ [0.15, 0.49]   (per-request inference error, Eq. 10)
+//	weights δ      ∈ [33, 550] MB   (Eq. 6)
+//	compressed ξ   ∈ [7, 98] MB     (Eq. 9, model shipping cost)
+//	intermediate μ ∈ [55, 480] MB   (Eq. 6, per batch element)
+//	request size ζ ∈ [0.2, 3] MB    (Eq. 9, redistribution cost)
+//
+// plus a kernel profile consumed by package accel, from which device-specific
+// single-request latency γ (paper range [18, 770] ms) and the TIR law emerge.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+)
+
+// Model is one deployable DNN inference model version.
+type Model struct {
+	Name    string
+	App     int // application index this model serves, -1 for standalone nets
+	Version int // 0 = smallest/least accurate
+	// Loss is the model's inference error (lower is better), the loss_ij of Eq. 10.
+	Loss float64
+	// WeightsMB is δ: memory for the weights.
+	WeightsMB float64
+	// CompressedMB is ξ: network cost of shipping the (compressed) weights.
+	CompressedMB float64
+	// IntermediateMB is μ: per-sample activation memory at batch size 1.
+	IntermediateMB float64
+	// Profile drives the accel execution model.
+	Profile accel.KernelProfile
+}
+
+// MemoryMB returns the Eq. 6 memory footprint δ + μ·b for batch size b.
+func (m *Model) MemoryMB(b int) float64 {
+	return m.WeightsMB + m.IntermediateMB*float64(b)
+}
+
+// Application is one intelligent application with its model ladder.
+type Application struct {
+	Name string
+	// Index is the application id i.
+	Index int
+	// RequestMB is ζ: network cost of forwarding one request.
+	RequestMB float64
+	// SLOFrac is the application's response-time SLO as a fraction of the
+	// scheduling slot (the paper's intro: "different response-time SLOs").
+	// Zero means 1.0 — the slot itself, the paper's evaluation setting.
+	SLOFrac float64
+	// Models is the version ladder, smallest first.
+	Models []*Model
+}
+
+// SLO returns the effective SLO fraction (1.0 when unset).
+func (a *Application) SLO() float64 {
+	if a.SLOFrac <= 0 {
+		return 1.0
+	}
+	return a.SLOFrac
+}
+
+// Named standalone networks for Table 1 and Fig. 2. Profiles are calibrated
+// so that the accel model reproduces the paper's utilization/FPS/TIR
+// observations (see accel and the table1/fig2 experiments).
+var (
+	// LeNet: tiny CNN; heavily host-bound, strong TIR rise (Fig. 2a).
+	// On the Nano its constant cost is K·L = 2.0 ms against 2.78 ms/sample of
+	// host work, so TIR saturates near 1 + 2.0/2.78 ≈ 1.7 (paper: 1.68).
+	LeNet = &Model{
+		Name: "LeNet", App: -1, Loss: 0.49,
+		WeightsMB: 33, CompressedMB: 7, IntermediateMB: 55,
+		Profile: accel.KernelProfile{
+			Kernels: 8, BlocksPerSample: 1.6, WaveMS: 0.2, HostMSPerSample: 2.78,
+		},
+	}
+	// GoogLeNet: mid CNN (Fig. 2b); plateau ≈ 1 + 5.5/16.7 ≈ 1.33 (paper 1.30).
+	GoogLeNet = &Model{
+		Name: "GoogLeNet", App: -1, Loss: 0.31,
+		WeightsMB: 52, CompressedMB: 13, IntermediateMB: 120,
+		Profile: accel.KernelProfile{
+			Kernels: 22, BlocksPerSample: 1.5, WaveMS: 0.22, HostMSPerSample: 16.7,
+		},
+	}
+	// ResNet18 appears in Table 1 and Fig. 2c; plateau ≈ 1 + 7/24 ≈ 1.29
+	// (paper 1.28); host-bound at batch 1 (Nano CPU ≈ 100%, GPU ≈ 61%).
+	ResNet18 = &Model{
+		Name: "ResNet-18", App: -1, Loss: 0.30,
+		WeightsMB: 45, CompressedMB: 11, IntermediateMB: 100,
+		Profile: accel.KernelProfile{
+			Kernels: 28, BlocksPerSample: 1.8, WaveMS: 0.68, HostMSPerSample: 24,
+		},
+	}
+	// Yolov4Tiny: small detector; host-bound on both devices (Table 1).
+	Yolov4Tiny = &Model{
+		Name: "Yolov4-t", App: -1, Loss: 0.42,
+		WeightsMB: 38, CompressedMB: 9, IntermediateMB: 90,
+		Profile: accel.KernelProfile{
+			Kernels: 20, BlocksPerSample: 2.0, WaveMS: 1.52, HostMSPerSample: 36,
+		},
+	}
+	// Yolov4Normal: full detector; device-bound, near-100% GPU (Table 1).
+	Yolov4Normal = &Model{
+		Name: "Yolov4-n", App: -1, Loss: 0.22,
+		WeightsMB: 250, CompressedMB: 48, IntermediateMB: 300,
+		Profile: accel.KernelProfile{
+			Kernels: 110, BlocksPerSample: 24, WaveMS: 0.6, HostMSPerSample: 65,
+		},
+	}
+	// BERT: large transformer; device-saturating, minimal CPU (Table 1).
+	BERT = &Model{
+		Name: "BERT", App: -1, Loss: 0.15,
+		WeightsMB: 550, CompressedMB: 98, IntermediateMB: 480,
+		Profile: accel.KernelProfile{
+			Kernels: 144, BlocksPerSample: 40, WaveMS: 1.26, HostMSPerSample: 265,
+		},
+	}
+)
+
+// Fig2Models are the networks profiled in Fig. 2, in panel order.
+func Fig2Models() []*Model { return []*Model{LeNet, GoogLeNet, ResNet18} }
+
+// Table1Models are the networks measured in Table 1, in row order.
+func Table1Models() []*Model { return []*Model{Yolov4Tiny, Yolov4Normal, ResNet18, BERT} }
+
+// Application names used in the large-scale evaluation (§5.1).
+var appNames = []string{
+	"object-detection",
+	"face-recognition",
+	"image-recognition",
+	"language-understanding",
+	"semantic-segmentation",
+}
+
+// Catalogue builds the evaluation catalogue: nApps applications, each with
+// nVersions model versions spanning the paper's parameter ranges. The ladder
+// is deterministic (no RNG): version v of application a interpolates between
+// the small-model and large-model corners, with mild per-application skew so
+// applications are heterogeneous.
+func Catalogue(nApps, nVersions int) []*Application {
+	if nApps <= 0 || nVersions <= 0 {
+		return nil
+	}
+	apps := make([]*Application, nApps)
+	for a := 0; a < nApps; a++ {
+		name := fmt.Sprintf("app-%d", a)
+		if a < len(appNames) {
+			name = appNames[a]
+		}
+		app := &Application{
+			Name:  name,
+			Index: a,
+			// ζ ∈ [0.2, 3] MB across applications.
+			RequestMB: lerp(0.2, 3, frac(a, nApps)),
+		}
+		for v := 0; v < nVersions; v++ {
+			t := frac(v, nVersions) // 0 = smallest version
+			// Mild application skew keeps ladders distinct but in range; it
+			// only touches host work and memory so the latency envelope
+			// stays inside the paper's [18, 770] ms band.
+			skew := 0.9 + 0.2*frac(a, nApps)
+			// The ladder interpolates between the two calibrated corner
+			// profiles the paper names (§5.1): ResNet-18 → BERT.
+			lo, hi := ResNet18, BERT
+			m := &Model{
+				Name:    fmt.Sprintf("%s-v%d", name, v),
+				App:     a,
+				Version: v,
+				// loss ∈ [0.15, 0.49]: big models (high v) have low loss.
+				// The small loss skew keeps application ladders distinct.
+				Loss: clamp(lerp(0.49, 0.15, t)-0.005*float64(a), 0.15, 0.49),
+				// δ ∈ [33, 550] MB.
+				WeightsMB: clamp(lerp(lo.WeightsMB, hi.WeightsMB, t)*skew, 33, 550),
+				// ξ ∈ [7, 98] MB.
+				CompressedMB: clamp(lerp(lo.CompressedMB, hi.CompressedMB, t)*skew, 7, 98),
+				// μ ∈ [55, 480] MB.
+				IntermediateMB: clamp(lerp(lo.IntermediateMB, hi.IntermediateMB, t)*skew, 55, 480),
+				Profile: accel.KernelProfile{
+					Kernels:         int(lerp(float64(lo.Profile.Kernels), float64(hi.Profile.Kernels), t) + 0.5),
+					BlocksPerSample: lerp(lo.Profile.BlocksPerSample, hi.Profile.BlocksPerSample, t*t),
+					WaveMS:          lerp(lo.Profile.WaveMS, hi.Profile.WaveMS, t),
+					HostMSPerSample: lerp(lo.Profile.HostMSPerSample, hi.Profile.HostMSPerSample, t) * skew,
+				},
+			}
+			app.Models = append(app.Models, m)
+		}
+		apps[a] = app
+	}
+	return apps
+}
+
+// AllModels flattens a catalogue into one slice.
+func AllModels(apps []*Application) []*Model {
+	var out []*Model
+	for _, a := range apps {
+		out = append(out, a.Models...)
+	}
+	return out
+}
+
+func lerp(lo, hi, t float64) float64 { return lo + (hi-lo)*t }
+
+// frac maps index i of n to [0, 1] (0 when n == 1).
+func frac(i, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(i) / float64(n-1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/fit"
+)
+
+func TestMemoryMB(t *testing.T) {
+	m := &Model{WeightsMB: 100, IntermediateMB: 50}
+	if got := m.MemoryMB(4); got != 300 {
+		t.Fatalf("MemoryMB(4) = %v, want 300", got)
+	}
+	if got := m.MemoryMB(0); got != 100 {
+		t.Fatalf("MemoryMB(0) = %v, want weights only", got)
+	}
+}
+
+func TestNamedModelsParameterRanges(t *testing.T) {
+	all := append(Fig2Models(), Table1Models()...)
+	for _, m := range all {
+		if m.Loss < 0.15 || m.Loss > 0.49 {
+			t.Errorf("%s: loss %v outside [0.15, 0.49]", m.Name, m.Loss)
+		}
+		if m.WeightsMB < 33 || m.WeightsMB > 550 {
+			t.Errorf("%s: weights %v outside [33, 550]", m.Name, m.WeightsMB)
+		}
+		if m.CompressedMB < 7 || m.CompressedMB > 98 {
+			t.Errorf("%s: compressed %v outside [7, 98]", m.Name, m.CompressedMB)
+		}
+		if m.IntermediateMB < 55 || m.IntermediateMB > 480 {
+			t.Errorf("%s: intermediates %v outside [55, 480]", m.Name, m.IntermediateMB)
+		}
+		if m.Profile.Kernels <= 0 {
+			t.Errorf("%s: empty kernel profile", m.Name)
+		}
+	}
+}
+
+func TestBiggerVersionsAreMoreAccurateAndHeavier(t *testing.T) {
+	apps := Catalogue(5, 5)
+	for _, app := range apps {
+		for v := 1; v < len(app.Models); v++ {
+			a, b := app.Models[v-1], app.Models[v]
+			if b.Loss >= a.Loss {
+				t.Fatalf("%s: loss must strictly decrease with version (%v → %v)", app.Name, a.Loss, b.Loss)
+			}
+			if b.WeightsMB < a.WeightsMB {
+				t.Fatalf("%s: weights must not shrink with version", app.Name)
+			}
+			la := accel.JetsonNano.SingleLatencyMS(a.Profile)
+			lb := accel.JetsonNano.SingleLatencyMS(b.Profile)
+			if lb <= la {
+				t.Fatalf("%s: bigger version must be slower (%v → %v)", app.Name, la, lb)
+			}
+		}
+	}
+}
+
+func TestCatalogueDimensions(t *testing.T) {
+	apps := Catalogue(5, 5)
+	if len(apps) != 5 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+	for i, app := range apps {
+		if app.Index != i {
+			t.Fatalf("app %d has index %d", i, app.Index)
+		}
+		if len(app.Models) != 5 {
+			t.Fatalf("app %d has %d models", i, len(app.Models))
+		}
+		for v, m := range app.Models {
+			if m.App != i || m.Version != v {
+				t.Fatalf("model bookkeeping wrong at app %d version %d", i, v)
+			}
+		}
+		if app.RequestMB < 0.2 || app.RequestMB > 3 {
+			t.Fatalf("app %d: request size %v outside [0.2, 3]", i, app.RequestMB)
+		}
+	}
+	if got := AllModels(apps); len(got) != 25 {
+		t.Fatalf("AllModels = %d, want 25", len(got))
+	}
+}
+
+func TestCatalogueDeterministic(t *testing.T) {
+	a := Catalogue(5, 5)
+	b := Catalogue(5, 5)
+	for i := range a {
+		for v := range a[i].Models {
+			if *a[i].Models[v] != *b[i].Models[v] {
+				t.Fatalf("catalogue is not deterministic at app %d version %d", i, v)
+			}
+		}
+	}
+}
+
+func TestCatalogueEdgeCases(t *testing.T) {
+	if Catalogue(0, 5) != nil || Catalogue(5, 0) != nil {
+		t.Fatal("degenerate catalogue should be nil")
+	}
+	one := Catalogue(1, 1)
+	if len(one) != 1 || len(one[0].Models) != 1 {
+		t.Fatal("1x1 catalogue broken")
+	}
+	big := Catalogue(8, 7) // more apps than named apps
+	if len(big) != 8 {
+		t.Fatal("catalogue must extend beyond named applications")
+	}
+}
+
+func TestCatalogueLatenciesInPaperRange(t *testing.T) {
+	// Paper: γ ∈ [18, 770] ms across models × edges; allow a loose envelope.
+	apps := Catalogue(5, 5)
+	devices := []*accel.Device{&accel.JetsonNano, &accel.JetsonNX, &accel.Atlas200DK}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range AllModels(apps) {
+		for _, d := range devices {
+			l := d.SingleLatencyMS(m.Profile)
+			lo = math.Min(lo, l)
+			hi = math.Max(hi, l)
+		}
+	}
+	if lo < 3 || hi > 1200 {
+		t.Fatalf("latency envelope [%v, %v] implausible vs paper [18, 770]", lo, hi)
+	}
+	if hi/lo < 10 {
+		t.Fatalf("latency spread %v too narrow to exercise heterogeneity", hi/lo)
+	}
+}
+
+func TestFig2TIRShapesMatchPaper(t *testing.T) {
+	// The calibrated profiles must reproduce the paper's fitted laws within
+	// tolerance: LeNet (0.32, 5, 1.68), GoogLeNet (0.12, 10, 1.30),
+	// ResNet-18 (0.12, 8, 1.28) — measured on the Jetson Nano.
+	want := []struct {
+		eta, c   float64
+		etaTol   float64
+		cTol     float64
+		maxKneeB float64
+	}{
+		{0.32, 1.68, 0.10, 0.12, 16},
+		{0.12, 1.30, 0.06, 0.08, 16},
+		{0.12, 1.28, 0.06, 0.08, 16},
+	}
+	for i, m := range Fig2Models() {
+		var samples []fit.Sample
+		for b := 1; b <= 16; b++ {
+			samples = append(samples, fit.Sample{B: b, TIR: accel.JetsonNano.TIR(m.Profile, b)})
+		}
+		p, err := fit.Piecewise(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		w := want[i]
+		if math.Abs(p.Eta-w.eta) > w.etaTol {
+			t.Errorf("%s: η = %.3f, paper %.2f", m.Name, p.Eta, w.eta)
+		}
+		if math.Abs(p.C-w.c) > w.cTol {
+			t.Errorf("%s: C = %.3f, paper %.2f", m.Name, p.C, w.c)
+		}
+		if p.Beta < 2 || p.Beta > w.maxKneeB {
+			t.Errorf("%s: knee %v implausible", m.Name, p.Beta)
+		}
+	}
+}
+
+func TestTable1RegimesMatchPaper(t *testing.T) {
+	// Qualitative Table 1 checks: small models are host-bound (CPU ≳ 90%,
+	// accelerator < 80%), large models are device-bound (accelerator ≳ 85%).
+	smalls := []*Model{Yolov4Tiny, ResNet18}
+	larges := []*Model{Yolov4Normal, BERT}
+	for _, m := range smalls {
+		cpu, busy, _ := accel.JetsonNano.Utilization(m.Profile, 1)
+		if cpu < 90 {
+			t.Errorf("%s on Nano: CPU %v, want host-bound", m.Name, cpu)
+		}
+		if busy > 80 {
+			t.Errorf("%s on Nano: GPU %v, want under 80", m.Name, busy)
+		}
+	}
+	for _, m := range larges {
+		cpu, busy, _ := accel.JetsonNano.Utilization(m.Profile, 1)
+		if busy < 85 {
+			t.Errorf("%s on Nano: GPU %v, want device-bound", m.Name, busy)
+		}
+		if cpu > 60 {
+			t.Errorf("%s on Nano: CPU %v, want light", m.Name, cpu)
+		}
+	}
+	// FPS ordering from the paper: BERT < Yolov4-n < Yolov4-t < ResNet-18 on
+	// both devices, and Atlas beats Nano everywhere.
+	for _, d := range []*accel.Device{&accel.JetsonNano, &accel.Atlas200DK} {
+		fps := func(m *Model) float64 { return d.Throughput(m.Profile, 1) }
+		if !(fps(BERT) < fps(Yolov4Normal) && fps(Yolov4Normal) < fps(Yolov4Tiny) && fps(Yolov4Tiny) < fps(ResNet18)) {
+			t.Errorf("%s: FPS ordering broken: %v %v %v %v", d.Name,
+				fps(BERT), fps(Yolov4Normal), fps(Yolov4Tiny), fps(ResNet18))
+		}
+	}
+	for _, m := range Table1Models() {
+		if accel.Atlas200DK.Throughput(m.Profile, 1) <= accel.JetsonNano.Throughput(m.Profile, 1) {
+			t.Errorf("%s: Atlas must outperform Nano", m.Name)
+		}
+	}
+}

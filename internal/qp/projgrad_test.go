@@ -1,0 +1,121 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestSolveBoxValidation(t *testing.T) {
+	cases := []*BoxProblem{
+		{C: nil},
+		{C: []float64{1}, Q: mat.New(2, 2), Lo: []float64{0}, Hi: []float64{1}},
+		{C: []float64{1}, Q: mat.Identity(1), Lo: []float64{0, 1}, Hi: []float64{1}},
+		{C: []float64{1}, Q: mat.Identity(1), Lo: []float64{2}, Hi: []float64{1}},
+	}
+	for i, p := range cases {
+		if _, err := SolveBox(p, BoxOptions{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSolveBoxUnconstrainedInterior(t *testing.T) {
+	// min ½x² − 3x over [0, 10] → x = 3.
+	p := &BoxProblem{
+		Q: mat.Identity(1), C: []float64{-3},
+		Lo: []float64{0}, Hi: []float64{10},
+	}
+	res, err := SolveBox(p, BoxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.X[0]-3) > 1e-5 {
+		t.Fatalf("x = %v (converged %v), want 3", res.X, res.Converged)
+	}
+}
+
+func TestSolveBoxClampsAtBounds(t *testing.T) {
+	// Minimizer at x = 9 but hi = 2 → lands on the bound.
+	p := &BoxProblem{
+		Q: mat.Identity(1), C: []float64{-9},
+		Lo: []float64{0}, Hi: []float64{2},
+	}
+	res, err := SolveBox(p, BoxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Fatalf("x = %v, want the bound 2", res.X)
+	}
+}
+
+// Property: projected gradient and the active-set method agree on random
+// strictly convex box QPs — two structurally different algorithms, one
+// answer.
+func TestQuickBoxAgreesWithActiveSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		g := mat.New(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		q := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			q.Set(i, i, q.At(i, i)+1)
+		}
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		var aub [][]float64
+		var bub []float64
+		for j := 0; j < n; j++ {
+			c[j] = rng.NormFloat64() * 2
+			lo[j] = -1 - rng.Float64()
+			hi[j] = 1 + rng.Float64()
+			up := make([]float64, n)
+			dn := make([]float64, n)
+			up[j], dn[j] = 1, -1
+			aub = append(aub, up, dn)
+			bub = append(bub, hi[j], -lo[j])
+		}
+		pg, err := SolveBox(&BoxProblem{Q: q, C: c, Lo: lo, Hi: hi}, BoxOptions{})
+		if err != nil || !pg.Converged {
+			return false
+		}
+		as, err := Solve(&Problem{Q: q, C: c, Aub: aub, Bub: bub})
+		if err != nil || as.Status != StatusOptimal {
+			return false
+		}
+		return math.Abs(pg.Obj-as.Obj) < 1e-4*(1+math.Abs(as.Obj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBoxWarmStart(t *testing.T) {
+	q := mat.Identity(3)
+	p := &BoxProblem{
+		Q: q, C: []float64{-1, -2, -3},
+		Lo: []float64{0, 0, 0}, Hi: []float64{5, 5, 5},
+	}
+	cold, err := SolveBox(p, BoxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SolveBox(p, BoxOptions{X0: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold.Obj-warm.Obj) > 1e-6 {
+		t.Fatalf("warm start changed the optimum: %v vs %v", warm.Obj, cold.Obj)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Logf("note: warm start took %d iters vs %d cold (acceleration restarts)", warm.Iterations, cold.Iterations)
+	}
+}

@@ -1,0 +1,397 @@
+// Package qp implements a primal active-set solver for convex quadratic
+// programs of the form
+//
+//	minimize    ½·xᵀQx + cᵀx
+//	subject to  Aeq·x  = beq
+//	            Aub·x ≤ bub
+//
+// with Q symmetric positive semidefinite. Variable bounds are expressed as
+// inequality rows by the caller (the miqp package does this automatically).
+//
+// The method is the textbook primal active-set algorithm (Nocedal & Wright,
+// ch. 16): starting from a feasible point obtained with a Phase-I LP, it
+// repeatedly solves the equality-constrained subproblem restricted to the
+// working set via a dense KKT system, takes the longest feasible step toward
+// the subproblem minimizer, and adds/drops constraints by blocking rows and
+// Lagrange-multiplier signs. A small adaptive Tikhonov ridge keeps the KKT
+// system nonsingular when Q is only semidefinite.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// Status describes the outcome of a QP solve.
+type Status int
+
+const (
+	// StatusOptimal means a KKT point (global optimum for convex Q) was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusIterLimit means the iteration budget was exhausted.
+	StatusIterLimit
+	// StatusUnbounded means the objective is unbounded below on the feasible
+	// set (possible when Q is singular along a feasible ray).
+	StatusUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusIterLimit:
+		return "iteration-limit"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem reports structurally invalid input.
+var ErrBadProblem = errors.New("qp: malformed problem")
+
+// Problem is a convex QP. Q may be nil for a pure LP objective (then the
+// active-set loop still works, but callers usually prefer package lp).
+type Problem struct {
+	Q   *mat.Matrix // n×n symmetric PSD; nil means zero
+	C   []float64   // length n
+	Aeq [][]float64
+	Beq []float64
+	Aub [][]float64
+	Bub []float64
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status     Status
+	X          []float64
+	Obj        float64
+	Iterations int
+}
+
+// Options tunes the solver.
+type Options struct {
+	MaxIter int     // 0 means automatic
+	Tol     float64 // 0 means 1e-8
+	X0      []float64
+	// X0, if non-nil and feasible, is used as the starting point.
+}
+
+// Solve runs the active-set method with default options.
+func Solve(p *Problem) (*Result, error) { return SolveOpts(p, Options{}) }
+
+// SolveOpts runs the active-set method.
+func SolveOpts(p *Problem, opt Options) (*Result, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	if p.Q != nil && (p.Q.Rows != n || p.Q.Cols != n) {
+		return nil, fmt.Errorf("%w: Q is %dx%d, want %dx%d", ErrBadProblem, p.Q.Rows, p.Q.Cols, n, n)
+	}
+	if len(p.Aeq) != len(p.Beq) || len(p.Aub) != len(p.Bub) {
+		return nil, fmt.Errorf("%w: constraint row/rhs count mismatch", ErrBadProblem)
+	}
+	for _, r := range p.Aeq {
+		if len(r) != n {
+			return nil, fmt.Errorf("%w: equality row width", ErrBadProblem)
+		}
+	}
+	for _, r := range p.Aub {
+		if len(r) != n {
+			return nil, fmt.Errorf("%w: inequality row width", ErrBadProblem)
+		}
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 50*(n+len(p.Aub)+len(p.Aeq)) + 200
+	}
+
+	x, st, err := startingPoint(p, opt.X0, tol)
+	if err != nil {
+		return nil, err
+	}
+	if st != StatusOptimal {
+		return &Result{Status: st}, nil
+	}
+	return activeSet(p, x, tol, maxIter)
+}
+
+// startingPoint returns a feasible point: the supplied X0 if feasible,
+// otherwise the Phase-I LP solution (minimize 0 subject to the constraints,
+// free variables).
+func startingPoint(p *Problem, x0 []float64, tol float64) (mat.Vec, Status, error) {
+	n := len(p.C)
+	if x0 != nil && len(x0) == n && isFeasible(p, x0, 1e-7) {
+		return mat.Vec(x0).Clone(), StatusOptimal, nil
+	}
+	lb := make([]float64, n)
+	for i := range lb {
+		lb[i] = math.Inf(-1)
+	}
+	lpp := &lp.Problem{
+		C:   make([]float64, n),
+		Aeq: p.Aeq,
+		Beq: p.Beq,
+		Aub: p.Aub,
+		Bub: p.Bub,
+		Lb:  lb,
+	}
+	res, err := lp.Solve(lpp)
+	if err != nil {
+		return nil, StatusInfeasible, err
+	}
+	switch res.Status {
+	case lp.StatusOptimal:
+		return mat.Vec(res.X), StatusOptimal, nil
+	case lp.StatusInfeasible:
+		return nil, StatusInfeasible, nil
+	default:
+		return nil, StatusIterLimit, nil
+	}
+}
+
+func isFeasible(p *Problem, x []float64, tol float64) bool {
+	for i, row := range p.Aeq {
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		if math.Abs(s-p.Beq[i]) > tol*(1+math.Abs(p.Beq[i])) {
+			return false
+		}
+	}
+	for i, row := range p.Aub {
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		if s > p.Bub[i]+tol*(1+math.Abs(p.Bub[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// gradient computes Qx + c.
+func gradient(p *Problem, x mat.Vec) mat.Vec {
+	g := mat.Vec(p.C).Clone()
+	if p.Q != nil {
+		g.AddScaled(1, p.Q.MulVec(x))
+	}
+	return g
+}
+
+// objective computes ½xᵀQx + cᵀx.
+func objective(p *Problem, x mat.Vec) float64 {
+	obj := mat.Vec(p.C).Dot(x)
+	if p.Q != nil {
+		obj += 0.5 * x.Dot(p.Q.MulVec(x))
+	}
+	return obj
+}
+
+// activeSet is the main loop. x must be feasible on entry.
+func activeSet(p *Problem, x mat.Vec, tol float64, maxIter int) (*Result, error) {
+	nub := len(p.Aub)
+	// Working set: all equalities (always) + a subset of inequalities,
+	// tracked by index into Aub.
+	inW := make([]bool, nub)
+	var work []int
+	// The working set starts empty: blocking rows are added one at a time,
+	// which keeps the working-set rows linearly independent (a dependent row
+	// satisfies A·p = 0 on the current working set and therefore can never
+	// block) and so avoids the degenerate-vertex cycling that plagues
+	// active-set methods seeded with every initially-active row.
+
+	for iter := 1; iter <= maxIter; iter++ {
+		g := gradient(p, x)
+		pdir, lam, err := eqpStep(p, g, work)
+		if err != nil {
+			return nil, err
+		}
+		if pdir.NormInf() <= tol*(1+g.NormInf()) {
+			// Stationary on the working set; check multipliers of the
+			// inequality rows (equalities may have any sign).
+			neq := len(p.Aeq)
+			drop, most := -1, -tol
+			for wi := range work {
+				l := lam[neq+wi]
+				if l < most {
+					most = l
+					drop = wi
+				}
+			}
+			if drop < 0 {
+				return &Result{Status: StatusOptimal, X: x, Obj: objective(p, x), Iterations: iter}, nil
+			}
+			inW[work[drop]] = false
+			work = append(work[:drop], work[drop+1:]...)
+			continue
+		}
+		// Step length: longest feasible step along pdir.
+		alpha := 1.0
+		block := -1
+		for i, row := range p.Aub {
+			if inW[i] {
+				continue
+			}
+			var ap, ax float64
+			for j, a := range row {
+				ap += a * pdir[j]
+				ax += a * x[j]
+			}
+			if ap <= tol {
+				continue
+			}
+			ratio := (p.Bub[i] - ax) / ap
+			if ratio < alpha {
+				alpha = ratio
+				block = i
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		if alpha == 1 && (p.Q == nil || unboundedRay(p, pdir, tol)) && block < 0 {
+			// A full Newton step with no curvature and no blocking row means
+			// descent forever (only possible with singular/zero Q).
+			if descentForever(p, x, pdir, tol) {
+				return &Result{Status: StatusUnbounded, Iterations: iter}, nil
+			}
+		}
+		x.AddScaled(alpha, pdir)
+		if block >= 0 {
+			inW[block] = true
+			work = append(work, block)
+		}
+	}
+	return &Result{Status: StatusIterLimit, Iterations: maxIter}, nil
+}
+
+// unboundedRay reports whether Q·p ≈ 0, i.e. the direction has no curvature.
+func unboundedRay(p *Problem, dir mat.Vec, tol float64) bool {
+	if p.Q == nil {
+		return true
+	}
+	return p.Q.MulVec(dir).NormInf() <= tol
+}
+
+// descentForever reports whether moving along dir decreases the objective
+// without bound while staying feasible (no inequality row increases along dir).
+func descentForever(p *Problem, x, dir mat.Vec, tol float64) bool {
+	g := gradient(p, x)
+	if g.Dot(dir) >= -tol {
+		return false
+	}
+	for _, row := range p.Aub {
+		var ap float64
+		for j, a := range row {
+			ap += a * dir[j]
+		}
+		if ap > tol {
+			return false
+		}
+	}
+	for _, row := range p.Aeq {
+		var ap float64
+		for j, a := range row {
+			ap += a * dir[j]
+		}
+		if math.Abs(ap) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// eqpStep solves the equality-constrained subproblem
+//
+//	min ½pᵀQp + gᵀp   s.t.  Aeq·p = 0, Aub[work]·p = 0
+//
+// via the dense KKT system, returning the step p and the multipliers λ
+// ordered [equalities..., working inequalities...]. A ridge is added to Q
+// (and grown on singularity) so the system is solvable for PSD Q and
+// possibly redundant working sets.
+func eqpStep(p *Problem, g mat.Vec, work []int) (mat.Vec, mat.Vec, error) {
+	n := len(g)
+	neq := len(p.Aeq)
+	m := neq + len(work)
+	size := n + m
+	ridge := 1e-10 * (1 + quadScale(p))
+	for attempt := 0; attempt < 6; attempt++ {
+		k := mat.New(size, size)
+		for i := 0; i < n; i++ {
+			if p.Q != nil {
+				copy(k.Data[i*size:i*size+n], p.Q.Data[i*n:(i+1)*n])
+			}
+			k.Data[i*size+i] += ridge
+		}
+		for r := 0; r < m; r++ {
+			var row []float64
+			if r < neq {
+				row = p.Aeq[r]
+			} else {
+				row = p.Aub[work[r-neq]]
+			}
+			for j := 0; j < n; j++ {
+				k.Set(n+r, j, row[j])
+				k.Set(j, n+r, row[j])
+			}
+		}
+		rhs := mat.NewVec(size)
+		for i := 0; i < n; i++ {
+			rhs[i] = -g[i]
+		}
+		sol, err := mat.Solve(k, rhs)
+		if err != nil {
+			ridge *= 1000
+			if ridge == 0 {
+				ridge = 1e-8
+			}
+			continue
+		}
+		step := mat.Vec(sol[:n])
+		lam := mat.Vec(sol[n:])
+		bad := false
+		for _, v := range sol {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			ridge *= 1000
+			continue
+		}
+		return step, lam, nil
+	}
+	return nil, nil, fmt.Errorf("qp: KKT system unsolvable after regularization")
+}
+
+func quadScale(p *Problem) float64 {
+	if p.Q == nil {
+		return 0
+	}
+	var m float64
+	for _, v := range p.Q.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

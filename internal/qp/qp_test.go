@@ -1,0 +1,397 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestUnconstrainedQuadratic(t *testing.T) {
+	// min ½(x² + y²) − x − 2y → x = 1, y = 2, obj −2.5.
+	p := &Problem{
+		Q: mat.Identity(2),
+		C: []float64{-1, -2},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-2) > 1e-6 {
+		t.Fatalf("x = %v, want (1,2)", res.X)
+	}
+	if math.Abs(res.Obj-(-2.5)) > 1e-6 {
+		t.Fatalf("obj = %v, want -2.5", res.Obj)
+	}
+}
+
+func TestEqualityConstrainedQuadratic(t *testing.T) {
+	// min ½(x²+y²) s.t. x + y = 2 → x = y = 1.
+	p := &Problem{
+		Q:   mat.Identity(2),
+		C:   []float64{0, 0},
+		Aeq: [][]float64{{1, 1}},
+		Beq: []float64{2},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want (1,1)", res.X)
+	}
+}
+
+func TestActiveInequality(t *testing.T) {
+	// min ½((x−3)² + (y−3)²) s.t. x + y ≤ 2 → projection onto the halfspace:
+	// x = y = 1.
+	q := mat.Identity(2)
+	p := &Problem{
+		Q:   q,
+		C:   []float64{-3, -3},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{2},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-1) > 1e-5 {
+		t.Fatalf("x = %v, want (1,1)", res.X)
+	}
+}
+
+func TestInactiveInequality(t *testing.T) {
+	// Same objective, constraint x + y ≤ 100 inactive → unconstrained optimum (3,3).
+	p := &Problem{
+		Q:   mat.Identity(2),
+		C:   []float64{-3, -3},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{100},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-3) > 1e-5 || math.Abs(res.X[1]-3) > 1e-5 {
+		t.Fatalf("x = %v, want (3,3)", res.X)
+	}
+}
+
+func TestBoxConstrainedProjection(t *testing.T) {
+	// Project the point (5, -7) onto the box [0,1]² (bounds as Aub rows).
+	p := &Problem{
+		Q:   mat.Identity(2),
+		C:   []float64{-5, 7},
+		Aub: [][]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}},
+		Bub: []float64{1, 1, 0, 0},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-0) > 1e-5 {
+		t.Fatalf("x = %v, want (1,0)", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Q:   mat.Identity(1),
+		C:   []float64{0},
+		Aub: [][]float64{{1}, {-1}},
+		Bub: []float64{-1, -1}, // x ≤ -1 and x ≥ 1
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSemidefiniteQ(t *testing.T) {
+	// Q = diag(1, 0): flat in y. min ½x² + y s.t. 0 ≤ y ≤ 5, -5 ≤ x ≤ 5.
+	// Optimum x = 0, y = 0.
+	q := mat.New(2, 2)
+	q.Set(0, 0, 1)
+	p := &Problem{
+		Q:   q,
+		C:   []float64{0, 1},
+		Aub: [][]float64{{0, 1}, {0, -1}, {1, 0}, {-1, 0}},
+		Bub: []float64{5, 0, 5, 5},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]) > 1e-4 || math.Abs(res.X[1]) > 1e-4 {
+		t.Fatalf("x = %v, want (0,0)", res.X)
+	}
+}
+
+func TestWarmStartX0(t *testing.T) {
+	p := &Problem{
+		Q:   mat.Identity(2),
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{10},
+	}
+	res, err := SolveOpts(p, Options{X0: []float64{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-1) > 1e-5 {
+		t.Fatalf("x = %v, want (1,1)", res.X)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []*Problem{
+		{C: nil},
+		{Q: mat.New(2, 3), C: []float64{1, 1}},
+		{Q: mat.Identity(1), C: []float64{1}, Aeq: [][]float64{{1}}, Beq: []float64{}},
+		{Q: mat.Identity(1), C: []float64{1}, Aub: [][]float64{{1, 2}}, Bub: []float64{1}},
+		{Q: mat.Identity(2), C: []float64{1, 1}, Aeq: [][]float64{{1}}, Beq: []float64{1}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusOptimal, StatusInfeasible, StatusIterLimit, StatusUnbounded, Status(42)} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+// Reference: projected gradient descent for box-constrained convex QP,
+// used to cross-check the active-set answer.
+func projGrad(q *mat.Matrix, c []float64, lo, hi []float64, iters int) mat.Vec {
+	n := len(c)
+	x := mat.NewVec(n)
+	// Step size from a crude bound on the Lipschitz constant.
+	var lmax float64
+	for i := 0; i < n; i++ {
+		var rowsum float64
+		for j := 0; j < n; j++ {
+			rowsum += math.Abs(q.At(i, j))
+		}
+		if rowsum > lmax {
+			lmax = rowsum
+		}
+	}
+	step := 1 / (lmax + 1)
+	for it := 0; it < iters; it++ {
+		g := q.MulVec(x)
+		for i := range g {
+			g[i] += c[i]
+		}
+		for i := range x {
+			x[i] -= step * g[i]
+			if x[i] < lo[i] {
+				x[i] = lo[i]
+			}
+			if x[i] > hi[i] {
+				x[i] = hi[i]
+			}
+		}
+	}
+	return x
+}
+
+func TestAgainstProjectedGradientRandomBoxQPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		g := mat.New(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		q := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			q.Set(i, i, q.At(i, i)+1) // strictly convex
+		}
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		var aub [][]float64
+		var bub []float64
+		for i := 0; i < n; i++ {
+			c[i] = rng.NormFloat64() * 3
+			lo[i] = -1 - rng.Float64()
+			hi[i] = 1 + rng.Float64()
+			up := make([]float64, n)
+			dn := make([]float64, n)
+			up[i] = 1
+			dn[i] = -1
+			aub = append(aub, up, dn)
+			bub = append(bub, hi[i], -lo[i])
+		}
+		p := &Problem{Q: q, C: c, Aub: aub, Bub: bub}
+		res := solveOK(t, p)
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		ref := projGrad(q, c, lo, hi, 20000)
+		refObj := 0.5*ref.Dot(q.MulVec(ref)) + mat.Vec(c).Dot(ref)
+		if res.Obj > refObj+1e-4 {
+			t.Fatalf("trial %d: active-set obj %v worse than PG obj %v", trial, res.Obj, refObj)
+		}
+	}
+}
+
+// Property: the returned point satisfies every constraint.
+func TestQuickSolutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		g := mat.New(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		q := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			q.Set(i, i, q.At(i, i)+0.5)
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		var aub [][]float64
+		var bub []float64
+		for i := 0; i < n; i++ {
+			up := make([]float64, n)
+			dn := make([]float64, n)
+			up[i], dn[i] = 1, -1
+			aub = append(aub, up, dn)
+			bub = append(bub, 2, 2) // box [-2, 2]^n
+		}
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		aub = append(aub, row)
+		bub = append(bub, 1+rng.Float64()*3)
+		p := &Problem{Q: q, C: c, Aub: aub, Bub: bub}
+		res, err := Solve(p)
+		if err != nil || res.Status != StatusOptimal {
+			return false
+		}
+		for i, r := range aub {
+			var s float64
+			for j, a := range r {
+				s += a * res.X[j]
+			}
+			if s > bub[i]+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: objective at the solution is no worse than at any of a sample of
+// random feasible points (global optimality for convex problems).
+func TestQuickNoBetterFeasiblePoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		q := mat.Identity(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 2
+		}
+		var aub [][]float64
+		var bub []float64
+		for i := 0; i < n; i++ {
+			up := make([]float64, n)
+			dn := make([]float64, n)
+			up[i], dn[i] = 1, -1
+			aub = append(aub, up, dn)
+			bub = append(bub, 1, 1)
+		}
+		p := &Problem{Q: q, C: c, Aub: aub, Bub: bub}
+		res, err := Solve(p)
+		if err != nil || res.Status != StatusOptimal {
+			return false
+		}
+		for k := 0; k < 50; k++ {
+			y := mat.NewVec(n)
+			for i := range y {
+				y[i] = rng.Float64()*2 - 1
+			}
+			objY := 0.5*y.Dot(y) + mat.Vec(c).Dot(y)
+			if objY < res.Obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearObjectiveOnPolytope(t *testing.T) {
+	// Pure linear objective with Q nil over a bounded simplex: should match LP.
+	p := &Problem{
+		C:   []float64{-2, -3},
+		Aub: [][]float64{{1, 1}, {-1, 0}, {0, -1}},
+		Bub: []float64{4, 0, 0},
+	}
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.Obj-(-12)) > 1e-4 {
+		t.Fatalf("obj = %v, want -12 (x=%v)", res.Obj, res.X)
+	}
+}
+
+func BenchmarkActiveSetMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	g := mat.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	q := g.T().Mul(g)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, q.At(i, i)+1)
+	}
+	c := make([]float64, n)
+	var aub [][]float64
+	var bub []float64
+	for i := 0; i < n; i++ {
+		c[i] = rng.NormFloat64()
+		up := make([]float64, n)
+		dn := make([]float64, n)
+		up[i], dn[i] = 1, -1
+		aub = append(aub, up, dn)
+		bub = append(bub, 1, 1)
+	}
+	p := &Problem{Q: q, C: c, Aub: aub, Bub: bub}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestRegressionDegenerateVertexCycle reproduces a degenerate box-QP instance
+// that cycled when the working set was seeded with every initially-active row.
+func TestRegressionDegenerateVertexCycle(t *testing.T) {
+	seed := int64(-5557986513931126379)
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(5)
+	g := mat.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	q := g.T().Mul(g)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, q.At(i, i)+0.5)
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	var aub [][]float64
+	var bub []float64
+	for i := 0; i < n; i++ {
+		up := make([]float64, n)
+		dn := make([]float64, n)
+		up[i], dn[i] = 1, -1
+		aub = append(aub, up, dn)
+		bub = append(bub, 2, 2)
+	}
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	aub = append(aub, row)
+	bub = append(bub, 1+rng.Float64()*3)
+	p := &Problem{Q: q, C: c, Aub: aub, Bub: bub}
+	res, err := Solve(p)
+	t.Logf("n=%d err=%v status=%v x=%v iter=%d", n, err, res.Status, res.X, res.Iterations)
+	if res.Status == StatusOptimal {
+		for i, r := range aub {
+			var s float64
+			for j, a := range r {
+				s += a * res.X[j]
+			}
+			t.Logf("row %d: Ax=%v b=%v viol=%v", i, s, bub[i], s-bub[i])
+		}
+	}
+}

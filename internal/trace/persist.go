@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// persisted is the on-disk JSON schema of a trace.
+type persisted struct {
+	Apps  int       `json:"apps"`
+	Edges int       `json:"edges"`
+	Slots int       `json:"slots"`
+	R     [][][]int `json:"r"`
+}
+
+// Save writes the trace as JSON. Saved traces let distributed runs and
+// cross-machine experiments replay the exact same workload.
+func (tr *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(persisted{Apps: tr.Apps, Edges: tr.Edges, Slots: tr.Slots, R: tr.R})
+}
+
+// Load reads a trace previously written by Save and validates its shape.
+func Load(r io.Reader) (*Trace, error) {
+	var p persisted
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	tr := &Trace{Apps: p.Apps, Edges: p.Edges, Slots: p.Slots, R: p.R}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Validate checks internal consistency (shape and non-negativity).
+func (tr *Trace) Validate() error {
+	if tr.Apps <= 0 || tr.Edges <= 0 || tr.Slots <= 0 {
+		return fmt.Errorf("trace: non-positive dimensions %d/%d/%d", tr.Apps, tr.Edges, tr.Slots)
+	}
+	if len(tr.R) != tr.Slots {
+		return fmt.Errorf("trace: %d slot rows, want %d", len(tr.R), tr.Slots)
+	}
+	for t, slot := range tr.R {
+		if len(slot) != tr.Apps {
+			return fmt.Errorf("trace: slot %d has %d app rows, want %d", t, len(slot), tr.Apps)
+		}
+		for i, row := range slot {
+			if len(row) != tr.Edges {
+				return fmt.Errorf("trace: slot %d app %d has %d edges, want %d", t, i, len(row), tr.Edges)
+			}
+			for k, v := range row {
+				if v < 0 {
+					return fmt.Errorf("trace: negative arrivals at (%d,%d,%d)", t, i, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace for reports and sanity checks.
+type Stats struct {
+	Total         int
+	MeanPerSlot   float64 // per (app, edge)
+	PeakSlotTotal int     // largest single-slot total
+	PeakEdgeLoad  int     // largest per-edge single-slot load
+	MeanImbalance float64 // average max/mean edge-load ratio
+	CV            float64 // coefficient of variation of slot totals
+}
+
+// Summarize computes trace statistics.
+func (tr *Trace) Summarize() Stats {
+	s := Stats{}
+	var totals []float64
+	var imbSum float64
+	imbN := 0
+	for t := 0; t < tr.Slots; t++ {
+		st := tr.TotalAt(t)
+		s.Total += st
+		totals = append(totals, float64(st))
+		if st > s.PeakSlotTotal {
+			s.PeakSlotTotal = st
+		}
+		for _, l := range tr.EdgeLoadAt(t) {
+			if l > s.PeakEdgeLoad {
+				s.PeakEdgeLoad = l
+			}
+		}
+		if v := tr.ImbalanceAt(t); v > 0 {
+			imbSum += v
+			imbN++
+		}
+	}
+	s.MeanPerSlot = float64(s.Total) / float64(tr.Slots*tr.Apps*tr.Edges)
+	if imbN > 0 {
+		s.MeanImbalance = imbSum / float64(imbN)
+	}
+	// Coefficient of variation of slot totals.
+	mean := float64(s.Total) / float64(tr.Slots)
+	var variance float64
+	for _, v := range totals {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(totals))
+	if mean > 0 {
+		s.CV = math.Sqrt(variance) / mean
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := Config{Apps: 2, Edges: 3, Slots: 5, Seed: 4, MeanPerSlot: 7, Imbalance: 0.5}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Apps != 2 || got.Edges != 3 || got.Slots != 5 {
+		t.Fatalf("dims = %d/%d/%d", got.Apps, got.Edges, got.Slots)
+	}
+	for tt := 0; tt < 5; tt++ {
+		for i := 0; i < 2; i++ {
+			for k := 0; k < 3; k++ {
+				if got.R[tt][i][k] != tr.R[tt][i][k] {
+					t.Fatalf("mismatch at (%d,%d,%d)", tt, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"apps":0,"edges":1,"slots":1,"r":[[[1]]]}`,
+		`{"apps":1,"edges":1,"slots":2,"r":[[[1]]]}`,  // slot count mismatch
+		`{"apps":2,"edges":1,"slots":1,"r":[[[1]]]}`,  // app row mismatch
+		`{"apps":1,"edges":2,"slots":1,"r":[[[1]]]}`,  // edge width mismatch
+		`{"apps":1,"edges":1,"slots":1,"r":[[[-3]]]}`, // negative
+		`{"apps":1,"edges":1,"slots":1}`,              // missing R
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestValidateAcceptsGenerated(t *testing.T) {
+	tr, _ := Generate(DefaultConfig())
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Apps: 1, Edges: 2, Slots: 2, R: [][][]int{
+		{{4, 0}},
+		{{2, 2}},
+	}}
+	s := tr.Summarize()
+	if s.Total != 8 {
+		t.Fatalf("total %d", s.Total)
+	}
+	if s.MeanPerSlot != 2 {
+		t.Fatalf("mean per slot %v", s.MeanPerSlot)
+	}
+	if s.PeakSlotTotal != 4 {
+		t.Fatalf("peak slot %d", s.PeakSlotTotal)
+	}
+	if s.PeakEdgeLoad != 4 {
+		t.Fatalf("peak edge %d", s.PeakEdgeLoad)
+	}
+	// Slot 0 imbalance: max 4 / mean 2 = 2; slot 1: 1 → mean 1.5.
+	if s.MeanImbalance != 1.5 {
+		t.Fatalf("imbalance %v", s.MeanImbalance)
+	}
+	if s.CV != 0 { // totals are 4 and 4 → zero variance
+		t.Fatalf("cv %v", s.CV)
+	}
+}
+
+func TestSummarizeRealTrace(t *testing.T) {
+	tr, _ := Generate(DefaultConfig())
+	s := tr.Summarize()
+	if s.Total <= 0 || s.CV <= 0 || s.MeanImbalance < 1 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+	// The default config's diurnal swing must leave a visible footprint.
+	if s.CV < 0.08 {
+		t.Fatalf("diurnal trace too flat: CV %v", s.CV)
+	}
+}

@@ -1,0 +1,194 @@
+// Package trace generates synthetic inference workload traces standing in
+// for the MLaaS-in-the-wild production trace the paper replays ([34]).
+//
+// The generator reproduces the trace features that drive redistribution:
+//
+//   - a diurnal load cycle (slots are 15 paper-minutes; one day = 96 slots);
+//   - per-edge phase skew, so at any instant some edges are hot and others
+//     idle (the hot/idle imbalance of Fig. 1);
+//   - application popularity differences;
+//   - Poisson arrival noise plus occasional multiplicative bursts.
+//
+// Everything is driven by a single seed, so experiments replay bit-identically.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SlotsPerDay matches the paper's 15-minute slots over a 24-hour cycle.
+const SlotsPerDay = 96
+
+// Config parameterizes the generator.
+type Config struct {
+	Apps  int
+	Edges int
+	Slots int
+	Seed  int64
+	// MeanPerSlot is the average number of requests per (app, edge) pair per
+	// slot, before diurnal/skew modulation.
+	MeanPerSlot float64
+	// Imbalance in [0, 1] controls how strongly load concentrates on hot
+	// edges (0 = uniform, 1 = peak edges carry ~double the mean while
+	// off-peak edges are near idle).
+	Imbalance float64
+	// BurstProb is the per-(slot, edge) probability of a burst.
+	BurstProb float64
+	// BurstScale multiplies arrivals during a burst.
+	BurstScale float64
+}
+
+// DefaultConfig is the evaluation setting: 5 applications, 6 edges (three
+// heterogeneous types × two instances), 3 days of 15-minute slots.
+func DefaultConfig() Config {
+	return Config{
+		Apps:        5,
+		Edges:       6,
+		Slots:       3 * SlotsPerDay,
+		Seed:        1,
+		MeanPerSlot: 8,
+		Imbalance:   0.8,
+		BurstProb:   0.05,
+		BurstScale:  2.5,
+	}
+}
+
+// Trace holds arrivals R[t][i][k]: requests of application i arriving in the
+// region of edge k during slot t (the paper's r^t_{ik}).
+type Trace struct {
+	Apps, Edges, Slots int
+	R                  [][][]int
+}
+
+// Generate builds a trace from the config.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.Apps <= 0 || cfg.Edges <= 0 || cfg.Slots <= 0 {
+		return nil, fmt.Errorf("trace: dimensions must be positive, got apps=%d edges=%d slots=%d",
+			cfg.Apps, cfg.Edges, cfg.Slots)
+	}
+	if cfg.MeanPerSlot < 0 {
+		return nil, fmt.Errorf("trace: negative mean load %v", cfg.MeanPerSlot)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Application popularity: geometric-ish weights normalized to mean 1.
+	appW := make([]float64, cfg.Apps)
+	var sum float64
+	for i := range appW {
+		appW[i] = 0.5 + rng.Float64()*1.5
+		sum += appW[i]
+	}
+	for i := range appW {
+		appW[i] *= float64(cfg.Apps) / sum
+	}
+	// Per-edge diurnal phase: hot windows rotate around the cluster.
+	phase := make([]float64, cfg.Edges)
+	for k := range phase {
+		phase[k] = 2 * math.Pi * float64(k) / float64(cfg.Edges)
+	}
+
+	tr := &Trace{Apps: cfg.Apps, Edges: cfg.Edges, Slots: cfg.Slots}
+	tr.R = make([][][]int, cfg.Slots)
+	for t := 0; t < cfg.Slots; t++ {
+		tr.R[t] = make([][]int, cfg.Apps)
+		day := 2 * math.Pi * float64(t%SlotsPerDay) / SlotsPerDay
+		burst := make([]float64, cfg.Edges)
+		for k := range burst {
+			burst[k] = 1
+			if rng.Float64() < cfg.BurstProb {
+				burst[k] = cfg.BurstScale
+			}
+		}
+		for i := 0; i < cfg.Apps; i++ {
+			tr.R[t][i] = make([]int, cfg.Edges)
+			for k := 0; k < cfg.Edges; k++ {
+				mod := 1 + cfg.Imbalance*math.Sin(day+phase[k])
+				if mod < 0 {
+					mod = 0
+				}
+				lambda := cfg.MeanPerSlot * appW[i] * mod * burst[k]
+				tr.R[t][i][k] = poisson(rng, lambda)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// poisson samples a Poisson variate by inversion (fine for λ ≲ 100) and a
+// normal approximation above that.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 100 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Slot returns the arrivals matrix R[i][k] for slot t.
+func (tr *Trace) Slot(t int) [][]int { return tr.R[t] }
+
+// TotalAt returns the total arrivals across apps and edges in slot t.
+func (tr *Trace) TotalAt(t int) int {
+	total := 0
+	for _, row := range tr.R[t] {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// Total returns the total arrivals over the whole trace.
+func (tr *Trace) Total() int {
+	total := 0
+	for t := 0; t < tr.Slots; t++ {
+		total += tr.TotalAt(t)
+	}
+	return total
+}
+
+// EdgeLoadAt returns per-edge totals (summed over apps) for slot t.
+func (tr *Trace) EdgeLoadAt(t int) []int {
+	out := make([]int, tr.Edges)
+	for _, row := range tr.R[t] {
+		for k, v := range row {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// ImbalanceAt returns max/mean of per-edge load in slot t (1 = balanced);
+// it returns 0 for an empty slot.
+func (tr *Trace) ImbalanceAt(t int) float64 {
+	loads := tr.EdgeLoadAt(t)
+	maxv, sum := 0, 0
+	for _, v := range loads {
+		if v > maxv {
+			maxv = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(maxv) / mean
+}

@@ -1,0 +1,44 @@
+package trace
+
+import "fmt"
+
+// Scale returns a copy of the trace with every arrival count multiplied by
+// factor (rounded to nearest); workload engineering for sensitivity studies.
+func (tr *Trace) Scale(factor float64) (*Trace, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("trace: negative scale factor %v", factor)
+	}
+	out := &Trace{Apps: tr.Apps, Edges: tr.Edges, Slots: tr.Slots}
+	out.R = make([][][]int, tr.Slots)
+	for t := range tr.R {
+		out.R[t] = make([][]int, tr.Apps)
+		for i := range tr.R[t] {
+			out.R[t][i] = make([]int, tr.Edges)
+			for k, v := range tr.R[t][i] {
+				out.R[t][i][k] = int(float64(v)*factor + 0.5)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Slice returns the sub-trace of slots [from, to).
+func (tr *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > tr.Slots || from >= to {
+		return nil, fmt.Errorf("trace: bad slice [%d, %d) of %d slots", from, to, tr.Slots)
+	}
+	out := &Trace{Apps: tr.Apps, Edges: tr.Edges, Slots: to - from}
+	out.R = append([][][]int(nil), tr.R[from:to]...)
+	return out, nil
+}
+
+// Concat appends other's slots after tr's; shapes must match.
+func (tr *Trace) Concat(other *Trace) (*Trace, error) {
+	if tr.Apps != other.Apps || tr.Edges != other.Edges {
+		return nil, fmt.Errorf("trace: shape mismatch %dx%d vs %dx%d",
+			tr.Apps, tr.Edges, other.Apps, other.Edges)
+	}
+	out := &Trace{Apps: tr.Apps, Edges: tr.Edges, Slots: tr.Slots + other.Slots}
+	out.R = append(append([][][]int(nil), tr.R...), other.R...)
+	return out, nil
+}

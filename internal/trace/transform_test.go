@@ -1,0 +1,68 @@
+package trace
+
+import "testing"
+
+func mkTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := Generate(Config{Apps: 2, Edges: 3, Slots: 6, Seed: 1, MeanPerSlot: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestScale(t *testing.T) {
+	tr := mkTrace(t)
+	doubled, err := tr.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Total() != 2*tr.Total() {
+		t.Fatalf("scaled total %d, want %d", doubled.Total(), 2*tr.Total())
+	}
+	zero, err := tr.Scale(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Total() != 0 {
+		t.Fatal("zero scale should empty the trace")
+	}
+	if _, err := tr.Scale(-1); err == nil {
+		t.Fatal("negative scale must error")
+	}
+	if err := doubled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceAndConcat(t *testing.T) {
+	tr := mkTrace(t)
+	head, err := tr.Slice(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := tr.Slice(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Slots != 2 || tail.Slots != 4 {
+		t.Fatalf("slice sizes %d/%d", head.Slots, tail.Slots)
+	}
+	back, err := head.Concat(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != tr.Total() || back.Slots != tr.Slots {
+		t.Fatal("slice + concat must reconstruct the trace")
+	}
+	if _, err := tr.Slice(4, 2); err == nil {
+		t.Fatal("inverted slice must error")
+	}
+	if _, err := tr.Slice(-1, 2); err == nil {
+		t.Fatal("negative slice must error")
+	}
+	other, _ := Generate(Config{Apps: 1, Edges: 3, Slots: 2, Seed: 2, MeanPerSlot: 5})
+	if _, err := tr.Concat(other); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
