@@ -115,6 +115,10 @@ type SchedulerOptions struct {
 	B0 int
 	// ProfileMaxBatch bounds BIRP-OFF's offline TIR profiling (0 = 16).
 	ProfileMaxBatch int
+	// Workers bounds BIRP's solve parallelism (concurrent per-edge MILPs and
+	// branch-and-bound relaxations). ≤ 0 means one worker per CPU. Decisions
+	// are bit-identical for every value; only wall-clock time changes.
+	Workers int
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -140,6 +144,7 @@ func NewBIRP(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, 
 	return core.New(core.Config{
 		Cluster: c, Apps: apps,
 		Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+		Workers:  opt.Workers,
 	})
 }
 

@@ -10,14 +10,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	birp "repro"
 )
+
+// timingReport is the machine-readable output of -json: per-experiment
+// wall-clock seconds plus the knobs that shaped the run, so serial and
+// parallel runs can be compared mechanically (see BENCH_PR1.json).
+type timingReport struct {
+	Workers    int         `json:"workers"`
+	Slots      int         `json:"slots"`
+	Seed       int64       `json:"seed"`
+	Quick      bool        `json:"quick"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Timings    []expTiming `json:"timings"`
+}
+
+type expTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig2,fig4,fig5,fig6,fig7,convergence,ablations,scorecard,sensitivity")
@@ -25,6 +44,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace and noise seed")
 	quick := flag.Bool("quick", false, "reduced sizes (fast smoke run)")
 	csvDir := flag.String("csv", "", "also export figure series as CSV files to this directory")
+	workers := flag.Int("workers", 0, "solve/sweep parallelism (0 = one worker per CPU, 1 = serial); results are identical for every value")
+	jsonPath := flag.String("json", "", "write machine-readable per-experiment timings (JSON) to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -32,7 +53,11 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick}
+	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers}
+	report := timingReport{
+		Workers: *workers, Slots: *slots, Seed: *seed, Quick: *quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	run := func(name string, f func() error) {
 		if !all && !want[name] {
 			return
@@ -42,7 +67,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Timings = append(report.Timings, expTiming{Name: name, Seconds: elapsed.Seconds()})
+		fmt.Printf("[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	run("fig1", func() error { _, err := birp.Fig1(os.Stdout, opt); return err })
@@ -103,6 +130,19 @@ func main() {
 		}
 		return nil
 	})
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timings: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "timings: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func snapshots(slots int) []int {

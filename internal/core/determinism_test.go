@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// planRecorder captures every plan a scheduler emits during a simulated run,
+// so two runs can be compared decision-by-decision.
+type planRecorder struct {
+	*Scheduler
+	plans []*edgesim.Plan
+}
+
+func (r *planRecorder) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
+	p, err := r.Scheduler.Decide(t, arrivals)
+	if err == nil {
+		r.plans = append(r.plans, p)
+	}
+	return p, err
+}
+
+// recordRun drives a freshly-built scheduler with the given worker count
+// through a seeded closed-loop simulation (Decide + Observe feedback every
+// slot) and returns the full plan sequence.
+func recordRun(t *testing.T, c *cluster.Cluster, apps []*models.Application, workers, slots int, seed int64, mode SolveMode) []*edgesim.Plan {
+	t.Helper()
+	s, err := New(Config{
+		Cluster: c, Apps: apps, Workers: workers, SolveMode: mode,
+		Provider: NewOnlineTuner(0.04, 0.07),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &planRecorder{Scheduler: s}
+	runSim(t, rec, c, apps, slots, seed)
+	return rec.plans
+}
+
+// TestDecideWorkerCountInvariantSmallScale is the PR's headline determinism
+// claim at the scheduler level: with identical seeds, a Workers:8 scheduler
+// must emit plans byte-identical to a Workers:1 scheduler over a closed-loop
+// run where every slot's tuner feedback depends on the previous decisions —
+// so a single divergent decision would cascade and be caught.
+func TestDecideWorkerCountInvariantSmallScale(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	serial := recordRun(t, c, apps, 1, 25, 9, SolveModeDecomposed)
+	par := recordRun(t, c, apps, 8, 25, 9, SolveModeDecomposed)
+	if !reflect.DeepEqual(serial, par) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Fatalf("slot %d: plans diverged\nserial: %+v\npar:    %+v", i, serial[i], par[i])
+			}
+		}
+		t.Fatalf("plan sequences diverged (lengths %d vs %d)", len(serial), len(par))
+	}
+}
+
+// TestDecideWorkerCountInvariantJoint repeats the invariance check through
+// the joint exact program, whose branch and bound runs with the full worker
+// pool rather than splitting it across edges.
+func TestDecideWorkerCountInvariantJoint(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	serial := recordRun(t, c, apps, 1, 10, 5, SolveModeJoint)
+	par := recordRun(t, c, apps, 8, 10, 5, SolveModeJoint)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("joint-mode plans diverged across worker counts")
+	}
+}
+
+// TestDecideWorkerCountInvariantLargeScale runs the paper's large-scale
+// instance (6 edges × 5 apps × 5 versions) for a few open-loop slots: this
+// is the configuration where the per-edge fan-out actually dispatches
+// concurrent MILPs and the drop-repair loop re-solves dirty edges.
+func TestDecideWorkerCountInvariantLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	tr, err := trace.Generate(trace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []*edgesim.Plan {
+		s, err := New(Config{Cluster: c, Apps: apps, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plans []*edgesim.Plan
+		for tt := 0; tt < 4; tt++ {
+			p, err := s.Decide(tt, tr.R[tt])
+			if err != nil {
+				t.Fatalf("workers=%d slot %d: %v", workers, tt, err)
+			}
+			plans = append(plans, p)
+		}
+		return plans
+	}
+	serial := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(serial, par) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Fatalf("slot %d: large-scale plans diverged\nserial: %+v\npar:    %+v", i, serial[i], par[i])
+			}
+		}
+		t.Fatal("large-scale plan sequences diverged")
+	}
+}

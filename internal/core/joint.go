@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/edgesim"
 	"repro/internal/miqp"
+	"repro/internal/par"
 )
 
 // decideJoint builds and solves the paper's full per-slot program P1/P2 over
@@ -222,6 +223,7 @@ func (s *Scheduler) decideJoint(t int, arrivals [][]int) (*edgesim.Plan, error) 
 		MaxNodes:  nodes,
 		Incumbent: inc,
 		GapTol:    1e-6, // exact: the joint path is the reference solver
+		Workers:   par.Workers(s.cfg.Workers),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: joint solve: %w", err)

@@ -119,6 +119,9 @@ type EdgeProblem struct {
 	DropPenalty          float64 // 0 = default
 	OverflowPenaltyPerMS float64 // 0 = default
 	SolveNodes           int     // 0 = 4000
+	// Workers is the branch-and-bound relaxation parallelism (≤ 1 = serial).
+	// The solve is deterministic for every value; see miqp.Options.Workers.
+	Workers int
 	// SingleVersion restricts each application to at most one deployed model
 	// version on this edge (Σ_j x_ij ≤ 1) — the "model selection" decision
 	// granularity of the OAEI baseline, which picks a version per
@@ -609,23 +612,30 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	}
 	_ = overflow
 	// Set each class slack exactly from the incumbent's planned spends so the
-	// seeded point satisfies every nested budget row.
+	// seeded point satisfies every nested budget row. Iterate (i, j) in
+	// order, not over the vars map: float addition is order-sensitive and the
+	// incumbent must be identical run to run.
 	for ci, f := range classes {
 		var lhs float64
-		for key, vs := range vars {
-			i := key[0]
+		for i := 0; i < I; i++ {
 			if p.Apps[i].SLO() > f+1e-12 {
 				continue
 			}
-			units := inc[vs.units]
-			xv := inc[vs.x]
-			switch p.Mode {
-			case ModeMerged:
-				lhs += vs.slopeMS*units + vs.fixedMS*xv
-			case ModeSerial:
-				lhs += vs.gamma * units
-			case ModeFixed:
-				lhs += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * units
+			for j := range p.Apps[i].Models {
+				vs := vars[[2]int{i, j}]
+				if vs == nil {
+					continue
+				}
+				units := inc[vs.units]
+				xv := inc[vs.x]
+				switch p.Mode {
+				case ModeMerged:
+					lhs += vs.slopeMS*units + vs.fixedMS*xv
+				case ModeSerial:
+					lhs += vs.gamma * units
+				case ModeFixed:
+					lhs += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * units
+				}
 			}
 		}
 		if over := lhs - f*p.SlotMS; over > 0 {
@@ -637,7 +647,8 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		Incumbent: inc,
 		// A 0.5% relative gap is far below the run-to-run noise of the
 		// simulator and cuts the proof-of-optimality tail off the search.
-		GapTol: 0.005 * (1 + objOf(prob, inc)),
+		GapTol:  0.005 * (1 + objOf(prob, inc)),
+		Workers: p.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: edge %d solve: %w", p.EdgeIdx, err)
@@ -653,44 +664,51 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		}
 	}
 	out.OverflowMS = res.X[slack]
-	for key, vs := range vars {
-		i, j := key[0], key[1]
-		served := int(math.Round(res.X[vs.served]))
-		units := int(math.Round(res.X[vs.units]))
-		if served <= 0 {
-			continue
-		}
-		dep := edgesim.Deployment{
-			App: i, Version: j, Edge: p.EdgeIdx, Requests: served,
-		}
-		switch p.Mode {
-		case ModeMerged:
-			if p.KneeCap || served <= vs.bStar {
-				dep.BatchSizes = []int{served}
-			} else {
-				for left := served; left > 0; left -= vs.bStar {
-					bsz := vs.bStar
-					if left < bsz {
-						bsz = left
+	// Extract deployments in (app, version) order so the plan — and the float
+	// accumulation into PredictedMS — is deterministic.
+	for i := 0; i < I; i++ {
+		for j := range p.Apps[i].Models {
+			vs := vars[[2]int{i, j}]
+			if vs == nil {
+				continue
+			}
+			served := int(math.Round(res.X[vs.served]))
+			units := int(math.Round(res.X[vs.units]))
+			if served <= 0 {
+				continue
+			}
+			dep := edgesim.Deployment{
+				App: i, Version: j, Edge: p.EdgeIdx, Requests: served,
+			}
+			switch p.Mode {
+			case ModeMerged:
+				if p.KneeCap || served <= vs.bStar {
+					dep.BatchSizes = []int{served}
+				} else {
+					for left := served; left > 0; left -= vs.bStar {
+						bsz := vs.bStar
+						if left < bsz {
+							bsz = left
+						}
+						dep.BatchSizes = append(dep.BatchSizes, bsz)
 					}
-					dep.BatchSizes = append(dep.BatchSizes, bsz)
 				}
+				out.PredictedMS += vs.slopeMS*float64(served) + vs.fixedMS
+			case ModeSerial:
+				dep.BatchSizes = make([]int, served)
+				for q := range dep.BatchSizes {
+					dep.BatchSizes[q] = 1
+				}
+				out.PredictedMS += vs.gamma * float64(served)
+			case ModeFixed:
+				dep.BatchSizes = make([]int, units)
+				for q := range dep.BatchSizes {
+					dep.BatchSizes[q] = p.FixedB0
+				}
+				out.PredictedMS += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * float64(units)
 			}
-			out.PredictedMS += vs.slopeMS*float64(served) + vs.fixedMS
-		case ModeSerial:
-			dep.BatchSizes = make([]int, served)
-			for q := range dep.BatchSizes {
-				dep.BatchSizes[q] = 1
-			}
-			out.PredictedMS += vs.gamma * float64(served)
-		case ModeFixed:
-			dep.BatchSizes = make([]int, units)
-			for q := range dep.BatchSizes {
-				dep.BatchSizes[q] = p.FixedB0
-			}
-			out.PredictedMS += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * float64(units)
+			out.Deployments = append(out.Deployments, dep)
 		}
-		out.Deployments = append(out.Deployments, dep)
 	}
 
 	// Diagnostic: how much of each budget the plan consumes, and which one
@@ -698,35 +716,38 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	var memUsed, shipUsed float64
 	seenModel := map[int]bool{}
 	maxAct2 := 0.0
-	for key, vs := range vars {
-		if res.X[vs.x] < 0.5 {
-			continue
-		}
-		m := vs.model
-		if !seenModel[vs.x] {
-			seenModel[vs.x] = true
-			memUsed += m.WeightsMB
-			if !p.PrevDeployed[[2]int{key[0], key[1]}] {
-				shipUsed += m.CompressedMB
+	for i := 0; i < I; i++ {
+		for j := range p.Apps[i].Models {
+			vs := vars[[2]int{i, j}]
+			if vs == nil || res.X[vs.x] < 0.5 {
+				continue
 			}
-		}
-		act := 0.0
-		switch p.Mode {
-		case ModeMerged:
-			if p.KneeCap {
-				act = m.IntermediateMB * res.X[vs.units]
-			} else {
-				act = m.IntermediateMB * float64(vs.bStar)
+			m := vs.model
+			if !seenModel[vs.x] {
+				seenModel[vs.x] = true
+				memUsed += m.WeightsMB
+				if !p.PrevDeployed[[2]int{i, j}] {
+					shipUsed += m.CompressedMB
+				}
 			}
-		case ModeSerial:
-			act = m.IntermediateMB
-		case ModeFixed:
-			act = m.IntermediateMB * float64(p.FixedB0)
-		}
-		if p.Mem == MemSum {
-			memUsed += act
-		} else if act > maxAct2 {
-			maxAct2 = act
+			act := 0.0
+			switch p.Mode {
+			case ModeMerged:
+				if p.KneeCap {
+					act = m.IntermediateMB * res.X[vs.units]
+				} else {
+					act = m.IntermediateMB * float64(vs.bStar)
+				}
+			case ModeSerial:
+				act = m.IntermediateMB
+			case ModeFixed:
+				act = m.IntermediateMB * float64(p.FixedB0)
+			}
+			if p.Mem == MemSum {
+				memUsed += act
+			} else if act > maxAct2 {
+				maxAct2 = act
+			}
 		}
 	}
 	memUsed += maxAct2

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows Decide by an order of magnitude and
+// makes wall-clock assertions meaningless.
+const raceEnabled = true

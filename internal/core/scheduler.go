@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
 	"repro/internal/models"
+	"repro/internal/par"
 )
 
 // SolveMode selects the per-slot solver strategy.
@@ -83,6 +84,13 @@ type Config struct {
 	// RoundSeed seeds the randomized rounding when Redist.RoundRNG is wanted
 	// but not supplied directly.
 	RoundSeed int64
+	// Workers bounds the solve parallelism: concurrent per-edge MILPs in the
+	// decomposed path and concurrent branch-and-bound relaxations inside each
+	// program. Values ≤ 0 mean one worker per CPU (runtime.GOMAXPROCS(0)).
+	// Plans are bit-identical for every worker count — the fan-out gathers
+	// results in edge order and the B&B search is batch-synchronous — so
+	// Workers only changes wall-clock time.
+	Workers int
 }
 
 // Scheduler is the BIRP-family per-slot decision maker. BIRP itself, BIRP-OFF
@@ -207,28 +215,38 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	// model-shipping budget, memory), move them to edges with compute
 	// headroom and re-solve. The joint solver handles this coupling
 	// natively; this loop recovers most of it at a fraction of the cost.
+	//
+	// The per-edge solves are independent, so each repair round fans them out
+	// over a bounded worker pool and gathers results in edge order — the plan
+	// is bit-identical to the serial path. SolveEdge is deterministic in its
+	// inputs, so edges whose workload column and ship budget did not change
+	// since the last round keep their previous assignment instead of being
+	// re-dispatched.
+	workers := par.Workers(s.cfg.Workers)
+	miqpWorkers := workers / K
+	if miqpWorkers < 1 {
+		miqpWorkers = 1
+	}
+	asgs := make([]*EdgeAssignment, K)
+	lastW := make([][]int, K)
+	lastShip := make([]float64, K)
+	ws := make([][]int, K)
+	ships := make([]float64, K)
+	dirty0 := make([]int, 0, K)
 	var plan *edgesim.Plan
 	for attempt := 0; ; attempt++ {
-		var asgs []*EdgeAssignment
-		plan = &edgesim.Plan{Transfers: red.Transfers}
-		plan.Dropped = make([][]int, I)
-		for i := range plan.Dropped {
-			plan.Dropped[i] = make([]int, K)
-		}
-		totalDrops := 0
+		dirty := dirty0[:0]
 		for k := 0; k < K; k++ {
 			w := make([]int, I)
 			for i := 0; i < I; i++ {
 				w[i] = red.Alloc[i][k]
 			}
+			ws[k] = w
 			if s.down[k] {
 				// A failed edge cannot execute: whatever rounding left here
 				// is dropped (stage 1 already steers flow away).
-				for i := 0; i < I; i++ {
-					plan.Dropped[i][k] = w[i]
-					totalDrops += w[i]
-				}
-				asgs = append(asgs, &EdgeAssignment{Dropped: w, PredictedMS: c.SlotMS() * 100})
+				asgs[k] = &EdgeAssignment{Dropped: w, PredictedMS: c.SlotMS() * 100}
+				lastW[k] = nil // force a re-solve if the edge recovers
 				continue
 			}
 			// Stage 1 reserved (1 − bwFrac) of the bandwidth for shipping;
@@ -237,17 +255,27 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 			if ship < 0 {
 				ship = 0
 			}
-			k := k
+			ships[k] = ship
+			if asgs[k] == nil || lastW[k] == nil || !equalInts(lastW[k], w) || ship != lastShip[k] {
+				dirty = append(dirty, k)
+			}
+		}
+		// Snapshot the TIR parameters and γ predictions serially before the
+		// fan-out: the online provider materializes per-key tuner state
+		// lazily, so first reads mutate it and must not race.
+		snaps := make([]*paramSnapshot, K)
+		for _, k := range dirty {
+			snaps[k] = s.snapshotParams(k, ws[k])
+		}
+		if err := par.ForEach(workers, len(dirty), func(_, idx int) error {
+			k := dirty[idx]
+			snap := snaps[k]
 			asg, err := SolveEdge(&EdgeProblem{
-				Edge: c.Edges[k], EdgeIdx: k, Apps: s.cfg.Apps, Workload: w,
-				Params: func(i, j int) bandit.TIRParams {
-					return s.provider.Params(ModelKey{Edge: k, App: i, Version: j})
-				},
-				GammaMS: func(i, j int) float64 {
-					return s.gamma(ModelKey{Edge: k, App: i, Version: j})
-				},
+				Edge: c.Edges[k], EdgeIdx: k, Apps: s.cfg.Apps, Workload: ws[k],
+				Params:               snap.params,
+				GammaMS:              snap.gammaAt,
 				SlotMS:               c.SlotMS(),
-				ShipBudgetMB:         ship,
+				ShipBudgetMB:         ships[k],
 				PrevDeployed:         s.prev[k],
 				Mode:                 s.cfg.Mode,
 				FixedB0:              s.cfg.FixedB0,
@@ -258,11 +286,28 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				DropPenalty:          s.cfg.DropPenalty,
 				OverflowPenaltyPerMS: s.cfg.OverflowPenaltyPerMS,
 				SingleVersion:        s.cfg.SingleVersion,
+				Workers:              miqpWorkers,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			asgs = append(asgs, asg)
+			asgs[k] = asg
+			lastW[k] = ws[k]
+			lastShip[k] = ships[k]
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Gather in edge order so the assembled plan never depends on solve
+		// completion order.
+		plan = &edgesim.Plan{Transfers: red.Transfers}
+		plan.Dropped = make([][]int, I)
+		for i := range plan.Dropped {
+			plan.Dropped[i] = make([]int, K)
+		}
+		totalDrops := 0
+		for k := 0; k < K; k++ {
+			asg := asgs[k]
 			plan.Deployments = append(plan.Deployments, asg.Deployments...)
 			for i := 0; i < I; i++ {
 				plan.Dropped[i][k] = asg.Dropped[i]
@@ -281,6 +326,51 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	s.maybePreload(t, arrivals, plan)
 	s.noteDeployments(plan)
 	return plan, nil
+}
+
+// paramSnapshot holds per-edge TIR parameters and γ predictions captured
+// before the per-edge fan-out, so worker goroutines never touch the (lazily
+// materializing) provider or a caller-supplied GammaMS func concurrently.
+type paramSnapshot struct {
+	par   [][]bandit.TIRParams // [app][version], nil row when workload 0
+	gamma [][]float64
+}
+
+func (ps *paramSnapshot) params(i, j int) bandit.TIRParams { return ps.par[i][j] }
+func (ps *paramSnapshot) gammaAt(i, j int) float64         { return ps.gamma[i][j] }
+
+// snapshotParams captures the TIR/γ values edge k's solve will read, touching
+// exactly the keys the serial path would (apps with positive workload).
+func (s *Scheduler) snapshotParams(k int, w []int) *paramSnapshot {
+	ps := &paramSnapshot{
+		par:   make([][]bandit.TIRParams, len(s.cfg.Apps)),
+		gamma: make([][]float64, len(s.cfg.Apps)),
+	}
+	for i, app := range s.cfg.Apps {
+		if w[i] <= 0 {
+			continue
+		}
+		ps.par[i] = make([]bandit.TIRParams, len(app.Models))
+		ps.gamma[i] = make([]float64, len(app.Models))
+		for j := range app.Models {
+			key := ModelKey{Edge: k, App: i, Version: j}
+			ps.par[i][j] = s.provider.Params(key)
+			ps.gamma[i][j] = s.gamma(key)
+		}
+	}
+	return ps
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // moveDrops reassigns dropped requests to the edges with the most compute

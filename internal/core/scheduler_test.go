@@ -185,6 +185,9 @@ func TestLargeScaleDecideUnderTimeBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock threshold is meaningless under the race detector")
+	}
 	c := cluster.Default()
 	apps := models.Catalogue(5, 5)
 	s, err := New(Config{Cluster: c, Apps: apps})

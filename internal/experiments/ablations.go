@@ -9,6 +9,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -55,31 +56,41 @@ func Ablations(w io.Writer, opt Options) ([]AblationResult, error) {
 		{"abl-solver: joint exact program", func(cfg *core.Config) { cfg.SolveMode = core.SolveModeJoint }},
 	}
 
-	var out []AblationResult
-	for _, v := range variants {
-		cfg := core.Config{Cluster: c, Apps: apps, Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2)}
+	// Variants share nothing but the (read-only) trace: run them concurrently
+	// and gather into the variant order.
+	out := make([]AblationResult, len(variants))
+	if err := par.ForEach(par.Workers(opt.Workers), len(variants), func(_, idx int) error {
+		v := variants[idx]
+		cfg := core.Config{
+			Cluster: c, Apps: apps,
+			Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+			Workers:  opt.Workers,
+		}
 		if v.mod != nil {
 			v.mod(&cfg)
 		}
 		s, err := core.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+			return fmt.Errorf("experiments: ablation %q: %w", v.name, err)
 		}
 		sim, err := edgesim.New(edgesim.Config{
 			Cluster: c, Apps: apps,
 			NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run(s, tr.R)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %q run: %w", v.name, err)
+			return fmt.Errorf("experiments: ablation %q run: %w", v.name, err)
 		}
-		out = append(out, AblationResult{
+		out[idx] = AblationResult{
 			Name: v.name, Loss: res.Loss.Total(),
 			FailureRate: res.FailureRate(), Dropped: res.Dropped,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if w != nil {
 		fmt.Fprintf(w, "== Ablations — design choices vs the paper-literal formulation ==\n\n")

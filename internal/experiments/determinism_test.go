@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAblationsWorkerCountInvariant checks the sweep-runner half of the
+// determinism contract: a fanned-out experiment must produce results
+// identical to the serial run — same values, same order — because each grid
+// cell is written into its own pre-indexed slot.
+func TestAblationsWorkerCountInvariant(t *testing.T) {
+	serial, err := Ablations(nil, Options{Quick: true, Slots: 20, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Ablations(nil, Options{Quick: true, Slots: 20, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("ablation results diverged across worker counts:\nserial: %+v\npar:    %+v", serial, par)
+	}
+}
+
+// TestPresetSweepWorkerCountInvariant repeats the check on the Fig. 4/5 grid
+// sweep, whose cells share a trace and a BIRP-OFF reference run.
+func TestPresetSweepWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	opt := Options{Quick: true, Slots: 15}
+	snaps := []int{15}
+	opt.Workers = 1
+	serial, err := PresetSweep(nil, opt, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	par, err := PresetSweep(nil, opt, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("sweep points diverged across worker counts:\nserial: %+v\npar:    %+v", serial, par)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,13 @@ type Options struct {
 	// Eps1/Eps2 are BIRP's presets; zero means the paper's §5.3 choice
 	// (0.04, 0.07).
 	Eps1, Eps2 float64
+	// Workers bounds experiment parallelism: independent runs (comparison
+	// arms, sweep grid cells, ablation variants) execute concurrently, and
+	// the value is forwarded to core.Config.Workers for the solve engine.
+	// Every run keeps its own seeded RNGs and results are gathered in a fixed
+	// order, so output is identical for every worker count. ≤ 0 means one
+	// worker per CPU.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,11 +108,12 @@ type schedulerSpec struct {
 	make func() (edgesim.Scheduler, error)
 }
 
-func birpSpec(c *cluster.Cluster, apps []*models.Application, eps1, eps2 float64) schedulerSpec {
+func birpSpec(c *cluster.Cluster, apps []*models.Application, eps1, eps2 float64, workers int) schedulerSpec {
 	return schedulerSpec{"BIRP", func() (edgesim.Scheduler, error) {
 		return core.New(core.Config{
 			Cluster: c, Apps: apps,
 			Provider: core.NewOnlineTuner(eps1, eps2),
+			Workers:  workers,
 		})
 	}}
 }
@@ -140,24 +149,28 @@ func runComparison(c *cluster.Cluster, apps []*models.Application, specs []sched
 	if err != nil {
 		return nil, err
 	}
-	var out []EvalResult
-	for _, spec := range specs {
+	// Each arm owns its scheduler, simulator, and seeded RNGs, so the arms
+	// run concurrently; results land in per-arm slots so the output order is
+	// the spec order regardless of completion order.
+	out := make([]EvalResult, len(specs))
+	if err := par.ForEach(par.Workers(opt.Workers), len(specs), func(_, idx int) error {
+		spec := specs[idx]
 		sched, err := spec.make()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: building %s: %w", spec.name, err)
+			return fmt.Errorf("experiments: building %s: %w", spec.name, err)
 		}
 		sim, err := edgesim.New(edgesim.Config{
 			Cluster: c, Apps: apps,
 			NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run(sched, tr.R)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: running %s: %w", spec.name, err)
+			return fmt.Errorf("experiments: running %s: %w", spec.name, err)
 		}
-		out = append(out, EvalResult{
+		out[idx] = EvalResult{
 			Name:        spec.name,
 			Completion:  res.Completion,
 			PerSlot:     append([]float64(nil), res.Loss.PerSlot()...),
@@ -165,7 +178,10 @@ func runComparison(c *cluster.Cluster, apps []*models.Application, specs []sched
 			FailureRate: res.FailureRate(),
 			Dropped:     res.Dropped,
 			EnergyJ:     res.EnergyJ,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -245,7 +261,7 @@ func Fig6(w io.Writer, opt Options) ([]EvalResult, error) {
 	apps := models.Catalogue(smallScaleApps, smallScaleVersions)
 	specs := []schedulerSpec{
 		birpOffSpec(c, apps),
-		birpSpec(c, apps, opt.Eps1, opt.Eps2),
+		birpSpec(c, apps, opt.Eps1, opt.Eps2, opt.Workers),
 		oaeiSpec(c, apps, opt.Seed),
 		maxSpec(c, apps),
 	}
@@ -266,7 +282,7 @@ func Fig7(w io.Writer, opt Options) ([]EvalResult, error) {
 	c := cluster.Default()
 	apps := models.Catalogue(largeScaleApps, largeScaleVersions)
 	specs := []schedulerSpec{
-		birpSpec(c, apps, opt.Eps1, opt.Eps2),
+		birpSpec(c, apps, opt.Eps1, opt.Eps2, opt.Workers),
 		oaeiSpec(c, apps, opt.Seed),
 		maxSpec(c, apps),
 	}

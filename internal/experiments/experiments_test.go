@@ -162,6 +162,9 @@ func TestFig6QuickShape(t *testing.T) {
 }
 
 func TestFig7QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale comparison")
+	}
 	results, err := Fig7(nil, Options{Quick: true, Slots: 60})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -71,35 +72,42 @@ func PresetSweep(w io.Writer, opt Options, snapshots []int) ([]SweepPoint, error
 	}
 	offCum := offRes.Loss.Cumulative()
 
-	var points []SweepPoint
-	for _, e1 := range eps1s {
-		for _, e2 := range eps2s {
-			s, err := core.New(core.Config{
-				Cluster: c, Apps: apps,
-				Provider: core.NewOnlineTuner(e1, e2),
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := run(s)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: BIRP(ε1=%v, ε2=%v): %w", e1, e2, err)
-			}
-			pt := SweepPoint{Eps1: e1, Eps2: e2, DeltaLoss: map[int]float64{}, FailPct: map[int]float64{}}
-			cum := res.Loss.Cumulative()
-			for _, t := range snapshots {
-				idx := t - 1
-				if idx >= len(cum) {
-					idx = len(cum) - 1
-				}
-				if idx < 0 {
-					idx = 0
-				}
-				pt.DeltaLoss[t] = cum[idx] - offCum[idx]
-				pt.FailPct[t] = 100 * res.FailureRateUpTo(t)
-			}
-			points = append(points, pt)
+	// Grid cells are independent runs over the shared trace: fan them out and
+	// write each into its (e1, e2) slot so the returned order — and every
+	// seeded RNG inside a cell — matches the serial sweep exactly.
+	points := make([]SweepPoint, len(eps1s)*len(eps2s))
+	if err := par.ForEach(par.Workers(opt.Workers), len(points), func(_, idx int) error {
+		e1 := eps1s[idx/len(eps2s)]
+		e2 := eps2s[idx%len(eps2s)]
+		s, err := core.New(core.Config{
+			Cluster: c, Apps: apps,
+			Provider: core.NewOnlineTuner(e1, e2),
+			Workers:  opt.Workers,
+		})
+		if err != nil {
+			return err
 		}
+		res, err := run(s)
+		if err != nil {
+			return fmt.Errorf("experiments: BIRP(ε1=%v, ε2=%v): %w", e1, e2, err)
+		}
+		pt := SweepPoint{Eps1: e1, Eps2: e2, DeltaLoss: map[int]float64{}, FailPct: map[int]float64{}}
+		cum := res.Loss.Cumulative()
+		for _, t := range snapshots {
+			idx := t - 1
+			if idx >= len(cum) {
+				idx = len(cum) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			pt.DeltaLoss[t] = cum[idx] - offCum[idx]
+			pt.FailPct[t] = 100 * res.FailureRateUpTo(t)
+		}
+		points[idx] = pt
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if w != nil {
 		for _, t := range snapshots {

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // Check is one shape assertion from the paper's evaluation, with its verdict.
@@ -30,8 +31,41 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		})
 	}
 
+	// The experiment groups are independent, so they run concurrently; each
+	// writes into its own slot and the checks below are graded serially in
+	// the established order, keeping the scorecard worker-count-invariant.
+	sweepOpt := opt
+	sweepOpt.Quick = true
+	if sweepOpt.Slots > 60 {
+		sweepOpt.Slots = 60
+	}
+	var (
+		rows   []Table1Row
+		panels []Fig2Panel
+		small  []EvalResult
+		large  []EvalResult
+		pts    []SweepPoint
+		abl    []AblationResult
+	)
+	groups := []func() error{
+		func() error { rows = Table1(nil); return nil },
+		func() (err error) { panels, err = Fig2(nil, opt.Seed); return },
+		func() (err error) { small, err = Fig6(nil, opt); return },
+		func() (err error) { large, err = Fig7(nil, opt); return },
+		func() (err error) { pts, err = PresetSweep(nil, sweepOpt, []int{sweepOpt.Slots}); return },
+		func() (err error) {
+			abl, err = Ablations(nil, Options{Quick: true, Slots: 25, Seed: opt.Seed,
+				Eps1: opt.Eps1, Eps2: opt.Eps2, Workers: opt.Workers})
+			return
+		},
+	}
+	if err := par.ForEach(par.Workers(opt.Workers), len(groups), func(_, i int) error {
+		return groups[i]()
+	}); err != nil {
+		return nil, err
+	}
+
 	// --- Table 1 -----------------------------------------------------------
-	rows := Table1(nil)
 	get := func(model, device string) Table1Row {
 		for _, r := range rows {
 			if r.Model == model && r.Device == device {
@@ -56,10 +90,6 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		"measured %.1f FPS", resnetNano)
 
 	// --- Fig. 2 -------------------------------------------------------------
-	panels, err := Fig2(nil, opt.Seed)
-	if err != nil {
-		return nil, err
-	}
 	add("fig2-law",
 		"TIR follows a power-then-constant law with plateaus near 1.68/1.30/1.28",
 		math.Abs(panels[0].Fit.C-1.68) < 0.15 &&
@@ -73,10 +103,6 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		panels[0].Fit.C, panels[1].Fit.C, panels[2].Fit.C)
 
 	// --- Fig. 6 (small scale) ------------------------------------------------
-	small, err := Fig6(nil, opt)
-	if err != nil {
-		return nil, err
-	}
 	sBIRP, sOFF := Find(small, "BIRP"), Find(small, "BIRP-OFF")
 	sOAEI, sMAX := Find(small, "OAEI"), Find(small, "MAX")
 	add("fig6-slo",
@@ -103,10 +129,6 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		"MAX %.0f vs BIRP %.0f", sMAX.TotalLoss(), sBIRP.TotalLoss())
 
 	// --- Fig. 7 (large scale) ------------------------------------------------
-	large, err := Fig7(nil, opt)
-	if err != nil {
-		return nil, err
-	}
 	lBIRP, lOAEI := Find(large, "BIRP"), Find(large, "OAEI")
 	ratio := math.Inf(1)
 	if lOAEI.FailureRate > 0 {
@@ -124,15 +146,6 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		100*(lBIRP.TotalLoss()/lOAEI.TotalLoss()-1))
 
 	// --- Fig. 4/5 (quick sweep) ----------------------------------------------
-	sweepOpt := opt
-	sweepOpt.Quick = true
-	if sweepOpt.Slots > 60 {
-		sweepOpt.Slots = 60
-	}
-	pts, err := PresetSweep(nil, sweepOpt, []int{sweepOpt.Slots})
-	if err != nil {
-		return nil, err
-	}
 	var dSum float64
 	pOK := true
 	for _, p := range pts {
@@ -154,10 +167,6 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 		"%d cells inspected", len(pts))
 
 	// --- Ablation: the literal single-batch formulation must be the worst ----
-	abl, err := Ablations(nil, Options{Quick: true, Slots: 25, Seed: opt.Seed, Eps1: opt.Eps1, Eps2: opt.Eps2})
-	if err != nil {
-		return nil, err
-	}
 	var def, knee *AblationResult
 	for i := range abl {
 		if i == 0 {

@@ -7,6 +7,9 @@ import (
 )
 
 func TestScorecardAllChecksPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scorecard run")
+	}
 	var buf bytes.Buffer
 	checks, err := Scorecard(&buf, Options{Quick: true, Slots: 40})
 	if err != nil {

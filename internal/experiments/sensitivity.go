@@ -10,6 +10,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -50,20 +51,24 @@ func Sensitivity(w io.Writer, opt Options, loads []float64) ([]SensitivityPoint,
 	}{
 		{"BIRP", func() (edgesim.Scheduler, error) {
 			return core.New(core.Config{Cluster: c, Apps: apps,
-				Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2)})
+				Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+				Workers:  opt.Workers})
 		}},
 		{"OAEI", func() (edgesim.Scheduler, error) { return baseline.NewOAEI(c, apps, opt.Seed) }},
 		{"MAX", func() (edgesim.Scheduler, error) { return baseline.NewMAX(c, apps, 16) }},
 	}
 
-	var points []SensitivityPoint
-	for _, mean := range loads {
+	// Each operating point regenerates its own trace and schedulers, so the
+	// load sweep fans out cleanly; gather preserves the loads order.
+	points := make([]SensitivityPoint, len(loads))
+	if err := par.ForEach(par.Workers(opt.Workers), len(loads), func(_, idx int) error {
+		mean := loads[idx]
 		tr, err := trace.Generate(trace.Config{
 			Apps: 2, Edges: c.N(), Slots: slots, Seed: opt.Seed,
 			MeanPerSlot: mean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := SensitivityPoint{
 			MeanPerSlot: mean,
@@ -73,23 +78,26 @@ func Sensitivity(w io.Writer, opt Options, loads []float64) ([]SensitivityPoint,
 		for _, a := range algos {
 			sched, err := a.mk()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sim, err := edgesim.New(edgesim.Config{
 				Cluster: c, Apps: apps,
 				NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := sim.Run(sched, tr.R)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: sensitivity %s at %.0f: %w", a.name, mean, err)
+				return fmt.Errorf("experiments: sensitivity %s at %.0f: %w", a.name, mean, err)
 			}
 			pt.Loss[a.name] = res.Loss.Total()
 			pt.Fail[a.name] = res.FailureRate()
 		}
-		points = append(points, pt)
+		points[idx] = pt
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	if w != nil {

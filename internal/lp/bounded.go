@@ -24,7 +24,10 @@ type boundedTableau struct {
 	ub    []float64 // current upper bounds in substituted coordinates
 	// flipped[j] means column j currently represents u_j − x_j.
 	flipped []bool
-	nCols   int // structural+slack columns (artificials excluded)
+	// basic[j] mirrors "j ∈ basis" so membership tests are O(1) instead of
+	// scanning the basis on every reduced-cost probe.
+	basic []bool
+	nCols int // structural+slack columns (artificials excluded)
 }
 
 // value recovers the original-coordinate value of column j given its
@@ -73,6 +76,8 @@ func (bt *boundedTableau) pivotAt(row, col int) {
 		}
 		ri[col] = 0
 	}
+	bt.basic[bt.basis[row]] = false
+	bt.basic[col] = true
 	bt.basis[row] = col
 }
 
@@ -165,23 +170,18 @@ func (bt *boundedTableau) iterate(nAllowed int, tol float64, maxIter int) (int, 
 }
 
 func (bt *boundedTableau) isBasic(j int) bool {
-	for _, b := range bt.basis {
-		if b == j {
-			return true
-		}
-	}
-	return false
+	return bt.basic[j]
 }
 
 // solveBounded runs Phase I + Phase II on standard-form data with native
 // upper bounds. ubs[j] is the upper bound of standard-form column j
 // (+Inf when absent). The third return value carries per-row duals (the
 // reduced cost of each row's slack; 0 for rows without a usable slack).
-func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int) (Status, []float64, []float64, int) {
+func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc *Scratch) (Status, []float64, []float64, int) {
 	m := len(sf.a)
 	n := sf.nCols
 	if m == 0 {
-		xs := make([]float64, n)
+		xs := sc.take(n)
 		for j, cj := range sf.c {
 			if cj < -tol {
 				if math.IsInf(ubs[j], 1) {
@@ -203,18 +203,19 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int) (St
 	bt := &boundedTableau{
 		rhs:     width - 1,
 		basis:   make([]int, m),
-		ub:      make([]float64, width),
+		ub:      sc.take(width),
 		flipped: make([]bool, width),
+		basic:   make([]bool, width),
 		nCols:   n,
 	}
 	bt.t = make([][]float64, m+1)
 	for i := 0; i < m; i++ {
-		bt.t[i] = make([]float64, width)
+		bt.t[i] = sc.take(width)
 		copy(bt.t[i], sf.a[i])
 		bt.t[i][bt.rhs] = sf.b[i]
 		bt.basis[i] = sf.slackCol[i]
 	}
-	bt.t[m] = make([]float64, width)
+	bt.t[m] = sc.take(width)
 	copy(bt.ub, ubs)
 	for a := n; a < width-1; a++ {
 		bt.ub[a] = math.Inf(1) // artificials are unbounded above
@@ -223,6 +224,9 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int) (St
 	for a, i := range needy {
 		bt.t[i][n+a] = 1
 		bt.basis[i] = n + a
+	}
+	for _, bj := range bt.basis {
+		bt.basic[bj] = true
 	}
 
 	iters := 0
@@ -293,7 +297,7 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int) (St
 	if st != StatusOptimal {
 		return st, nil, nil, iters
 	}
-	xs := make([]float64, n)
+	xs := sc.take(n)
 	for j := 0; j < n; j++ {
 		if bt.flipped[j] && !bt.isBasic(j) {
 			xs[j] = bt.ub[j] // nonbasic at (substituted) 0 = original upper bound
@@ -308,7 +312,7 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int) (St
 	// that row (for a minimization with ≤ rows, it is ≥ 0 at optimality; a
 	// flipped slack — nonbasic at its bound — cannot occur since slacks are
 	// unbounded above).
-	duals := make([]float64, m)
+	duals := sc.take(m)
 	for i := 0; i < m; i++ {
 		if sc := sf.slackCol[i]; sc >= 0 {
 			duals[i] = bt.t[m][sc]

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Status describes the outcome of a solve.
@@ -96,11 +97,70 @@ type Options struct {
 
 const defaultTol = 1e-9
 
+// Scratch is reusable storage for the solver's large allocations (the
+// standard-form rows and the simplex tableau). A Scratch amortizes the
+// steady-state allocation cost of repeated solves — the branch-and-bound node
+// loop in package miqp holds one per worker — and may be reused across any
+// number of sequential SolveScratch calls. It is NOT safe for concurrent use:
+// concurrent solvers must hold one Scratch each. Results returned by the
+// solver never alias scratch memory, so they stay valid after the scratch is
+// reused.
+type Scratch struct {
+	buf  []float64
+	used int
+}
+
+// NewScratch returns an empty reusable scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reserve begins a new solve: it rewinds the arena and grows it to hold at
+// least n floats. It must be called before any take of the same solve, since
+// growing reallocates the backing array.
+func (s *Scratch) reserve(n int) {
+	s.used = 0
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:cap(s.buf)]
+}
+
+// take returns a zeroed length-n slice carved from the reserved arena (full
+// slice expressions keep appends from bleeding into the next take). If the
+// reservation was undersized it falls back to the heap rather than corrupt
+// earlier takes.
+func (s *Scratch) take(n int) []float64 {
+	if s.used+n > len(s.buf) {
+		return make([]float64, n)
+	}
+	out := s.buf[s.used : s.used+n : s.used+n]
+	s.used += n
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// scratchPool backs the scratch-less entry points so every caller gets the
+// steady-state allocation profile without threading a Scratch through.
+var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
+
 // Solve solves the problem with default options.
 func Solve(p *Problem) (*Result, error) { return SolveOpts(p, Options{}) }
 
 // SolveOpts solves the problem with the given options.
 func SolveOpts(p *Problem, opt Options) (*Result, error) {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return SolveScratch(p, opt, sc)
+}
+
+// SolveScratch solves the problem reusing sc's storage for the solver's
+// internal matrices. sc may be nil (a fresh scratch is used); otherwise it
+// must not be shared with a concurrent solve.
+func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
 	n := len(p.C)
 	if err := validate(p, n); err != nil {
 		return nil, err
@@ -110,7 +170,23 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		tol = defaultTol
 	}
 
-	sf, err := toStandardForm(p, n)
+	// Reserve the whole solve's float storage up front: growing the arena
+	// after slices have been handed out would invalidate them.
+	nStruct := 0
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		if math.IsInf(lb, -1) && math.IsInf(ub, 1) {
+			nStruct += 2 // free variables split into x⁺ − x⁻
+		} else {
+			nStruct++
+		}
+	}
+	nCols := nStruct + len(p.Aub)
+	m := len(p.Aeq) + len(p.Aub)
+	width := nCols + m + 1 // artificials ≤ m, plus the rhs column
+	sc.reserve(m*nCols + m + 2*nCols + n + (m+1)*width + width + nCols + m)
+
+	sf, err := toStandardForm(p, n, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +195,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		maxIter = 20*(len(sf.b)+sf.nCols) + 200
 	}
 
-	st, xs, duals, iters := solveBounded(sf, sf.colUB, tol, maxIter)
+	st, xs, duals, iters := solveBounded(sf, sf.colUB, tol, maxIter, sc)
 	res := &Result{Status: st, Iterations: iters}
 	if st != StatusOptimal {
 		return res, nil
@@ -245,16 +321,25 @@ func (s *standardForm) recover(xs []float64) []float64 {
 //   - both bounds finite: shift by lb; the residual upper bound ub − lb is
 //     kept native in colUB for the bounded engine
 //   - each ≤ row gains a slack variable
-func toStandardForm(p *Problem, n int) (*standardForm, error) {
+func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 	sf := &standardForm{
-		shift: make([]float64, n),
+		shift: sc.take(n),
 		pos:   make([]int, n),
 		neg:   make([]int, n),
 	}
 	// sign[j] is +1 when x = shift + x′ and −1 when x = shift − x′.
 	sign := make([]float64, n)
+	nStructPre := 0
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		if math.IsInf(lb, -1) && math.IsInf(ub, 1) {
+			nStructPre += 2
+		} else {
+			nStructPre++
+		}
+	}
 	col := 0
-	var colUB []float64
+	colUB := sc.take(nStructPre + len(p.Aub))[:0]
 	for j := 0; j < n; j++ {
 		lb, ub := boundsAt(p, j)
 		switch {
@@ -290,8 +375,8 @@ func toStandardForm(p *Problem, n int) (*standardForm, error) {
 	sf.colUB = colUB
 	m := len(p.Aeq) + len(p.Aub)
 	sf.a = make([][]float64, m)
-	sf.b = make([]float64, m)
-	sf.c = make([]float64, sf.nCols)
+	sf.b = sc.take(m)
+	sf.c = sc.take(sf.nCols)
 
 	// Objective in the substituted variables. Constant offsets (cᵀ·shift) do
 	// not affect the argmin, so they are dropped; Obj is recomputed from the
@@ -310,7 +395,7 @@ func toStandardForm(p *Problem, n int) (*standardForm, error) {
 	}
 	row := 0
 	emit := func(coef []float64, rhs float64, slackCol int) {
-		r := make([]float64, sf.nCols)
+		r := sc.take(sf.nCols)
 		for j := 0; j < n; j++ {
 			a := coef[j]
 			if a == 0 {

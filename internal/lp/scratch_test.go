@@ -1,0 +1,86 @@
+package lp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomLP draws a seeded bounded LP; nonnegative rows with nonnegative
+// right-hand sides keep x = 0 feasible.
+func randomLP(rng *rand.Rand) *Problem {
+	n := 3 + rng.Intn(8)
+	m := 1 + rng.Intn(5)
+	p := &Problem{
+		C:  make([]float64, n),
+		Ub: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = -5 + 10*rng.Float64()
+		p.Ub[j] = 1 + 9*rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		var sum float64
+		for j := range row {
+			row[j] = 4 * rng.Float64()
+			sum += row[j]
+		}
+		p.Aub = append(p.Aub, row)
+		p.Bub = append(p.Bub, 0.3*sum*(0.5+rng.Float64()))
+	}
+	if rng.Intn(2) == 0 {
+		// One equality row pinning the first variable inside its box.
+		row := make([]float64, n)
+		row[0] = 1
+		p.Aeq = append(p.Aeq, row)
+		p.Beq = append(p.Beq, 0.5*p.Ub[0])
+	}
+	return p
+}
+
+// TestSolveScratchMatchesSolve is the differential test for the scratch
+// arena: solving through a caller-held (and reused) Scratch must return the
+// same Result as the allocating path, field for field, across many shapes.
+func TestSolveScratchMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc := NewScratch()
+	for i := 0; i < 50; i++ {
+		p := randomLP(rng)
+		want, err := Solve(p)
+		if err != nil {
+			t.Fatalf("instance %d Solve: %v", i, err)
+		}
+		got, err := SolveScratch(p, Options{}, sc)
+		if err != nil {
+			t.Fatalf("instance %d SolveScratch: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("instance %d: scratch solve diverged:\nfresh:   %+v\nscratch: %+v", i, want, got)
+		}
+	}
+}
+
+// TestSolveScratchResultsDoNotAlias ensures a Result survives later solves on
+// the same Scratch: X and IneqDuals must be copied out of the arena, not
+// views into it.
+func TestSolveScratchResultsDoNotAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := NewScratch()
+	p1 := randomLP(rng)
+	first, err := SolveScratch(p1, Options{}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapX := append([]float64(nil), first.X...)
+	snapD := append([]float64(nil), first.IneqDuals...)
+	for i := 0; i < 10; i++ {
+		if _, err := SolveScratch(randomLP(rng), Options{}, sc); err != nil {
+			t.Fatalf("reuse %d: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(first.X, snapX) || !reflect.DeepEqual(first.IneqDuals, snapD) {
+		t.Fatalf("first result mutated by later scratch reuse:\nX    %v want %v\nduals %v want %v",
+			first.X, snapX, first.IneqDuals, snapD)
+	}
+}

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/qp"
 )
 
@@ -92,7 +94,20 @@ type Options struct {
 	// returns a solution even when MaxNodes is exhausted. The caller is
 	// responsible for its feasibility; it is not re-checked.
 	Incumbent []float64
+	// Workers caps the number of concurrent relaxation solves. Values ≤ 1
+	// mean serial. The search is batch-synchronous: each round pops a fixed
+	// batch of frontier nodes in a deterministic total order, solves their
+	// (pure) relaxations concurrently, and merges the outcomes sequentially
+	// in batch order — so the result is bit-identical for every worker
+	// count; Workers only changes wall-clock time.
+	Workers int
 }
+
+// relaxBatch is the number of frontier nodes expanded per batch-synchronous
+// round. It is a fixed constant — deliberately NOT derived from Workers — so
+// the search trajectory, and therefore the returned solution, never depends
+// on the degree of parallelism.
+const relaxBatch = 8
 
 // Solve runs branch and bound with default options.
 func Solve(p *Problem) (*Result, error) { return SolveOpts(p, Options{}) }
@@ -101,6 +116,10 @@ type node struct {
 	lb, ub []float64
 	bound  float64 // relaxation objective at the parent (lower bound)
 	depth  int
+	// id is the creation sequence number. Children are always pushed during
+	// the sequential merge phase, so ids are deterministic; they complete the
+	// heap order into a total order and break incumbent ties.
+	id uint64
 }
 
 type nodeHeap []*node
@@ -108,12 +127,17 @@ type nodeHeap []*node
 func (h nodeHeap) Len() int { return len(h) }
 
 // Less orders by best bound, breaking ties toward deeper nodes so the search
-// plunges to integer-feasible leaves instead of breadth-thrashing.
+// plunges to integer-feasible leaves instead of breadth-thrashing. The final
+// id tie-break makes the order total, so pops are deterministic even when
+// bounds and depths coincide.
 func (h nodeHeap) Less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
-	return h[i].depth > h[j].depth
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth
+	}
+	return h[i].id < h[j].id
 }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
@@ -181,10 +205,12 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		maxNodes = 200000
 	}
 
-	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1)}}
+	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}}
 	heap.Init(h)
+	nextID := uint64(2)
 	res := &Result{Status: StatusInfeasible, Obj: math.Inf(1)}
 	var incumbent []float64
+	var incumbentID uint64 // id of the node that produced the incumbent (0 = seeded)
 	bestBound := math.Inf(-1)
 	if opt.Incumbent != nil {
 		if len(opt.Incumbent) != n {
@@ -195,93 +221,138 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		res.Status = StatusOptimal
 	}
 
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > relaxBatch {
+		workers = relaxBatch
+	}
+	scratches := make([]*lp.Scratch, workers)
+	for w := range scratches {
+		scratches[w] = lpScratchPool.Get().(*lp.Scratch)
+	}
+	defer func() {
+		for _, sc := range scratches {
+			lpScratchPool.Put(sc)
+		}
+	}()
+	batch := make([]*node, 0, relaxBatch)
+	relaxes := make([]relaxResult, relaxBatch)
+
 	for h.Len() > 0 {
 		if res.Nodes >= maxNodes {
-			st := StatusNodeLimit
-			res.Status = st
+			res.Status = StatusNodeLimit
 			res.Gap = math.Abs(res.Obj - bestBound)
 			if incumbent != nil {
 				res.X = incumbent
 			}
 			return res, nil
 		}
-		nd := heap.Pop(h).(*node)
-		if nd.bound >= res.Obj-gapTol {
-			continue // pruned by bound
+		// Assemble this round's batch by popping the frontier in its
+		// deterministic total order, honoring the node budget.
+		batch = batch[:0]
+		limit := relaxBatch
+		if b := maxNodes - res.Nodes; limit > b {
+			limit = b
 		}
-		res.Nodes++
-		relax, err := solveRelaxation(p, nd.lb, nd.ub)
-		if err != nil {
+		for len(batch) < limit && h.Len() > 0 {
+			nd := heap.Pop(h).(*node)
+			if nd.bound >= res.Obj-gapTol {
+				continue // pruned by bound
+			}
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
+			break // frontier fully pruned
+		}
+		res.Nodes += len(batch)
+		// Relaxations are pure functions of (problem, node bounds): solve the
+		// batch concurrently, then merge sequentially so the search state
+		// evolves identically for every worker count.
+		if err := par.ForEach(workers, len(batch), func(w, i int) error {
+			var err error
+			relaxes[i], err = solveRelaxation(p, batch[i].lb, batch[i].ub, scratches[w])
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		switch relax.status {
-		case relaxInfeasible:
-			continue
-		case relaxUnbounded:
-			if res.Nodes == 1 && incumbent == nil {
-				return &Result{Status: StatusUnbounded, Nodes: res.Nodes}, nil
+		for i, nd := range batch {
+			relax := relaxes[i]
+			if nd.bound >= res.Obj-gapTol {
+				continue // pruned by an earlier batch member's incumbent
 			}
-			// A child relaxation cannot be unbounded if the root was bounded
-			// (children have tighter bounds); treat defensively as no-prune.
-			continue
-		case relaxFailed:
-			// Numerical failure: branch anyway using the parent bound, unless
-			// nothing remains to branch on.
-			if j := firstBranchable(p, nd.lb, nd.ub); j >= 0 {
-				branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound)
+			switch relax.status {
+			case relaxInfeasible:
+				continue
+			case relaxUnbounded:
+				if nd.depth == 0 && incumbent == nil {
+					return &Result{Status: StatusUnbounded, Nodes: res.Nodes}, nil
+				}
+				// A child relaxation cannot be unbounded if the root was bounded
+				// (children have tighter bounds); treat defensively as no-prune.
+				continue
+			case relaxFailed:
+				// Numerical failure: branch anyway using the parent bound, unless
+				// nothing remains to branch on.
+				if j := firstBranchable(p, nd.lb, nd.ub); j >= 0 {
+					branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound, &nextID)
+				}
 				continue
 			}
-			continue
-		}
-		if relax.obj >= res.Obj-gapTol {
-			continue
-		}
-		if relax.obj > bestBound {
-			// Track the global bound loosely (best-first makes the heap top a
-			// valid bound; this is only used for gap reporting).
-			bestBound = relax.obj
-		}
-		// Find the most fractional integer variable. Binary variables win
-		// ties and beat general integers outright: fixing a binary usually
-		// moves the relaxation bound (fixed charges, big-M couplings) far
-		// more than splitting a general integer's range.
-		branch := -1
-		worst := intTol
-		branchBinary := false
-		for j := 0; j < len(p.C); j++ {
-			if p.Integer == nil || !p.Integer[j] {
+			if relax.obj >= res.Obj-gapTol {
 				continue
 			}
-			f := math.Abs(relax.x[j] - math.Round(relax.x[j]))
-			if f <= intTol {
-				continue
+			if relax.obj > bestBound {
+				// Track the global bound loosely (best-first makes the heap top a
+				// valid bound; this is only used for gap reporting).
+				bestBound = relax.obj
 			}
-			isBin := ub[j]-lb[j] == 1
-			switch {
-			case isBin && !branchBinary:
-				worst, branch, branchBinary = f, j, true
-			case isBin == branchBinary && f > worst:
-				worst, branch = f, j
-			}
-		}
-		if branch < 0 {
-			// Integer feasible: round integer coordinates exactly and accept.
-			cand := make([]float64, len(relax.x))
-			copy(cand, relax.x)
-			for j := range cand {
-				if p.Integer != nil && p.Integer[j] {
-					cand[j] = math.Round(cand[j])
+			// Find the most fractional integer variable. Binary variables win
+			// ties and beat general integers outright: fixing a binary usually
+			// moves the relaxation bound (fixed charges, big-M couplings) far
+			// more than splitting a general integer's range.
+			branch := -1
+			worst := intTol
+			branchBinary := false
+			for j := 0; j < len(p.C); j++ {
+				if p.Integer == nil || !p.Integer[j] {
+					continue
+				}
+				f := math.Abs(relax.x[j] - math.Round(relax.x[j]))
+				if f <= intTol {
+					continue
+				}
+				isBin := ub[j]-lb[j] == 1
+				switch {
+				case isBin && !branchBinary:
+					worst, branch, branchBinary = f, j, true
+				case isBin == branchBinary && f > worst:
+					worst, branch = f, j
 				}
 			}
-			obj := evalObj(p, cand)
-			if obj < res.Obj {
-				res.Obj = obj
-				incumbent = cand
-				res.Status = StatusOptimal
+			if branch < 0 {
+				// Integer feasible: round integer coordinates exactly and accept.
+				cand := make([]float64, len(relax.x))
+				copy(cand, relax.x)
+				for j := range cand {
+					if p.Integer != nil && p.Integer[j] {
+						cand[j] = math.Round(cand[j])
+					}
+				}
+				obj := evalObj(p, cand)
+				// Deterministic tie-break: on equal objective keep the solution
+				// from the lexicographically-first node id.
+				if obj < res.Obj || (obj == res.Obj && nd.id < incumbentID) {
+					res.Obj = obj
+					incumbent = cand
+					incumbentID = nd.id
+					res.Status = StatusOptimal
+				}
+				continue
 			}
-			continue
+			branchAt(h, nd, branch, relax.x[branch], relax.obj, &nextID)
 		}
-		branchAt(h, nd, branch, relax.x[branch], relax.obj)
 	}
 	if incumbent != nil {
 		res.X = incumbent
@@ -290,6 +361,10 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	}
 	return res, nil
 }
+
+// lpScratchPool amortizes per-worker LP scratch storage across SolveOpts
+// calls (the scheduler solves one MILP per edge per slot).
+var lpScratchPool = sync.Pool{New: func() interface{} { return lp.NewScratch() }}
 
 func firstBranchable(p *Problem, lb, ub []float64) int {
 	for j := range p.C {
@@ -301,21 +376,25 @@ func firstBranchable(p *Problem, lb, ub []float64) int {
 }
 
 // branchAt pushes the floor/ceil children of nd split at value v on column j.
-func branchAt(h *nodeHeap, nd *node, j int, v, bound float64) {
+// ids are drawn from *nextID; callers only invoke this from the sequential
+// merge phase, so the numbering is deterministic.
+func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64) {
 	lo := math.Floor(v)
 	if lo < nd.lb[j] {
 		lo = nd.lb[j]
 	}
 	hi := lo + 1
 	if lo >= nd.lb[j] {
-		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1}
+		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID}
+		*nextID++
 		left.ub[j] = lo
 		if left.lb[j] <= left.ub[j] {
 			heap.Push(h, left)
 		}
 	}
 	if hi <= nd.ub[j] {
-		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1}
+		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID}
+		*nextID++
 		right.lb[j] = hi
 		if right.lb[j] <= right.ub[j] {
 			heap.Push(h, right)
@@ -355,12 +434,14 @@ type relaxResult struct {
 	obj    float64
 }
 
-// solveRelaxation solves the continuous relaxation under node bounds.
-func solveRelaxation(p *Problem, lb, ub []float64) (relaxResult, error) {
+// solveRelaxation solves the continuous relaxation under node bounds. sc is
+// the calling worker's LP scratch (unused on the QP paths); concurrent
+// callers must pass distinct scratches.
+func solveRelaxation(p *Problem, lb, ub []float64, sc *lp.Scratch) (relaxResult, error) {
 	if p.Q == nil {
-		res, err := lp.Solve(&lp.Problem{
+		res, err := lp.SolveScratch(&lp.Problem{
 			C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb, Ub: ub,
-		})
+		}, lp.Options{}, sc)
 		if err != nil {
 			return relaxResult{}, err
 		}

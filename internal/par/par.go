@@ -1,0 +1,73 @@
+// Package par provides the bounded deterministic worker pools used by the
+// parallel solve engine: the per-edge stage-2 fan-out in core, the
+// batch-synchronous branch-and-bound in miqp, and the experiment sweep
+// runners. The contract every caller relies on is that parallelism never
+// changes results — work items write into caller-owned per-index slots, the
+// reported error is the one from the lowest-indexed failing item, and worker
+// count only affects wall-clock time.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values ≤ 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n) on up to workers
+// concurrent goroutines and returns the error of the lowest index that
+// failed (nil when none fail). worker ∈ [0, effective workers) is stable for
+// the lifetime of one goroutine, so callers can hand each worker its own
+// scratch storage. Items are claimed dynamically (work stealing via an atomic
+// counter), so uneven item costs still balance across workers.
+//
+// With workers ≤ 1 (or n ≤ 1) the items run inline on the calling goroutine
+// in index order, stopping at the first error — the serial path allocates
+// nothing and is exactly the loop it replaces.
+func ForEach(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

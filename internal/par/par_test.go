@@ -1,0 +1,76 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(_, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	e3 := errors.New("three")
+	e9 := errors.New("nine")
+	err := ForEach(4, 20, func(_, i int) error {
+		switch i {
+		case 9:
+			return e9
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want the lowest-index error %v", err, e3)
+	}
+}
+
+func TestForEachWorkerIDsAreInRange(t *testing.T) {
+	workers := 4
+	var bad int32
+	err := ForEach(workers, 200, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+		return nil
+	})
+	if err != nil || bad != 0 {
+		t.Fatalf("err=%v, %d out-of-range worker ids", err, bad)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(_, _ int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

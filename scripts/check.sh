@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repository gate: static checks, build, and the full test suite under the
+# race detector. This is the tier-1 verify plus the concurrency checks the
+# parallel solve engine requires; CI and pre-commit hooks should run this.
+#
+# Usage:
+#   scripts/check.sh          # full gate (race over every package)
+#   scripts/check.sh -short   # quick tier: vet + build + short-mode race
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+	short="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+# Race instrumentation slows the numeric hot paths ~10x, so the full gate
+# gets a generous timeout for single-core machines.
+echo "== go test -race $short ./..."
+go test -race $short -timeout 45m ./...
+
+echo "ok: all checks passed"
