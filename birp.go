@@ -26,6 +26,7 @@ import (
 	"repro/internal/edgenet"
 	"repro/internal/edgesim"
 	"repro/internal/experiments"
+	"repro/internal/miqp"
 	"repro/internal/models"
 	"repro/internal/trace"
 )
@@ -63,6 +64,10 @@ type (
 	ExperimentOptions = experiments.Options
 	// EvalResult is one algorithm's outcome in a comparison experiment.
 	EvalResult = experiments.EvalResult
+	// SolverStats aggregates the MIQP engine's observability counters
+	// (branch-and-bound nodes, warm-start hit rate, simplex pivots, presolve
+	// reductions); EvalResult.Solver carries them for the BIRP arms.
+	SolverStats = miqp.Stats
 )
 
 // DefaultCluster returns the paper's testbed: Jetson NX, Jetson Nano, and

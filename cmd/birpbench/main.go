@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,6 +32,10 @@ type timingReport struct {
 	Quick      bool        `json:"quick"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Timings    []expTiming `json:"timings"`
+	// Solver carries the cumulative MIQP engine counters per
+	// "experiment/arm" (BIRP-family arms only), so bench harnesses can
+	// track relaxation counts and warm-start hit rates mechanically.
+	Solver map[string]birp.SolverStats `json:"solver,omitempty"`
 }
 
 type expTiming struct {
@@ -46,7 +51,22 @@ func main() {
 	csvDir := flag.String("csv", "", "also export figure series as CSV files to this directory")
 	workers := flag.Int("workers", 0, "solve/sweep parallelism (0 = one worker per CPU, 1 = serial); results are identical for every value")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment timings (JSON) to this file")
+	solverStats := flag.Bool("solverstats", false, "print cumulative MIQP solver counters (nodes, warm-start hit rate, pivots, presolve reductions) after fig6/fig7")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -57,6 +77,14 @@ func main() {
 	report := timingReport{
 		Workers: *workers, Slots: *slots, Seed: *seed, Quick: *quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Solver:     map[string]birp.SolverStats{},
+	}
+	noteSolver := func(exp string, results []birp.EvalResult) {
+		for _, r := range results {
+			if r.Solver != nil {
+				report.Solver[exp+"/"+r.Name] = *r.Solver
+			}
+		}
 	}
 	run := func(name string, f func() error) {
 		if !all && !want[name] {
@@ -98,6 +126,10 @@ func main() {
 			return err
 		}
 		summarize(results)
+		noteSolver("fig6", results)
+		if *solverStats {
+			printSolverStats(results)
+		}
 		if *csvDir != "" {
 			return birp.WriteComparisonCSV(*csvDir, "fig6", results)
 		}
@@ -125,6 +157,10 @@ func main() {
 			return err
 		}
 		summarize(results)
+		noteSolver("fig7", results)
+		if *solverStats {
+			printSolverStats(results)
+		}
 		if *csvDir != "" {
 			return birp.WriteComparisonCSV(*csvDir, "fig7", results)
 		}
@@ -167,6 +203,19 @@ func summarize(results []birp.EvalResult) {
 	if b, o := find(results, "BIRP"), find(results, "OAEI"); b != nil && o != nil && o.TotalLoss() > 0 {
 		fmt.Printf("  BIRP vs OAEI: loss %+.1f%%, SLO-failure ratio %.1f%% (paper: -32.9%% and 19.8%%)\n",
 			100*(b.TotalLoss()/o.TotalLoss()-1), 100*b.FailureRate/o.FailureRate)
+	}
+	fmt.Println()
+}
+
+// printSolverStats reports the MIQP engine counters for the arms that expose
+// them (the core BIRP family; the baselines have no exact solver).
+func printSolverStats(results []birp.EvalResult) {
+	fmt.Println("solver stats (cumulative over run):")
+	for _, r := range results {
+		if r.Solver == nil {
+			continue
+		}
+		fmt.Printf("  %-9s %s\n", r.Name, r.Solver)
 	}
 	fmt.Println()
 }

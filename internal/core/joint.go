@@ -223,7 +223,7 @@ func (s *Scheduler) decideJoint(t int, arrivals [][]int) (*edgesim.Plan, error) 
 		MaxNodes:  nodes,
 		Incumbent: inc,
 		GapTol:    1e-6, // exact: the joint path is the reference solver
-		Workers:   par.Workers(s.cfg.Workers),
+		Workers:   par.CapWorkers(s.cfg.Workers),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: joint solve: %w", err)
@@ -231,8 +231,9 @@ func (s *Scheduler) decideJoint(t int, arrivals [][]int) (*edgesim.Plan, error) 
 	if res.X == nil {
 		return nil, fmt.Errorf("core: joint solve found no incumbent (status %v)", res.Status)
 	}
+	s.solver.Add(res.Stats)
 
-	plan := &edgesim.Plan{Dropped: make([][]int, I)}
+	plan := &edgesim.Plan{Dropped: make([][]int, I), Solver: &res.Stats}
 	iv := func(col int) int { return int(math.Round(res.X[col])) }
 	outN := make([][]int, I)
 	inN := make([][]int, I)

@@ -149,6 +149,9 @@ type EdgeAssignment struct {
 	Bottleneck string
 	// Utilizations maps resource name → fraction of its budget used.
 	Utilizations map[string]float64
+	// Solver carries the branch & bound observability counters for this solve
+	// (warm-start hit rate, pivot work, presolve reductions). Diagnostic only.
+	Solver miqp.Stats
 }
 
 // SolveEdge solves the per-edge program exactly via branch and bound.
@@ -657,7 +660,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		return nil, fmt.Errorf("core: edge %d: solver returned no incumbent (status %v)", p.EdgeIdx, res.Status)
 	}
 
-	out := &EdgeAssignment{Dropped: make([]int, I), Obj: res.Obj, Nodes: res.Nodes}
+	out := &EdgeAssignment{Dropped: make([]int, I), Obj: res.Obj, Nodes: res.Nodes, Solver: res.Stats}
 	for i := 0; i < I; i++ {
 		if drops[i] >= 0 {
 			out.Dropped[i] = int(math.Round(res.X[drops[i]]))

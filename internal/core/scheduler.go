@@ -8,6 +8,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
+	"repro/internal/miqp"
 	"repro/internal/models"
 	"repro/internal/par"
 )
@@ -104,6 +105,7 @@ type Scheduler struct {
 	gamma    func(k ModelKey) float64
 	down     []bool      // edges currently marked failed (SetEdgeDown)
 	ewma     [][]float64 // per (app, edge) demand estimate for preloading
+	solver   miqp.Stats  // cumulative MIQP counters across all Decide calls
 }
 
 // New builds a scheduler. The zero Config value is invalid; Cluster and Apps
@@ -169,6 +171,12 @@ func (s *Scheduler) SetEdgeDown(k int, down bool) {
 // Name implements edgesim.Scheduler.
 func (s *Scheduler) Name() string { return s.name }
 
+// SolverStats returns the cumulative MIQP solver counters across every Decide
+// call so far (fresh solves only; cached per-edge assignments are not
+// recounted). The experiment runners surface this through birpbench
+// -solverstats.
+func (s *Scheduler) SolverStats() miqp.Stats { return s.solver }
+
 // Provider exposes the TIR parameter provider (tests, diagnostics).
 func (s *Scheduler) Provider() ParamsProvider { return s.provider }
 
@@ -222,7 +230,10 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	// inputs, so edges whose workload column and ship budget did not change
 	// since the last round keep their previous assignment instead of being
 	// re-dispatched.
-	workers := par.Workers(s.cfg.Workers)
+	// Cap the fan-out at the schedulable CPUs: an oversubscribed pool pays
+	// goroutine and merge overhead without any concurrency (plans are
+	// pool-width independent, so the cap cannot change results).
+	workers := par.CapWorkers(s.cfg.Workers)
 	miqpWorkers := workers / K
 	if miqpWorkers < 1 {
 		miqpWorkers = 1
@@ -234,6 +245,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	ships := make([]float64, K)
 	dirty0 := make([]int, 0, K)
 	var plan *edgesim.Plan
+	var slotSolver miqp.Stats // fresh solves only, accumulated across repairs
 	for attempt := 0; ; attempt++ {
 		dirty := dirty0[:0]
 		for k := 0; k < K; k++ {
@@ -299,7 +311,11 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 			return nil, err
 		}
 		// Gather in edge order so the assembled plan never depends on solve
-		// completion order.
+		// completion order. Solver counters are merged in the same order, so
+		// the aggregate is worker-count independent too.
+		for _, k := range dirty {
+			slotSolver.Add(asgs[k].Solver)
+		}
 		plan = &edgesim.Plan{Transfers: red.Transfers}
 		plan.Dropped = make([][]int, I)
 		for i := range plan.Dropped {
@@ -323,6 +339,8 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 		}
 		red = RealizeAllocation(c, s.cfg.Apps, arrivals, red.Alloc, t, bwFrac)
 	}
+	plan.Solver = &slotSolver
+	s.solver.Add(slotSolver)
 	s.maybePreload(t, arrivals, plan)
 	s.noteDeployments(plan)
 	return plan, nil

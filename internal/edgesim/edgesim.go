@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/miqp"
 	"repro/internal/models"
 )
 
@@ -61,6 +62,10 @@ type Plan struct {
 	// Preloads are models shipped ahead of demand; they consume this slot's
 	// bandwidth and join the edge's resident set for subsequent slots.
 	Preloads []Preload
+	// Solver, when non-nil, aggregates the MIQP solver observability counters
+	// for the fresh solves behind this plan (warm-start hit rate, pivot work,
+	// presolve reductions). Purely diagnostic: the executor ignores it.
+	Solver *miqp.Stats
 }
 
 // Feedback reports one executed physical batch back to the scheduler — the

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edgesim"
 	"repro/internal/metrics"
+	"repro/internal/miqp"
 	"repro/internal/models"
 	"repro/internal/par"
 	"repro/internal/trace"
@@ -89,6 +90,9 @@ type EvalResult struct {
 	Dropped int
 	// EnergyJ is total cluster energy over the run (extension metric).
 	EnergyJ float64
+	// Solver holds the cumulative MIQP solver counters for schedulers that
+	// expose them (the core BIRP family); nil for the baselines.
+	Solver *miqp.Stats
 }
 
 // CDF returns the completion-time CDF.
@@ -178,6 +182,10 @@ func runComparison(c *cluster.Cluster, apps []*models.Application, specs []sched
 			FailureRate: res.FailureRate(),
 			Dropped:     res.Dropped,
 			EnergyJ:     res.EnergyJ,
+		}
+		if sp, ok := sched.(interface{ SolverStats() miqp.Stats }); ok {
+			st := sp.SolverStats()
+			out[idx].Solver = &st
 		}
 		return nil
 	}); err != nil {

@@ -173,11 +173,45 @@ func (bt *boundedTableau) isBasic(j int) bool {
 	return bt.basic[j]
 }
 
+// extractSolution reads the optimal primal point and per-row duals off a
+// solved tableau. xs[j] is standard-form column j's value in original
+// (unflipped) coordinates; duals[i] is the reduced cost of row i's slack
+// column (0 for rows without a usable slack). Shared by the cold Phase I+II
+// path and the warm re-entry path.
+func extractSolution(bt *boundedTableau, sf *standardForm, sc *Scratch) (xs, duals []float64) {
+	m := len(bt.basis)
+	n := bt.nCols
+	xs = sc.take(n)
+	for j := 0; j < n; j++ {
+		if bt.flipped[j] && !bt.isBasic(j) {
+			xs[j] = bt.ub[j] // nonbasic at (substituted) 0 = original upper bound
+		}
+	}
+	for i := 0; i < m; i++ {
+		if bt.basis[i] < n {
+			xs[bt.basis[i]] = bt.value(bt.basis[i], bt.t[i][bt.rhs])
+		}
+	}
+	// Duals: the reduced cost of row i's slack column is the shadow price of
+	// that row (for a minimization with ≤ rows, it is ≥ 0 at optimality; a
+	// flipped slack — nonbasic at its bound — cannot occur since slacks are
+	// unbounded above).
+	duals = sc.take(m)
+	for i := 0; i < m; i++ {
+		if sCol := sf.slackCol[i]; sCol >= 0 {
+			duals[i] = bt.t[m][sCol]
+		}
+	}
+	return xs, duals
+}
+
 // solveBounded runs Phase I + Phase II on standard-form data with native
 // upper bounds. ubs[j] is the upper bound of standard-form column j
 // (+Inf when absent). The third return value carries per-row duals (the
-// reduced cost of each row's slack; 0 for rows without a usable slack).
-func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc *Scratch) (Status, []float64, []float64, int) {
+// reduced cost of each row's slack; 0 for rows without a usable slack). The
+// final return value is the solved tableau for basis capture and reduced-cost
+// inspection (nil on the trivial m == 0 path and on non-optimal exits).
+func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc *Scratch) (Status, []float64, []float64, int, *boundedTableau) {
 	m := len(sf.a)
 	n := sf.nCols
 	if m == 0 {
@@ -185,12 +219,12 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc 
 		for j, cj := range sf.c {
 			if cj < -tol {
 				if math.IsInf(ubs[j], 1) {
-					return StatusUnbounded, nil, nil, 0
+					return StatusUnbounded, nil, nil, 0, nil
 				}
 				xs[j] = ubs[j]
 			}
 		}
-		return StatusOptimal, xs, nil, 0
+		return StatusOptimal, xs, nil, 0, nil
 	}
 	var needy []int
 	for i := 0; i < m; i++ {
@@ -245,10 +279,10 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc 
 		var st Status
 		iters, st = bt.iterate(n+nArt, tol, maxIter)
 		if st != StatusOptimal {
-			return st, nil, nil, iters
+			return st, nil, nil, iters, nil
 		}
 		if -bt.t[m][bt.rhs] > 1e-7*(1+maxAbs(sf.b)) {
-			return StatusInfeasible, nil, nil, iters
+			return StatusInfeasible, nil, nil, iters, nil
 		}
 		for i := 0; i < m; i++ {
 			if bt.basis[i] < n {
@@ -295,28 +329,8 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc 
 	it2, st := bt.iterate(n, tol, maxIter)
 	iters += it2
 	if st != StatusOptimal {
-		return st, nil, nil, iters
+		return st, nil, nil, iters, nil
 	}
-	xs := sc.take(n)
-	for j := 0; j < n; j++ {
-		if bt.flipped[j] && !bt.isBasic(j) {
-			xs[j] = bt.ub[j] // nonbasic at (substituted) 0 = original upper bound
-		}
-	}
-	for i := 0; i < m; i++ {
-		if bt.basis[i] < n {
-			xs[bt.basis[i]] = bt.value(bt.basis[i], bt.t[i][bt.rhs])
-		}
-	}
-	// Duals: the reduced cost of row i's slack column is the shadow price of
-	// that row (for a minimization with ≤ rows, it is ≥ 0 at optimality; a
-	// flipped slack — nonbasic at its bound — cannot occur since slacks are
-	// unbounded above).
-	duals := sc.take(m)
-	for i := 0; i < m; i++ {
-		if sc := sf.slackCol[i]; sc >= 0 {
-			duals[i] = bt.t[m][sc]
-		}
-	}
-	return StatusOptimal, xs, duals, iters
+	xs, duals := extractSolution(bt, sf, sc)
+	return StatusOptimal, xs, duals, iters, bt
 }

@@ -87,12 +87,45 @@ type Result struct {
 	// the optimum would improve per unit of extra bub[i]). Valid when
 	// optimal. Equality-row duals are not exposed.
 	IneqDuals []float64
+	// Basis is the optimal simplex basis, captured when Options.CaptureBasis
+	// is set and the solve ends optimal. It never aliases scratch memory and
+	// can seed a warm re-entry solve (SolveWarm) of a problem with the same
+	// structure and equal-or-tighter bounds.
+	Basis *Basis
+	// ReducedCosts[j] is the reduced cost of original variable j at the
+	// optimum, filled when Options.WantReducedCosts is set: rc > 0 means x_j
+	// rests at its lower bound and raising it by δ worsens the objective by
+	// rc·δ; rc < 0 means x_j rests at its upper bound and lowering it costs
+	// |rc|·δ; 0 means basic, free, or degenerate (no information).
+	ReducedCosts []float64
+	// Warm reports that this solve re-entered from a caller-supplied basis
+	// (crash + repair + polish) instead of the cold two-phase path.
+	Warm bool
+	// WarmFallback reports that a warm attempt was made but abandoned
+	// (singular crash pivot, repair stall, …) and the result came from the
+	// cold path instead.
+	WarmFallback bool
+	// CrashPivots and RepairPivots count the extra pivots of a warm solve's
+	// basis crash and feasibility repair; Iterations counts the simplex
+	// iterations of the main loop (Phase I + II when cold, polish when warm).
+	CrashPivots  int
+	RepairPivots int
 }
+
+// Pivots returns the total pivot work of the solve: crash and repair pivots
+// (warm path) plus the main-loop simplex iterations.
+func (r *Result) Pivots() int { return r.CrashPivots + r.RepairPivots + r.Iterations }
 
 // Options tunes the solver.
 type Options struct {
 	MaxIter int     // 0 means automatic (20·(m+n)+200)
 	Tol     float64 // 0 means 1e-9
+	// CaptureBasis records the optimal basis in Result.Basis (two small
+	// allocations per solve; off by default to keep the steady-state
+	// allocation profile).
+	CaptureBasis bool
+	// WantReducedCosts fills Result.ReducedCosts at optimality.
+	WantReducedCosts bool
 }
 
 const defaultTol = 1e-9
@@ -158,6 +191,18 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 // internal matrices. sc may be nil (a fresh scratch is used); otherwise it
 // must not be shared with a concurrent solve.
 func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
+	return SolveWarm(p, opt, sc, nil)
+}
+
+// SolveWarm solves the problem like SolveScratch but, when warm is non-nil,
+// first tries to re-enter the simplex from the supplied basis: the tableau is
+// rebuilt under the (possibly tightened) bounds, crashed onto the basis, made
+// primal feasible again with dual-simplex-style pivots, and polished to
+// optimality. Whenever the warm path cannot finish — basis shape mismatch,
+// singular crash pivot, repair stall — it falls back to the cold two-phase
+// solve, so the returned result is always exactly what SolveScratch computes
+// modulo the vertex chosen among ties. warm may be nil (plain cold solve).
+func SolveWarm(p *Problem, opt Options, sc *Scratch, warm *Basis) (*Result, error) {
 	if sc == nil {
 		sc = NewScratch()
 	}
@@ -169,9 +214,23 @@ func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
 	if tol == 0 {
 		tol = defaultTol
 	}
+	if warm != nil {
+		if res, ok := solveWarmAttempt(p, n, opt, tol, sc, warm); ok {
+			return res, nil
+		}
+	}
+	res, err := solveCold(p, n, opt, tol, sc)
+	if err == nil && warm != nil {
+		res.WarmFallback = true
+	}
+	return res, err
+}
 
-	// Reserve the whole solve's float storage up front: growing the arena
-	// after slices have been handed out would invalidate them.
+// reserveFor sizes the scratch arena for one solve of the problem's standard
+// form and returns (nCols, m). Growing the arena after slices have been handed
+// out would invalidate them, so every path reserves up front for the widest
+// (cold, artificial-bearing) tableau.
+func reserveFor(p *Problem, n int, sc *Scratch) (int, int) {
 	nStruct := 0
 	for j := 0; j < n; j++ {
 		lb, ub := boundsAt(p, j)
@@ -184,8 +243,12 @@ func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
 	nCols := nStruct + len(p.Aub)
 	m := len(p.Aeq) + len(p.Aub)
 	width := nCols + m + 1 // artificials ≤ m, plus the rhs column
-	sc.reserve(m*nCols + m + 2*nCols + n + (m+1)*width + width + nCols + m)
+	sc.reserve(m*nCols + m + 2*nCols + 2*n + (m+1)*width + width + nCols + m)
+	return nCols, m
+}
 
+func solveCold(p *Problem, n int, opt Options, tol float64, sc *Scratch) (*Result, error) {
+	reserveFor(p, n, sc)
 	sf, err := toStandardForm(p, n, sc)
 	if err != nil {
 		return nil, err
@@ -194,12 +257,18 @@ func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
 	if maxIter == 0 {
 		maxIter = 20*(len(sf.b)+sf.nCols) + 200
 	}
-
-	st, xs, duals, iters := solveBounded(sf, sf.colUB, tol, maxIter, sc)
+	st, xs, duals, iters, bt := solveBounded(sf, sf.colUB, tol, maxIter, sc)
 	res := &Result{Status: st, Iterations: iters}
 	if st != StatusOptimal {
 		return res, nil
 	}
+	finish(p, n, opt, tol, sf, bt, xs, duals, res)
+	return res, nil
+}
+
+// finish recovers the original-variable solution, objective, duals, and the
+// optional basis/reduced-cost captures shared by the cold and warm paths.
+func finish(p *Problem, n int, opt Options, tol float64, sf *standardForm, bt *boundedTableau, xs, duals []float64, res *Result) {
 	x := sf.recover(xs)
 	res.X = x
 	for j := 0; j < n; j++ {
@@ -211,7 +280,15 @@ func SolveScratch(p *Problem, opt Options, sc *Scratch) (*Result, error) {
 	for i := range p.Aub {
 		res.IneqDuals[i] = duals[len(p.Aeq)+i]
 	}
-	return res, nil
+	if bt == nil {
+		return
+	}
+	if opt.CaptureBasis {
+		res.Basis = captureBasis(bt)
+	}
+	if opt.WantReducedCosts {
+		res.ReducedCosts = reducedCosts(bt, sf, n, tol)
+	}
 }
 
 func validate(p *Problem, n int) error {
@@ -296,8 +373,11 @@ type standardForm struct {
 	// bounded-variable engine honors it without materializing a row.
 	colUB []float64
 	// recovery data: original variable j maps to
-	//   x[j] = shift[j] + xs[pos[j]] - (xs[neg[j]] if neg[j] >= 0)
+	//   x[j] = shift[j] + sign[j]·xs[pos[j]] - (xs[neg[j]] if neg[j] >= 0)
+	// where sign[j] is −1 only for the x = ub − x′ substitution (lb = −Inf
+	// with a finite ub) and +1 otherwise.
 	shift []float64
+	sign  []float64
 	pos   []int
 	neg   []int
 }
@@ -305,7 +385,7 @@ type standardForm struct {
 func (s *standardForm) recover(xs []float64) []float64 {
 	x := make([]float64, len(s.pos))
 	for j := range x {
-		x[j] = s.shift[j] + xs[s.pos[j]]
+		x[j] = s.shift[j] + s.sign[j]*xs[s.pos[j]]
 		if s.neg[j] >= 0 {
 			x[j] -= xs[s.neg[j]]
 		}
@@ -328,7 +408,8 @@ func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 		neg:   make([]int, n),
 	}
 	// sign[j] is +1 when x = shift + x′ and −1 when x = shift − x′.
-	sign := make([]float64, n)
+	sign := sc.take(n)
+	sf.sign = sign
 	nStructPre := 0
 	for j := 0; j < n; j++ {
 		lb, ub := boundsAt(p, j)
@@ -383,7 +464,7 @@ func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 	// recovered x.
 	for j := 0; j < n; j++ {
 		cj := p.C[j]
-		sf.c[sf.pos[j]] += cj * sign[j] * signFix(sf, j)
+		sf.c[sf.pos[j]] += cj * sign[j]
 		if sf.neg[j] >= 0 {
 			sf.c[sf.neg[j]] -= cj
 		}
@@ -401,7 +482,7 @@ func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 			if a == 0 {
 				continue
 			}
-			r[sf.pos[j]] += a * sign[j] * signFix(sf, j)
+			r[sf.pos[j]] += a * sign[j]
 			if sf.neg[j] >= 0 {
 				r[sf.neg[j]] -= a
 			}
@@ -437,11 +518,6 @@ func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 	}
 	return sf, nil
 }
-
-// signFix accounts for the x = ub − x′ substitution: pos-column coefficients
-// already carry sign[j]; signFix is the identity and exists to keep the two
-// call sites symmetric if the substitution scheme is extended.
-func signFix(*standardForm, int) float64 { return 1 }
 
 func maxAbs(v []float64) float64 {
 	var m float64

@@ -202,3 +202,38 @@ func TestQuickMixedIntegerSanity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzWarmStartEquivalence drives the accelerated engine (warm-started
+// relaxations + presolve) against the cold engine on seeded random MILPs and
+// requires status and objective to agree. The committed seeds include
+// instances (5, 29) where the warm re-entry's basis crash or feasibility
+// repair gives up mid-tree and falls back cold — the recovery path that a
+// bug in fallback bookkeeping would corrupt first.
+func FuzzWarmStartEquivalence(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 5, 17, 29} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomMILP(rng)
+		warm, err := SolveOpts(p, Options{})
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		cold, err := SolveOpts(p, Options{DisableWarmStart: true, DisablePresolve: true})
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+		}
+		if warm.Status == StatusOptimal && math.Abs(warm.Obj-cold.Obj) > 1e-9*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("objective warm=%.12g cold=%.12g (stats %s)", warm.Obj, cold.Obj, warm.Stats.String())
+		}
+		// A fallback must never leave the counters inconsistent: every warm
+		// attempt either hits or falls back.
+		if s := warm.Stats; s.WarmHits+s.WarmFallbacks != s.WarmAttempts {
+			t.Fatalf("warm counters inconsistent: %s", s.String())
+		}
+	})
+}

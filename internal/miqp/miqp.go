@@ -82,6 +82,9 @@ type Result struct {
 	Obj    float64
 	Nodes  int     // number of branch-and-bound nodes solved
 	Gap    float64 // |best bound − incumbent| at termination (0 when proven optimal)
+	// Stats carries the solver observability counters (warm-start hit rate,
+	// pivot work, presolve reductions). Deterministic across worker counts.
+	Stats Stats
 }
 
 // Options tunes the search.
@@ -101,6 +104,14 @@ type Options struct {
 	// in batch order — so the result is bit-identical for every worker
 	// count; Workers only changes wall-clock time.
 	Workers int
+	// DisableWarmStart forces every relaxation to solve from a cold start
+	// instead of re-entering from the parent node's basis. Warm starting is on
+	// by default for LP relaxations (Q == nil); this switch exists for A/B
+	// measurement and debugging.
+	DisableWarmStart bool
+	// DisablePresolve skips the pre-root bound-implication pass and the
+	// root reduced-cost bound tightening.
+	DisablePresolve bool
 }
 
 // relaxBatch is the number of frontier nodes expanded per batch-synchronous
@@ -120,6 +131,11 @@ type node struct {
 	// the sequential merge phase, so ids are deterministic; they complete the
 	// heap order into a total order and break incumbent ties.
 	id uint64
+	// basis is the parent relaxation's optimal simplex basis (nil at the root
+	// or when warm starting is off). A child differs from its parent by one
+	// variable bound, so re-entering from this basis usually needs a handful
+	// of pivots instead of a full two-phase solve.
+	basis *lp.Basis
 }
 
 type nodeHeap []*node
@@ -205,9 +221,6 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		maxNodes = 200000
 	}
 
-	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}}
-	heap.Init(h)
-	nextID := uint64(2)
 	res := &Result{Status: StatusInfeasible, Obj: math.Inf(1)}
 	var incumbent []float64
 	var incumbentID uint64 // id of the node that produced the incumbent (0 = seeded)
@@ -221,6 +234,48 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		res.Status = StatusOptimal
 	}
 
+	// Pre-root presolve: tighten integer boxes from single-row implications
+	// and drop redundant rows. The node loop then solves the reduced problem
+	// pp; the caller's p is never mutated (and the incumbent — an integer
+	// point satisfying all original rows — survives every reduction).
+	pp := p
+	if !opt.DisablePresolve {
+		info := presolve(p, lb, ub)
+		res.Stats.PresolveFixedVars = info.fixed
+		res.Stats.PresolveTightenedBounds = info.tightened
+		res.Stats.PresolveRemovedRows = info.removed
+		if info.infeasible {
+			if incumbent != nil {
+				// The caller vouched for the incumbent's feasibility; a
+				// presolve infeasibility proof then means no strictly better
+				// point exists, so the incumbent is the answer (this mirrors
+				// the node loop's exhausted-frontier exit).
+				res.X = incumbent
+				res.Status = StatusOptimal
+				return res, nil
+			}
+			res.Status = StatusInfeasible
+			return res, nil
+		}
+		if info.aub != nil {
+			reduced := *p
+			reduced.Aub = info.aub
+			reduced.Bub = info.bub
+			pp = &reduced
+		}
+	}
+
+	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}}
+	heap.Init(h)
+	nextID := uint64(2)
+
+	// Warm starting applies to the pure-LP relaxation path only; the QP paths
+	// have no simplex basis to reuse.
+	warmOK := p.Q == nil && !opt.DisableWarmStart
+	// Root reduced-cost tightening needs the root solve to report reduced
+	// costs; only worthwhile once an upper bound (incumbent) exists.
+	rootRC := !opt.DisablePresolve && incumbent != nil && p.Q == nil
+
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
@@ -228,6 +283,9 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	if workers > relaxBatch {
 		workers = relaxBatch
 	}
+	// A pool wider than the schedulable CPUs only adds goroutine/merge
+	// overhead (results are pool-width independent, so this is free).
+	workers = par.CapWorkers(workers)
 	scratches := make([]*lp.Scratch, workers)
 	for w := range scratches {
 		scratches[w] = lpScratchPool.Get().(*lp.Scratch)
@@ -267,15 +325,37 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			break // frontier fully pruned
 		}
 		res.Nodes += len(batch)
-		// Relaxations are pure functions of (problem, node bounds): solve the
-		// batch concurrently, then merge sequentially so the search state
-		// evolves identically for every worker count.
+		res.Stats.Nodes += len(batch)
+		// Relaxations are pure functions of (problem, node bounds, parent
+		// basis): solve the batch concurrently, then merge sequentially so the
+		// search state evolves identically for every worker count.
 		if err := par.ForEach(workers, len(batch), func(w, i int) error {
+			nd := batch[i]
+			var warm *lp.Basis
+			if warmOK {
+				warm = nd.basis
+			}
 			var err error
-			relaxes[i], err = solveRelaxation(p, batch[i].lb, batch[i].ub, scratches[w])
+			relaxes[i], err = solveRelaxation(pp, nd.lb, nd.ub, scratches[w], warm, warmOK, rootRC && nd.depth == 0)
 			return err
 		}); err != nil {
 			return nil, err
+		}
+		// Aggregate solver counters in batch order (deterministic), including
+		// for nodes a same-batch incumbent later prunes — their relaxations
+		// were solved regardless.
+		for i := range batch {
+			r := &relaxes[i]
+			res.Stats.Relaxations++
+			res.Stats.Pivots += r.pivots
+			if r.warmAttempted {
+				res.Stats.WarmAttempts++
+				if r.warmFellBack {
+					res.Stats.WarmFallbacks++
+				} else {
+					res.Stats.WarmHits++
+				}
+			}
 		}
 		for i, nd := range batch {
 			relax := relaxes[i]
@@ -294,9 +374,10 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				continue
 			case relaxFailed:
 				// Numerical failure: branch anyway using the parent bound, unless
-				// nothing remains to branch on.
+				// nothing remains to branch on. Children restart cold (nil
+				// basis): the failed solve produced nothing to re-enter from.
 				if j := firstBranchable(p, nd.lb, nd.ub); j >= 0 {
-					branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound, &nextID)
+					branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound, &nextID, nil)
 				}
 				continue
 			}
@@ -307,6 +388,33 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				// Track the global bound loosely (best-first makes the heap top a
 				// valid bound; this is only used for gap reporting).
 				bestBound = relax.obj
+			}
+			if relax.rc != nil && res.Obj < math.Inf(1) {
+				// Root reduced-cost tightening: a nonbasic integer variable
+				// with reduced cost d moves the root bound L by d per unit, so
+				// any solution beating the incumbent U keeps it within
+				// (U − L)/|d| of its resting bound. Applied to the root node's
+				// bounds before branching, so the whole tree inherits the cut.
+				gap := res.Obj - relax.obj
+				if gap >= 0 {
+					for j := range p.C {
+						if p.Integer == nil || !p.Integer[j] {
+							continue
+						}
+						d := relax.rc[j]
+						if d > 1e-9 {
+							if cut := nd.lb[j] + math.Floor(gap/d+intTol); cut < nd.ub[j]-0.5 {
+								nd.ub[j] = cut
+								res.Stats.RootCutBounds++
+							}
+						} else if d < -1e-9 {
+							if cut := nd.ub[j] - math.Floor(gap/(-d)+intTol); cut > nd.lb[j]+0.5 {
+								nd.lb[j] = cut
+								res.Stats.RootCutBounds++
+							}
+						}
+					}
+				}
 			}
 			// Find the most fractional integer variable. Binary variables win
 			// ties and beat general integers outright: fixing a binary usually
@@ -351,7 +459,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				}
 				continue
 			}
-			branchAt(h, nd, branch, relax.x[branch], relax.obj, &nextID)
+			branchAt(h, nd, branch, relax.x[branch], relax.obj, &nextID, relax.basis)
 		}
 	}
 	if incumbent != nil {
@@ -375,17 +483,18 @@ func firstBranchable(p *Problem, lb, ub []float64) int {
 	return -1
 }
 
-// branchAt pushes the floor/ceil children of nd split at value v on column j.
+// branchAt pushes the floor/ceil children of nd split at value v on column j,
+// handing both children the parent relaxation's basis for warm re-entry.
 // ids are drawn from *nextID; callers only invoke this from the sequential
 // merge phase, so the numbering is deterministic.
-func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64) {
+func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64, basis *lp.Basis) {
 	lo := math.Floor(v)
 	if lo < nd.lb[j] {
 		lo = nd.lb[j]
 	}
 	hi := lo + 1
 	if lo >= nd.lb[j] {
-		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID}
+		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID, basis: basis}
 		*nextID++
 		left.ub[j] = lo
 		if left.lb[j] <= left.ub[j] {
@@ -393,7 +502,7 @@ func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64) {
 		}
 	}
 	if hi <= nd.ub[j] {
-		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID}
+		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID, basis: basis}
 		*nextID++
 		right.lb[j] = hi
 		if right.lb[j] <= right.ub[j] {
@@ -432,29 +541,48 @@ type relaxResult struct {
 	status relaxStatus
 	x      []float64
 	obj    float64
+	// basis is the optimal simplex basis (LP path with capture on), handed to
+	// this node's children for warm re-entry; rc holds reduced costs when the
+	// solve was asked for them (root tightening).
+	basis *lp.Basis
+	rc    []float64
+	// observability counters for Stats aggregation.
+	warmAttempted bool
+	warmFellBack  bool
+	pivots        int
 }
 
 // solveRelaxation solves the continuous relaxation under node bounds. sc is
 // the calling worker's LP scratch (unused on the QP paths); concurrent
-// callers must pass distinct scratches.
-func solveRelaxation(p *Problem, lb, ub []float64, sc *lp.Scratch) (relaxResult, error) {
+// callers must pass distinct scratches. warm, when non-nil, is the parent
+// basis to re-enter from; capture asks for the optimal basis (for this node's
+// children); wantRC asks for reduced costs (root tightening).
+func solveRelaxation(p *Problem, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC bool) (relaxResult, error) {
 	if p.Q == nil {
-		res, err := lp.SolveScratch(&lp.Problem{
+		res, err := lp.SolveWarm(&lp.Problem{
 			C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb, Ub: ub,
-		}, lp.Options{}, sc)
+		}, lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC}, sc, warm)
 		if err != nil {
 			return relaxResult{}, err
 		}
+		out := relaxResult{
+			warmAttempted: warm != nil,
+			warmFellBack:  res.WarmFallback,
+			pivots:        res.Pivots(),
+		}
 		switch res.Status {
 		case lp.StatusOptimal:
-			return relaxResult{status: relaxOptimal, x: res.X, obj: res.Obj}, nil
+			out.status, out.x, out.obj = relaxOptimal, res.X, res.Obj
+			out.basis = res.Basis
+			out.rc = res.ReducedCosts
 		case lp.StatusInfeasible:
-			return relaxResult{status: relaxInfeasible}, nil
+			out.status = relaxInfeasible
 		case lp.StatusUnbounded:
-			return relaxResult{status: relaxUnbounded}, nil
+			out.status = relaxUnbounded
 		default:
-			return relaxResult{status: relaxFailed}, nil
+			out.status = relaxFailed
 		}
+		return out, nil
 	}
 	// Box-only QP (no structural rows): the accelerated projected-gradient
 	// solver is faster and cannot cycle; its fixed points are the box-QP

@@ -1,0 +1,74 @@
+package miqp
+
+import "fmt"
+
+// Stats is the solver observability layer: per-solve counters that make the
+// warm-start and presolve work attributable ("how many relaxations were
+// avoided, how many warm starts stuck") and regressions visible without a
+// profiler. Aggregation happens in the deterministic sequential merge, so the
+// counters are bit-identical for every worker count, like the solution.
+type Stats struct {
+	// Nodes is the number of branch & bound nodes expanded (same quantity as
+	// Result.Nodes, duplicated here so a Stats aggregate is self-contained).
+	Nodes int `json:"nodes"`
+	// Relaxations is the number of continuous relaxations solved.
+	Relaxations int `json:"relaxations"`
+	// WarmAttempts counts relaxations entered with a parent basis;
+	// WarmHits those where the re-entry certified optimality, and
+	// WarmFallbacks those that abandoned the basis and re-solved cold.
+	WarmAttempts  int `json:"warm_attempts"`
+	WarmHits      int `json:"warm_hits"`
+	WarmFallbacks int `json:"warm_fallbacks"`
+	// Pivots is the total simplex pivot work across all relaxations (crash +
+	// repair + main-loop iterations); the quantity warm starting exists to cut.
+	Pivots int `json:"pivots"`
+	// PresolveFixedVars / PresolveTightenedBounds / PresolveRemovedRows count
+	// the pre-root reductions; RootCutBounds counts reduced-cost bound
+	// tightenings applied at the root once an incumbent exists.
+	PresolveFixedVars       int `json:"presolve_fixed_vars"`
+	PresolveTightenedBounds int `json:"presolve_tightened_bounds"`
+	PresolveRemovedRows     int `json:"presolve_removed_rows"`
+	RootCutBounds           int `json:"root_cut_bounds"`
+}
+
+// Add accumulates o into s (used by callers that aggregate across many
+// SolveOpts calls, e.g. the per-slot scheduler).
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Relaxations += o.Relaxations
+	s.WarmAttempts += o.WarmAttempts
+	s.WarmHits += o.WarmHits
+	s.WarmFallbacks += o.WarmFallbacks
+	s.Pivots += o.Pivots
+	s.PresolveFixedVars += o.PresolveFixedVars
+	s.PresolveTightenedBounds += o.PresolveTightenedBounds
+	s.PresolveRemovedRows += o.PresolveRemovedRows
+	s.RootCutBounds += o.RootCutBounds
+}
+
+// WarmHitRate is the fraction of warm attempts that certified optimality
+// without falling back (0 when no attempts were made).
+func (s Stats) WarmHitRate() float64 {
+	if s.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.WarmAttempts)
+}
+
+// PivotsPerRelaxation is the average simplex pivot work per relaxation solve
+// (0 when no relaxations were solved).
+func (s Stats) PivotsPerRelaxation() float64 {
+	if s.Relaxations == 0 {
+		return 0
+	}
+	return float64(s.Pivots) / float64(s.Relaxations)
+}
+
+// String renders the compact one-line form used by birpbench -solverstats.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d)",
+		s.Nodes, s.Relaxations, s.WarmHits, s.WarmAttempts, 100*s.WarmHitRate(),
+		s.WarmFallbacks, s.Pivots, s.PivotsPerRelaxation(),
+		s.PresolveFixedVars, s.PresolveTightenedBounds, s.PresolveRemovedRows, s.RootCutBounds)
+}

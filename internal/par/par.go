@@ -22,6 +22,21 @@ func Workers(n int) int {
 	return n
 }
 
+// CapWorkers resolves a configured worker count like Workers and additionally
+// caps it at runtime.GOMAXPROCS(0): a pool wider than the schedulable CPUs
+// cannot run anything concurrently and only pays goroutine and merge overhead
+// (the fig7 workers=4 regression on a 1-CPU host). Capping the pool never
+// changes results — the deterministic engines' work order is independent of
+// pool width — so it is safe on every call site that dispatches CPU-bound
+// items.
+func CapWorkers(n int) int {
+	w := Workers(n)
+	if g := runtime.GOMAXPROCS(0); w > g {
+		return g
+	}
+	return w
+}
+
 // ForEach runs fn(worker, i) for every i in [0, n) on up to workers
 // concurrent goroutines and returns the error of the lowest index that
 // failed (nil when none fail). worker ∈ [0, effective workers) is stable for

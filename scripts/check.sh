@@ -6,8 +6,39 @@
 # Usage:
 #   scripts/check.sh          # full gate (race over every package)
 #   scripts/check.sh -short   # quick tier: vet + build + short-mode race
+#   scripts/check.sh -bench   # solver bench tier: fig7 serial vs parallel,
+#                             # relaxation counts, warm-start hit rate;
+#                             # writes BENCH_PR2.json (see that file's shape)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "-bench" ]]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	echo "== build birpbench"
+	go build -o "$tmp/birpbench" ./cmd/birpbench
+	slots=150
+	for w in 1 4; do
+		echo "== fig7 -slots $slots -workers $w"
+		"$tmp/birpbench" -exp fig7 -slots $slots -seed 1 -workers "$w" \
+			-solverstats -json "$tmp/w$w.json" >"$tmp/out_w$w.txt"
+	done
+	echo "== cross-worker output identity"
+	# Strip the wall-clock trailer; everything else (figures, summaries,
+	# solver counters) must match byte for byte across worker counts.
+	sed '/ completed in /d' "$tmp/out_w1.txt" >"$tmp/id_w1.txt"
+	sed '/ completed in /d' "$tmp/out_w4.txt" >"$tmp/id_w4.txt"
+	cmp "$tmp/id_w1.txt" "$tmp/id_w4.txt"
+	echo "== micro-benches (warm vs cold, LP allocation budget)"
+	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
+		tee "$tmp/micro.txt"
+	go test ./internal/lp -run '^$' -bench 'BenchmarkBoundedBoxLP' -benchmem |
+		tee -a "$tmp/micro.txt"
+	python3 scripts/benchreport.py "$tmp/w1.json" "$tmp/w4.json" \
+		"$tmp/micro.txt" >BENCH_PR2.json
+	echo "ok: wrote BENCH_PR2.json"
+	exit 0
+fi
 
 short=""
 if [[ "${1:-}" == "-short" ]]; then
