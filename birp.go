@@ -26,6 +26,7 @@ import (
 	"repro/internal/edgenet"
 	"repro/internal/edgesim"
 	"repro/internal/experiments"
+	"repro/internal/mat"
 	"repro/internal/miqp"
 	"repro/internal/models"
 	"repro/internal/trace"
@@ -127,10 +128,10 @@ type SchedulerOptions struct {
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
-	if o.Eps1 == 0 {
+	if mat.Zero(o.Eps1) {
 		o.Eps1 = 0.04
 	}
-	if o.Eps2 == 0 {
+	if mat.Zero(o.Eps2) {
 		o.Eps2 = 0.07
 	}
 	if o.B0 == 0 {

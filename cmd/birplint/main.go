@@ -1,0 +1,196 @@
+// Command birplint is the repository's determinism linter: it loads every
+// package in the module with the stdlib-only loader in internal/analysis and
+// runs the analyzers that enforce the solver stack's reproducibility
+// invariants (no observable map order, no raw float equality, no wall-clock
+// reads in solve paths, no dropped intra-module errors, no copied locks, no
+// loop-variable captures in fan-outs).
+//
+// Usage:
+//
+//	birplint [-json] [-analyzers list] [patterns...]
+//
+// Patterns are package directories; a trailing /... walks recursively (the
+// default pattern is ./...). testdata directories are skipped unless the
+// pattern root itself points inside one, so the golden fixture packages can
+// be linted by naming them:
+//
+//	birplint ./...                                  # the whole module
+//	birplint -json ./... | python3 scripts/lintreport.py
+//	birplint ./internal/analysis/testdata/src/...   # the seeded fixtures
+//
+// Exit status: 0 when every finding is waived or there are none, 1 when any
+// unwaived finding remains, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		var err error
+		analyzers, err = analysis.ByName(*names)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		expanded, err := expand(loader, pat)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+
+	units, err := loader.Load(dirs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, u := range units {
+		diags = append(diags, analysis.Analyze(u, analyzers)...)
+	}
+	for i := range diags {
+		// Report module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	unwaived := 0
+	for _, d := range diags {
+		if !d.Waived {
+			unwaived++
+		}
+	}
+
+	if *jsonOut {
+		writeJSON(os.Stdout, analyzers, diags, unwaived)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if unwaived > 0 {
+			fmt.Fprintf(os.Stderr, "birplint: %d unwaived finding(s)\n", unwaived)
+		}
+	}
+	if unwaived > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves a package pattern to directories.
+func expand(loader *analysis.Loader, pat string) ([]string, error) {
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		if rest == "." || rest == "" {
+			rest = "."
+		}
+		return loader.Walk(rest)
+	}
+	info, err := os.Stat(pat)
+	if err != nil {
+		return nil, fmt.Errorf("birplint: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("birplint: %s is not a directory", pat)
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return nil, err
+	}
+	return []string{abs}, nil
+}
+
+// report is the -json schema scripts/lintreport.py consumes.
+type report struct {
+	Analyzers []string              `json:"analyzers"`
+	Findings  []analysis.Diagnostic `json:"findings"`
+	Counts    map[string]counts     `json:"counts"`
+	Unwaived  int                   `json:"unwaived"`
+}
+
+type counts struct {
+	Reported int `json:"reported"` // unwaived findings
+	Waived   int `json:"waived"`
+}
+
+func writeJSON(w *os.File, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic, unwaived int) {
+	r := report{
+		Findings: diags,
+		Counts:   map[string]counts{},
+		Unwaived: unwaived,
+	}
+	if r.Findings == nil {
+		r.Findings = []analysis.Diagnostic{}
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+		r.Counts[a.Name] = counts{}
+	}
+	for _, d := range diags {
+		c := r.Counts[d.Analyzer]
+		if d.Waived {
+			c.Waived++
+		} else {
+			c.Reported++
+		}
+		r.Counts[d.Analyzer] = c
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,310 @@
+// Package analysis is birplint's engine: a small multichecker built purely on
+// the standard library's go/ast, go/parser, go/token, and go/types (no
+// golang.org/x/tools, preserving the module's stdlib-only pledge). It loads
+// every package in the module, runs a set of analyzers tuned to the
+// determinism and numeric-correctness invariants the BIRP solver stack
+// promises (byte-identical output for every worker count), and reports
+// findings with file:line positions.
+//
+// The rules the analyzers enforce exist because the scheduler's headline
+// guarantee — parallelism never changes results — is otherwise unenforced
+// convention: one unsorted map range in an aggregation path or one raw float
+// == in a solver makes runs incomparable. See DESIGN.md, "Determinism rules
+// and how they are enforced".
+//
+// Waivers: a site that is deliberately exempt carries a comment on the same
+// line or the line directly above it:
+//
+//	//birplint:ordered            waives maporder at that site
+//	//birplint:ignore name1,name2 waives the named analyzers
+//	//birplint:ignore             waives every analyzer at that site
+//
+// Waived findings are still collected (and counted in the JSON report) but do
+// not fail the run.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	// Waived marks findings suppressed by a //birplint: comment; they are
+	// reported for visibility but do not make the run fail.
+	Waived bool `json:"waived"`
+}
+
+func (d Diagnostic) String() string {
+	suffix := ""
+	if d.Waived {
+		suffix = " (waived)"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s%s", d.File, d.Line, d.Col, d.Analyzer, d.Message, suffix)
+}
+
+// Analyzer is one lint rule. Run inspects the unit reachable through the pass
+// and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SkipTests drops findings positioned in _test.go files: test code is
+	// allowed to compare floats exactly, time itself, and drop errors.
+	SkipTests bool
+	Run       func(*Pass)
+}
+
+// All returns the full analyzer registry in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		FloatEq,
+		WallClock,
+		DroppedErr,
+		MutexCopy,
+		LoopCapture,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against the registry.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Pass carries one analyzer's traversal of one unit.
+type Pass struct {
+	Unit     *Unit
+	Analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Unit.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Unit.Info == nil {
+		return nil
+	}
+	return p.Unit.Info.TypeOf(e)
+}
+
+// ObjectOf is a nil-safe Info.ObjectOf.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Unit.Info == nil {
+		return nil
+	}
+	return p.Unit.Info.ObjectOf(id)
+}
+
+// Analyze runs the analyzers over the unit and returns the findings sorted by
+// position, with waivers applied and test-file findings dropped where the
+// analyzer asks for it.
+func Analyze(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	waived := collectWaivers(u)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Unit: u, Analyzer: a}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if u.OnlyFiles != nil && !u.OnlyFiles[d.File] {
+				continue
+			}
+			if a.SkipTests && strings.HasSuffix(d.File, "_test.go") {
+				continue
+			}
+			d.Waived = waived.covers(d.File, d.Line, a.Name)
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// waiverSet maps file → line → analyzer names waived there ("*" = all).
+type waiverSet map[string]map[int][]string
+
+// covers reports whether a finding by analyzer at (file, line) is waived: the
+// waiver comment may sit on the finding's own line or the line directly above.
+func (w waiverSet) covers(file string, line int, analyzer string) bool {
+	lines := w[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == "*" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWaivers scans every comment in the unit for //birplint: directives.
+func collectWaivers(u *Unit) waiverSet {
+	ws := waiverSet{}
+	add := func(pos token.Pos, names ...string) {
+		p := u.Fset.Position(pos)
+		if ws[p.Filename] == nil {
+			ws[p.Filename] = map[int][]string{}
+		}
+		ws[p.Filename][p.Line] = append(ws[p.Filename][p.Line], names...)
+	}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//birplint:")
+				if !ok {
+					continue
+				}
+				directive, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+				switch directive {
+				case "ordered":
+					add(c.Pos(), MapOrder.Name)
+				case "ignore":
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						add(c.Pos(), "*")
+						continue
+					}
+					for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+						return r == ',' || r == ' '
+					}) {
+						add(c.Pos(), name)
+					}
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// --- shared AST/type helpers used by several analyzers ---
+
+// pathTail returns the last element of an import path.
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeObject resolves the object a call expression invokes (function,
+// method, or builtin), or nil when it cannot be determined (e.g. a call of a
+// computed function value).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes pkgPath's function with one of the
+// given names (empty names = any function of that package).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// returnsError reports whether the call's result tuple includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if types.Implements(rt.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Implements(rt, errorType)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader returns a process-wide Loader so the cost of typechecking the
+// stdlib from source is paid once across every fixture test in the package.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("shared loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// expectation is one // want "regex" or // wantwaived "regex" comment in a
+// fixture file: the named line must produce a diagnostic whose message
+// matches the regex, with Waived matching the comment form.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	waived  bool
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want(waived)?\s+"([^"]+)"`)
+
+func readExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var exps []*expectation
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, entry.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(lineText, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[2], err)
+				}
+				exps = append(exps, &expectation{
+					file:   path,
+					line:   i + 1,
+					re:     re,
+					waived: m[1] == "waived",
+				})
+			}
+		}
+	}
+	return exps
+}
+
+// analyzeFixture loads one fixture directory and runs a single analyzer over
+// every unit in it.
+func analyzeFixture(t *testing.T, analyzer, rel string) (string, []Diagnostic) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", rel))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	units, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no units loaded from %s", rel)
+	}
+	anz, err := ByName(analyzer)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", analyzer, err)
+	}
+	var diags []Diagnostic
+	for _, u := range units {
+		diags = append(diags, Analyze(u, anz)...)
+	}
+	return dir, diags
+}
+
+// TestFixtures checks every analyzer against its golden fixture package:
+// each // want line must be hit by an unwaived diagnostic, each // wantwaived
+// line by a waived one, and no diagnostic may appear on an unannotated line.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		dir      string
+	}{
+		{"maporder", "maporder"},
+		{"floateq", "floateq"},
+		{"wallclock", "wallclock/core"},
+		{"wallclock", "wallclock/other"},
+		{"droppederr", "droppederr"},
+		{"mutexcopy", "mutexcopy"},
+		{"loopcapture", "loopcapture"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer+"/"+filepath.Base(c.dir), func(t *testing.T) {
+			dir, diags := analyzeFixture(t, c.analyzer, c.dir)
+			exps := readExpectations(t, dir)
+			for _, d := range diags {
+				matched := false
+				for _, e := range exps {
+					if e.matched || e.file != d.File || e.line != d.Line || e.waived != d.Waived {
+						continue
+					}
+					if e.re.MatchString(d.Message) {
+						e.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic %s:%d [%s waived=%v] %s",
+						filepath.Base(d.File), d.Line, d.Analyzer, d.Waived, d.Message)
+				}
+			}
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("missing diagnostic at %s:%d matching %q (waived=%v)",
+						filepath.Base(e.file), e.line, e.re, e.waived)
+				}
+			}
+		})
+	}
+}
+
+// TestWaiverCoverage pins the waiver scoping rules: a directive covers its own
+// line and the line directly below, names select specific analyzers, and a
+// bare //birplint:ignore waives everything.
+func TestWaiverCoverage(t *testing.T) {
+	ws := waiverSet{
+		"f.go": {
+			10: {"floateq"},
+			20: {"*"},
+		},
+	}
+	checks := []struct {
+		file     string
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{"f.go", 10, "floateq", true},
+		{"f.go", 11, "floateq", true},  // line below the directive
+		{"f.go", 12, "floateq", false}, // two lines below: out of scope
+		{"f.go", 9, "floateq", false},  // line above: out of scope
+		{"f.go", 10, "maporder", false},
+		{"f.go", 20, "maporder", true}, // bare ignore waives all analyzers
+		{"g.go", 10, "floateq", false},
+	}
+	for _, c := range checks {
+		if got := ws.covers(c.file, c.line, c.analyzer); got != c.want {
+			t.Errorf("covers(%s, %d, %s) = %v, want %v", c.file, c.line, c.analyzer, got, c.want)
+		}
+	}
+}

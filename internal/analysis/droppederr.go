@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DroppedErr flags call statements (plain, go, and defer) that discard an
+// error returned by an intra-module function. A swallowed solver error is a
+// correctness hazard here: the deterministic engines report the
+// lowest-indexed failure, and a dropped error turns "solve failed" into
+// "solution is silently stale". Explicitly assigning to _ is treated as a
+// visible, greppable discard and is not flagged; external-package calls
+// (fmt.Println and friends) are the caller's business. Test files are exempt.
+var DroppedErr = &Analyzer{
+	Name:      "droppederr",
+	Doc:       "flags discarded error returns from intra-module calls",
+	SkipTests: true,
+	Run:       runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		obj := calleeObject(p.Unit.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		path := obj.Pkg().Path()
+		if path != p.Unit.ModulePath && !strings.HasPrefix(path, p.Unit.ModulePath+"/") {
+			return
+		}
+		if !returnsError(p.Unit.Info, call) {
+			return
+		}
+		p.Reportf(call.Pos(), "%s discards the error from %s.%s; handle it or assign it to _ explicitly",
+			how, pathTail(path), obj.Name())
+	}
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "call statement")
+				}
+			case *ast.GoStmt:
+				check(st.Call, "go statement")
+			case *ast.DeferStmt:
+				check(st.Call, "defer statement")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one analyzed compilation unit: a package's parsed files plus the
+// type information birplint's analyzers query. A directory with in-package
+// test files yields a test-augmented unit (GoFiles + TestGoFiles, with
+// OnlyFiles restricted to nothing — all files are reported); a directory with
+// external test files additionally yields a <pkg>_test unit.
+type Unit struct {
+	// Path is the unit's import path (the _test suffix marks an external
+	// test package).
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir        string
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// OnlyFiles, when non-nil, restricts reporting to these absolute
+	// filenames (used when a unit re-typechecks files another unit already
+	// reported on).
+	OnlyFiles map[string]bool
+}
+
+// Loader loads and typechecks the module's packages without golang.org/x/tools:
+// directories are resolved with go/build, module-internal imports are
+// typechecked recursively from source, and everything else (the standard
+// library) is delegated to the stdlib source importer.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	ctx     build.Context
+	std     types.Importer
+	base    map[string]*types.Package // import path → GoFiles-only package
+	loading map[string]bool
+}
+
+// NewLoader roots a loader at the directory containing go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	modulePath, err := readModulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	// The stdlib source importer reads build.Default; disabling cgo there
+	// makes packages like net resolve to their pure-Go variants, which is
+	// both hermetic and deterministic.
+	build.Default.CgoEnabled = false
+	ctx := build.Default
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modulePath,
+		Fset:       fset,
+		ctx:        ctx,
+		std:        importer.ForCompiler(fset, "source", nil),
+		base:       map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if path, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(path), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Walk collects every package directory under root, skipping testdata,
+// hidden, and underscore-prefixed directories the go tool also ignores. The
+// root itself is always considered even when it sits inside a testdata tree,
+// so fixture packages can be linted by naming them explicitly.
+func (l *Loader) Walk(root string) ([]string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Load turns each directory into its analysis units. Directories without
+// buildable Go files are skipped silently; any parse or type error aborts the
+// load (the tree is expected to build).
+func (l *Loader) Load(dirs []string) ([]*Unit, error) {
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+func (l *Loader) loadDir(dir string) ([]*Unit, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	path := l.dirImportPath(dir)
+	var units []*Unit
+
+	if len(bp.GoFiles) > 0 {
+		files := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+		pkg, info, asts, err := l.checkFiles(path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path, Dir: dir, ModulePath: l.ModulePath,
+			Fset: l.Fset, Files: asts, Pkg: pkg, Info: info,
+		})
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		pkg, info, asts, err := l.checkFiles(path+"_test", dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path + "_test", Dir: dir, ModulePath: l.ModulePath,
+			Fset: l.Fset, Files: asts, Pkg: pkg, Info: info,
+		})
+	}
+	return units, nil
+}
+
+func (l *Loader) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) moduleLocal(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Import implements types.Importer: module-internal paths are typechecked
+// from source (GoFiles only, so test files can never create import cycles),
+// everything else goes to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.moduleLocal(path) {
+		return l.importBase(path)
+	}
+	return l.std.Import(path)
+}
+
+// importBase loads the GoFiles-only variant of a module package, memoized.
+func (l *Loader) importBase(path string) (*types.Package, error) {
+	if pkg, ok := l.base[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.ModuleRoot
+	if path != l.ModulePath {
+		dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %s: %w", path, err)
+	}
+	pkg, _, _, err := l.checkFiles(path, dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	l.base[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) checkFiles(path, dir string, files []string) (*types.Package, *types.Info, []*ast.File, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.Fset, filepath.Join(dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: parse %s: %w", f, err)
+		}
+		asts = append(asts, parsed)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.Fset, asts, info)
+	if firstErr != nil {
+		return nil, nil, nil, fmt.Errorf("analysis: typecheck %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return pkg, info, asts, nil
+}

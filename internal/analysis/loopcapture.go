@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags goroutine (and deferred) closures in loop bodies that
+// capture the loop variable instead of receiving it as an argument. Since Go
+// 1.22 loop variables are per-iteration so this is no longer the classic
+// data race, but the fan-out code in this module standardizes on explicit
+// parameters (see par.ForEach handing each goroutine its worker index): the
+// dependence on iteration state is visible in the signature, and the code
+// stays correct if it is ever vendored into a pre-1.22 module.
+var LoopCapture = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "flags goroutine closures capturing loop variables in fan-out code",
+	Run:  runLoopCapture,
+}
+
+func runLoopCapture(p *Pass) {
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var vars map[types.Object]bool
+			var body *ast.BlockStmt
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				if st.Tok != token.DEFINE {
+					return true
+				}
+				vars = loopVarObjects(p, st.Key, st.Value)
+				body = st.Body
+			case *ast.ForStmt:
+				if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					vars = loopVarObjects(p, init.Lhs...)
+				}
+				body = st.Body
+			default:
+				return true
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				var lit *ast.FuncLit
+				switch sp := m.(type) {
+				case *ast.GoStmt:
+					lit, _ = ast.Unparen(sp.Call.Fun).(*ast.FuncLit)
+				case *ast.DeferStmt:
+					lit, _ = ast.Unparen(sp.Call.Fun).(*ast.FuncLit)
+				}
+				if lit == nil {
+					return true
+				}
+				ast.Inspect(lit.Body, func(b ast.Node) bool {
+					id, ok := b.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := p.Unit.Info.Uses[id]; obj != nil && vars[obj] {
+						p.Reportf(id.Pos(), "goroutine closure captures loop variable %s; pass it as an argument like par.ForEach does", id.Name)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func loopVarObjects(p *Pass, exprs ...ast.Expr) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.Unit.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// solverPkgs are the packages whose inputs and outputs must be bit-identical
+// run to run; map iteration order must never reach them.
+var solverPkgs = map[string]bool{"lp": true, "miqp": true, "core": true}
+
+// MapOrder flags `range` over a map whose body makes iteration order
+// observable: appending to a slice that outlives the loop (without a
+// subsequent sort of that slice in the same block), writing ordered output
+// (fmt.Fprint*/Print*, Write*/AddRow method calls, io.WriteString),
+// accumulating floating-point values (addition is not associative, so the
+// sum's low bits depend on order), or calling into the lp/miqp/core solver
+// packages. Inside the solver packages themselves every map range is flagged
+// unless it is the collect-keys-then-sort idiom. Waive a deliberate site with
+// //birplint:ordered.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order can leak into output or solver input",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	inSolver := solverPkgs[pathTail(p.Unit.Path)]
+	for _, f := range p.Unit.Files {
+		// The blanket "no map iteration in solver packages" rule is for
+		// production solve paths; tests iterate maps to assert properties,
+		// which is harmless unless a specific hazard applies.
+		solverFile := inSolver &&
+			!strings.HasSuffix(p.Unit.Fset.Position(f.Pos()).Filename, "_test.go")
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(p.TypeOf(rs.X)) {
+				return true
+			}
+			list, idx := enclosingStmtList(stack)
+			checkMapRange(p, rs, list, idx, solverFile)
+			return true
+		})
+	}
+}
+
+// enclosingStmtList finds the statement list directly containing the node on
+// top of the stack, and its index there.
+func enclosingStmtList(stack []ast.Node) ([]ast.Stmt, int) {
+	if len(stack) < 2 {
+		return nil, -1
+	}
+	top := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch parent := stack[i].(type) {
+		case *ast.LabeledStmt:
+			continue // the label wraps the statement; keep looking upward
+		case *ast.BlockStmt:
+			list = parent.List
+		case *ast.CaseClause:
+			list = parent.Body
+		case *ast.CommClause:
+			list = parent.Body
+		default:
+			return nil, -1
+		}
+		for j, s := range list {
+			if s == top || unlabel(s) == top {
+				return list, j
+			}
+		}
+		return nil, -1
+	}
+	return nil, -1
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+func checkMapRange(p *Pass, rs *ast.RangeStmt, list []ast.Stmt, idx int, inSolver bool) {
+	var hazards []string
+
+	declaredOutside := func(e ast.Expr) bool {
+		base := e
+		for {
+			switch b := base.(type) {
+			case *ast.SelectorExpr:
+				base = b.X
+				continue
+			case *ast.IndexExpr:
+				base = b.X
+				continue
+			case *ast.StarExpr:
+				base = b.X
+				continue
+			case *ast.ParenExpr:
+				base = b.X
+				continue
+			}
+			break
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok {
+			return true // conservatively treat unrecognized targets as escaping
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+
+	// isSortedAppend reports whether stmt is `x = append(x, ...)` (or multi-
+	// assign of appends) into slices that outlive the loop and are sorted
+	// after it — the collect-keys-then-sort idiom.
+	isSortedAppend := func(s ast.Stmt) bool {
+		as, ok := unlabel(s).(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) || len(as.Lhs) != len(as.Rhs) {
+			return false
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			obj := calleeObject(p.Unit.Info, call)
+			if _, builtin := obj.(*types.Builtin); !builtin || obj.Name() != "append" {
+				return false
+			}
+			if !declaredOutside(as.Lhs[i]) || !sortedAfter(p, list, idx, as.Lhs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	pureCollect := len(rs.Body.List) > 0
+	for _, s := range rs.Body.List {
+		if !isSortedAppend(s) {
+			pureCollect = false
+			break
+		}
+	}
+	if pureCollect {
+		return
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range st.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || i >= len(st.Lhs) {
+						continue
+					}
+					obj := calleeObject(p.Unit.Info, call)
+					if _, builtin := obj.(*types.Builtin); !builtin || obj.Name() != "append" {
+						continue
+					}
+					if !declaredOutside(st.Lhs[i]) {
+						continue
+					}
+					if sortedAfter(p, list, idx, st.Lhs[i]) {
+						continue // the collect-keys-then-sort idiom
+					}
+					hazards = append(hazards, "appends to "+types.ExprString(st.Lhs[i])+" which outlives the loop unsorted")
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range st.Lhs {
+					if isFloat(p.TypeOf(lhs)) && declaredOutside(lhs) {
+						hazards = append(hazards, "accumulates float "+types.ExprString(lhs)+" in map order (float addition is order-dependent)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if h := orderedSinkCall(p, st); h != "" {
+				hazards = append(hazards, h)
+			} else if obj := calleeObject(p.Unit.Info, st); obj != nil {
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg() != p.Unit.Pkg && solverPkgs[pathTail(fn.Pkg().Path())] {
+					hazards = append(hazards, "feeds solver package "+pathTail(fn.Pkg().Path())+" ("+fn.Name()+") in map order")
+				}
+			}
+		}
+		return true
+	})
+
+	if inSolver && len(hazards) == 0 {
+		hazards = append(hazards, "map iteration inside a solver package; sort the keys first")
+	}
+	for _, h := range hazards {
+		p.Reportf(rs.Pos(), "range over map %s: %s; sort keys first or add //birplint:ordered",
+			types.ExprString(rs.X), h)
+	}
+}
+
+// orderedSinkCall reports a non-empty hazard description when call writes to
+// an ordered sink.
+func orderedSinkCall(p *Pass, call *ast.CallExpr) string {
+	if isPkgCall(p.Unit.Info, call, "io", "WriteString") {
+		return "writes ordered output via io.WriteString"
+	}
+	if obj := calleeObject(p.Unit.Info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		name := obj.Name()
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return "writes ordered output via fmt." + name
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if _, isMethod := p.Unit.Info.Selections[sel]; !isMethod {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "AddRow":
+		return "writes ordered output via method " + sel.Sel.Name
+	}
+	return ""
+}
+
+// sortedAfter reports whether a statement after index idx in list sorts the
+// slice denoted by lhs (sort.Ints/Strings/Float64s/Slice/SliceStable/Sort or
+// slices.Sort*), which makes a key-collecting map range deterministic.
+func sortedAfter(p *Pass, list []ast.Stmt, idx int, lhs ast.Expr) bool {
+	if list == nil || idx < 0 {
+		return false
+	}
+	want := types.ExprString(lhs)
+	for _, s := range list[idx+1:] {
+		es, ok := unlabel(s).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		obj := calleeObject(p.Unit.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		if pkg := obj.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			a := ast.Unparen(arg)
+			// Unwrap single-arg conversions/wrappers like sort.Sort(byX(v)).
+			if c, ok := a.(*ast.CallExpr); ok && len(c.Args) == 1 {
+				a = ast.Unparen(c.Args[0])
+			}
+			if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				a = ast.Unparen(u.X)
+			}
+			if types.ExprString(a) == want {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of lock-bearing values: value receivers and
+// value parameters whose type (transitively) contains a sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool, or Map; assignments that copy such a value out
+// of an existing variable; and range clauses that copy lock-bearing elements.
+// A copied lock splits what callers believe is one critical section into two
+// independent ones — the solver stats merge would, for example, race exactly
+// when the guard looked strongest. Fresh values (composite literals, call
+// results) are fine.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags by-value copies of lock-bearing structs",
+	Run:  runMutexCopy,
+}
+
+var lockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether a value of type t embeds a sync lock by value.
+func containsLock(t types.Type) bool {
+	return lockIn(t, map[types.Type]bool{})
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && lockNames[named.Obj().Name()] {
+			return true
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockIn(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return false
+}
+
+// copiesExisting reports whether e denotes an existing value (so assigning it
+// copies), as opposed to a fresh composite literal or call result.
+func copiesExisting(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true // dereference always copies the pointee
+	}
+	return false
+}
+
+func runMutexCopy(p *Pass) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, ptr := t.Underlying().(*types.Pointer); ptr {
+				continue
+			}
+			if containsLock(t) {
+				p.Reportf(field.Pos(), "%s of lock-bearing type %s is passed by value, copying its lock; use a pointer", what, t)
+			}
+		}
+	}
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(st.Recv, "receiver")
+				checkFieldList(st.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkFieldList(st.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true // tuple assignment from a call: fresh values
+				}
+				for i, rhs := range st.Rhs {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarded into blank: no live copy escapes
+					}
+					if !copiesExisting(rhs) {
+						continue
+					}
+					t := p.TypeOf(rhs)
+					if t != nil && containsLock(t) {
+						p.Reportf(st.Lhs[i].Pos(), "assignment copies lock-bearing value %s (type %s); take a pointer instead",
+							types.ExprString(rhs), t)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if i < len(st.Names) && st.Names[i].Name == "_" {
+						continue // discarded into blank: no live copy escapes
+					}
+					if !copiesExisting(v) {
+						continue
+					}
+					t := p.TypeOf(v)
+					if t != nil && containsLock(t) {
+						p.Reportf(v.Pos(), "declaration copies lock-bearing value %s (type %s); take a pointer instead",
+							types.ExprString(v), t)
+					}
+				}
+			case *ast.RangeStmt:
+				if st.Value != nil {
+					if t := p.TypeOf(st.Value); t != nil && containsLock(t) {
+						p.Reportf(st.Value.Pos(), "range copies lock-bearing elements (type %s); iterate by index or over pointers", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Package droppederr seeds the droppederr analyzer: statements that discard
+// an error returned by an intra-module call must be flagged; explicit _
+// assignments, handled errors, and external-package calls must not.
+package droppederr
+
+import "fmt"
+
+// save is the intra-module callee whose error the positives discard.
+func save() error { return nil }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, nil }
+
+// DropPlain discards the error in a plain call statement.
+func DropPlain() {
+	save() // want "call statement discards the error from droppederr.save"
+}
+
+// DropGo discards the error in a go statement.
+func DropGo() {
+	go save() // want "go statement discards the error from droppederr.save"
+}
+
+// DropDefer discards the error in a defer statement.
+func DropDefer() {
+	defer save() // want "defer statement discards the error from droppederr.save"
+}
+
+// ExplicitBlank is a visible, greppable discard: not flagged.
+func ExplicitBlank() {
+	_ = save()
+}
+
+// Handled checks the error: not flagged.
+func Handled() error {
+	if err := save(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// External calls an error-returning stdlib function; outside the module, so
+// not flagged.
+func External() {
+	fmt.Println("hello")
+}
+
+// Waived carries the waiver comment.
+func Waived() {
+	//birplint:ignore droppederr
+	save() // wantwaived "call statement discards"
+}

@@ -1,0 +1,53 @@
+// Package floateq seeds positive and negative cases for the floateq
+// analyzer: raw ==/!= on floats and switches over float tags must be
+// flagged; integer comparisons, ordered comparisons, and tolerance-based
+// comparisons must not.
+package floateq
+
+import "math"
+
+// Equal compares two computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+// NotEqual32 flags float32 too.
+func NotEqual32(a, b float32) bool {
+	return a != b // want "!= on float operands"
+}
+
+// SwitchTag switches over a float expression.
+func SwitchTag(x float64) int {
+	switch x { // want "switch on float expression"
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return -1
+}
+
+// Tolerance is the approved pattern: not flagged.
+func Tolerance(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// Ordered comparisons are fine: not flagged.
+func Ordered(a, b float64) bool { return a < b }
+
+// Ints are exact: not flagged.
+func Ints(a, b int) bool { return a == b }
+
+// Waived keeps a deliberate exact comparison with the waiver comment.
+func Waived(x float64) bool {
+	//birplint:ignore floateq
+	return x == 0 // wantwaived "== on float operands"
+}
+
+// NamedFloat catches defined types whose underlying type is float.
+type Celsius float64
+
+// SameTemp compares a defined float type exactly.
+func SameTemp(a, b Celsius) bool {
+	return a == b // want "== on float operands"
+}

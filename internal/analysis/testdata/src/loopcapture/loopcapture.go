@@ -1,0 +1,68 @@
+// Package loopcapture seeds the loopcapture analyzer: goroutine and defer
+// closures that capture a loop variable must be flagged; closures that
+// receive the variable as an argument — the par.ForEach convention — must
+// not.
+package loopcapture
+
+import "sync"
+
+// CaptureRange captures the range variable in a goroutine closure.
+func CaptureRange(xs []int, out chan<- int) {
+	for _, x := range xs {
+		go func() {
+			out <- x // want "captures loop variable x"
+		}()
+	}
+}
+
+// CaptureFor captures a classic for-loop index.
+func CaptureFor(n int, out chan<- int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i // want "captures loop variable i"
+		}()
+	}
+}
+
+// CaptureDefer captures a loop variable in a deferred closure.
+func CaptureDefer(xs []int, out chan<- int) {
+	for _, x := range xs {
+		defer func() {
+			out <- x // want "captures loop variable x"
+		}()
+	}
+}
+
+// PassArgument hands the loop variable to the goroutine explicitly, like
+// par.ForEach hands each worker its index: not flagged.
+func PassArgument(xs []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out <- v
+		}(x)
+	}
+	wg.Wait()
+}
+
+// OuterCapture closes over a variable declared outside the loop, which is a
+// single shared binding either way: not flagged.
+func OuterCapture(xs []int, out chan<- int) {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	go func() { out <- total }()
+}
+
+// Waived keeps a deliberate capture under the waiver.
+func Waived(xs []int, out chan<- int) {
+	for _, x := range xs {
+		go func() {
+			//birplint:ignore loopcapture
+			out <- x // wantwaived "captures loop variable x"
+		}()
+	}
+}

@@ -1,0 +1,16 @@
+// Package lp is a stand-in solver package for the maporder golden fixtures:
+// its import path ends in "lp", so calls into it from a map-range body count
+// as feeding solver input.
+package lp
+
+// Feed accepts one coefficient of solver input.
+func Feed(x float64) {}
+
+// SolveAll consumes a batch of solver input.
+func SolveAll(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

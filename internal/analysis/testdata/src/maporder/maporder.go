@@ -1,0 +1,98 @@
+// Package maporder seeds positive and negative cases for the maporder
+// analyzer: map ranges whose iteration order escapes into slices, ordered
+// output, float accumulators, or solver input must be flagged; sorted-key
+// idioms and order-free aggregation must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/testdata/src/lp"
+)
+
+// AppendUnsorted leaks map order into a slice that outlives the loop.
+func AppendUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "appends to out"
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectThenSort is the canonical deterministic idiom and must not be
+// flagged: keys are collected and sorted before use.
+func CollectThenSort(m map[int]string) []string {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// PrintDirect writes ordered output in map order.
+func PrintDirect(m map[string]int) {
+	for k, v := range m { // want "fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BuildString writes into a strings.Builder in map order.
+func BuildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "method WriteString"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// AccumulateFloat sums float64 values in map order; float addition is not
+// associative, so the low bits depend on iteration order.
+func AccumulateFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "accumulates float total"
+		total += v
+	}
+	return total
+}
+
+// AccumulateInt sums integers, which is exact and commutative: not flagged.
+func AccumulateInt(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FeedSolver hands coefficients to an lp package in map order.
+func FeedSolver(m map[int]float64) {
+	for _, v := range m { // want "feeds solver package lp"
+		lp.Feed(v)
+	}
+}
+
+// WaivedPrint is deliberately order-dependent and carries the waiver.
+func WaivedPrint(m map[string]int) {
+	//birplint:ordered
+	for k, v := range m { // wantwaived "fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// MaxValue is an order-free reduction over a map: not flagged.
+func MaxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

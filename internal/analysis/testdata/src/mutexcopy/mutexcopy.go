@@ -1,0 +1,80 @@
+// Package mutexcopy seeds the mutexcopy analyzer: by-value receivers,
+// parameters, assignments, and range clauses that copy lock-bearing structs
+// must be flagged; pointers and fresh composite literals must not.
+package mutexcopy
+
+import "sync"
+
+// Guarded embeds a mutex by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds Guarded, so it is lock-bearing transitively.
+type Nested struct {
+	g Guarded
+}
+
+// ValueReceiver copies the lock on every call.
+func (g Guarded) ValueReceiver() int { // want "receiver of lock-bearing type"
+	return g.n
+}
+
+// PointerReceiver is the correct form: not flagged.
+func (g *Guarded) PointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// ValueParam copies the caller's lock into the callee.
+func ValueParam(g Guarded) int { // want "parameter of lock-bearing type"
+	return g.n
+}
+
+// PointerParam is fine: not flagged.
+func PointerParam(g *Guarded) int { return g.n }
+
+// CopyAssign duplicates an existing lock-bearing value.
+func CopyAssign(g *Guarded) {
+	shadow := *g // want "copies lock-bearing value"
+	_ = shadow
+}
+
+// CopyNested catches transitive lock fields.
+func CopyNested(n Nested) { // want "parameter of lock-bearing type"
+	local := n // want "copies lock-bearing value"
+	_ = local
+}
+
+// FreshLiteral constructs a new value, which is fine: not flagged.
+func FreshLiteral() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// RangeCopy copies each element's lock into the loop variable.
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies lock-bearing elements"
+		total += g.n
+	}
+	return total
+}
+
+// RangeIndex iterates by index, which is fine: not flagged.
+func RangeIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// Waived keeps a deliberate copy under the waiver.
+func Waived(g *Guarded) {
+	//birplint:ignore mutexcopy
+	shadow := *g // wantwaived "copies lock-bearing value"
+	_ = shadow
+}

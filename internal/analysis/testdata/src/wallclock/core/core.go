@@ -1,0 +1,29 @@
+// Package core seeds the wallclock analyzer's positive cases: its import
+// path ends in "core", so it counts as a deterministic solve path where
+// wall-clock reads are forbidden.
+package core
+
+import "time"
+
+// Solve reads the wall clock inside a solve path.
+func Solve() time.Duration {
+	start := time.Now() // want "time.Now inside deterministic solve path"
+	work()
+	return time.Since(start) // want "time.Since inside deterministic solve path"
+}
+
+// Deadline uses time.Until in a solve path.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until inside deterministic solve path"
+}
+
+// ProfiledSolve is the waived stats seam.
+func ProfiledSolve() time.Time {
+	//birplint:ignore wallclock
+	return time.Now() // wantwaived "time.Now"
+}
+
+// Elapsed manipulates durations without reading the clock: not flagged.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }
+
+func work() {}

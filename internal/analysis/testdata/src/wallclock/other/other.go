@@ -1,0 +1,8 @@
+// Package other is the wallclock analyzer's negative case: it is not one of
+// the deterministic solve packages, so reading the clock is fine.
+package other
+
+import "time"
+
+// Stamp reads the wall clock outside the solver stack: not flagged.
+func Stamp() time.Time { return time.Now() }

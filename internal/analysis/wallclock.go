@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallclockPkgs are the deterministic solve paths: given the same problem,
+// they must produce the same bytes on every run, so reading the wall clock
+// inside them is either dead weight or — worse — an input that varies run to
+// run (time-based cutoffs, timestamps in solutions). Profiling belongs in the
+// callers (cmd/birpbench, cmd/tirprofile) or behind an explicitly waived
+// stats seam.
+var wallclockPkgs = map[string]bool{"lp": true, "miqp": true, "core": true, "par": true}
+
+// WallClock flags time.Now/Since/Until calls inside the deterministic solver
+// packages (internal/lp, internal/miqp, internal/core, internal/par).
+// Profiling/stats seams that genuinely need wall time carry
+// //birplint:ignore wallclock.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "flags wall-clock reads inside deterministic solve paths",
+	SkipTests: true,
+	Run:       runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	if !wallclockPkgs[pathTail(p.Unit.Path)] {
+		return
+	}
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(p.Unit.Info, call, "time", "Now", "Since", "Until") {
+				obj := calleeObject(p.Unit.Info, call)
+				p.Reportf(call.Pos(), "time.%s inside deterministic solve path %s; move timing to the caller or waive the profiling seam with //birplint:ignore wallclock",
+					obj.Name(), pathTail(p.Unit.Path))
+			}
+			return true
+		})
+	}
+}

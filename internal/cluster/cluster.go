@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/accel"
+	"repro/internal/mat"
 )
 
 // Edge is one participant in the collaborative system.
@@ -112,10 +113,10 @@ func Custom(specs []EdgeSpec, opts ...Option) (*Cluster, error) {
 			BandwidthLoMbps: sp.BandwidthLoMbps,
 			BandwidthHiMbps: sp.BandwidthHiMbps,
 		}
-		if e.MemoryMB == 0 {
+		if mat.Zero(e.MemoryMB) {
 			e.MemoryMB = sp.Device.MemoryMB
 		}
-		if e.BandwidthLoMbps == 0 && e.BandwidthHiMbps == 0 {
+		if mat.Zero(e.BandwidthLoMbps) && mat.Zero(e.BandwidthHiMbps) {
 			e.BandwidthLoMbps, e.BandwidthHiMbps = 50, 100
 		}
 		c.Edges = append(c.Edges, e)

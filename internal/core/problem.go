@@ -7,6 +7,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
+	"repro/internal/mat"
 	"repro/internal/miqp"
 	"repro/internal/models"
 )
@@ -161,11 +162,11 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	}
 	I := len(p.Apps)
 	dropPen := p.DropPenalty
-	if dropPen == 0 {
+	if mat.Zero(dropPen) {
 		dropPen = DefaultDropPenalty
 	}
 	ovPen := p.OverflowPenaltyPerMS
-	if ovPen == 0 {
+	if mat.Zero(ovPen) {
 		ovPen = DefaultOverflowPenaltyPerMS
 	}
 	maxBatch := p.MaxBatch

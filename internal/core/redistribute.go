@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
 	"repro/internal/lp"
+	"repro/internal/mat"
 	"repro/internal/models"
 )
 
@@ -259,7 +260,7 @@ func Redistribute(
 			for _, u0 := range []float64{0.25, 0.5, 0.75, 1.0} {
 				cut := row()
 				for j := 0; j < n; j++ {
-					if r[j] != 0 && j != slackIdx[k] {
+					if !mat.Zero(r[j]) && j != slackIdx[k] {
 						cut[j] = 2 * u0 * r[j] / slotMS
 					}
 				}
@@ -327,7 +328,7 @@ func Redistribute(
 }
 
 func orDefault(v, def float64) float64 {
-	if v == 0 {
+	if mat.Zero(v) {
 		return def
 	}
 	return v

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
+	"repro/internal/mat"
 	"repro/internal/miqp"
 	"repro/internal/models"
 	"repro/internal/par"
@@ -268,6 +269,8 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				ship = 0
 			}
 			ships[k] = ship
+			// Exact inequality is the cache key: any bit change must mark the edge dirty.
+			//birplint:ignore floateq
 			if asgs[k] == nil || lastW[k] == nil || !equalInts(lastW[k], w) || ship != lastShip[k] {
 				dirty = append(dirty, k)
 			}
@@ -466,7 +469,7 @@ func (s *Scheduler) maybePreload(t int, arrivals [][]int, plan *edgesim.Plan) {
 		return
 	}
 	minDemand := s.cfg.PreloadMinDemand
-	if minDemand == 0 {
+	if mat.Zero(minDemand) {
 		minDemand = 3
 	}
 	c := s.cfg.Cluster

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/fit"
+	"repro/internal/mat"
 	"repro/internal/models"
 )
 
@@ -77,6 +78,9 @@ func (o *OnlineTuner) Observe(k ModelKey, b int, tir float64) { o.tuner(k).Obser
 // Tick implements ParamsProvider: every tuner's slot counter advances, so the
 // Eq. 17 padding keeps its ln(t+1) numerator in sync with wall-clock slots.
 func (o *OnlineTuner) Tick() {
+	// Each tuner only advances its own slot counter, so iteration order is
+	// unobservable.
+	//birplint:ordered
 	for _, t := range o.tuners {
 		t.Tick()
 	}
@@ -99,7 +103,7 @@ func (p *OfflineProvider) Params(k ModelKey) bandit.TIRParams {
 	if v, ok := p.Table[k]; ok {
 		return v
 	}
-	if p.Fallback.Beta == 0 {
+	if mat.Zero(p.Fallback.Beta) {
 		return bandit.TIRParams{Eta: bandit.InitEta, Beta: bandit.InitBeta, C: bandit.InitC}
 	}
 	return p.Fallback

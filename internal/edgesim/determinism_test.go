@@ -1,0 +1,50 @@
+package edgesim
+
+import "testing"
+
+// TestPlanSummaryRepeatable renders the same plan twice and diffs the output:
+// Summary groups deployments through a map keyed by edge, so without the
+// sorted-edge pass the rendering would vary run to run. The two renderings
+// must be byte-identical.
+func TestPlanSummaryRepeatable(t *testing.T) {
+	cfg := smallConfig()
+	plan := &Plan{
+		Deployments: []Deployment{
+			{App: 0, Version: 1, Edge: 2, Requests: 5, BatchSizes: []int{5}},
+			{App: 1, Version: 0, Edge: 0, Requests: 3, BatchSizes: []int{2, 1}},
+			{App: 1, Version: 1, Edge: 1, Requests: 4, BatchSizes: []int{4}},
+			{App: 0, Version: 0, Edge: 2, Requests: 2, BatchSizes: []int{2}},
+		},
+		Transfers: []Transfer{{App: 0, From: 1, To: 0, Count: 2}},
+		Dropped:   [][]int{{0, 0, 1}, {0, 0, 0}},
+	}
+	first := plan.Summary(cfg.Cluster, cfg.Apps)
+	second := plan.Summary(cfg.Cluster, cfg.Apps)
+	if first != second {
+		t.Fatalf("Plan.Summary not repeatable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestRunRepeatable runs the simulator twice on the same arrivals and diffs
+// the rendered results: the whole pipeline (scheduling, batching, loss and
+// energy accounting, summary rendering) must be deterministic.
+func TestRunRepeatable(t *testing.T) {
+	cfg := smallConfig()
+	arr := arrivalsTensor(2, [][]int{{3, 0, 1}, {0, 1, 2}})
+	render := func() string {
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(&localScheduler{apps: cfg.Apps}, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("simulation not repeatable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

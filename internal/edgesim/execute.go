@@ -59,6 +59,8 @@ func ExecuteEdge(
 		if db.App >= 0 && db.App < len(apps) {
 			sb = apps[db.App].SLO()
 		}
+		// Comparator tie-break: exact order on stored SLO fractions.
+		//birplint:ignore floateq
 		if sa != sb {
 			return sa < sb
 		}

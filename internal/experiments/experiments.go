@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/edgesim"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/miqp"
 	"repro/internal/models"
@@ -54,10 +55,10 @@ func (o Options) withDefaults() Options {
 			o.Slots = 40
 		}
 	}
-	if o.Eps1 == 0 {
+	if mat.Zero(o.Eps1) {
 		o.Eps1 = 0.04
 	}
-	if o.Eps2 == 0 {
+	if mat.Zero(o.Eps2) {
 		o.Eps2 = 0.07
 	}
 	return o

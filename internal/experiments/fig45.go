@@ -118,6 +118,9 @@ func PresetSweep(w io.Writer, opt Options, snapshots []int) ([]SweepPoint, error
 				rowP := []string{fmt.Sprintf("%.2f", e1)}
 				for _, e2 := range eps2s {
 					for _, pt := range points {
+						// Grid lookup: the point stores the exact float it was built
+						// from, so equality is an identity check, not arithmetic.
+						//birplint:ignore floateq
 						if pt.Eps1 == e1 && pt.Eps2 == e2 {
 							rowD = append(rowD, fmt.Sprintf("%.1f", pt.DeltaLoss[t]))
 							rowP = append(rowP, fmt.Sprintf("%.2f", pt.FailPct[t]))

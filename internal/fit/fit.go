@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/bandit"
+	"repro/internal/mat"
 )
 
 // Sample is one TIR measurement at integer batch size B.
@@ -102,7 +103,7 @@ func fitEta(samples []Sample, beta int) (float64, bool) {
 		den += lb * lb
 		n++
 	}
-	if n == 0 || den == 0 {
+	if n == 0 || mat.Zero(den) {
 		return 0, false
 	}
 	return num / den, true
@@ -157,7 +158,7 @@ func LinearLS(x, y []float64) (a, b float64, err error) {
 		sxy += x[i] * y[i]
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if mat.Zero(den) {
 		return 0, 0, fmt.Errorf("%w: x values are constant", ErrNoData)
 	}
 	b = (n*sxy - sx*sy) / den

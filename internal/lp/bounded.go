@@ -2,6 +2,8 @@ package lp
 
 import (
 	"math"
+
+	"repro/internal/mat"
 )
 
 // Bounded-variable primal simplex.
@@ -44,7 +46,7 @@ func (bt *boundedTableau) flip(j int) {
 	u := bt.ub[j]
 	for i := range bt.t {
 		row := bt.t[i]
-		if row[j] == 0 {
+		if mat.Zero(row[j]) {
 			continue
 		}
 		row[bt.rhs] -= row[j] * u
@@ -67,7 +69,7 @@ func (bt *boundedTableau) pivotAt(row, col int) {
 			continue
 		}
 		f := bt.t[i][col]
-		if f == 0 {
+		if mat.Zero(f) {
 			continue
 		}
 		ri := bt.t[i]
@@ -319,7 +321,7 @@ func solveBounded(sf *standardForm, ubs []float64, tol float64, maxIter int, sc 
 	}
 	for i := 0; i < m; i++ {
 		bj := bt.basis[i]
-		if bj < n && bt.t[m][bj] != 0 {
+		if bj < n && !mat.Zero(bt.t[m][bj]) {
 			cb := bt.t[m][bj]
 			for j := 0; j < width; j++ {
 				bt.t[m][j] -= cb * bt.t[i][j]

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/mat"
 )
 
 // Status describes the outcome of a solve.
@@ -211,7 +213,7 @@ func SolveWarm(p *Problem, opt Options, sc *Scratch, warm *Basis) (*Result, erro
 		return nil, err
 	}
 	tol := opt.Tol
-	if tol == 0 {
+	if mat.Zero(tol) {
 		tol = defaultTol
 	}
 	if warm != nil {
@@ -479,7 +481,7 @@ func toStandardForm(p *Problem, n int, sc *Scratch) (*standardForm, error) {
 		r := sc.take(sf.nCols)
 		for j := 0; j < n; j++ {
 			a := coef[j]
-			if a == 0 {
+			if mat.Zero(a) {
 				continue
 			}
 			r[sf.pos[j]] += a * sign[j]

@@ -2,6 +2,8 @@ package lp
 
 import (
 	"math"
+
+	"repro/internal/mat"
 )
 
 // Basis is a combinatorial snapshot of an optimal simplex basis: which
@@ -176,7 +178,7 @@ func solveWarmAttempt(p *Problem, n int, opt Options, tol float64, sc *Scratch, 
 	}
 	for i := 0; i < m; i++ {
 		bj := bt.basis[i]
-		if cb := objRow[bj]; cb != 0 {
+		if cb := objRow[bj]; !mat.Zero(cb) {
 			ri := bt.t[i]
 			for j := 0; j < width; j++ {
 				objRow[j] -= cb * ri[j]

@@ -433,6 +433,18 @@ func (c *Cholesky) Solve(b Vec) (Vec, error) {
 // L returns the lower-triangular Cholesky factor (aliasing internal storage).
 func (c *Cholesky) L() *Matrix { return c.l }
 
+// Eq reports whether two scalars agree within tol: |a - b| <= tol. This is
+// the approved way to compare computed floating-point quantities — raw == on
+// floats is flagged by birplint because two mathematically equal values
+// computed along different code paths can differ in the last bit.
+func Eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Zero reports whether x is exactly IEEE zero. Use it where exactness is the
+// semantic — "this option was left unset" sentinels and skip-zero fast paths
+// over values that were stored, not computed — so the intent survives review;
+// for "is this computed value negligible", use Eq(x, 0, tol).
+func Zero(x float64) bool { return x == 0 }
+
 // ApproxEqual reports whether a and b have the same shape and all entries
 // within tol of each other.
 func ApproxEqual(a, b *Matrix, tol float64) bool {

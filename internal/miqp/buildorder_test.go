@@ -1,0 +1,88 @@
+package miqp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// quadTerms is a fixed set of distinct quadratic terms; every permutation of
+// their insertion order must materialize the identical dense Q.
+var quadTerms = []struct {
+	i, j int
+	coef float64
+}{
+	{0, 0, 1.3}, {1, 1, 2.1}, {2, 2, 0.7}, {3, 3, 1.9},
+	{0, 1, 0.4}, {0, 2, -0.3}, {1, 3, 0.25}, {2, 3, -0.15}, {3, 0, 0.05},
+}
+
+// quadBuilder constructs the regression MIQP builder, inserting quadratic
+// terms in the given order of quadTerms indices.
+func quadBuilder(order []int) *Builder {
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddBinary(fmt.Sprintf("x%d", i))
+		b.SetObj(i, 0.5*float64(i)-1)
+	}
+	for _, k := range order {
+		term := quadTerms[k]
+		b.SetQuad(term.i, term.j, term.coef)
+	}
+	b.AddEq([]int{0, 1, 2, 3}, []float64{1, 1, 1, 1}, 2)
+	return b
+}
+
+// TestBuildQuadOrderIndependent is the regression test for the map-iteration
+// hazard birplint's maporder analyzer caught in Builder.Build: b.q is a map,
+// so materializing Q by ranging over it directly would depend on Go's
+// randomized map order. Build must instead iterate sorted keys, making the
+// dense Problem bit-identical for every insertion order.
+func TestBuildQuadOrderIndependent(t *testing.T) {
+	forward := make([]int, len(quadTerms))
+	reversed := make([]int, len(quadTerms))
+	for i := range quadTerms {
+		forward[i] = i
+		reversed[i] = len(quadTerms) - 1 - i
+	}
+	interleaved := []int{4, 0, 8, 2, 6, 1, 5, 3, 7}
+
+	ref := quadBuilder(forward).Build()
+	for _, order := range [][]int{reversed, interleaved} {
+		p := quadBuilder(order).Build()
+		if !reflect.DeepEqual(ref, p) {
+			t.Fatalf("Build not insertion-order independent:\norder %v: %+v\nforward: %+v", order, p, ref)
+		}
+	}
+}
+
+// TestBuildRepeatable runs the affected path twice on one builder and diffs
+// the outputs: two Build calls must produce deeply equal Problems.
+func TestBuildRepeatable(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	b := quadBuilder(order)
+	first := b.Build()
+	second := b.Build()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("Build not repeatable:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestSolveQuadRepeatable solves the regression MIQP twice (serial and with a
+// worker pool) and diffs the full results: status, solution vector, objective,
+// and node count must be bit-identical run to run.
+func TestSolveQuadRepeatable(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	for _, workers := range []int{1, 4} {
+		first, err := SolveOpts(quadBuilder(order).Build(), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d first solve: %v", workers, err)
+		}
+		second, err := SolveOpts(quadBuilder(order).Build(), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d second solve: %v", workers, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("workers=%d solve not repeatable:\nfirst:  %+v\nsecond: %+v", workers, first, second)
+		}
+	}
+}

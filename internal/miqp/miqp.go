@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/lp"
@@ -147,6 +148,9 @@ func (h nodeHeap) Len() int { return len(h) }
 // id tie-break makes the order total, so pops are deterministic even when
 // bounds and depths coincide.
 func (h nodeHeap) Less(i, j int) bool {
+	// Comparators need an exact total order; a tolerance here would make
+	// the heap order intransitive.
+	//birplint:ignore floateq
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
@@ -209,11 +213,11 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		}
 	}
 	intTol := opt.IntTol
-	if intTol == 0 {
+	if mat.Zero(intTol) {
 		intTol = 1e-6
 	}
 	gapTol := opt.GapTol
-	if gapTol == 0 {
+	if mat.Zero(gapTol) {
 		gapTol = 1e-7
 	}
 	maxNodes := opt.MaxNodes
@@ -431,6 +435,8 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				if f <= intTol {
 					continue
 				}
+				// Bounds are integral here, so the width-1 test is exact.
+				//birplint:ignore floateq
 				isBin := ub[j]-lb[j] == 1
 				switch {
 				case isBin && !branchBinary:
@@ -451,6 +457,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				obj := evalObj(p, cand)
 				// Deterministic tie-break: on equal objective keep the solution
 				// from the lexicographically-first node id.
+				//birplint:ignore floateq
 				if obj < res.Obj || (obj == res.Obj && nd.id < incumbentID) {
 					res.Obj = obj
 					incumbent = cand
@@ -756,7 +763,18 @@ func (b *Builder) Build() *Problem {
 	}
 	if len(b.q) > 0 {
 		q := mat.New(n, n)
-		for key, v := range b.q {
+		keys := make([][2]int, 0, len(b.q))
+		for key := range b.q {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, z int) bool {
+			if keys[a][0] != keys[z][0] {
+				return keys[a][0] < keys[z][0]
+			}
+			return keys[a][1] < keys[z][1]
+		})
+		for _, key := range keys {
+			v := b.q[key]
 			i, j := key[0], key[1]
 			if i == j {
 				q.Set(i, i, q.At(i, i)+2*v) // ½xᵀQx convention

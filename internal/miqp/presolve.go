@@ -1,6 +1,10 @@
 package miqp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/mat"
+)
 
 // Pre-root presolve: single-row bound implications.
 //
@@ -64,7 +68,7 @@ func tightenFromRow(p *Problem, row []float64, b float64, lb, ub []float64) (int
 	}
 	changed := 0
 	for j, a := range row {
-		if a == 0 || p.Integer == nil || !p.Integer[j] {
+		if mat.Zero(a) || p.Integer == nil || !p.Integer[j] {
 			continue
 		}
 		// Minimum activity of the other variables = minAct minus j's own
@@ -172,6 +176,9 @@ func presolve(p *Problem, lb, ub []float64) presolveInfo {
 func countFixed(p *Problem, lb, ub []float64) int {
 	c := 0
 	for j := range lb {
+		// Presolve fixes variables by setting lb = ub to the same value, so
+		// the equality is exact by construction.
+		//birplint:ignore floateq
 		if p.Integer != nil && p.Integer[j] && lb[j] == ub[j] {
 			c++
 		}

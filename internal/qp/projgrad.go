@@ -60,7 +60,7 @@ func SolveBox(p *BoxProblem, opt BoxOptions) (*BoxResult, error) {
 		maxIter = 20000
 	}
 	tol := opt.Tol
-	if tol == 0 {
+	if mat.Zero(tol) {
 		tol = 1e-8
 	}
 	// Step size 1/L with L bounded by the max row sum of |Q|.

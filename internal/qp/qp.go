@@ -113,7 +113,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		}
 	}
 	tol := opt.Tol
-	if tol == 0 {
+	if mat.Zero(tol) {
 		tol = 1e-8
 	}
 	maxIter := opt.MaxIter
@@ -267,6 +267,8 @@ func activeSet(p *Problem, x mat.Vec, tol float64, maxIter int) (*Result, error)
 		if alpha < 0 {
 			alpha = 0
 		}
+		// alpha was assigned exactly 1 above when no row blocks the step.
+		//birplint:ignore floateq
 		if alpha == 1 && (p.Q == nil || unboundedRay(p, pdir, tol)) && block < 0 {
 			// A full Newton step with no curvature and no blocking row means
 			// descent forever (only possible with singular/zero Q).
@@ -360,7 +362,7 @@ func eqpStep(p *Problem, g mat.Vec, work []int) (mat.Vec, mat.Vec, error) {
 		sol, err := mat.Solve(k, rhs)
 		if err != nil {
 			ridge *= 1000
-			if ridge == 0 {
+			if mat.Zero(ridge) {
 				ridge = 1e-8
 			}
 			continue

@@ -4,8 +4,9 @@
 # parallel solve engine requires; CI and pre-commit hooks should run this.
 #
 # Usage:
-#   scripts/check.sh          # full gate (race over every package)
-#   scripts/check.sh -short   # quick tier: vet + build + short-mode race
+#   scripts/check.sh          # full gate (lint + race over every package)
+#   scripts/check.sh -short   # quick tier: lint + build + short-mode race
+#   scripts/check.sh -lint    # lint tier only: vet + gofmt + birplint
 #   scripts/check.sh -bench   # solver bench tier: fig7 serial vs parallel,
 #                             # relaxation counts, warm-start hit rate;
 #                             # writes BENCH_PR2.json (see that file's shape)
@@ -57,6 +58,25 @@ if [[ -n "$unformatted" ]]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
 	exit 1
+fi
+
+# The determinism linter runs in every tier, including -short: its findings
+# are exactly the bugs the race detector and seeded tests can miss (map-order
+# output, float equality, swallowed solver errors).
+echo "== birplint ./..."
+lint_tmp=$(mktemp -d)
+trap 'rm -rf "$lint_tmp"' EXIT
+lint_status=0
+go run ./cmd/birplint -json ./... >"$lint_tmp/lint.json" || lint_status=$?
+python3 scripts/lintreport.py "$lint_tmp/lint.json"
+if [[ $lint_status -ne 0 ]]; then
+	echo "birplint: unwaived findings (exit $lint_status); fix them or waive with //birplint:ignore" >&2
+	exit "$lint_status"
+fi
+
+if [[ "${1:-}" == "-lint" ]]; then
+	echo "ok: lint tier passed"
+	exit 0
 fi
 
 # Race instrumentation slows the numeric hot paths ~10x, so the full gate

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Render a birplint -json report as a per-analyzer summary table.
+
+Usage:
+    go run ./cmd/birplint -json ./... | python3 scripts/lintreport.py
+    python3 scripts/lintreport.py lint.json
+
+Exit status is 0 whenever the report parses; gating on unwaived findings is
+birplint's own exit code, which scripts/check.sh propagates separately.
+"""
+import json
+import signal
+import sys
+
+# Dying quietly on a closed pipe (e.g. `... | head`) beats a traceback.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def main(argv):
+    if len(argv) > 1:
+        with open(argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    else:
+        report = json.load(sys.stdin)
+
+    counts = report.get("counts", {})
+    findings = report.get("findings") or []
+    unwaived = report.get("unwaived", 0)
+
+    width = max([len("analyzer")] + [len(name) for name in counts])
+    print(f"{'analyzer':<{width}}  unwaived  waived")
+    for name in sorted(counts):
+        c = counts[name]
+        print(f"{name:<{width}}  {c.get('reported', 0):>8}  {c.get('waived', 0):>6}")
+    total_waived = sum(c.get("waived", 0) for c in counts.values())
+    print(f"{'total':<{width}}  {unwaived:>8}  {total_waived:>6}")
+
+    if unwaived:
+        print()
+        print("unwaived findings:")
+        for d in findings:
+            if not d.get("waived"):
+                print(f"  {d['file']}:{d['line']}:{d['col']}: [{d['analyzer']}] {d['message']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
