@@ -61,6 +61,8 @@ type (
 	ServerConfig = edgenet.ServerConfig
 	// AgentConfig configures an EdgeAgent.
 	AgentConfig = edgenet.AgentConfig
+	// Report aggregates a distributed run (failed/rejoined edges included).
+	Report = edgenet.Report
 	// ExperimentOptions parameterizes the paper-experiment runners.
 	ExperimentOptions = experiments.Options
 	// EvalResult is one algorithm's outcome in a comparison experiment.

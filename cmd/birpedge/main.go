@@ -7,6 +7,12 @@
 //
 //	birpedge -addr 127.0.0.1:7700 -edge 0 -apps 1 -versions 3 -slots 50
 //	birpedge -addr 127.0.0.1:7700 -edge 1 ...
+//
+// With -retry N the agent keeps redialing (exponential backoff starting at
+// -backoff, jittered, capped at 5s), so launch order stops mattering: edges
+// may come up before the scheduler. The same budget covers mid-run
+// reconnects — after a connection loss the agent redials, re-helloes with
+// Resume set, and rejoins the run at the slot the scheduler resyncs it to.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	birp "repro"
 )
@@ -29,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace and noise seed (shared across agents)")
 	noise := flag.Float64("noise", 0.02, "relative execution-time noise")
 	realtime := flag.Float64("realtime", 0, "sleep factor per simulated ms (0 = instant)")
+	retry := flag.Int("retry", 0, "extra dial attempts and mid-run reconnect budget (0 = fail fast)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped at 5s)")
 	flag.Parse()
 
 	c := birp.DefaultCluster()
@@ -61,7 +70,8 @@ func main() {
 		Addr: *addr, EdgeID: *edge,
 		Device: c.Edges[*edge].Device, Apps: catalogue,
 		Arrivals: arrivals, NoiseSigma: *noise, Seed: *seed + int64(*edge),
-		Realtime: *realtime,
+		Realtime:    *realtime,
+		DialRetries: *retry, ReconnectRetries: *retry, Backoff: *backoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -23,6 +23,7 @@ func main() {
 	apps := flag.Int("apps", 1, "number of applications")
 	versions := flag.Int("versions", 3, "model versions per application")
 	slots := flag.Int("slots", 50, "slots to schedule")
+	tolerate := flag.Bool("tolerate", false, "survive agent failures: mark dead edges down, let restarted agents rejoin")
 	flag.Parse()
 
 	c := birp.DefaultCluster()
@@ -38,6 +39,7 @@ func main() {
 	srv, err := birp.NewSchedulerServer(birp.ServerConfig{
 		Listen: *listen, Cluster: c, Apps: catalogue,
 		Scheduler: sched, Slots: *slots,
+		TolerateFailures: *tolerate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -51,4 +53,11 @@ func main() {
 	}
 	fmt.Printf("done: served %d requests (dropped %d), total loss %.1f, p%% %.2f%%\n",
 		rep.Served, rep.Dropped, rep.Loss.Total(), 100*rep.FailureRate())
+	if len(rep.FailedEdges) > 0 {
+		fmt.Printf("failed edges %v, rejoined %v\n", rep.FailedEdges, rep.RejoinedEdges)
+		for _, k := range rep.FailedEdges {
+			fmt.Printf("  edge %d: down %d/%d slots, served %d requests\n",
+				k, rep.DownSlots[k], *slots, rep.ServedByEdge[k])
+		}
+	}
 }

@@ -1,7 +1,9 @@
-// Resilience demo: the distributed prototype surviving an edge crash. Three
-// agents serve a live workload; one of them is killed after a few slots. The
-// scheduler detects the dead connection, marks the edge down, stops routing
-// work to it, and the remaining edges absorb the load.
+// Resilience demo: the distributed prototype surviving an edge crash — and
+// the crashed edge coming back. Three agents serve a live workload; one of
+// them is killed after a few slots, and a replacement agent for the same edge
+// is started shortly after. The scheduler detects the dead connection, marks
+// the edge down, redistributes its load — then resyncs the replacement at a
+// slot boundary, clears the down flag, and routes work back to it.
 //
 //	go run ./examples/resilience
 package main
@@ -44,11 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rootCtx, cancelAll := context.WithTimeout(context.Background(), time.Minute)
-	defer cancelAll()
-	victimCtx, killVictim := context.WithCancel(rootCtx)
-	var wg sync.WaitGroup
-	for k := 0; k < cluster.N(); k++ {
+	mkAgent := func(k int) *birp.EdgeAgent {
 		arrivals := make([][]int, slots)
 		for t := 0; t < slots; t++ {
 			arrivals[t] = []int{trace.R[t][0][k]}
@@ -57,31 +55,54 @@ func main() {
 			Addr: server.Addr().String(), EdgeID: k,
 			Device: cluster.Edges[k].Device, Apps: apps,
 			Arrivals: arrivals, NoiseSigma: 0.02, Seed: int64(k),
-			// A little real pacing so the kill lands mid-run.
-			Realtime: 0.002,
+			// A little real pacing so the kill and restart land mid-run.
+			Realtime: 0.01,
+			// The replacement re-registers through the same dial path; a few
+			// retries cover the window before the scheduler notices the death.
+			DialRetries: 5, Backoff: 50 * time.Millisecond,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		return agent
+	}
+
+	rootCtx, cancelAll := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelAll()
+	victimCtx, killVictim := context.WithCancel(rootCtx)
+	var wg sync.WaitGroup
+	for k := 0; k < cluster.N(); k++ {
+		agent := mkAgent(k)
 		ctx := rootCtx
 		if k == 1 {
 			ctx = victimCtx // edge 1 will be killed
 		}
 		wg.Add(1)
-		go func(k int, ctx context.Context) {
+		go func(k int, ctx context.Context, agent *birp.EdgeAgent) {
 			defer wg.Done()
 			if err := agent.Run(ctx); err != nil {
 				fmt.Printf("edge %d terminated: %v\n", k, err)
 			}
-		}(k, ctx)
+		}(k, ctx, agent)
 		fmt.Printf("edge %d (%s) up\n", k, cluster.Edges[k].Device.Name)
 	}
 
-	// Kill edge 1 shortly into the run.
+	// Kill edge 1 shortly into the run, then bring up a replacement agent for
+	// the same edge — as if the crashed process had been restarted.
 	go func() {
-		time.Sleep(400 * time.Millisecond)
+		time.Sleep(300 * time.Millisecond)
 		fmt.Println(">>> killing edge 1 <<<")
 		killVictim()
+		time.Sleep(200 * time.Millisecond)
+		fmt.Println(">>> restarting edge 1 <<<")
+		replacement := mkAgent(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := replacement.Run(rootCtx); err != nil {
+				fmt.Printf("edge 1 (restarted) terminated: %v\n", err)
+			}
+		}()
 	}()
 
 	report, err := server.Run(rootCtx)
@@ -90,10 +111,16 @@ func main() {
 	}
 	wg.Wait()
 
-	fmt.Printf("\nrun complete despite failures on edges %v:\n", report.FailedEdges)
+	fmt.Printf("\nrun complete: failures on edges %v, rejoins by %v\n",
+		report.FailedEdges, report.RejoinedEdges)
 	fmt.Printf("  served  %d requests (dropped %d)\n", report.Served, report.Dropped)
 	fmt.Printf("  loss    %.1f over %d slots\n", report.Loss.Total(), report.Loss.Slots())
 	fmt.Printf("  p%%      %.2f%%\n", 100*report.FailureRate())
+	for _, k := range report.FailedEdges {
+		fmt.Printf("  edge %d  down %d/%d slots, served %d requests\n",
+			k, report.DownSlots[k], slots, report.ServedByEdge[k])
+	}
 	fmt.Println("\nThe scheduler marked the dead edge down (SetEdgeDown), redistributed")
-	fmt.Println("its region's remaining arrivals, and kept every plan constraint-clean.")
+	fmt.Println("its region's arrivals, then resync'd the restarted agent at a slot")
+	fmt.Println("boundary and routed work back — every plan stayed constraint-clean.")
 }

@@ -76,6 +76,12 @@ func startSystem(t *testing.T, c *cluster.Cluster, apps []*models.Application, s
 	if err != nil {
 		t.Fatal(err)
 	}
+	return runSystem(t, srv, c, apps, tr, slots, sigma)
+}
+
+// runSystem drives a prebuilt server with one well-behaved agent per edge.
+func runSystem(t *testing.T, srv *Server, c *cluster.Cluster, apps []*models.Application, tr *trace.Trace, slots int, sigma float64) *Report {
+	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
@@ -229,27 +235,50 @@ func TestAgentValidation(t *testing.T) {
 }
 
 func TestServerRejectsBadEdgeID(t *testing.T) {
+	// An out-of-range registration is bounced with TypeError, but the run
+	// survives: the correctly-behaving agents still register and complete.
 	c := cluster.Small()
 	apps := models.Catalogue(1, 2)
 	s, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	slots := 2
 	srv, err := NewServer(ServerConfig{
-		Listen: "127.0.0.1:0", Cluster: c, Apps: apps, Scheduler: s, Slots: 1,
-		SlotTimeout: 2 * time.Second,
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps, Scheduler: s, Slots: slots,
+		SlotTimeout: 5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	badDone := make(chan error, 1)
 	go func() {
-		agent, _ := NewAgent(AgentConfig{
+		agent, err := NewAgent(AgentConfig{
 			Addr: srv.Addr().String(), EdgeID: 99,
 			Device: c.Edges[0].Device, Apps: apps, Arrivals: [][]int{{1}},
 		})
-		_ = agent.Run(ctx)
+		if err != nil {
+			badDone <- err
+			return
+		}
+		badDone <- agent.Run(ctx)
 	}()
-	if _, err := srv.Run(ctx); err == nil || !strings.Contains(err.Error(), "edge id") {
-		t.Fatalf("expected bad-edge-id error, got %v", err)
+	tr, err := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: slots, Seed: 2, MeanPerSlot: 5, Imbalance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSystem(t, srv, c, apps, tr, slots, 0)
+	if rep.Served == 0 {
+		t.Fatal("run with one rejected registrant served nothing")
+	}
+	select {
+	case err := <-badDone:
+		if err == nil || !strings.Contains(err.Error(), "edge id") {
+			t.Fatalf("bad registrant should be told about its edge id, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("bad registrant never heard back")
 	}
 }
 
@@ -357,29 +386,48 @@ func TestWriteMessageOversized(t *testing.T) {
 }
 
 func TestServerRejectsProtocolMismatch(t *testing.T) {
+	// A version-mismatched client is bounced with TypeError naming both
+	// versions; the run itself survives and completes with the good agents.
 	c := cluster.Small()
 	apps := models.Catalogue(1, 2)
 	s, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	slots := 2
 	srv, err := NewServer(ServerConfig{
-		Listen: "127.0.0.1:0", Cluster: c, Apps: apps, Scheduler: s, Slots: 1,
-		SlotTimeout: 2 * time.Second,
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps, Scheduler: s, Slots: slots,
+		SlotTimeout: 5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	reply := make(chan *Message, 1)
 	go func() {
 		raw, err := net.Dial("tcp", srv.Addr().String())
 		if err != nil {
+			reply <- nil
 			return
 		}
 		defer raw.Close()
 		cc := &conn{raw: raw}
 		_ = cc.send(&Message{Type: TypeHello, EdgeID: 0, Version: 99})
-		_, _ = cc.recv() // the error reply
+		m, _ := cc.recv()
+		reply <- m
 	}()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if _, err := srv.Run(ctx); err == nil || !strings.Contains(err.Error(), "protocol") {
-		t.Fatalf("expected protocol mismatch error, got %v", err)
+	tr, err := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: slots, Seed: 4, MeanPerSlot: 5, Imbalance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSystem(t, srv, c, apps, tr, slots, 0)
+	if rep.Served == 0 {
+		t.Fatal("run with one mismatched client served nothing")
+	}
+	select {
+	case m := <-reply:
+		if m == nil || m.Type != TypeError || !strings.Contains(m.Err, "protocol version") {
+			t.Fatalf("mismatched client got %+v, want TypeError naming the protocol version", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mismatched client never heard back")
 	}
 }

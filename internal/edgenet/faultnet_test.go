@@ -1,0 +1,301 @@
+package edgenet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// startEchoBackend runs a framed echo server and returns its address.
+func startEchoBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				defer raw.Close()
+				c := &conn{raw: raw}
+				for {
+					m, err := c.recv()
+					if err != nil {
+						return
+					}
+					if err := c.send(m); err != nil {
+						return
+					}
+				}
+			}(raw)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *FaultProxy) *conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &conn{raw: raw}
+}
+
+func TestFaultProxyForwardsFrames(t *testing.T) {
+	backend := startEchoBackend(t)
+	p, err := NewFaultProxy("127.0.0.1:0", backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	defer c.close()
+	in := &Message{Type: TypeArrivals, EdgeID: 3, Slot: 7, Arrivals: []int{1, 2}}
+	if err := c.send(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.EdgeID != 3 || out.Slot != 7 || len(out.Arrivals) != 2 {
+		t.Fatalf("echo through proxy mismatch: %+v", out)
+	}
+}
+
+func TestFaultProxyPartitionSwallowsOneDirection(t *testing.T) {
+	backend := startEchoBackend(t)
+	p, err := NewFaultProxy("127.0.0.1:0", backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	defer c.close()
+	p.Partition(Upstream, true)
+	if err := c.send(&Message{Type: TypeArrivals, Slot: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is swallowed: no echo arrives, but the conn stays open.
+	_ = c.raw.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if m, err := c.recv(); err == nil {
+		t.Fatalf("partitioned frame was delivered: %+v", m)
+	}
+	_ = c.raw.SetReadDeadline(time.Time{})
+	p.Partition(Upstream, false)
+	if err := c.send(&Message{Type: TypeArrivals, Slot: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.recv()
+	if err != nil {
+		t.Fatalf("healed partition still blocks: %v", err)
+	}
+	if m.Slot != 2 {
+		t.Fatalf("echoed slot = %d, want 2", m.Slot)
+	}
+}
+
+func TestFaultProxyDropAfterCutsThenAllowsReconnect(t *testing.T) {
+	backend := startEchoBackend(t)
+	p, err := NewFaultProxy("127.0.0.1:0", backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	// Fuse of 1: the request frame is forwarded, then the link is cut — the
+	// echo (frame 2) never makes it back.
+	p.DropAfter(1)
+	if err := c.send(&Message{Type: TypeArrivals, Slot: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if m, err := c.recv(); err == nil {
+		t.Fatalf("link survived a blown fuse: %+v", m)
+	}
+	c.close()
+	// The listener is still up and the fuse is spent: a fresh connection
+	// forwards normally (this is what lets a killed agent rejoin).
+	c2 := dialProxy(t, p)
+	defer c2.close()
+	if err := c2.send(&Message{Type: TypeArrivals, Slot: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c2.recv()
+	if err != nil {
+		t.Fatalf("reconnect through proxy failed: %v", err)
+	}
+	if m.Slot != 9 {
+		t.Fatalf("echoed slot = %d, want 9", m.Slot)
+	}
+}
+
+func TestAgentReconnectsAfterFaultCut(t *testing.T) {
+	// Drive the in-agent reconnect path end to end: the proxy's frame fuse
+	// kills edge 1's connection mid-run, the agent redials through the
+	// still-open proxy, re-helloes with Resume, and is resync'd back in.
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	slots := 30
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots,
+		SlotTimeout:      5 * time.Second,
+		TolerateFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewFaultProxy("127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	// Edge 1's link carries hello+resync (2 frames) and 3 frames per slot;
+	// a fuse of 12 cuts the link on the slot-3 arrivals, deterministically.
+	proxy.DropAfter(12)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	mk := func(k int, addr string, reconnects int) *Agent {
+		arr := make([][]int, slots)
+		for tt := range arr {
+			arr[tt] = []int{10}
+		}
+		agent, err := NewAgent(AgentConfig{
+			Addr: addr, EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps, Arrivals: arr, Seed: int64(k),
+			ReconnectRetries: reconnects, Backoff: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agent
+	}
+	for _, k := range []int{0, 2} {
+		agent := mk(k, srv.Addr().String(), 0)
+		wg.Add(1)
+		go func(k int, agent *Agent) {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("healthy agent %d: %v", k, err)
+			}
+		}(k, agent)
+	}
+	victim := mk(1, proxy.Addr().String(), 10)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := victim.Run(ctx); err != nil {
+			t.Errorf("reconnecting agent must finish cleanly after its rejoin: %v", err)
+		}
+	}()
+
+	rep, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	if len(rep.FailedEdges) != 1 || rep.FailedEdges[0] != 1 {
+		t.Fatalf("failed edges = %v, want [1]", rep.FailedEdges)
+	}
+	if len(rep.RejoinedEdges) != 1 || rep.RejoinedEdges[0] != 1 {
+		t.Fatalf("rejoined edges = %v, want [1]", rep.RejoinedEdges)
+	}
+	if rep.DownSlots[1] == 0 {
+		t.Fatal("reconnecting edge accrued no downtime")
+	}
+	if rep.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if rep.Loss.Slots() != slots {
+		t.Fatalf("loss recorded for %d slots, want %d", rep.Loss.Slots(), slots)
+	}
+}
+
+func TestSlowEdgesDoNotStallSlotBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock fault-injection test skipped in short mode")
+	}
+	// Every edge answers through a proxy that delays each upstream frame by
+	// 150ms. With the serial per-edge collection this run needs at least
+	// K × 2 upstream frames × 150ms per slot (3.6s over 4 slots); the
+	// concurrent collection overlaps the waits, so one slow edge costs one
+	// delay, not K of them.
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, _ := core.New(core.Config{Cluster: c, Apps: apps})
+	slots := 4
+	const delay = 150 * time.Millisecond
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots,
+		SlotTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewFaultProxy("127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.SetDelay(Upstream, delay)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < c.N(); k++ {
+		arr := make([][]int, slots)
+		for tt := range arr {
+			arr[tt] = []int{2}
+		}
+		agent, err := NewAgent(AgentConfig{
+			Addr: proxy.Addr().String(), EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps, Arrivals: arr, Seed: int64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(k int, agent *Agent) {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("agent %d: %v", k, err)
+			}
+		}(k, agent)
+	}
+	start := time.Now()
+	rep, err := srv.Run(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	if rep.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if len(rep.FailedEdges) != 0 {
+		t.Fatalf("failed edges = %v, want none", rep.FailedEdges)
+	}
+	// Serial lower bound: 3 edges × (arrivals+report) × 150ms × 4 slots =
+	// 3.6s. Leave headroom for solver time under -race, but stay clearly
+	// under the serial bound.
+	if limit := 2800 * time.Millisecond; elapsed > limit {
+		t.Fatalf("slot barrier stalled: %v elapsed, want < %v (serial collection needs ≥ 3.6s)", elapsed, limit)
+	}
+}

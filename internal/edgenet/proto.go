@@ -19,13 +19,21 @@ import (
 )
 
 // ProtocolVersion is negotiated in the hello exchange; mismatched peers are
-// rejected instead of silently mis-parsing each other.
-const ProtocolVersion = 1
+// rejected instead of silently mis-parsing each other. Version 2 added the
+// hello → resync handshake and the rejoin fields (Resume, LastSlot): every
+// hello — initial or re-registration — is answered with a TypeResync carrying
+// the slot at which the agent (re)enters the barrier.
+const ProtocolVersion = 2
 
 // Message types.
 const (
-	// TypeHello registers an edge agent with the scheduler.
+	// TypeHello registers an edge agent with the scheduler (initial
+	// registration or mid-run rejoin; see Resume/LastSlot).
 	TypeHello = "hello"
+	// TypeResync acks a hello (scheduler → edge): Slot is the slot the agent
+	// must serve next. Initial registrations are resync'd to slot 0;
+	// rejoining agents are resync'd at the next slot boundary.
+	TypeResync = "resync"
 	// TypeArrivals reports one slot's local arrivals (edge → scheduler).
 	TypeArrivals = "arrivals"
 	// TypeAssign delivers one slot's work to an edge (scheduler → edge).
@@ -55,6 +63,14 @@ type Message struct {
 	Name string `json:"name,omitempty"`
 	// Version is the sender's ProtocolVersion (hello messages).
 	Version int `json:"version,omitempty"`
+	// Resume marks a hello as a mid-run rejoin after a connection loss
+	// (informational — the scheduler treats any hello for a downed edge as a
+	// rejoin, so a fully restarted agent process recovers too).
+	Resume bool `json:"resume,omitempty"`
+	// LastSlot is the last slot the resuming agent fully reported (-1 when it
+	// never completed one). The scheduler's resync, not this value, decides
+	// where the agent re-enters the barrier.
+	LastSlot int `json:"lastSlot,omitempty"`
 	// Arrivals[i] is the per-application arrival count (TypeArrivals).
 	Arrivals []int `json:"arrivals,omitempty"`
 	// Assignments carries the slot's work (TypeAssign).

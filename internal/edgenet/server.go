@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -26,10 +28,14 @@ type ServerConfig struct {
 	Slots int
 	// SlotTimeout bounds each protocol phase (0 = 30s).
 	SlotTimeout time.Duration
-	// TolerateFailures keeps the run alive when an edge agent dies: the dead
-	// edge is excluded from planning (via the scheduler's SetEdgeDown, when
-	// supported), its in-flight assignments count as drops, and the remaining
-	// edges absorb the load. Without it, any agent failure aborts the run.
+	// TolerateFailures keeps the run alive when an edge agent dies or
+	// violates the protocol: the dead edge is excluded from planning (via the
+	// scheduler's SetEdgeDown, when supported), its in-flight assignments
+	// count as drops, and the remaining edges absorb the load. The listener
+	// stays open, so a restarted or reconnecting agent can rejoin: its hello
+	// is answered with a resync at the next slot boundary, the down flag is
+	// cleared, and work is routed back to it. Without TolerateFailures, any
+	// agent failure aborts the run.
 	TolerateFailures bool
 }
 
@@ -49,8 +55,17 @@ type Report struct {
 	Dropped    int
 	// Failures counts per-application SLO violations (drops included).
 	Failures int
-	// FailedEdges lists edges whose agents died mid-run (TolerateFailures).
+	// FailedEdges lists edges whose agents died mid-run (TolerateFailures),
+	// in first-failure order.
 	FailedEdges []int
+	// RejoinedEdges lists edges that failed and later re-registered, in
+	// first-rejoin order. An edge can appear in both lists.
+	RejoinedEdges []int
+	// DownSlots[k] counts the slots edge k spent excluded from planning
+	// (from failure detection to rejoin, or to the end of the run).
+	DownSlots []int
+	// ServedByEdge[k] counts the requests edge k reported completed.
+	ServedByEdge []int
 }
 
 // FailureRate returns the paper's p%.
@@ -65,6 +80,9 @@ func (r *Report) FailureRate() float64 {
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
+	// serialPhases disables the concurrent phase collection (test hook: the
+	// fold order is by edge id either way, so the Report must not change).
+	serialPhases bool
 }
 
 // NewServer binds the listen address; call Run to serve.
@@ -91,9 +109,19 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Close releases the listener (Run closes it on return as well).
 func (s *Server) Close() error { return s.ln.Close() }
 
+// rejoinReq is a validated mid-run hello parked by the accept loop until the
+// slot loop folds it in at a boundary.
+type rejoinReq struct {
+	k        int
+	c        *conn
+	lastSlot int
+	resume   bool
+}
+
 // Run accepts one agent per edge, then drives the slot protocol to
 // completion and returns the aggregated report. It honors ctx cancellation
-// between phases.
+// between phases. After initial registration the listener keeps accepting,
+// so agents that died can re-register mid-run (see TolerateFailures).
 func (s *Server) Run(ctx context.Context) (*Report, error) {
 	defer s.ln.Close()
 	K := s.cfg.Cluster.N()
@@ -106,42 +134,37 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 		}
 	}()
 
-	// Registration: every edge must say hello with a unique id.
-	deadline := time.Now().Add(s.cfg.SlotTimeout)
-	if err := s.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+	if err := s.register(ctx, conns); err != nil {
 		return nil, err
 	}
-	for registered := 0; registered < K; {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		raw, err := s.ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("edgenet: accept (have %d/%d agents): %w", registered, K, err)
-		}
-		c := &conn{raw: raw}
-		_ = raw.SetReadDeadline(deadline)
-		m, err := c.recv()
-		if err != nil || m.Type != TypeHello {
-			c.close()
-			return nil, fmt.Errorf("edgenet: bad hello: %v", err)
-		}
-		if m.Version != ProtocolVersion {
-			_ = c.send(&Message{Type: TypeError, Err: fmt.Sprintf("protocol version %d, want %d", m.Version, ProtocolVersion)})
-			c.close()
-			return nil, fmt.Errorf("edgenet: agent speaks protocol %d, want %d", m.Version, ProtocolVersion)
-		}
-		if m.EdgeID < 0 || m.EdgeID >= K || conns[m.EdgeID] != nil {
-			_ = c.send(&Message{Type: TypeError, Err: fmt.Sprintf("bad edge id %d", m.EdgeID)})
-			c.close()
-			return nil, fmt.Errorf("edgenet: agent registered invalid edge id %d", m.EdgeID)
-		}
-		_ = raw.SetReadDeadline(time.Time{})
-		conns[m.EdgeID] = c
-		registered++
-	}
 
-	rep := &Report{Scheduler: s.cfg.Scheduler.Name()}
+	// Rejoin plumbing: a background accept loop keeps the listener alive so
+	// dead agents can re-register; validated hellos are parked on rejoins
+	// and folded in at the next slot boundary, keeping the protocol state
+	// machine single-threaded.
+	rejoins := make(chan rejoinReq, 4*K)
+	acceptDone := make(chan struct{})
+	go s.acceptRejoins(rejoins, acceptDone, K)
+	defer func() {
+		// Close the listener here (not just in Run's outer defer, which runs
+		// too late) so the accept loop exits, then release parked conns.
+		s.ln.Close()
+		<-acceptDone
+		for {
+			select {
+			case r := <-rejoins:
+				r.c.close()
+			default:
+				return
+			}
+		}
+	}()
+
+	rep := &Report{
+		Scheduler:    s.cfg.Scheduler.Name(),
+		DownSlots:    make([]int, K),
+		ServedByEdge: make([]int, K),
+	}
 	slotMS := s.cfg.Cluster.SlotMS()
 	I := len(s.cfg.Apps)
 	maxLoss := make([]float64, I)
@@ -153,9 +176,16 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
+	// downSince[k] is the slot at which edge k was last marked down (-1 =
+	// up); it feeds Report.DownSlots.
+	downSince := make([]int, K)
+	for k := range downSince {
+		downSince[k] = -1
+	}
+
 	// fail marks edge k dead; it returns the original error when failures
 	// are not tolerated (or when no edge remains).
-	fail := func(k int, cause error) error {
+	fail := func(t, k int, cause error) error {
 		if !s.cfg.TolerateFailures {
 			return cause
 		}
@@ -163,14 +193,14 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 			conns[k].close()
 			conns[k] = nil
 		}
-		for _, f := range rep.FailedEdges {
-			if f == k {
-				return nil
-			}
+		if downSince[k] < 0 {
+			downSince[k] = t
 		}
-		rep.FailedEdges = append(rep.FailedEdges, k)
 		if marker, ok := s.cfg.Scheduler.(EdgeDownMarker); ok {
 			marker.SetEdgeDown(k, true)
+		}
+		if !containsInt(rep.FailedEdges, k) {
+			rep.FailedEdges = append(rep.FailedEdges, k)
 		}
 		alive := 0
 		for _, c := range conns {
@@ -188,35 +218,41 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		s.admitRejoins(t, conns, rejoins, downSince, rep)
 		// Phase 1: collect arrivals (dead edges contribute none — their
-		// regions are offline with them).
+		// regions are offline with them). Receives run concurrently so one
+		// stalled agent costs at most one SlotTimeout instead of delaying
+		// every edge behind it; the fold below is in edge-id order.
 		arrivals := make([][]int, I)
 		for i := range arrivals {
 			arrivals[i] = make([]int, K)
 		}
-		for k, c := range conns {
-			if c == nil {
+		got := s.collectPhase(conns)
+		for k := 0; k < K; k++ {
+			if conns[k] == nil {
 				continue
 			}
-			_ = c.raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
-			m, err := c.recv()
+			m, err := got[k].m, got[k].err
+			switch {
+			case err != nil:
+				err = fmt.Errorf("edgenet: edge %d arrivals: %w", k, err)
+			case m.Type != TypeArrivals || m.Slot != t:
+				err = fmt.Errorf("edgenet: edge %d sent %q for slot %d, want arrivals for %d",
+					k, m.Type, m.Slot, t)
+			case len(m.Arrivals) != I:
+				err = fmt.Errorf("edgenet: edge %d reported %d apps, want %d", k, len(m.Arrivals), I)
+			case minInt(m.Arrivals) < 0:
+				err = fmt.Errorf("edgenet: edge %d negative arrivals", k)
+			}
 			if err != nil {
-				if ferr := fail(k, fmt.Errorf("edgenet: edge %d arrivals: %w", k, err)); ferr != nil {
+				// A protocol violation from a live agent is handled exactly
+				// like a dead connection: drop that edge, keep the run.
+				if ferr := fail(t, k, err); ferr != nil {
 					return nil, ferr
 				}
 				continue
 			}
-			if m.Type != TypeArrivals || m.Slot != t {
-				return nil, fmt.Errorf("edgenet: edge %d sent %q for slot %d, want arrivals for %d",
-					k, m.Type, m.Slot, t)
-			}
-			if len(m.Arrivals) != I {
-				return nil, fmt.Errorf("edgenet: edge %d reported %d apps, want %d", k, len(m.Arrivals), I)
-			}
 			for i, n := range m.Arrivals {
-				if n < 0 {
-					return nil, fmt.Errorf("edgenet: edge %d negative arrivals", k)
-				}
 				arrivals[i][k] = n
 			}
 		}
@@ -273,29 +309,33 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 				continue
 			}
 			if err := c.send(msg); err != nil {
-				if ferr := fail(k, fmt.Errorf("edgenet: edge %d assign: %w", k, err)); ferr != nil {
+				if ferr := fail(t, k, fmt.Errorf("edgenet: edge %d assign: %w", k, err)); ferr != nil {
 					return nil, ferr
 				}
 				dropAssignment(msg)
 			}
 		}
-		// Phase 4: collect execution reports.
+		// Phase 4: collect execution reports (concurrently, like phase 1).
 		var fbs []edgesim.Feedback
-		for k, c := range conns {
-			if c == nil {
+		got = s.collectPhase(conns)
+		for k := 0; k < K; k++ {
+			if conns[k] == nil {
 				continue
 			}
-			_ = c.raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
-			m, err := c.recv()
+			m, err := got[k].m, got[k].err
+			switch {
+			case err != nil:
+				err = fmt.Errorf("edgenet: edge %d report: %w", k, err)
+			case m.Type != TypeReport || m.Slot != t:
+				err = fmt.Errorf("edgenet: edge %d sent %q for slot %d, want report for %d",
+					k, m.Type, m.Slot, t)
+			}
 			if err != nil {
-				if ferr := fail(k, fmt.Errorf("edgenet: edge %d report: %w", k, err)); ferr != nil {
+				if ferr := fail(t, k, err); ferr != nil {
 					return nil, ferr
 				}
 				dropAssignment(msgs[k])
 				continue
-			}
-			if m.Type != TypeReport || m.Slot != t {
-				return nil, fmt.Errorf("edgenet: edge %d sent %q, want report", k, m.Type)
 			}
 			for q, ms := range m.CompletionMS {
 				tau := ms / slotMS
@@ -311,14 +351,231 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 				}
 			}
 			rep.Served += len(m.CompletionMS)
+			rep.ServedByEdge[k] += len(m.CompletionMS)
 			slotLoss += m.Loss
 			fbs = append(fbs, m.Feedback...)
 		}
 		rep.Loss.Add(slotLoss)
 		s.cfg.Scheduler.Observe(t, fbs)
 	}
+	for k, since := range downSince {
+		if since >= 0 {
+			rep.DownSlots[k] += s.cfg.Slots - since
+		}
+	}
 	s.broadcast(conns, &Message{Type: TypeDone})
 	return rep, nil
+}
+
+// register accepts hellos until every edge has exactly one live agent. A
+// malformed, version-mismatched, duplicate, or out-of-range hello rejects
+// that connection with TypeError and keeps waiting — one misbehaving client
+// must not abort the run for the correctly-behaving agents. Each accepted
+// agent is acked with a resync at slot 0.
+func (s *Server) register(ctx context.Context, conns []*conn) error {
+	K := len(conns)
+	deadline := time.Now().Add(s.cfg.SlotTimeout)
+	if err := s.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+		return err
+	}
+	for registered := 0; registered < K; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("edgenet: accept (have %d/%d agents): %w", registered, K, err)
+		}
+		c := &conn{raw: raw}
+		_ = raw.SetReadDeadline(deadline)
+		m, err := c.recv()
+		if err != nil || m.Type != TypeHello {
+			c.close()
+			continue
+		}
+		if reason := s.vetHello(m, K); reason != "" {
+			_ = c.send(&Message{Type: TypeError, Err: reason})
+			c.close()
+			continue
+		}
+		if conns[m.EdgeID] != nil {
+			_ = c.send(&Message{Type: TypeError, Err: fmt.Sprintf("duplicate edge id %d", m.EdgeID)})
+			c.close()
+			continue
+		}
+		// Ack with the starting slot; agents wait for this before sending
+		// their first arrivals.
+		if err := c.send(&Message{Type: TypeResync, EdgeID: m.EdgeID, Slot: 0}); err != nil {
+			c.close()
+			continue
+		}
+		_ = raw.SetReadDeadline(time.Time{})
+		conns[m.EdgeID] = c
+		registered++
+	}
+	return s.ln.(*net.TCPListener).SetDeadline(time.Time{})
+}
+
+// vetHello checks the fields of a hello message, returning a rejection
+// reason ("" = acceptable). Liveness of the slot (duplicate live agents) is
+// checked by the caller, which owns the conn table.
+func (s *Server) vetHello(m *Message, K int) string {
+	if m.Version != ProtocolVersion {
+		return fmt.Sprintf("protocol version %d, want %d", m.Version, ProtocolVersion)
+	}
+	if m.EdgeID < 0 || m.EdgeID >= K {
+		return fmt.Sprintf("edge id %d out of range [0,%d)", m.EdgeID, K)
+	}
+	return ""
+}
+
+// acceptRejoins keeps accepting connections after initial registration so a
+// restarted or reconnecting agent can re-register mid-run. Hellos are
+// validated here; admission (the duplicate check against the live conn
+// table, SetEdgeDown(k, false), the resync reply) happens on the slot loop
+// at the next boundary. Exits when the listener closes.
+func (s *Server) acceptRejoins(ch chan<- rejoinReq, done chan<- struct{}, K int) {
+	defer close(done)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	open := make(map[net.Conn]bool)
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			break // listener closed: the run is over
+		}
+		mu.Lock()
+		open[raw] = true
+		mu.Unlock()
+		wg.Add(1)
+		go func(raw net.Conn) {
+			defer wg.Done()
+			s.vetRejoin(raw, ch, K)
+			mu.Lock()
+			delete(open, raw)
+			mu.Unlock()
+		}(raw)
+	}
+	mu.Lock()
+	for c := range open {
+		_ = c.Close() // interrupt in-flight hello reads so wg.Wait is prompt
+	}
+	mu.Unlock()
+	wg.Wait()
+}
+
+// vetRejoin reads and validates one mid-run hello, parking the acceptable
+// ones on ch for the slot loop to admit.
+func (s *Server) vetRejoin(raw net.Conn, ch chan<- rejoinReq, K int) {
+	c := &conn{raw: raw}
+	_ = raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
+	m, err := c.recv()
+	if err != nil || m.Type != TypeHello {
+		c.close()
+		return
+	}
+	if reason := s.vetHello(m, K); reason != "" {
+		_ = c.send(&Message{Type: TypeError, Err: reason})
+		c.close()
+		return
+	}
+	_ = raw.SetReadDeadline(time.Time{})
+	select {
+	case ch <- rejoinReq{k: m.EdgeID, c: c, lastSlot: m.LastSlot, resume: m.Resume}:
+	default:
+		_ = c.send(&Message{Type: TypeError, Err: "rejoin queue full"})
+		c.close()
+	}
+}
+
+// admitRejoins folds parked re-registrations into the conn table at a slot
+// boundary: the down flag is cleared, downtime is charged, and the agent is
+// resync'd to slot t so it re-enters the barrier in step. A rejoining edge
+// starts from a clean slate — arrivals during its downtime were never
+// reported and are not replayed. A rejoin for an edge whose previous
+// connection still looks alive stays parked: a restarted agent routinely
+// redials before the server has detected the old connection's death, and the
+// next failed phase read settles which it was.
+func (s *Server) admitRejoins(t int, conns []*conn, ch chan rejoinReq, downSince []int, rep *Report) {
+	var pending []rejoinReq
+	for draining := true; draining; {
+		select {
+		case r := <-ch:
+			pending = append(pending, r)
+		default:
+			draining = false
+		}
+	}
+	// Arrival order on the channel is wall-clock nondeterministic; admit in
+	// edge-id order so the Report is stable given the same failure set.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].k < pending[j].k })
+	for _, r := range pending {
+		if conns[r.k] != nil {
+			select {
+			case ch <- r: // revisit at the next boundary
+			default:
+				_ = r.c.send(&Message{Type: TypeError, Err: "rejoin queue full"})
+				r.c.close()
+			}
+			continue
+		}
+		if err := r.c.send(&Message{Type: TypeResync, EdgeID: r.k, Slot: t}); err != nil {
+			r.c.close()
+			continue
+		}
+		conns[r.k] = r.c
+		if downSince[r.k] >= 0 {
+			rep.DownSlots[r.k] += t - downSince[r.k]
+			downSince[r.k] = -1
+		}
+		if marker, ok := s.cfg.Scheduler.(EdgeDownMarker); ok {
+			marker.SetEdgeDown(r.k, false)
+		}
+		if !containsInt(rep.RejoinedEdges, r.k) {
+			rep.RejoinedEdges = append(rep.RejoinedEdges, r.k)
+		}
+	}
+}
+
+// phaseRecv is one edge's answer in a collection phase.
+type phaseRecv struct {
+	m   *Message
+	err error
+}
+
+// collectPhase receives one message from every live edge, each under its own
+// read deadline. The default is one goroutine per edge so worst-case phase
+// latency is a single SlotTimeout rather than K of them (head-of-line
+// blocking); results land in per-edge slots and the caller folds them in
+// edge-id order, so concurrency never reaches the Report.
+func (s *Server) collectPhase(conns []*conn) []phaseRecv {
+	res := make([]phaseRecv, len(conns))
+	recv := func(k int, c *conn) {
+		_ = c.raw.SetReadDeadline(time.Now().Add(s.cfg.SlotTimeout))
+		m, err := c.recv()
+		res[k] = phaseRecv{m: m, err: err}
+	}
+	if s.serialPhases {
+		for k, c := range conns {
+			if c != nil {
+				recv(k, c)
+			}
+		}
+		return res
+	}
+	var wg sync.WaitGroup
+	for k, c := range conns {
+		if c == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, c *conn) {
+			defer wg.Done()
+			recv(k, c)
+		}(k, c)
+	}
+	wg.Wait()
+	return res
 }
 
 func (s *Server) broadcast(conns []*conn, m *Message) {
@@ -327,4 +584,23 @@ func (s *Server) broadcast(conns []*conn, m *Message) {
 			_ = c.send(m)
 		}
 	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func minInt(xs []int) int {
+	m := 0
+	for i, v := range xs {
+		if i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
 }
