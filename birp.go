@@ -127,6 +127,20 @@ type SchedulerOptions struct {
 	// branch-and-bound relaxations). ≤ 0 means one worker per CPU. Decisions
 	// are bit-identical for every value; only wall-clock time changes.
 	Workers int
+	// DisableSlotReuse turns off the cross-slot temporal acceleration layer
+	// (incumbent seeding from the previous slot's plan, plan memoization) for
+	// the core-family schedulers, so every slot solves cold. Reuse only
+	// changes the certified starting incumbent; reuse-on and reuse-off
+	// decisions agree within the solver's gap tolerance.
+	DisableSlotReuse bool
+}
+
+// coreMod returns a config hook forwarding the shared core knobs.
+func (o SchedulerOptions) coreMod() func(*core.Config) {
+	return func(cfg *core.Config) {
+		cfg.Workers = o.Workers
+		cfg.DisableSlotReuse = o.DisableSlotReuse
+	}
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -149,28 +163,29 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 // online MAB hyperparameter tuning.
 func NewBIRP(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
 	opt = opt.withDefaults()
-	return core.New(core.Config{
+	cfg := core.Config{
 		Cluster: c, Apps: apps,
 		Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
-		Workers:  opt.Workers,
-	})
+	}
+	opt.coreMod()(&cfg)
+	return core.New(cfg)
 }
 
 // NewBIRPOff builds the BIRP-OFF baseline (offline-profiled TIR, no tuning).
 func NewBIRPOff(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
 	opt = opt.withDefaults()
-	return baseline.NewBIRPOff(c, apps, opt.ProfileMaxBatch)
+	return baseline.NewBIRPOffConfig(c, apps, opt.ProfileMaxBatch, opt.coreMod())
 }
 
 // NewOAEI builds the serial model-selection baseline.
 func NewOAEI(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
-	return baseline.NewOAEI(c, apps, opt.Seed)
+	return baseline.NewOAEIConfig(c, apps, opt.Seed, opt.coreMod())
 }
 
 // NewMAX builds the fixed-batch baseline.
 func NewMAX(c *Cluster, apps []*Application, opt SchedulerOptions) (Scheduler, error) {
 	opt = opt.withDefaults()
-	return baseline.NewMAX(c, apps, opt.B0)
+	return baseline.NewMAXConfig(c, apps, opt.B0, opt.coreMod())
 }
 
 // Simulator runs schedulers against arrival streams on the device models.

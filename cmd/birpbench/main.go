@@ -53,6 +53,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment timings (JSON) to this file")
 	solverStats := flag.Bool("solverstats", false, "print cumulative MIQP solver counters (nodes, warm-start hit rate, pivots, presolve reductions) after fig6/fig7")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
+	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold — for A/B measurement")
 	flag.Parse()
 
 	if *pprofPath != "" {
@@ -73,7 +74,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers}
+	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers, DisableSlotReuse: *noReuse}
 	report := timingReport{
 		Workers: *workers, Slots: *slots, Seed: *seed, Quick: *quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -24,6 +24,7 @@ func main() {
 	versions := flag.Int("versions", 3, "model versions per application")
 	slots := flag.Int("slots", 50, "slots to schedule")
 	tolerate := flag.Bool("tolerate", false, "survive agent failures: mark dead edges down, let restarted agents rejoin")
+	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold")
 	flag.Parse()
 
 	c := birp.DefaultCluster()
@@ -31,7 +32,7 @@ func main() {
 		c = birp.SmallCluster()
 	}
 	catalogue := birp.Catalogue(*apps, *versions)
-	sched, err := birp.NewBIRP(c, catalogue, birp.SchedulerOptions{})
+	sched, err := birp.NewBIRP(c, catalogue, birp.SchedulerOptions{DisableSlotReuse: *noReuse})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

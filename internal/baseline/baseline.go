@@ -27,25 +27,47 @@ import (
 
 // NewMAX builds the MAX baseline: fixed batch size B0, padded batches.
 func NewMAX(c *cluster.Cluster, apps []*models.Application, b0 int) (*core.Scheduler, error) {
-	return core.New(core.Config{
+	return NewMAXConfig(c, apps, b0, nil)
+}
+
+// NewMAXConfig is NewMAX with a config hook applied before the scheduler is
+// built (worker counts, slot-reuse switches; the hook must not change Mode or
+// FixedB0 — those define the baseline).
+func NewMAXConfig(c *cluster.Cluster, apps []*models.Application, b0 int, mod func(*core.Config)) (*core.Scheduler, error) {
+	cfg := core.Config{
 		Cluster: c, Apps: apps,
 		Mode: core.ModeFixed, FixedB0: b0,
 		DisplayName: "MAX",
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return core.New(cfg)
 }
 
 // NewBIRPOff builds the BIRP-OFF baseline: merged batches planned with
 // offline-profiled TIR laws (profiled up to maxB), no online tuning.
 func NewBIRPOff(c *cluster.Cluster, apps []*models.Application, maxB int) (*core.Scheduler, error) {
+	return NewBIRPOffConfig(c, apps, maxB, nil)
+}
+
+// NewBIRPOffConfig is NewBIRPOff with a config hook applied before the
+// scheduler is built (worker counts, slot-reuse switches; the hook must not
+// change the Provider — the offline profile defines the baseline).
+func NewBIRPOffConfig(c *cluster.Cluster, apps []*models.Application, maxB int, mod func(*core.Config)) (*core.Scheduler, error) {
 	prov, err := core.ProfileOffline(c, apps, maxB)
 	if err != nil {
 		return nil, err
 	}
-	return core.New(core.Config{
+	cfg := core.Config{
 		Cluster: c, Apps: apps,
 		Provider:    prov,
 		DisplayName: "BIRP-OFF",
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return core.New(cfg)
 }
 
 // OAEI is the serial model-selection baseline. It wraps a core scheduler in

@@ -6,6 +6,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/mat"
@@ -33,6 +34,13 @@ type Cluster struct {
 	// budget) at laptop scale — see EXPERIMENTS.md for the scaling argument.
 	SlotSeconds float64
 	seed        int64
+	// bw caches realized BandwidthMBAt draws per (t, k): seeding a fresh
+	// math/rand source for every query is ~100× the cost of the single
+	// uniform it produces, and the schedulers re-query the same slot's
+	// budget many times (redistribution, per-edge ship budgets, preloads,
+	// plan validation). Values are pure functions of (seed, t, k), so the
+	// cache is transparent and safe for concurrent readers.
+	bw sync.Map // [2]int{t, k} -> float64
 }
 
 // Option mutates cluster construction.
@@ -136,10 +144,16 @@ func (c *Cluster) N() int { return len(c.Edges) }
 // BandwidthMBAt returns the Eq. 9 network budget N^t_k for edge k in slot t,
 // in megabytes per slot. It is deterministic in (seed, t, k).
 func (c *Cluster) BandwidthMBAt(t, k int) float64 {
+	key := [2]int{t, k}
+	if v, ok := c.bw.Load(key); ok {
+		return v.(float64)
+	}
 	e := c.Edges[k]
 	rng := rand.New(rand.NewSource(c.seed ^ int64(t)*1000003 ^ int64(k)*10007))
 	mbps := e.BandwidthLoMbps + rng.Float64()*(e.BandwidthHiMbps-e.BandwidthLoMbps)
-	return mbps * c.SlotSeconds / 8
+	mb := mbps * c.SlotSeconds / 8
+	c.bw.Store(key, mb)
+	return mb
 }
 
 // SlotMS returns the slot duration in milliseconds.

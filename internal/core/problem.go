@@ -7,6 +7,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
+	"repro/internal/lp"
 	"repro/internal/mat"
 	"repro/internal/miqp"
 	"repro/internal/models"
@@ -128,6 +129,24 @@ type EdgeProblem struct {
 	// granularity of the OAEI baseline, which picks a version per
 	// application rather than mixing versions per request.
 	SingleVersion bool
+
+	// Seed, when non-nil, is a previous (typically last slot's) assignment for
+	// this edge. SolveEdge rebuilds it against the current problem — clamping
+	// batch sizes to the new workloads and dropping the overflow — validates
+	// the repaired point, and uses it as the branch & bound incumbent when it
+	// beats the greedy one. An unrepairable seed is rejected (never silently
+	// wrong) and the greedy incumbent is used instead; see the Solver
+	// IncumbentSeeded/IncumbentRepaired/IncumbentRejected counters.
+	Seed *EdgeAssignment
+	// RootBasis, when non-nil, warm-starts the root relaxation from a
+	// previous solve's optimal basis (cold fallback on shape mismatch);
+	// CaptureRootBasis publishes this solve's root basis in
+	// EdgeAssignment.RootBasis for the next slot.
+	RootBasis        *lp.Basis
+	CaptureRootBasis bool
+	// Pool, when non-nil, supplies the solver's per-worker LP scratch arenas
+	// (see miqp.ScratchPool); nil uses the package-level pool.
+	Pool *miqp.ScratchPool
 }
 
 // EdgeAssignment is the per-edge solve result.
@@ -151,8 +170,13 @@ type EdgeAssignment struct {
 	// Utilizations maps resource name → fraction of its budget used.
 	Utilizations map[string]float64
 	// Solver carries the branch & bound observability counters for this solve
-	// (warm-start hit rate, pivot work, presolve reductions). Diagnostic only.
+	// (warm-start hit rate, pivot work, presolve reductions, incumbent
+	// provenance). Diagnostic only.
 	Solver miqp.Stats
+	// RootBasis is the root relaxation's optimal simplex basis, captured when
+	// EdgeProblem.CaptureRootBasis was set; the temporal reuse layer feeds it
+	// back via EdgeProblem.RootBasis at the next slot.
+	RootBasis *lp.Basis
 }
 
 // SolveEdge solves the per-edge program exactly via branch and bound.
@@ -407,243 +431,407 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	}
 
 	prob := b.Build()
-	// Seed a greedy incumbent: best models first within budgets, overflow
-	// when cheaper than dropping, drops as a last resort. It is feasible by
-	// construction, usually optimal or near, and collapses the search —
-	// without it, branching on the fixed-charge x variables barely moves the
-	// LP bound and the tree explodes.
-	inc := make([]float64, b.NumVars())
-	computeLeft := p.SlotMS
-	// memLeft tracks M minus resident weights (and, under MemSum, minus all
-	// activations); maxAct tracks the largest single-deployment activation
-	// (MemTimeSliced's peak term).
-	memLeft := p.Edge.MemoryMB
-	maxAct := 0.0
-	shipLeft := p.ShipBudgetMB
-	overflow := 0.0
-	// spendCompute books ms against the slot budget, spilling the excess into
-	// the overflow slack so the seeded incumbent always satisfies Eq. 25.
-	spendCompute := func(ms float64) {
-		if ms <= computeLeft {
-			computeLeft -= ms
-			return
+	// greedyFill completes point into an integer-feasible plan: it serves as
+	// many of remaining's requests as the leftover budgets allow — best
+	// models first within budgets, overflow when cheaper than dropping —
+	// mutating point and remaining in place. Deployments already present in
+	// point are respected and extended (their budget spends must be reflected
+	// in the budget arguments; see budgetsOf), which is what lets the
+	// temporal seed below keep last slot's deployment structure and still
+	// serve newly arrived requests. Iteration is index-ordered and every
+	// float accumulation has a fixed order, so the result is deterministic.
+	greedyFill := func(point []float64, remaining []int, computeLeft, memLeft, maxAct, shipLeft float64) {
+		overflow := 0.0
+		// spendCompute books ms against the slot budget, spilling the excess
+		// into the overflow slack so the incumbent always satisfies Eq. 25.
+		spendCompute := func(ms float64) {
+			if ms <= computeLeft {
+				computeLeft -= ms
+				return
+			}
+			overflow += ms - math.Max(computeLeft, 0)
+			if computeLeft > 0 {
+				computeLeft = 0
+			}
 		}
-		overflow += ms - math.Max(computeLeft, 0)
-		if computeLeft > 0 {
-			computeLeft = 0
-		}
-	}
-	for i := 0; i < I; i++ {
-		w := p.Workload[i]
-		if w <= 0 {
-			continue
-		}
-		remaining := w
-		chosenJ := -1 // SingleVersion: first deployed version locks the app
-		order := make([]int, len(p.Apps[i].Models))
-		for j := range order {
-			order[j] = j
-		}
-		sortByLoss(order, p.Apps[i].Models)
-		for pass := 0; pass < 2 && remaining > 0; pass++ {
-			for _, j := range order {
-				if remaining == 0 {
-					break
-				}
-				if p.SingleVersion && chosenJ >= 0 && chosenJ != j {
-					continue
-				}
-				vs := vars[[2]int{i, j}]
-				m := vs.model
-				already := inc[vs.x] > 0.5
-				shipCost := 0.0
-				if !already && !p.PrevDeployed[[2]int{i, j}] {
-					shipCost = m.CompressedMB
-				}
-				if shipCost > shipLeft {
-					continue
-				}
-				switch p.Mode {
-				case ModeMerged:
-					room := vs.unitCap - int(inc[vs.units])
-					if room <= 0 {
-						continue
-					}
-					fixMem := 0.0
-					if !already {
-						fixMem = m.WeightsMB
-					}
-					actBatch := m.IntermediateMB * float64(vs.bStar) // multi-batch peak
-					var uMem int
-					switch {
-					case p.KneeCap && p.Mem == MemSum:
-						uMem = int((memLeft - fixMem) / m.IntermediateMB)
-					case p.KneeCap:
-						// New weights must leave room for every prior
-						// deployment's peak batch, and this deployment's
-						// total batch must fit beside all weights.
-						if memLeft-fixMem < maxAct {
-							continue
-						}
-						uMem = int((memLeft-fixMem)/m.IntermediateMB) - int(inc[vs.units])
-					case p.Mem == MemSum:
-						// Multi-batch: one constant b*-sized activation block.
-						if !already && memLeft-fixMem < actBatch {
-							continue
-						}
-						uMem = remaining
-					default:
-						if !already && memLeft-fixMem < math.Max(maxAct, actBatch) {
-							continue
-						}
-						uMem = remaining
-					}
-					perReq := vs.slopeMS
-					uCompute := room
-					if pass == 0 {
-						budget := computeLeft
-						if !already {
-							budget -= vs.fixedMS
-						}
-						uCompute = int(budget / math.Max(perReq, 1e-9))
-					} else if perReq*ovPen >= dropPen {
-						continue // overflow costs more than dropping
-					}
-					u := minInt(room, remaining, uMem, uCompute)
-					if u <= 0 {
-						continue
-					}
-					if !already {
-						memLeft -= m.WeightsMB
-						shipLeft -= shipCost
-						spendCompute(vs.fixedMS)
-						inc[vs.x] = 1
+		_ = overflow
+		for i := 0; i < I; i++ {
+			if p.Workload[i] <= 0 {
+				continue
+			}
+			rem := remaining[i]
+			chosenJ := -1 // SingleVersion: first deployed version locks the app
+			if p.SingleVersion {
+				for j := range p.Apps[i].Models {
+					if vs := vars[[2]int{i, j}]; vs != nil && point[vs.x] > 0.5 {
 						chosenJ = j
-						if !p.KneeCap {
-							if p.Mem == MemSum {
-								memLeft -= actBatch
-							} else if actBatch > maxAct {
-								maxAct = actBatch
+						break
+					}
+				}
+			}
+			order := make([]int, len(p.Apps[i].Models))
+			for j := range order {
+				order[j] = j
+			}
+			sortByLoss(order, p.Apps[i].Models)
+			for pass := 0; pass < 2 && rem > 0; pass++ {
+				for _, j := range order {
+					if rem == 0 {
+						break
+					}
+					if p.SingleVersion && chosenJ >= 0 && chosenJ != j {
+						continue
+					}
+					vs := vars[[2]int{i, j}]
+					m := vs.model
+					already := point[vs.x] > 0.5
+					shipCost := 0.0
+					if !already && !p.PrevDeployed[[2]int{i, j}] {
+						shipCost = m.CompressedMB
+					}
+					if shipCost > shipLeft {
+						continue
+					}
+					switch p.Mode {
+					case ModeMerged:
+						room := vs.unitCap - int(point[vs.units])
+						if room <= 0 {
+							continue
+						}
+						fixMem := 0.0
+						if !already {
+							fixMem = m.WeightsMB
+						}
+						actBatch := m.IntermediateMB * float64(vs.bStar) // multi-batch peak
+						var uMem int
+						switch {
+						case p.KneeCap && p.Mem == MemSum:
+							uMem = int((memLeft - fixMem) / m.IntermediateMB)
+						case p.KneeCap:
+							// New weights must leave room for every prior
+							// deployment's peak batch, and this deployment's
+							// total batch must fit beside all weights.
+							if memLeft-fixMem < maxAct {
+								continue
+							}
+							uMem = int((memLeft-fixMem)/m.IntermediateMB) - int(point[vs.units])
+						case p.Mem == MemSum:
+							// Multi-batch: one constant b*-sized activation block.
+							if !already && memLeft-fixMem < actBatch {
+								continue
+							}
+							uMem = rem
+						default:
+							if !already && memLeft-fixMem < math.Max(maxAct, actBatch) {
+								continue
+							}
+							uMem = rem
+						}
+						perReq := vs.slopeMS
+						uCompute := room
+						if pass == 0 {
+							budget := computeLeft
+							if !already {
+								budget -= vs.fixedMS
+							}
+							uCompute = int(budget / math.Max(perReq, 1e-9))
+						} else if perReq*ovPen >= dropPen {
+							continue // overflow costs more than dropping
+						}
+						u := minInt(room, rem, uMem, uCompute)
+						if u <= 0 {
+							continue
+						}
+						if !already {
+							memLeft -= m.WeightsMB
+							shipLeft -= shipCost
+							spendCompute(vs.fixedMS)
+							point[vs.x] = 1
+							chosenJ = j
+							if !p.KneeCap {
+								if p.Mem == MemSum {
+									memLeft -= actBatch
+								} else if actBatch > maxAct {
+									maxAct = actBatch
+								}
 							}
 						}
-					}
-					inc[vs.units] += float64(u)
-					if p.KneeCap {
-						if p.Mem == MemSum {
-							memLeft -= m.IntermediateMB * float64(u)
-						} else if act := m.IntermediateMB * inc[vs.units]; act > maxAct {
-							maxAct = act
+						point[vs.units] += float64(u)
+						if p.KneeCap {
+							if p.Mem == MemSum {
+								memLeft -= m.IntermediateMB * float64(u)
+							} else if act := m.IntermediateMB * point[vs.units]; act > maxAct {
+								maxAct = act
+							}
 						}
-					}
-					spendCompute(perReq * float64(u))
-					remaining -= u
-				case ModeSerial:
-					if pass > 0 && vs.gamma*ovPen >= dropPen {
-						continue
-					}
-					fixMem := m.WeightsMB + m.IntermediateMB
-					if p.Mem != MemSum {
-						fixMem = m.WeightsMB
-						if weightsAfter := fixMem; !already && memLeft-weightsAfter < math.Max(maxAct, m.IntermediateMB) {
+						spendCompute(perReq * float64(u))
+						rem -= u
+					case ModeSerial:
+						if pass > 0 && vs.gamma*ovPen >= dropPen {
 							continue
 						}
-					}
-					if !already && fixMem > memLeft {
-						continue
-					}
-					uCompute := remaining
-					if pass == 0 {
-						uCompute = int(computeLeft / math.Max(vs.gamma, 1e-9))
-					}
-					u := minInt(remaining, vs.unitCap-int(inc[vs.units]), uCompute)
-					if u <= 0 {
-						continue
-					}
-					if !already {
-						memLeft -= fixMem
-						shipLeft -= shipCost
-						inc[vs.x] = 1
-						chosenJ = j
-						if p.Mem != MemSum && m.IntermediateMB > maxAct {
-							maxAct = m.IntermediateMB
+						fixMem := m.WeightsMB + m.IntermediateMB
+						if p.Mem != MemSum {
+							fixMem = m.WeightsMB
+							if weightsAfter := fixMem; !already && memLeft-weightsAfter < math.Max(maxAct, m.IntermediateMB) {
+								continue
+							}
 						}
-					}
-					inc[vs.units] += float64(u)
-					spendCompute(vs.gamma * float64(u))
-					remaining -= u
-				case ModeFixed:
-					batchMS := vs.par.BatchTime(vs.gamma, float64(p.FixedB0))
-					if pass > 0 && batchMS*ovPen/float64(p.FixedB0) >= dropPen {
-						continue
-					}
-					act := m.IntermediateMB * float64(p.FixedB0)
-					fixMem := m.WeightsMB + act
-					if p.Mem != MemSum {
-						fixMem = m.WeightsMB
-						if !already && memLeft-fixMem < math.Max(maxAct, act) {
+						if !already && fixMem > memLeft {
 							continue
 						}
-					}
-					if !already && fixMem > memLeft {
-						continue
-					}
-					for remaining > 0 && int(inc[vs.units]) < vs.unitCap {
-						if pass == 0 && batchMS > computeLeft {
-							break
+						uCompute := rem
+						if pass == 0 {
+							uCompute = int(computeLeft / math.Max(vs.gamma, 1e-9))
+						}
+						u := minInt(rem, vs.unitCap-int(point[vs.units]), uCompute)
+						if u <= 0 {
+							continue
 						}
 						if !already {
 							memLeft -= fixMem
 							shipLeft -= shipCost
-							inc[vs.x] = 1
+							point[vs.x] = 1
 							chosenJ = j
-							already = true
-							if p.Mem != MemSum && act > maxAct {
-								maxAct = act
+							if p.Mem != MemSum && m.IntermediateMB > maxAct {
+								maxAct = m.IntermediateMB
 							}
 						}
-						inc[vs.units]++
-						take := minInt(remaining, p.FixedB0)
-						inc[vs.served] += float64(take)
-						remaining -= take
-						spendCompute(batchMS)
+						point[vs.units] += float64(u)
+						spendCompute(vs.gamma * float64(u))
+						rem -= u
+					case ModeFixed:
+						batchMS := vs.par.BatchTime(vs.gamma, float64(p.FixedB0))
+						if pass > 0 && batchMS*ovPen/float64(p.FixedB0) >= dropPen {
+							continue
+						}
+						act := m.IntermediateMB * float64(p.FixedB0)
+						fixMem := m.WeightsMB + act
+						if p.Mem != MemSum {
+							fixMem = m.WeightsMB
+							if !already && memLeft-fixMem < math.Max(maxAct, act) {
+								continue
+							}
+						}
+						if !already && fixMem > memLeft {
+							continue
+						}
+						for rem > 0 && int(point[vs.units]) < vs.unitCap {
+							if pass == 0 && batchMS > computeLeft {
+								break
+							}
+							if !already {
+								memLeft -= fixMem
+								shipLeft -= shipCost
+								point[vs.x] = 1
+								chosenJ = j
+								already = true
+								if p.Mem != MemSum && act > maxAct {
+									maxAct = act
+								}
+							}
+							point[vs.units]++
+							take := minInt(rem, p.FixedB0)
+							point[vs.served] += float64(take)
+							rem -= take
+							spendCompute(batchMS)
+						}
 					}
 				}
 			}
-		}
-		if drops[i] >= 0 {
-			inc[drops[i]] = float64(remaining)
+			remaining[i] = rem
 		}
 	}
-	_ = overflow
-	// Set each class slack exactly from the incumbent's planned spends so the
-	// seeded point satisfies every nested budget row. Iterate (i, j) in
-	// order, not over the vars map: float addition is order-sensitive and the
-	// incumbent must be identical run to run.
-	for ci, f := range classes {
-		var lhs float64
+
+	// budgetsOf recomputes the leftover budgets a partially built point
+	// leaves for greedyFill, mirroring its bookkeeping exactly: per-mode
+	// planned compute, resident weights (plus activations under MemSum),
+	// the peak single-deployment activation (MemTimeSliced), and shipping
+	// for deployments not already resident. Index-ordered accumulation.
+	budgetsOf := func(point []float64) (computeLeft, memLeft, maxAct, shipLeft float64) {
+		computeLeft, memLeft, maxAct, shipLeft = p.SlotMS, p.Edge.MemoryMB, 0, p.ShipBudgetMB
 		for i := 0; i < I; i++ {
-			if p.Apps[i].SLO() > f+1e-12 {
-				continue
-			}
 			for j := range p.Apps[i].Models {
 				vs := vars[[2]int{i, j}]
-				if vs == nil {
+				if vs == nil || point[vs.x] < 0.5 {
 					continue
 				}
-				units := inc[vs.units]
-				xv := inc[vs.x]
+				m := vs.model
+				units := point[vs.units]
 				switch p.Mode {
 				case ModeMerged:
-					lhs += vs.slopeMS*units + vs.fixedMS*xv
+					computeLeft -= vs.slopeMS*units + vs.fixedMS
 				case ModeSerial:
-					lhs += vs.gamma * units
+					computeLeft -= vs.gamma * units
 				case ModeFixed:
-					lhs += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * units
+					computeLeft -= vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * units
+				}
+				memLeft -= m.WeightsMB
+				if !p.PrevDeployed[[2]int{i, j}] {
+					shipLeft -= m.CompressedMB
+				}
+				var act float64
+				switch {
+				case p.Mode == ModeMerged && p.KneeCap:
+					act = m.IntermediateMB * units
+				case p.Mode == ModeMerged:
+					act = m.IntermediateMB * float64(vs.bStar)
+				case p.Mode == ModeSerial:
+					act = m.IntermediateMB
+				default: // ModeFixed
+					act = m.IntermediateMB * float64(p.FixedB0)
+				}
+				if p.Mem == MemSum {
+					memLeft -= act
+				} else if act > maxAct {
+					maxAct = act
 				}
 			}
 		}
-		if over := lhs - f*p.SlotMS; over > 0 {
-			inc[classSlack[ci]] = over
+		if computeLeft < 0 {
+			computeLeft = 0
+		}
+		return
+	}
+
+	// Seed a greedy incumbent: it is feasible by construction, usually
+	// optimal or near, and collapses the search — without it, branching on
+	// the fixed-charge x variables barely moves the LP bound and the tree
+	// explodes.
+	inc := make([]float64, b.NumVars())
+	remaining := make([]int, I)
+	copy(remaining, p.Workload)
+	greedyFill(inc, remaining, p.SlotMS, p.Edge.MemoryMB, 0, p.ShipBudgetMB)
+	for i := 0; i < I; i++ {
+		if drops[i] >= 0 {
+			inc[drops[i]] = float64(remaining[i])
+		}
+	}
+	// setClassSlacks sets each class slack exactly from the point's planned
+	// spends so a candidate incumbent satisfies every nested budget row.
+	// Iterate (i, j) in order, not over the vars map: float addition is
+	// order-sensitive and the incumbent must be identical run to run.
+	setClassSlacks := func(point []float64) {
+		for ci, f := range classes {
+			var lhs float64
+			for i := 0; i < I; i++ {
+				if p.Apps[i].SLO() > f+1e-12 {
+					continue
+				}
+				for j := range p.Apps[i].Models {
+					vs := vars[[2]int{i, j}]
+					if vs == nil {
+						continue
+					}
+					units := point[vs.units]
+					xv := point[vs.x]
+					switch p.Mode {
+					case ModeMerged:
+						lhs += vs.slopeMS*units + vs.fixedMS*xv
+					case ModeSerial:
+						lhs += vs.gamma * units
+					case ModeFixed:
+						lhs += vs.par.BatchTime(vs.gamma, float64(p.FixedB0)) * units
+					}
+				}
+			}
+			point[classSlack[ci]] = 0
+			if over := lhs - f*p.SlotMS; over > 0 {
+				point[classSlack[ci]] = over
+			}
+		}
+	}
+	setClassSlacks(inc)
+
+	// Temporal incumbent seeding: rebuild the previous slot's assignment
+	// against this slot's problem — clamp every deployment to the new
+	// workloads and caps, spill the overflow onto the drop variables, set the
+	// class slacks exactly — then validate the repaired point against all
+	// rows. A valid seed that beats the greedy incumbent replaces it; an
+	// invalid one is rejected outright, so the solve is never entered under a
+	// bound a stale plan cannot certify. Pure function of (Seed, problem):
+	// deterministic across runs and worker counts.
+	repairSeed := func() (point []float64, didRepair, ok bool) {
+		point = make([]float64, b.NumVars())
+		remaining := make([]int, I)
+		copy(remaining, p.Workload)
+		for _, dep := range p.Seed.Deployments {
+			vs := vars[[2]int{dep.App, dep.Version}]
+			if vs == nil || dep.Requests <= 0 {
+				if dep.Requests > 0 {
+					didRepair = true // app lost its workload here; requests fall to drops
+				}
+				continue
+			}
+			i := dep.App
+			take := dep.Requests
+			if take > remaining[i] {
+				take, didRepair = remaining[i], true
+			}
+			switch p.Mode {
+			case ModeMerged, ModeSerial:
+				// units counts served requests (KneeCap: the single merged
+				// batch size, additionally capped at the knee/memory bound).
+				if room := vs.unitCap - int(point[vs.units]); take > room {
+					take, didRepair = room, true
+				}
+				if take <= 0 {
+					continue
+				}
+				point[vs.x] = 1
+				point[vs.units] += float64(take)
+			case ModeFixed:
+				nb := (take + p.FixedB0 - 1) / p.FixedB0
+				if room := vs.unitCap - int(point[vs.units]); nb > room {
+					nb, didRepair = room, true
+					if fit := nb * p.FixedB0; take > fit {
+						take = fit
+					}
+				}
+				if nb <= 0 || take <= 0 {
+					continue
+				}
+				point[vs.x] = 1
+				point[vs.units] += float64(nb)
+				point[vs.served] += float64(take)
+			}
+			remaining[i] -= take
+		}
+		// Greedy completion: the clamp above only shrinks the seed, so on its
+		// own the rebuilt point drops every newly arrived request — and with
+		// drops heavily penalized it would almost never beat the from-scratch
+		// greedy incumbent, making the seed useless. Re-running the greedy
+		// fill on top of the clamped point serves the new arrivals under the
+		// leftover budgets while keeping last slot's deployment structure.
+		computeLeft, memLeft, maxAct, shipLeft := budgetsOf(point)
+		greedyFill(point, remaining, computeLeft, memLeft, maxAct, shipLeft)
+		for i := 0; i < I; i++ {
+			if drops[i] < 0 {
+				continue
+			}
+			point[drops[i]] = float64(remaining[i])
+			if i < len(p.Seed.Dropped) && p.Seed.Dropped[i] != remaining[i] {
+				didRepair = true
+			}
+		}
+		setClassSlacks(point)
+		if miqp.ValidateIncumbent(prob, point) != nil {
+			return nil, didRepair, false
+		}
+		return point, didRepair, true
+	}
+	var seeded, repaired, rejected int
+	if p.Seed != nil {
+		seed, didRepair, ok := repairSeed()
+		switch {
+		case !ok:
+			rejected = 1
+		case objOf(prob, seed) < objOf(prob, inc):
+			inc = seed
+			seeded = 1
+			if didRepair {
+				repaired = 1
+			}
 		}
 	}
 	res, err := miqp.SolveOpts(prob, miqp.Options{
@@ -651,8 +839,11 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		Incumbent: inc,
 		// A 0.5% relative gap is far below the run-to-run noise of the
 		// simulator and cuts the proof-of-optimality tail off the search.
-		GapTol:  0.005 * (1 + objOf(prob, inc)),
-		Workers: p.Workers,
+		GapTol:           0.005 * (1 + objOf(prob, inc)),
+		Workers:          p.Workers,
+		RootBasis:        p.RootBasis,
+		CaptureRootBasis: p.CaptureRootBasis,
+		Pool:             p.Pool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: edge %d solve: %w", p.EdgeIdx, err)
@@ -661,7 +852,10 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		return nil, fmt.Errorf("core: edge %d: solver returned no incumbent (status %v)", p.EdgeIdx, res.Status)
 	}
 
-	out := &EdgeAssignment{Dropped: make([]int, I), Obj: res.Obj, Nodes: res.Nodes, Solver: res.Stats}
+	out := &EdgeAssignment{Dropped: make([]int, I), Obj: res.Obj, Nodes: res.Nodes, Solver: res.Stats, RootBasis: res.RootBasis}
+	out.Solver.IncumbentSeeded = seeded
+	out.Solver.IncumbentRepaired = repaired
+	out.Solver.IncumbentRejected = rejected
 	for i := 0; i < I; i++ {
 		if drops[i] >= 0 {
 			out.Dropped[i] = int(math.Round(res.X[drops[i]]))

@@ -48,6 +48,10 @@ type RedistOptions struct {
 	// problem stays an LP. Balanced headroom cuts the tail risk correlated
 	// slot noise creates on near-full edges.
 	BalanceWeight float64
+	// Scratch, when non-nil, is the caller-owned LP workspace the stage-1
+	// solve reuses (the scheduler keeps one alive across slots so the arena
+	// never shrinks back between Decide calls); nil uses the lp package pool.
+	Scratch *lp.Scratch
 }
 
 // Redistribution is the stage-1 outcome.
@@ -296,7 +300,14 @@ func Redistribute(
 		bub = append(bub, bwFrac*c.BandwidthMBAt(slot, k))
 	}
 
-	res, err := lp.Solve(&lp.Problem{C: obj, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub, Ub: ub})
+	prob := &lp.Problem{C: obj, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub, Ub: ub}
+	var res *lp.Result
+	var err error
+	if opt.Scratch != nil {
+		res, err = lp.SolveScratch(prob, lp.Options{}, opt.Scratch)
+	} else {
+		res, err = lp.Solve(prob)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: redistribution LP: %w", err)
 	}

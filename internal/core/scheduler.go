@@ -8,6 +8,7 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/edgesim"
+	"repro/internal/lp"
 	"repro/internal/mat"
 	"repro/internal/miqp"
 	"repro/internal/models"
@@ -93,6 +94,29 @@ type Config struct {
 	// results in edge order and the B&B search is batch-synchronous — so
 	// Workers only changes wall-clock time.
 	Workers int
+	// DisableSlotReuse turns off the cross-slot temporal acceleration layer
+	// (incumbent seeding from the previous slot's plan, root-basis handoff,
+	// plan memoization, per-edge delta skipping) and restores the cold
+	// per-slot path, for equivalence testing and A/B measurement. Reuse only
+	// changes which certified incumbent each solve starts from, so reuse-on
+	// and reuse-off plans agree within the solver's 0.5% gap tolerance;
+	// byte-identity across Workers values holds in both settings. Decomposed
+	// mode only — the joint solver always runs cold.
+	DisableSlotReuse bool
+	// SlotCacheSize bounds the per-edge plan-memoization LRU (0 = 8 entries),
+	// keeping the reuse layer's memory O(K·SlotCacheSize).
+	SlotCacheSize int
+	// RootBasisHandoff re-enters each edge's root relaxation from the optimal
+	// root basis captured in the previous slot (in addition to the incumbent
+	// seeding the reuse layer always does). Off by default: the handoff is
+	// correct — the crash re-derives reduced costs from the new slot's costs,
+	// and objectives agree to solver tolerance either way — but re-entering an
+	// alternative optimal root vertex perturbs branching enough that the
+	// ModeFixed (MAX) benchmark trees grow ~35% (fig7 150 slots: 88.8k →
+	// 119.6k nodes), outweighing the pivots saved at the root. Enable for
+	// workloads whose slot-to-slot root relaxations are near-identical; no
+	// effect when DisableSlotReuse is set.
+	RootBasisHandoff bool
 }
 
 // Scheduler is the BIRP-family per-slot decision maker. BIRP itself, BIRP-OFF
@@ -107,6 +131,14 @@ type Scheduler struct {
 	down     []bool      // edges currently marked failed (SetEdgeDown)
 	ewma     [][]float64 // per (app, edge) demand estimate for preloading
 	solver   miqp.Stats  // cumulative MIQP counters across all Decide calls
+	// Cross-slot temporal reuse state (see reuse.go); nil when
+	// Config.DisableSlotReuse is set.
+	reuse []*edgeReuse
+	// pool and redistScratch keep the LP scratch arenas alive across slots —
+	// unlike sync.Pool storage, they survive GC cycles, so the steady-state
+	// slot loop allocates almost nothing for solver workspaces.
+	pool          *miqp.ScratchPool
+	redistScratch *lp.Scratch
 }
 
 // New builds a scheduler. The zero Config value is invalid; Cluster and Apps
@@ -157,6 +189,15 @@ func (s *Scheduler) reset() {
 	for i := range s.ewma {
 		s.ewma[i] = make([]float64, s.cfg.Cluster.N())
 	}
+	s.reuse = nil
+	if !s.cfg.DisableSlotReuse {
+		s.reuse = make([]*edgeReuse, s.cfg.Cluster.N())
+		for k := range s.reuse {
+			s.reuse[k] = newEdgeReuse(s.cfg.SlotCacheSize)
+		}
+	}
+	s.pool = miqp.NewScratchPool()
+	s.redistScratch = lp.NewScratch()
 }
 
 // SetEdgeDown marks an edge failed (true) or recovered (false). Failed edges
@@ -214,6 +255,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 
 	redistOpts := s.cfg.Redist
 	redistOpts.DownEdges = s.down
+	redistOpts.Scratch = s.redistScratch
 	red, err := Redistribute(c, s.cfg.Apps, arrivals,
 		s.provider.Params, s.gamma, t, redistOpts)
 	if err != nil {
@@ -228,9 +270,11 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	// The per-edge solves are independent, so each repair round fans them out
 	// over a bounded worker pool and gathers results in edge order — the plan
 	// is bit-identical to the serial path. SolveEdge is deterministic in its
-	// inputs, so edges whose workload column and ship budget did not change
-	// since the last round keep their previous assignment instead of being
-	// re-dispatched.
+	// inputs, which are summarized per edge into a fingerprint (reuse.go):
+	// edges whose fingerprint is unchanged within the slot keep their
+	// assignment, and — when cross-slot reuse is on — edges whose fingerprint
+	// matches the previous slot's problem (delta skip) or a memoized one
+	// (memo hit) adopt the cached plan fragment without solving at all.
 	// Cap the fan-out at the schedulable CPUs: an oversubscribed pool pays
 	// goroutine and merge overhead without any concurrency (plans are
 	// pool-width independent, so the cap cannot change results).
@@ -240,15 +284,22 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 		miqpWorkers = 1
 	}
 	asgs := make([]*EdgeAssignment, K)
-	lastW := make([][]int, K)
-	lastShip := make([]float64, K)
+	curFP := make([]uint64, K) // fingerprint behind asgs[k] (valid when non-nil)
 	ws := make([][]int, K)
 	ships := make([]float64, K)
-	dirty0 := make([]int, 0, K)
+	fps := make([]uint64, K)
+	snaps := make([]*paramSnapshot, K)
+	solve0 := make([]int, 0, K)
 	var plan *edgesim.Plan
 	var slotSolver miqp.Stats // fresh solves only, accumulated across repairs
 	for attempt := 0; ; attempt++ {
-		dirty := dirty0[:0]
+		// Serial pre-pass: compute workloads, ship budgets, parameter
+		// snapshots (the online provider materializes per-key tuner state
+		// lazily, so first reads mutate it and must not race) and the problem
+		// fingerprints; then satisfy whatever the caches can. All reuse-state
+		// reads and writes happen here or in the edge-order gather below,
+		// never inside the fan-out.
+		solve := solve0[:0]
 		for k := 0; k < K; k++ {
 			w := make([]int, I)
 			for i := 0; i < I; i++ {
@@ -257,9 +308,13 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 			ws[k] = w
 			if s.down[k] {
 				// A failed edge cannot execute: whatever rounding left here
-				// is dropped (stage 1 already steers flow away).
+				// is dropped (stage 1 already steers flow away), and its
+				// carried solver state would describe a world that no longer
+				// exists — clear it so a recovered edge re-solves cold.
 				asgs[k] = &EdgeAssignment{Dropped: w, PredictedMS: c.SlotMS() * 100}
-				lastW[k] = nil // force a re-solve if the edge recovers
+				if s.reuse != nil {
+					s.reuse[k].clear()
+				}
 				continue
 			}
 			// Stage 1 reserved (1 − bwFrac) of the bandwidth for shipping;
@@ -269,23 +324,34 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				ship = 0
 			}
 			ships[k] = ship
-			// Exact inequality is the cache key: any bit change must mark the edge dirty.
-			//birplint:ignore floateq
-			if asgs[k] == nil || lastW[k] == nil || !equalInts(lastW[k], w) || ship != lastShip[k] {
-				dirty = append(dirty, k)
+			snaps[k] = s.snapshotParams(k, w)
+			fps[k] = s.fingerprintEdge(k, w, ship, snaps[k])
+			if asgs[k] != nil && fps[k] == curFP[k] {
+				continue // unchanged within this slot
 			}
+			if ru := reuseFor(s.reuse, k); ru != nil {
+				if ru.hasCur && ru.curFP == fps[k] {
+					// Delta skip: the problem is identical to the one behind
+					// the edge's previous plan.
+					asgs[k] = cloneAssignment(ru.cur)
+					curFP[k] = fps[k]
+					slotSolver.DeltaSkippedEdges++
+					continue
+				}
+				if hit := ru.lookup(fps[k]); hit != nil {
+					asgs[k] = cloneAssignment(hit)
+					curFP[k] = fps[k]
+					slotSolver.MemoHits++
+					ru.noteReused(fps[k], hit)
+					continue
+				}
+			}
+			solve = append(solve, k)
 		}
-		// Snapshot the TIR parameters and γ predictions serially before the
-		// fan-out: the online provider materializes per-key tuner state
-		// lazily, so first reads mutate it and must not race.
-		snaps := make([]*paramSnapshot, K)
-		for _, k := range dirty {
-			snaps[k] = s.snapshotParams(k, ws[k])
-		}
-		if err := par.ForEach(workers, len(dirty), func(_, idx int) error {
-			k := dirty[idx]
+		if err := par.ForEach(workers, len(solve), func(_, idx int) error {
+			k := solve[idx]
 			snap := snaps[k]
-			asg, err := SolveEdge(&EdgeProblem{
+			ep := &EdgeProblem{
 				Edge: c.Edges[k], EdgeIdx: k, Apps: s.cfg.Apps, Workload: ws[k],
 				Params:               snap.params,
 				GammaMS:              snap.gammaAt,
@@ -302,22 +368,40 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				OverflowPenaltyPerMS: s.cfg.OverflowPenaltyPerMS,
 				SingleVersion:        s.cfg.SingleVersion,
 				Workers:              miqpWorkers,
-			})
+				Pool:                 s.pool,
+			}
+			if ru := reuseFor(s.reuse, k); ru != nil {
+				// Temporal warm starts: the previous plan seeds the incumbent
+				// (after repair) and the previous root basis re-enters the
+				// root relaxation. Read-only here; updates happen in the
+				// sequential gather.
+				if ru.hasCur {
+					ep.Seed = ru.cur
+				}
+				if s.cfg.RootBasisHandoff {
+					ep.RootBasis = ru.basis
+					ep.CaptureRootBasis = true
+				}
+			}
+			asg, err := SolveEdge(ep)
 			if err != nil {
 				return err
 			}
 			asgs[k] = asg
-			lastW[k] = ws[k]
-			lastShip[k] = ships[k]
 			return nil
 		}); err != nil {
 			return nil, err
 		}
 		// Gather in edge order so the assembled plan never depends on solve
-		// completion order. Solver counters are merged in the same order, so
-		// the aggregate is worker-count independent too.
-		for _, k := range dirty {
+		// completion order. Solver counters and reuse-state updates are
+		// applied in the same order, so the aggregate — and every future
+		// slot's seeds — are worker-count independent too.
+		for _, k := range solve {
 			slotSolver.Add(asgs[k].Solver)
+			curFP[k] = fps[k]
+			if ru := reuseFor(s.reuse, k); ru != nil {
+				ru.noteFresh(fps[k], asgs[k])
+			}
 		}
 		plan = &edgesim.Plan{Transfers: red.Transfers}
 		plan.Dropped = make([][]int, I)
@@ -380,18 +464,6 @@ func (s *Scheduler) snapshotParams(k int, w []int) *paramSnapshot {
 		}
 	}
 	return ps
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // moveDrops reassigns dropped requests to the edges with the most compute

@@ -34,6 +34,26 @@ type Deployment struct {
 	BatchSizes []int
 }
 
+// Clone returns a deep copy of the deployment (BatchSizes included), so plan
+// fragments served from a cache never alias slices a later consumer could
+// mutate.
+func (d Deployment) Clone() Deployment {
+	d.BatchSizes = append([]int(nil), d.BatchSizes...)
+	return d
+}
+
+// CloneDeployments deep-copies a deployment slice; nil stays nil.
+func CloneDeployments(ds []Deployment) []Deployment {
+	if ds == nil {
+		return nil
+	}
+	out := make([]Deployment, len(ds))
+	for i, d := range ds {
+		out[i] = d.Clone()
+	}
+	return out
+}
+
 // Transfer moves Count requests of application App from edge From to edge To
 // at the start of the slot (the y^t_{ikk'} of Eq. 3).
 type Transfer struct {

@@ -23,6 +23,28 @@ func TestAblationsWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestFig6WorkerCountInvariantWithAndWithoutReuse pins the determinism
+// contract at the experiment level in both reuse settings: the comparison's
+// full result set must be identical across worker counts whether the
+// cross-slot reuse layer is on (the default) or disabled.
+func TestFig6WorkerCountInvariantWithAndWithoutReuse(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		run := func(workers int) []EvalResult {
+			res, err := Fig6(nil, Options{
+				Quick: true, Slots: 10, Workers: workers, DisableSlotReuse: disable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		if serial, par := run(1), run(4); !reflect.DeepEqual(serial, par) {
+			t.Fatalf("DisableSlotReuse=%v: fig6 results diverged across worker counts:\nserial: %+v\npar:    %+v",
+				disable, serial, par)
+		}
+	}
+}
+
 // TestPresetSweepWorkerCountInvariant repeats the check on the Fig. 4/5 grid
 // sweep, whose cells share a trace and a BIRP-OFF reference run.
 func TestPresetSweepWorkerCountInvariant(t *testing.T) {

@@ -43,6 +43,12 @@ type Options struct {
 	// order, so output is identical for every worker count. ≤ 0 means one
 	// worker per CPU.
 	Workers int
+	// DisableSlotReuse forwards core.Config.DisableSlotReuse to every
+	// core-family arm (BIRP, BIRP-OFF, OAEI, MAX): cross-slot incumbent
+	// seeding and plan memoization are switched off and each slot solves
+	// cold. For A/B measurement; reuse-on and reuse-off runs agree within the
+	// solver's certified gap tolerance.
+	DisableSlotReuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -113,31 +119,41 @@ type schedulerSpec struct {
 	make func() (edgesim.Scheduler, error)
 }
 
-func birpSpec(c *cluster.Cluster, apps []*models.Application, eps1, eps2 float64, workers int) schedulerSpec {
+// coreMod forwards the option fields every core-family arm shares (solver
+// parallelism, slot-reuse switch) into a core.Config.
+func coreMod(opt Options) func(*core.Config) {
+	return func(cfg *core.Config) {
+		cfg.Workers = opt.Workers
+		cfg.DisableSlotReuse = opt.DisableSlotReuse
+	}
+}
+
+func birpSpec(c *cluster.Cluster, apps []*models.Application, opt Options) schedulerSpec {
 	return schedulerSpec{"BIRP", func() (edgesim.Scheduler, error) {
-		return core.New(core.Config{
+		cfg := core.Config{
 			Cluster: c, Apps: apps,
-			Provider: core.NewOnlineTuner(eps1, eps2),
-			Workers:  workers,
-		})
+			Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+		}
+		coreMod(opt)(&cfg)
+		return core.New(cfg)
 	}}
 }
 
-func birpOffSpec(c *cluster.Cluster, apps []*models.Application) schedulerSpec {
+func birpOffSpec(c *cluster.Cluster, apps []*models.Application, opt Options) schedulerSpec {
 	return schedulerSpec{"BIRP-OFF", func() (edgesim.Scheduler, error) {
-		return baseline.NewBIRPOff(c, apps, 16)
+		return baseline.NewBIRPOffConfig(c, apps, 16, coreMod(opt))
 	}}
 }
 
-func oaeiSpec(c *cluster.Cluster, apps []*models.Application, seed int64) schedulerSpec {
+func oaeiSpec(c *cluster.Cluster, apps []*models.Application, opt Options) schedulerSpec {
 	return schedulerSpec{"OAEI", func() (edgesim.Scheduler, error) {
-		return baseline.NewOAEI(c, apps, seed)
+		return baseline.NewOAEIConfig(c, apps, opt.Seed, coreMod(opt))
 	}}
 }
 
-func maxSpec(c *cluster.Cluster, apps []*models.Application) schedulerSpec {
+func maxSpec(c *cluster.Cluster, apps []*models.Application, opt Options) schedulerSpec {
 	return schedulerSpec{"MAX", func() (edgesim.Scheduler, error) {
-		return baseline.NewMAX(c, apps, 16)
+		return baseline.NewMAXConfig(c, apps, 16, coreMod(opt))
 	}}
 }
 
@@ -201,10 +217,14 @@ func writeComparison(w io.Writer, title string, results []EvalResult) {
 	fmt.Fprintf(w, "== %s ==\n\n", title)
 
 	cdfTab := metrics.NewTable(append([]string{"tau"}, names(results)...)...)
+	cdfs := make([]*metrics.CDF, len(results))
+	for i := range results {
+		cdfs[i] = results[i].CDF()
+	}
 	for _, x := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.5} {
 		row := []string{fmt.Sprintf("%.1f", x)}
-		for _, r := range results {
-			row = append(row, fmt.Sprintf("%.3f", r.CDF().At(x)))
+		for _, c := range cdfs {
+			row = append(row, fmt.Sprintf("%.3f", c.At(x)))
 		}
 		cdfTab.AddRow(row...)
 	}
@@ -269,10 +289,10 @@ func Fig6(w io.Writer, opt Options) ([]EvalResult, error) {
 	c := cluster.Small()
 	apps := models.Catalogue(smallScaleApps, smallScaleVersions)
 	specs := []schedulerSpec{
-		birpOffSpec(c, apps),
-		birpSpec(c, apps, opt.Eps1, opt.Eps2, opt.Workers),
-		oaeiSpec(c, apps, opt.Seed),
-		maxSpec(c, apps),
+		birpOffSpec(c, apps, opt),
+		birpSpec(c, apps, opt),
+		oaeiSpec(c, apps, opt),
+		maxSpec(c, apps, opt),
 	}
 	results, err := runComparison(c, apps, specs, opt)
 	if err != nil {
@@ -291,9 +311,9 @@ func Fig7(w io.Writer, opt Options) ([]EvalResult, error) {
 	c := cluster.Default()
 	apps := models.Catalogue(largeScaleApps, largeScaleVersions)
 	specs := []schedulerSpec{
-		birpSpec(c, apps, opt.Eps1, opt.Eps2, opt.Workers),
-		oaeiSpec(c, apps, opt.Seed),
-		maxSpec(c, apps),
+		birpSpec(c, apps, opt),
+		oaeiSpec(c, apps, opt),
+		maxSpec(c, apps, opt),
 	}
 	results, err := runComparison(c, apps, specs, opt)
 	if err != nil {

@@ -55,12 +55,37 @@ func (bt *boundedTableau) flip(j int) {
 	bt.flipped[j] = !bt.flipped[j]
 }
 
+// axpyNeg computes dst[j] -= f·src[j] elementwise. It is the innermost loop of
+// every simplex pivot, so it is unrolled four wide with the bounds checks
+// hoisted; each dst[j] is still computed by the same single multiply-subtract
+// as the naive loop, so results are bit-identical (no reassociation).
+func axpyNeg(dst, src []float64, f float64) {
+	dst = dst[:len(src)]
+	j := 0
+	for ; j+3 < len(src); j += 4 {
+		dst[j] -= f * src[j]
+		dst[j+1] -= f * src[j+1]
+		dst[j+2] -= f * src[j+2]
+		dst[j+3] -= f * src[j+3]
+	}
+	for ; j < len(src); j++ {
+		dst[j] -= f * src[j]
+	}
+}
+
 // pivotAt performs a Gauss-Jordan pivot at (row, col).
 func (bt *boundedTableau) pivotAt(row, col int) {
 	p := bt.t[row][col]
 	inv := 1 / p
 	r := bt.t[row]
-	for j := range r {
+	j := 0
+	for ; j+3 < len(r); j += 4 {
+		r[j] *= inv
+		r[j+1] *= inv
+		r[j+2] *= inv
+		r[j+3] *= inv
+	}
+	for ; j < len(r); j++ {
 		r[j] *= inv
 	}
 	r[col] = 1
@@ -73,9 +98,7 @@ func (bt *boundedTableau) pivotAt(row, col int) {
 			continue
 		}
 		ri := bt.t[i]
-		for j := range ri {
-			ri[j] -= f * r[j]
-		}
+		axpyNeg(ri, r, f)
 		ri[col] = 0
 	}
 	bt.basic[bt.basis[row]] = false

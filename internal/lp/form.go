@@ -1,0 +1,257 @@
+package lp
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// bound-pattern categories: which standard-form substitution a variable uses.
+// The category depends only on which bounds are finite, not on their values,
+// so it is stable across branch & bound nodes (branching tightens integer
+// bounds, which are finite on both sides already, and presolve never turns a
+// finite bound infinite).
+const (
+	patFiniteLB uint8 = iota // finite lb: x = lb + x′
+	patUBOnly                // lb = −Inf, finite ub: x = ub − x′
+	patFree                  // both infinite: x = x⁺ − x⁻
+)
+
+func patternOf(lb, ub float64) uint8 {
+	switch {
+	case !math.IsInf(lb, -1):
+		return patFiniteLB
+	case !math.IsInf(ub, 1):
+		return patUBOnly
+	default:
+		return patFree
+	}
+}
+
+// Form is a reusable compilation of the standard form shared by a family of
+// problems that differ only in their variable bounds — exactly the branch &
+// bound situation, where thousands of node relaxations reuse one matrix and
+// only tighten bounds. NewForm performs the coefficient transform (lower-bound
+// shift, free-variable split, slack columns) once; each Form.SolveWarm then
+// recomputes only the bound-dependent pieces: the shift vector, the shifted
+// rhs (via a per-row nonzero index, O(nnz) instead of O(m·n)), and the native
+// column upper bounds.
+//
+// The compiled rows skip the b ≥ 0 normalization that the cold path needs for
+// its Phase-I construction: the warm path never runs Phase I, and row signs
+// are irrelevant to the crash/repair/polish pipeline. Slack-column duals stay
+// valid — an unnegated ≤ row always keeps its +1 slack.
+//
+// A Form is immutable after NewForm and safe to share across concurrent
+// solvers, each holding its own Scratch. The matrices are aliased, not copied:
+// the caller must not mutate them while the Form is in use.
+type Form struct {
+	c   []float64
+	aeq [][]float64
+	beq []float64
+	aub [][]float64
+	bub []float64
+
+	n, m, nCols int
+	pattern     []uint8
+
+	// Shift-independent standard-form data, computed once.
+	sfA      [][]float64 // transformed rows, unnormalized, each length nCols
+	sfC      []float64
+	slackCol []int
+	pos, neg []int
+	sign     []float64
+
+	// Per-row nonzeros over the *original* variables, for the O(nnz) rhs
+	// shift: b[i] = B[i] − Σ_k rowVal[i][k]·shift[rowNZ[i][k]].
+	rowNZ  [][]int32
+	rowVal [][]float64
+}
+
+// NewForm compiles p's matrices and bound pattern into a reusable Form. The
+// bound *values* in p.Lb/p.Ub are not retained — only which bounds are finite
+// — so subsequent SolveWarm calls may pass any bounds with the same pattern.
+// The matrices are validated here, once, in full.
+func NewForm(p *Problem) (*Form, error) {
+	n := len(p.C)
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	f := &Form{
+		c:       p.C,
+		aeq:     p.Aeq,
+		beq:     p.Beq,
+		aub:     p.Aub,
+		bub:     p.Bub,
+		n:       n,
+		m:       len(p.Aeq) + len(p.Aub),
+		pattern: make([]uint8, n),
+		pos:     make([]int, n),
+		neg:     make([]int, n),
+		sign:    make([]float64, n),
+	}
+	col := 0
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		f.pattern[j] = patternOf(lb, ub)
+		switch f.pattern[j] {
+		case patFiniteLB:
+			f.sign[j] = 1
+			f.pos[j], f.neg[j] = col, -1
+			col++
+		case patUBOnly:
+			f.sign[j] = -1
+			f.pos[j], f.neg[j] = col, -1
+			col++
+		default:
+			f.sign[j] = 1
+			f.pos[j], f.neg[j] = col, col+1
+			col += 2
+		}
+	}
+	nStruct := col
+	f.nCols = nStruct + len(p.Aub)
+
+	f.sfC = make([]float64, f.nCols)
+	for j := 0; j < n; j++ {
+		cj := p.C[j]
+		f.sfC[f.pos[j]] += cj * f.sign[j]
+		if f.neg[j] >= 0 {
+			f.sfC[f.neg[j]] -= cj
+		}
+	}
+
+	f.sfA = make([][]float64, f.m)
+	f.slackCol = make([]int, f.m)
+	f.rowNZ = make([][]int32, f.m)
+	f.rowVal = make([][]float64, f.m)
+	row := 0
+	emit := func(coef []float64, slackCol int) {
+		r := make([]float64, f.nCols)
+		var nz []int32
+		var val []float64
+		for j := 0; j < n; j++ {
+			a := coef[j]
+			if mat.Zero(a) {
+				continue
+			}
+			r[f.pos[j]] += a * f.sign[j]
+			if f.neg[j] >= 0 {
+				r[f.neg[j]] -= a
+			}
+			nz = append(nz, int32(j))
+			val = append(val, a)
+		}
+		if slackCol >= 0 {
+			r[slackCol] = 1
+		}
+		f.sfA[row] = r
+		f.slackCol[row] = slackCol
+		f.rowNZ[row] = nz
+		f.rowVal[row] = val
+		row++
+	}
+	for _, r := range p.Aeq {
+		emit(r, -1)
+	}
+	for i := range p.Aub {
+		emit(p.Aub[i], nStruct+i)
+	}
+	return f, nil
+}
+
+// instantiate builds the per-solve standardForm for the given bounds from the
+// compiled data. It reserves the scratch (so it must precede every take of the
+// same solve) and returns ok = false when the bounds no longer match the
+// compiled pattern — a variable changed substitution category, so the caller
+// must rebuild from the raw problem instead.
+func (f *Form) instantiate(lb, ub []float64, sc *Scratch) (*standardForm, bool) {
+	n, m, nCols := f.n, f.m, f.nCols
+	width := nCols + 1
+	sc.reserve(n + nCols + m + (m+2)*width + nCols + m + 8)
+	shift := sc.takeNoZero(n)
+	colUB := sc.takeNoZero(nCols)
+	for j := 0; j < n; j++ {
+		lbj, ubj := lb[j], ub[j]
+		if patternOf(lbj, ubj) != f.pattern[j] {
+			return nil, false
+		}
+		switch f.pattern[j] {
+		case patFiniteLB:
+			shift[j] = lbj
+			colUB[f.pos[j]] = ubj - lbj // +Inf−finite stays +Inf
+		case patUBOnly:
+			shift[j] = ubj
+			colUB[f.pos[j]] = math.Inf(1)
+		default:
+			shift[j] = 0
+			colUB[f.pos[j]] = math.Inf(1)
+			colUB[f.neg[j]] = math.Inf(1)
+		}
+	}
+	for s := nCols - len(f.aub); s < nCols; s++ {
+		colUB[s] = math.Inf(1)
+	}
+	b := sc.takeNoZero(m)
+	for i := 0; i < m; i++ {
+		rhs := 0.0
+		if i < len(f.beq) {
+			rhs = f.beq[i]
+		} else {
+			rhs = f.bub[i-len(f.beq)]
+		}
+		nz, val := f.rowNZ[i], f.rowVal[i]
+		for k, j := range nz {
+			rhs -= val[k] * shift[j]
+		}
+		b[i] = rhs
+	}
+	return &standardForm{
+		a:        f.sfA,
+		b:        b,
+		c:        f.sfC,
+		nCols:    nCols,
+		slackCol: f.slackCol,
+		colUB:    colUB,
+		shift:    shift,
+		sign:     f.sign,
+		pos:      f.pos,
+		neg:      f.neg,
+	}, true
+}
+
+// SolveWarm solves the compiled problem under the given bounds, re-entering
+// from warm when non-nil, exactly like the package-level SolveWarm but
+// skipping the per-solve coefficient transform. Bounds must have the pattern
+// the Form was compiled with; a pattern mismatch (or any warm-path failure)
+// falls back to the ordinary cold solve on the raw problem, so results are
+// identical to SolveWarm on the equivalent Problem.
+func (f *Form) SolveWarm(lb, ub []float64, opt Options, sc *Scratch, warm *Basis) (*Result, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	p := &Problem{C: f.c, Aeq: f.aeq, Beq: f.beq, Aub: f.aub, Bub: f.bub, Lb: lb, Ub: ub}
+	if !opt.AssumeValid {
+		// Matrices were validated by NewForm; only the bounds are new input.
+		if err := validateBounds(p, f.n); err != nil {
+			return nil, err
+		}
+	}
+	tol := opt.Tol
+	if mat.Zero(tol) {
+		tol = defaultTol
+	}
+	if warm != nil {
+		if sf, ok := f.instantiate(lb, ub, sc); ok {
+			if res, ok := warmAttemptSF(p, f.n, sf, opt, tol, sc, warm); ok {
+				return res, nil
+			}
+		}
+		res, err := solveCold(p, f.n, opt, tol, sc)
+		if err == nil {
+			res.WarmFallback = true
+		}
+		return res, err
+	}
+	return solveCold(p, f.n, opt, tol, sc)
+}

@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mixedBoundsLP extends randomLP with explicit bounds covering all three
+// substitution patterns: most variables keep finite lb = 0, one may become
+// upper-bound-only and one free. Rows have nonnegative coefficients with
+// positive rhs, so x = 0 stays feasible; free/ub-only variables can make an
+// instance unbounded, which the differential tests treat as a valid outcome.
+func mixedBoundsLP(rng *rand.Rand) *Problem {
+	p := randomLP(rng)
+	n := len(p.C)
+	p.Lb = make([]float64, n)
+	if rng.Intn(2) == 0 {
+		j := rng.Intn(n)
+		p.Lb[j] = math.Inf(-1) // ub stays finite → patUBOnly
+	}
+	if rng.Intn(2) == 0 {
+		j := rng.Intn(n)
+		p.Lb[j] = math.Inf(-1)
+		p.Ub[j] = math.Inf(1) // patFree
+	}
+	return p
+}
+
+// TestFormColdMatchesSolveScratch: with no warm basis, Form.SolveWarm must be
+// indistinguishable from SolveScratch on the equivalent Problem — field for
+// field, since both run the same cold pipeline.
+func TestFormColdMatchesSolveScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sc1, sc2 := NewScratch(), NewScratch()
+	for i := 0; i < 60; i++ {
+		p := mixedBoundsLP(rng)
+		f, err := NewForm(p)
+		if err != nil {
+			t.Fatalf("instance %d NewForm: %v", i, err)
+		}
+		want, err := SolveScratch(p, Options{}, sc1)
+		if err != nil {
+			t.Fatalf("instance %d SolveScratch: %v", i, err)
+		}
+		got, err := f.SolveWarm(p.Lb, p.Ub, Options{}, sc2, nil)
+		if err != nil {
+			t.Fatalf("instance %d Form.SolveWarm: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("instance %d: form cold solve diverged:\nproblem: %+v\nform:    %+v", i, want, got)
+		}
+	}
+}
+
+// TestFormWarmChainMatchesCold exercises the compiled warm path the way
+// branch & bound does: capture the basis at the original bounds, tighten the
+// box (same pattern), and re-enter through the Form. The warm result must
+// certify the same optimum as a cold solve of the tightened problem.
+func TestFormWarmChainMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	sc := NewScratch()
+	warmCertified := 0
+	for i := 0; i < 60; i++ {
+		p := mixedBoundsLP(rng)
+		f, err := NewForm(p)
+		if err != nil {
+			t.Fatalf("instance %d NewForm: %v", i, err)
+		}
+		root, err := SolveScratch(p, Options{CaptureBasis: true}, sc)
+		if err != nil {
+			t.Fatalf("instance %d root: %v", i, err)
+		}
+		if root.Status != StatusOptimal {
+			continue
+		}
+		// Tighten: shrink finite upper bounds toward the root optimum, the
+		// same single-sided move branching performs.
+		lb2 := append([]float64(nil), p.Lb...)
+		ub2 := append([]float64(nil), p.Ub...)
+		for j := range ub2 {
+			if !math.IsInf(ub2[j], 1) && rng.Intn(2) == 0 {
+				ub2[j] = math.Max(root.X[j]*(0.5+0.5*rng.Float64()), lb2[j])
+				if math.IsInf(lb2[j], -1) {
+					ub2[j] = root.X[j]
+				}
+			}
+		}
+		p2 := &Problem{C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb2, Ub: ub2}
+		cold, err := SolveScratch(p2, Options{}, sc)
+		if err != nil {
+			t.Fatalf("instance %d cold: %v", i, err)
+		}
+		warm, err := f.SolveWarm(lb2, ub2, Options{}, sc, root.Basis)
+		if err != nil {
+			t.Fatalf("instance %d warm: %v", i, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("instance %d: status warm=%v cold=%v", i, warm.Status, cold.Status)
+		}
+		if cold.Status == StatusOptimal {
+			if math.Abs(warm.Obj-cold.Obj) > 1e-7*(1+math.Abs(cold.Obj)) {
+				t.Fatalf("instance %d: obj warm=%.12g cold=%.12g", i, warm.Obj, cold.Obj)
+			}
+			if !warm.WarmFallback {
+				warmCertified++
+			}
+		}
+	}
+	if warmCertified == 0 {
+		t.Fatal("no instance certified through the compiled warm path; the test is vacuous")
+	}
+}
+
+// TestFormPatternMismatchFallsBack: bounds whose substitution pattern differs
+// from the compiled one (a free variable gaining a finite lower bound) must
+// take the cold fallback — and still return the correct answer.
+func TestFormPatternMismatchFallsBack(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-1, -2},
+		Aub: [][]float64{{1, 1}},
+		Bub: []float64{4},
+		Lb:  []float64{math.Inf(-1), 0},
+		Ub:  []float64{math.Inf(1), 3},
+	}
+	f, err := NewForm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := SolveScratch(p, Options{CaptureBasis: true}, NewScratch())
+	if err != nil || root.Status != StatusOptimal {
+		t.Fatalf("root: %v (%v)", err, root)
+	}
+	// Variable 0 switches patFree → patFiniteLB.
+	lb2 := []float64{-1, 0}
+	ub2 := []float64{math.Inf(1), 3}
+	warm, err := f.SolveWarm(lb2, ub2, Options{}, NewScratch(), root.Basis)
+	if err != nil {
+		t.Fatalf("mismatched solve: %v", err)
+	}
+	if !warm.WarmFallback {
+		t.Fatal("pattern mismatch did not report a warm fallback")
+	}
+	want, err := SolveScratch(&Problem{C: p.C, Aub: p.Aub, Bub: p.Bub, Lb: lb2, Ub: ub2}, Options{}, NewScratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != want.Status || math.Abs(warm.Obj-want.Obj) > 1e-9 {
+		t.Fatalf("fallback result %v/%v, want %v/%v", warm.Status, warm.Obj, want.Status, want.Obj)
+	}
+}
+
+// TestNewFormRejectsMalformed: the one-time compile performs the full matrix
+// validation the per-solve path skips afterwards.
+func TestNewFormRejectsMalformed(t *testing.T) {
+	if _, err := NewForm(&Problem{C: []float64{math.NaN()}}); err == nil {
+		t.Fatal("NaN objective accepted")
+	}
+	if _, err := NewForm(&Problem{C: []float64{1, 2}, Aub: [][]float64{{1}}, Bub: []float64{1}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}

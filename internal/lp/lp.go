@@ -128,6 +128,14 @@ type Options struct {
 	CaptureBasis bool
 	// WantReducedCosts fills Result.ReducedCosts at optimality.
 	WantReducedCosts bool
+	// AssumeValid skips the structural input validation (dimension checks,
+	// NaN scan, bound-order scan). Strictly for trusted hot paths that
+	// construct problems programmatically and re-solve them thousands of
+	// times — e.g. the branch & bound relaxation loop, which derives every
+	// child from an already-validated parent by tightening one bound. A
+	// malformed problem solved with AssumeValid may panic or return
+	// nonsense instead of ErrBadProblem.
+	AssumeValid bool
 }
 
 const defaultTol = 1e-9
@@ -175,6 +183,19 @@ func (s *Scratch) take(n int) []float64 {
 	return out
 }
 
+// takeNoZero is take without the zero fill, for slices every element of which
+// the caller immediately overwrites (tableau rows built by copy, bound vectors
+// filled by an exhaustive loop). Using it for a slice that is only *partially*
+// written leaks stale floats from the previous solve into this one.
+func (s *Scratch) takeNoZero(n int) []float64 {
+	if s.used+n > len(s.buf) {
+		return make([]float64, n)
+	}
+	out := s.buf[s.used : s.used+n : s.used+n]
+	s.used += n
+	return out
+}
+
 // scratchPool backs the scratch-less entry points so every caller gets the
 // steady-state allocation profile without threading a Scratch through.
 var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
@@ -209,8 +230,10 @@ func SolveWarm(p *Problem, opt Options, sc *Scratch, warm *Basis) (*Result, erro
 		sc = NewScratch()
 	}
 	n := len(p.C)
-	if err := validate(p, n); err != nil {
-		return nil, err
+	if !opt.AssumeValid {
+		if err := validate(p, n); err != nil {
+			return nil, err
+		}
 	}
 	tol := opt.Tol
 	if mat.Zero(tol) {
@@ -331,6 +354,13 @@ func validate(p *Problem, n int) error {
 			}
 		}
 	}
+	return validateBounds(p, n)
+}
+
+// validateBounds checks only the bound vectors — the per-solve piece of
+// validate, split out so Form.SolveWarm (whose matrices were validated once by
+// NewForm) can validate just what changes between solves.
+func validateBounds(p *Problem, n int) error {
 	if p.Lb != nil && len(p.Lb) != n {
 		return fmt.Errorf("%w: lb length %d, want %d", ErrBadProblem, len(p.Lb), n)
 	}

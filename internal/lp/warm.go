@@ -19,6 +19,42 @@ type Basis struct {
 	m       int    // row count of the captured form
 }
 
+// Shape returns the standard-form dimensions (rows, columns) of the problem
+// the basis was captured from. A basis can only re-enter a problem whose
+// standard form has exactly these dimensions; see ShapeOf for computing a
+// candidate problem's shape without solving it.
+func (b *Basis) Shape() (rows, cols int) { return b.m, b.nCols }
+
+// Fits reports whether the basis could re-enter a solve of p: the standard
+// form SolveWarm would build for p has exactly the captured dimensions. A
+// true result does not guarantee the re-entry succeeds (the crash can still
+// hit a singular pivot and fall back cold), but a false result guarantees it
+// would be rejected, so callers carrying a basis across *different* problems
+// — e.g. consecutive time slots of a rolling-horizon scheduler — can skip
+// the attempt when the deployment set changed the column space.
+func (b *Basis) Fits(p *Problem) bool {
+	rows, cols := ShapeOf(p)
+	return b != nil && b.m == rows && b.nCols == cols
+}
+
+// ShapeOf computes the standard-form dimensions (rows, columns) the solver
+// would build for p, without solving: rows = equalities + inequalities,
+// columns = structural columns (free variables split in two) + one slack per
+// inequality. Used with Basis.Shape to test cross-problem basis re-entry.
+func ShapeOf(p *Problem) (rows, cols int) {
+	n := len(p.C)
+	nStruct := 0
+	for j := 0; j < n; j++ {
+		lb, ub := boundsAt(p, j)
+		if math.IsInf(lb, -1) && math.IsInf(ub, 1) {
+			nStruct += 2
+		} else {
+			nStruct++
+		}
+	}
+	return len(p.Aeq) + len(p.Aub), nStruct + len(p.Aub)
+}
+
 // captureBasis snapshots the tableau's basis. It returns nil when the basis
 // is not reusable: any row whose basic column is an artificial (or a dead row
 // zeroed in Phase I) cannot seed a warm start.
@@ -95,6 +131,15 @@ func solveWarmAttempt(p *Problem, n int, opt Options, tol float64, sc *Scratch, 
 	if err != nil {
 		return nil, false
 	}
+	return warmAttemptSF(p, n, sf, opt, tol, sc, warm)
+}
+
+// warmAttemptSF is the standard-form-independent tail of the warm attempt,
+// shared between solveWarmAttempt (which builds the form per solve) and
+// Form.SolveWarm (which instantiates a precompiled form). The scratch must
+// already be reserved; sf may alias scratch or Form-owned storage — it is
+// read-only here.
+func warmAttemptSF(p *Problem, n int, sf *standardForm, opt Options, tol float64, sc *Scratch, warm *Basis) (*Result, bool) {
 	m := len(sf.a)
 	if m == 0 || warm.m != m || warm.nCols != sf.nCols {
 		return nil, false
@@ -104,14 +149,16 @@ func solveWarmAttempt(p *Problem, n int, opt Options, tol float64, sc *Scratch, 
 	bt := &boundedTableau{
 		rhs:     width - 1,
 		basis:   make([]int, m),
-		ub:      sc.take(width),
+		ub:      sc.takeNoZero(width), // fully overwritten by the copy + rhs below
 		flipped: make([]bool, width),
 		basic:   make([]bool, width),
 		nCols:   nCols,
 	}
 	bt.t = make([][]float64, m+1)
 	for i := 0; i < m; i++ {
-		bt.t[i] = sc.take(width)
+		// The copy covers [0, nCols) and the rhs assignment the final column,
+		// so no zero fill is needed (width = nCols+1: no artificials).
+		bt.t[i] = sc.takeNoZero(width)
 		copy(bt.t[i], sf.a[i])
 		bt.t[i][bt.rhs] = sf.b[i]
 	}
@@ -133,15 +180,51 @@ func solveWarmAttempt(p *Problem, n int, opt Options, tol float64, sc *Scratch, 
 
 	// Crash the basis in. The captured cols are a basis *set* — which row each
 	// column was basic in depends on the parent's pivot history and need not
-	// survive the rebuild — so for every column we pivot on the largest-
-	// magnitude entry among still-unassigned rows (partial pivoting). Failing
-	// to find a usable pivot means the basis is (numerically) singular under
-	// the child's data.
+	// survive the rebuild. Slack columns go first: in the freshly built
+	// tableau slack s of inequality row i is ±e_i, so assigning it to its own
+	// row costs one row normalization instead of a dense pivot, and — because
+	// no later pivot row can then carry a nonzero in that slack column — the
+	// column stays unit through the structural pivots. (Cramer expansion
+	// along the unit column shows the remaining rows × structural columns
+	// stay nonsingular, so this assignment never loses a recoverable basis.)
+	// Structural columns follow, pivoting on the largest-magnitude entry
+	// among still-unassigned rows (partial pivoting). Failing to find a
+	// usable pivot means the basis is (numerically) singular under the
+	// child's data.
 	res := &Result{Status: StatusOptimal, Warm: true}
 	assigned := make([]bool, m)
+	nStruct := nCols - len(p.Aub)
 	for _, col := range warm.cols {
 		if col >= nCols || bt.basic[col] {
 			return nil, false
+		}
+		if col < nStruct {
+			continue // structural columns crash in the second pass
+		}
+		row := len(p.Aeq) + (col - nStruct)
+		piv := bt.t[row][col]
+		if math.Abs(piv) <= crashPivTol {
+			return nil, false
+		}
+		// Exactness is the point: a slack already at +1 (the common,
+		// unnegated-row case) must skip the scaling loop without perturbing
+		// the row by a multiply with 1/piv ≈ 1.
+		//birplint:ignore floateq
+		if piv != 1 {
+			inv := 1 / piv
+			ri := bt.t[row]
+			for j := range ri {
+				ri[j] *= inv
+			}
+			ri[col] = 1
+		}
+		assigned[row] = true
+		bt.basis[row] = col
+		bt.basic[col] = true
+	}
+	for _, col := range warm.cols {
+		if col >= nStruct {
+			continue
 		}
 		best, bestAbs := -1, crashPivTol
 		for i := 0; i < m; i++ {
@@ -179,10 +262,7 @@ func solveWarmAttempt(p *Problem, n int, opt Options, tol float64, sc *Scratch, 
 	for i := 0; i < m; i++ {
 		bj := bt.basis[i]
 		if cb := objRow[bj]; !mat.Zero(cb) {
-			ri := bt.t[i]
-			for j := 0; j < width; j++ {
-				objRow[j] -= cb * ri[j]
-			}
+			axpyNeg(objRow, bt.t[i][:width], cb)
 			objRow[bj] = 0
 		}
 	}

@@ -1,0 +1,123 @@
+package miqp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// knapsack is the shared fixture for the incumbent regression tests: binary
+// knapsack with optimum (0,1,1), objective −20 (see TestIntegerKnapsack).
+func knapsack() *Problem {
+	return &Problem{
+		C:       []float64{-10, -13, -7},
+		Aub:     [][]float64{{3, 4, 2}},
+		Bub:     []float64{6},
+		Ub:      []float64{1, 1, 1},
+		Integer: []bool{true, true, true},
+	}
+}
+
+// TestInfeasibleIncumbentRejected pins the validation contract: SolveOpts must
+// refuse an Options.Incumbent that violates the problem with a typed error,
+// never silently adopt it — an unchecked infeasible bound would prune the true
+// optimum.
+func TestInfeasibleIncumbentRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		inc  []float64
+	}{
+		{"violates knapsack row", []float64{1, 1, 1}}, // weight 9 > 6
+		{"outside variable bounds", []float64{0, 2, 0}},
+		{"non-integral integer var", []float64{0, 0.5, 0}},
+		{"non-finite entry", []float64{0, math.NaN(), 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := SolveOpts(knapsack(), Options{Incumbent: tc.inc})
+			if !errors.Is(err, ErrInfeasibleIncumbent) {
+				t.Fatalf("err = %v (res %+v), want ErrInfeasibleIncumbent", err, res)
+			}
+		})
+	}
+}
+
+// TestWrongLengthIncumbentRejected: a length mismatch is malformed input, not
+// an infeasible point, so it reports ErrBadProblem.
+func TestWrongLengthIncumbentRejected(t *testing.T) {
+	if _, err := SolveOpts(knapsack(), Options{Incumbent: []float64{0, 1}}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("err = %v, want ErrBadProblem", err)
+	}
+}
+
+// TestFeasibleIncumbentAccepted: a valid seed must leave the certified answer
+// unchanged — the incumbent only tightens the pruning bound.
+func TestFeasibleIncumbentAccepted(t *testing.T) {
+	res, err := SolveOpts(knapsack(), Options{Incumbent: []float64{1, 0, 1}}) // weight 5, obj −17
+	if err != nil {
+		t.Fatalf("SolveOpts: %v", err)
+	}
+	if res.Status != StatusOptimal || math.Abs(res.Obj-(-20)) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal −20", res.Status, res.Obj)
+	}
+}
+
+// TestSeededNodeLimitReturnsIncumbent: with the node budget exhausted before
+// any node completes, a seeded solve must still return a solution at least as
+// good as the seed instead of reporting infeasibility.
+func TestSeededNodeLimitReturnsIncumbent(t *testing.T) {
+	res, err := SolveOpts(knapsack(), Options{Incumbent: []float64{1, 0, 1}, MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("SolveOpts: %v", err)
+	}
+	if res.Status == StatusInfeasible || res.Obj > -17+1e-9 {
+		t.Fatalf("got %v obj %v, want ≤ −17 (the seed)", res.Status, res.Obj)
+	}
+}
+
+// TestRootBasisHandoffEquivalence covers the cross-solve basis path end to
+// end: CaptureRootBasis publishes the optimal root basis, and feeding it back
+// through Options.RootBasis must reproduce the identical certified result —
+// the handoff is a warm start, never a behavioural change.
+func TestRootBasisHandoffEquivalence(t *testing.T) {
+	p := &Problem{
+		C:       []float64{-3, -2, -4, -1},
+		Aub:     [][]float64{{2, 1, 3, 1}, {1, 3, 1, 2}},
+		Bub:     []float64{7, 8},
+		Ub:      []float64{2, 2, 2, 2},
+		Integer: []bool{true, true, true, true},
+	}
+	first, err := SolveOpts(p, Options{CaptureRootBasis: true})
+	if err != nil {
+		t.Fatalf("capture solve: %v", err)
+	}
+	if first.RootBasis == nil {
+		t.Fatal("CaptureRootBasis set but Result.RootBasis is nil")
+	}
+	second, err := SolveOpts(p, Options{RootBasis: first.RootBasis})
+	if err != nil {
+		t.Fatalf("handoff solve: %v", err)
+	}
+	if second.Status != first.Status || math.Abs(second.Obj-first.Obj) > 1e-9 {
+		t.Fatalf("handoff changed the answer: %v/%v vs %v/%v",
+			second.Status, second.Obj, first.Status, first.Obj)
+	}
+	for j := range p.C {
+		if math.Round(second.X[j]) != math.Round(first.X[j]) {
+			t.Fatalf("handoff changed integer var %d: %g vs %g", j, second.X[j], first.X[j])
+		}
+	}
+	// A stale basis of the wrong shape (captured from a different problem)
+	// must be ignored, not crash or corrupt the solve.
+	other, err := SolveOpts(knapsack(), Options{CaptureRootBasis: true})
+	if err != nil || other.RootBasis == nil {
+		t.Fatalf("stale-basis capture: %v (basis %v)", err, other.RootBasis)
+	}
+	third, err := SolveOpts(p, Options{RootBasis: other.RootBasis})
+	if err != nil {
+		t.Fatalf("stale-basis solve: %v", err)
+	}
+	if third.Status != first.Status || math.Abs(third.Obj-first.Obj) > 1e-9 {
+		t.Fatalf("stale basis changed the answer: %v/%v", third.Status, third.Obj)
+	}
+}

@@ -63,6 +63,111 @@ func (s Status) String() string {
 // ErrBadProblem reports malformed input.
 var ErrBadProblem = errors.New("miqp: malformed problem")
 
+// validateRows checks the constraint matrices once per solve: row lengths
+// match the variable count and no coefficient or rhs is NaN. The node
+// relaxations then solve with lp.Options.AssumeValid, which moves this scan
+// from once-per-node (hundreds of thousands across a branch & bound run) to
+// once-per-problem while keeping the same typed error for malformed input.
+func validateRows(p *Problem, n int) error {
+	for _, v := range p.C {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w: NaN objective coefficient", ErrBadProblem)
+		}
+	}
+	if len(p.Aeq) != len(p.Beq) {
+		return fmt.Errorf("%w: %d equality rows but %d rhs entries", ErrBadProblem, len(p.Aeq), len(p.Beq))
+	}
+	if len(p.Aub) != len(p.Bub) {
+		return fmt.Errorf("%w: %d inequality rows but %d rhs entries", ErrBadProblem, len(p.Aub), len(p.Bub))
+	}
+	scan := func(a [][]float64, b []float64, what string) error {
+		for i, row := range a {
+			if len(row) != n {
+				return fmt.Errorf("%w: %s row %d has %d cols, want %d", ErrBadProblem, what, i, len(row), n)
+			}
+			for _, v := range row {
+				if math.IsNaN(v) {
+					return fmt.Errorf("%w: NaN in %s row %d", ErrBadProblem, what, i)
+				}
+			}
+			if math.IsNaN(b[i]) {
+				return fmt.Errorf("%w: NaN rhs in %s row %d", ErrBadProblem, what, i)
+			}
+		}
+		return nil
+	}
+	if err := scan(p.Aeq, p.Beq, "Aeq"); err != nil {
+		return err
+	}
+	return scan(p.Aub, p.Bub, "Aub")
+}
+
+// ErrInfeasibleIncumbent reports that Options.Incumbent violates the
+// problem's constraints. An infeasible incumbent is worse than none: its
+// objective becomes the pruning bound and silently cuts off the true optimum,
+// so SolveOpts rejects it with this error instead of searching under it.
+var ErrInfeasibleIncumbent = errors.New("miqp: infeasible incumbent")
+
+// incFeasTol is the relative feasibility tolerance of ValidateIncumbent.
+// Incumbents are typically assembled with a different floating-point
+// summation order than the row evaluation below, so exact equality is not
+// achievable; 1e-6 is far looser than that drift and far tighter than any
+// violation that could mislead the bound.
+const incFeasTol = 1e-6
+
+// ValidateIncumbent checks that x is an integer-feasible point of p: inside
+// the variable bounds, integral on the integer variables, and satisfying
+// every equality and inequality row within a small relative tolerance. It
+// returns nil when feasible and an error wrapping ErrInfeasibleIncumbent
+// naming the first violated bound or row otherwise.
+func ValidateIncumbent(p *Problem, x []float64) error {
+	n := len(p.C)
+	if len(x) != n {
+		return fmt.Errorf("%w: length %d, want %d", ErrInfeasibleIncumbent, len(x), n)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite value at variable %d", ErrInfeasibleIncumbent, j)
+		}
+		lb, ub := 0.0, math.Inf(1)
+		if p.Lb != nil {
+			lb = p.Lb[j]
+		}
+		if p.Ub != nil {
+			ub = p.Ub[j]
+		}
+		scale := incFeasTol * (1 + math.Abs(v))
+		if v < lb-scale || v > ub+scale {
+			return fmt.Errorf("%w: variable %d = %g outside [%g, %g]", ErrInfeasibleIncumbent, j, v, lb, ub)
+		}
+		if p.Integer != nil && p.Integer[j] && math.Abs(v-math.Round(v)) > 1e-6 {
+			return fmt.Errorf("%w: integer variable %d = %g not integral", ErrInfeasibleIncumbent, j, v)
+		}
+	}
+	rowAt := func(row []float64) (lhs, scale float64) {
+		scale = 1
+		for j, a := range row {
+			t := a * x[j]
+			lhs += t
+			scale += math.Abs(t)
+		}
+		return lhs, scale
+	}
+	for i, row := range p.Aeq {
+		lhs, scale := rowAt(row)
+		if math.Abs(lhs-p.Beq[i]) > incFeasTol*(scale+math.Abs(p.Beq[i])) {
+			return fmt.Errorf("%w: equality row %d: lhs %g != rhs %g", ErrInfeasibleIncumbent, i, lhs, p.Beq[i])
+		}
+	}
+	for i, row := range p.Aub {
+		lhs, scale := rowAt(row)
+		if lhs > p.Bub[i]+incFeasTol*(scale+math.Abs(p.Bub[i])) {
+			return fmt.Errorf("%w: inequality row %d: lhs %g > rhs %g", ErrInfeasibleIncumbent, i, lhs, p.Bub[i])
+		}
+	}
+	return nil
+}
+
 // Problem is a mixed-integer quadratic program. Nil slices mean "absent".
 type Problem struct {
 	Q       *mat.Matrix
@@ -86,6 +191,12 @@ type Result struct {
 	// Stats carries the solver observability counters (warm-start hit rate,
 	// pivot work, presolve reductions). Deterministic across worker counts.
 	Stats Stats
+	// RootBasis is the optimal root-relaxation simplex basis, captured when
+	// Options.CaptureRootBasis is set and the LP root solved to optimality.
+	// Feed it to the next solve's Options.RootBasis for cross-solve warm
+	// starts. Nil on the QP path, with warm starts disabled, or when the root
+	// relaxation did not reach optimality.
+	RootBasis *lp.Basis
 }
 
 // Options tunes the search.
@@ -95,9 +206,26 @@ type Options struct {
 	GapTol   float64 // absolute optimality gap tolerance; 0 means 1e-7
 	// Incumbent, when non-nil, is a known integer-feasible starting point.
 	// It seeds the upper bound for pruning and guarantees the solver always
-	// returns a solution even when MaxNodes is exhausted. The caller is
-	// responsible for its feasibility; it is not re-checked.
+	// returns a solution even when MaxNodes is exhausted. SolveOpts validates
+	// it with ValidateIncumbent and rejects an infeasible point with an error
+	// wrapping ErrInfeasibleIncumbent — an unchecked bad incumbent would
+	// silently prune the true optimum.
 	Incumbent []float64
+	// RootBasis, when non-nil, seeds the root relaxation's simplex warm start
+	// (LP path only). It is intended for carrying the previous slot's optimal
+	// root basis across solves of near-identical problems; a basis whose shape
+	// does not fit the (post-presolve) root is ignored, and any warm re-entry
+	// failure falls back to a cold solve, so a stale basis can cost time but
+	// never correctness.
+	RootBasis *lp.Basis
+	// CaptureRootBasis asks SolveOpts to publish the optimal root-relaxation
+	// basis in Result.RootBasis (LP path with warm starts enabled only), for
+	// handing back via RootBasis on the next solve.
+	CaptureRootBasis bool
+	// Pool, when non-nil, supplies the per-worker lp.Scratch arenas instead of
+	// the package-level sync.Pool. A caller-owned pool survives GC cycles
+	// between slots, keeping the slot loop's allocation profile flat.
+	Pool *ScratchPool
 	// Workers caps the number of concurrent relaxation solves. Values ≤ 1
 	// mean serial. The search is batch-synchronous: each round pops a fixed
 	// batch of frontier nodes in a deterministic total order, solves their
@@ -187,6 +315,11 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	if p.Ub != nil && len(p.Ub) != n {
 		return nil, fmt.Errorf("%w: Ub length", ErrBadProblem)
 	}
+	// Scan the constraint data once up front; every relaxation below runs
+	// with lp.Options.AssumeValid, so nothing re-checks per node.
+	if err := validateRows(p, n); err != nil {
+		return nil, err
+	}
 	lb := make([]float64, n)
 	ub := make([]float64, n)
 	for j := 0; j < n; j++ {
@@ -233,6 +366,9 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		if len(opt.Incumbent) != n {
 			return nil, fmt.Errorf("%w: incumbent length %d, want %d", ErrBadProblem, len(opt.Incumbent), n)
 		}
+		if err := ValidateIncumbent(p, opt.Incumbent); err != nil {
+			return nil, err
+		}
 		incumbent = clone(opt.Incumbent)
 		res.Obj = evalObj(p, incumbent)
 		res.Status = StatusOptimal
@@ -250,10 +386,10 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		res.Stats.PresolveRemovedRows = info.removed
 		if info.infeasible {
 			if incumbent != nil {
-				// The caller vouched for the incumbent's feasibility; a
-				// presolve infeasibility proof then means no strictly better
-				// point exists, so the incumbent is the answer (this mirrors
-				// the node loop's exhausted-frontier exit).
+				// The incumbent was validated feasible above; a presolve
+				// infeasibility proof then means no strictly better point
+				// exists, so the incumbent is the answer (this mirrors the
+				// node loop's exhausted-frontier exit).
 				res.X = incumbent
 				res.Status = StatusOptimal
 				return res, nil
@@ -269,13 +405,39 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 		}
 	}
 
-	h := &nodeHeap{{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}}
-	heap.Init(h)
-	nextID := uint64(2)
-
 	// Warm starting applies to the pure-LP relaxation path only; the QP paths
 	// have no simplex basis to reuse.
 	warmOK := p.Q == nil && !opt.DisableWarmStart
+
+	// Compile the relaxation LP's standard form once per tree: every node
+	// below shares pp's matrices and only tightens bounds, so the coefficient
+	// transform is loop-invariant. A compile failure (possible only for inputs
+	// validateRows cannot see, e.g. NaN bounds) just leaves the per-node path
+	// building its own standard form, exactly as before.
+	var form *lp.Form
+	if p.Q == nil {
+		if f, err := lp.NewForm(&lp.Problem{
+			C: pp.C, Aeq: pp.Aeq, Beq: pp.Beq, Aub: pp.Aub, Bub: pp.Bub, Lb: lb, Ub: ub,
+		}); err == nil {
+			form = f
+		}
+	}
+
+	root := &node{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}
+	if warmOK && opt.RootBasis != nil {
+		// Cross-solve warm start: re-enter the previous solve's optimal root
+		// basis. Presolve may have rewritten the row set and bound tightening
+		// may have un-split free columns, so check the basis against the exact
+		// LP the root relaxation will build; a misfit is silently dropped (the
+		// root then solves cold, exactly as without the option).
+		rootLP := &lp.Problem{C: pp.C, Aeq: pp.Aeq, Beq: pp.Beq, Aub: pp.Aub, Bub: pp.Bub, Lb: lb, Ub: ub}
+		if opt.RootBasis.Fits(rootLP) {
+			root.basis = opt.RootBasis
+		}
+	}
+	h := &nodeHeap{root}
+	heap.Init(h)
+	nextID := uint64(2)
 	// Root reduced-cost tightening needs the root solve to report reduced
 	// costs; only worthwhile once an upper bound (incumbent) exists.
 	rootRC := !opt.DisablePresolve && incumbent != nil && p.Q == nil
@@ -292,11 +454,19 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	workers = par.CapWorkers(workers)
 	scratches := make([]*lp.Scratch, workers)
 	for w := range scratches {
-		scratches[w] = lpScratchPool.Get().(*lp.Scratch)
+		if opt.Pool != nil {
+			scratches[w] = opt.Pool.Get()
+		} else {
+			scratches[w] = lpScratchPool.Get().(*lp.Scratch)
+		}
 	}
 	defer func() {
 		for _, sc := range scratches {
-			lpScratchPool.Put(sc)
+			if opt.Pool != nil {
+				opt.Pool.Put(sc)
+			} else {
+				lpScratchPool.Put(sc)
+			}
 		}
 	}()
 	batch := make([]*node, 0, relaxBatch)
@@ -340,7 +510,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				warm = nd.basis
 			}
 			var err error
-			relaxes[i], err = solveRelaxation(pp, nd.lb, nd.ub, scratches[w], warm, warmOK, rootRC && nd.depth == 0)
+			relaxes[i], err = solveRelaxation(pp, form, nd.lb, nd.ub, scratches[w], warm, warmOK, rootRC && nd.depth == 0)
 			return err
 		}); err != nil {
 			return nil, err
@@ -359,6 +529,9 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				} else {
 					res.Stats.WarmHits++
 				}
+			}
+			if opt.CaptureRootBasis && batch[i].depth == 0 && r.status == relaxOptimal {
+				res.RootBasis = r.basis
 			}
 		}
 		for i, nd := range batch {
@@ -559,16 +732,27 @@ type relaxResult struct {
 	pivots        int
 }
 
-// solveRelaxation solves the continuous relaxation under node bounds. sc is
+// solveRelaxation solves the continuous relaxation under node bounds. form,
+// when non-nil, is the tree-wide precompiled standard form of p's LP (built
+// once per SolveOpts; p and form must describe the same matrices). sc is
 // the calling worker's LP scratch (unused on the QP paths); concurrent
 // callers must pass distinct scratches. warm, when non-nil, is the parent
 // basis to re-enter from; capture asks for the optimal basis (for this node's
 // children); wantRC asks for reduced costs (root tightening).
-func solveRelaxation(p *Problem, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC bool) (relaxResult, error) {
+func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC bool) (relaxResult, error) {
 	if p.Q == nil {
-		res, err := lp.SolveWarm(&lp.Problem{
-			C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb, Ub: ub,
-		}, lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC}, sc, warm)
+		lpOpt := lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC, AssumeValid: true}
+		var res *lp.Result
+		var err error
+		if form != nil {
+			// Precompiled standard form: only the bound-dependent vectors are
+			// rebuilt for this node.
+			res, err = form.SolveWarm(lb, ub, lpOpt, sc, warm)
+		} else {
+			res, err = lp.SolveWarm(&lp.Problem{
+				C: p.C, Aeq: p.Aeq, Beq: p.Beq, Aub: p.Aub, Bub: p.Bub, Lb: lb, Ub: ub,
+			}, lpOpt, sc, warm)
+		}
 		if err != nil {
 			return relaxResult{}, err
 		}

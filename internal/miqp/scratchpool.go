@@ -1,0 +1,47 @@
+package miqp
+
+import (
+	"sync"
+
+	"repro/internal/lp"
+)
+
+// ScratchPool is a caller-owned free list of lp.Scratch arenas. Unlike the
+// package-level sync.Pool — which the garbage collector may drain between
+// slots, forcing the arenas to regrow from zero — a ScratchPool held by a
+// long-lived scheduler keeps the arenas (and their high-water capacity) alive
+// for the whole run, so steady-state slot solves allocate almost nothing.
+//
+// The zero value is ready to use. Get/Put are safe for concurrent use; the
+// pool only hands out ownership, so determinism is unaffected (a Scratch
+// carries no solver state between solves, only capacity).
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*lp.Scratch
+}
+
+// NewScratchPool returns an empty pool.
+func NewScratchPool() *ScratchPool { return &ScratchPool{} }
+
+// Get returns a pooled Scratch, allocating a fresh one when the pool is empty.
+func (sp *ScratchPool) Get() *lp.Scratch {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if n := len(sp.free); n > 0 {
+		sc := sp.free[n-1]
+		sp.free[n-1] = nil
+		sp.free = sp.free[:n-1]
+		return sc
+	}
+	return lp.NewScratch()
+}
+
+// Put returns a Scratch to the pool. Nil is ignored.
+func (sp *ScratchPool) Put(sc *lp.Scratch) {
+	if sc == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.free = append(sp.free, sc)
+}

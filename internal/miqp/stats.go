@@ -29,6 +29,20 @@ type Stats struct {
 	PresolveTightenedBounds int `json:"presolve_tightened_bounds"`
 	PresolveRemovedRows     int `json:"presolve_removed_rows"`
 	RootCutBounds           int `json:"root_cut_bounds"`
+	// Cross-slot reuse provenance (maintained by the scheduler's temporal
+	// layer, not by SolveOpts itself). IncumbentSeeded counts solves entered
+	// with the previous slot's repaired solution as the incumbent;
+	// IncumbentRepaired those where the repair pass had to modify it to regain
+	// feasibility; IncumbentRejected those where the seed failed validation
+	// and the solve fell back to the greedy incumbent.
+	IncumbentSeeded   int `json:"incumbent_seeded"`
+	IncumbentRepaired int `json:"incumbent_repaired"`
+	IncumbentRejected int `json:"incumbent_rejected"`
+	// MemoHits counts per-edge plans served from the fingerprint cache without
+	// invoking the solver; DeltaSkippedEdges counts edges skipped because
+	// their problem fingerprint was unchanged from the last solved slot.
+	MemoHits          int `json:"memo_hits"`
+	DeltaSkippedEdges int `json:"delta_skipped_edges"`
 }
 
 // Add accumulates o into s (used by callers that aggregate across many
@@ -44,6 +58,11 @@ func (s *Stats) Add(o Stats) {
 	s.PresolveTightenedBounds += o.PresolveTightenedBounds
 	s.PresolveRemovedRows += o.PresolveRemovedRows
 	s.RootCutBounds += o.RootCutBounds
+	s.IncumbentSeeded += o.IncumbentSeeded
+	s.IncumbentRepaired += o.IncumbentRepaired
+	s.IncumbentRejected += o.IncumbentRejected
+	s.MemoHits += o.MemoHits
+	s.DeltaSkippedEdges += o.DeltaSkippedEdges
 }
 
 // WarmHitRate is the fraction of warm attempts that certified optimality
@@ -67,8 +86,9 @@ func (s Stats) PivotsPerRelaxation() float64 {
 // String renders the compact one-line form used by birpbench -solverstats.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d)",
+		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d) reuse(seed=%d rep=%d rej=%d memo=%d delta=%d)",
 		s.Nodes, s.Relaxations, s.WarmHits, s.WarmAttempts, 100*s.WarmHitRate(),
 		s.WarmFallbacks, s.Pivots, s.PivotsPerRelaxation(),
-		s.PresolveFixedVars, s.PresolveTightenedBounds, s.PresolveRemovedRows, s.RootCutBounds)
+		s.PresolveFixedVars, s.PresolveTightenedBounds, s.PresolveRemovedRows, s.RootCutBounds,
+		s.IncumbentSeeded, s.IncumbentRepaired, s.IncumbentRejected, s.MemoHits, s.DeltaSkippedEdges)
 }

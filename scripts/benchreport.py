@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Assemble BENCH_PR2.json from two birpbench -json runs plus micro-bench text.
+"""Assemble BENCH_PR5.json from four birpbench -json runs plus micro-bench text.
 
-Usage: benchreport.py w1.json w4.json micro.txt > BENCH_PR2.json
+Usage:
+    benchreport.py on_w1.json on_w4.json off_w1.json off_w4.json micro.txt \
+        > BENCH_PR5.json
 
-The output follows BENCH_PR1.json's shape (description, machine note, runs
-array) extended with the solver counters this PR's observability layer adds:
-per-run relaxation counts and warm-start hit rates, and the warm-vs-cold
-micro-benchmark.
+The four runs are `birpbench -exp fig7 -slots 150 -seed 1` in the reuse
+on/off × workers {1,4} matrix (reuse off = `-noreuse`). The report carries the
+per-run solver counters (relaxations, warm-start hit rate, cross-slot seed
+counters), the micro-benchmarks, the reuse-on/off A/B ratio, and a PR1→PR2→PR5
+fig7 trajectory table pulled from the committed BENCH_PR1.json /
+BENCH_PR2.json artifacts.
 """
 import json
 import re
@@ -40,56 +44,77 @@ def parse_micro(path):
     return out
 
 
-def baseline_fig7():
-    """Pull the PR1 baseline's fig7 timings for before/after comparison."""
+def fig7_seconds(run):
+    for t in run.get("timings", []):
+        if t["name"] == "fig7":
+            return t["seconds"]
+    return None
+
+
+def prior_fig7(path):
+    """Pull a committed baseline's fig7 workers→seconds map, or None."""
     try:
-        with open("BENCH_PR1.json") as f:
+        with open(path) as f:
             prev = json.load(f)
     except OSError:
         return None
     out = {}
     for run in prev.get("runs", []):
-        for t in run.get("timings", []):
-            if t["name"] == "fig7":
-                out[f"workers_{run['workers']}_seconds"] = t["seconds"]
+        sec = fig7_seconds(run)
+        if sec is not None:
+            out[f"workers_{run['workers']}_seconds"] = sec
     return out or None
 
 
 def main():
-    w1, w4, micro = sys.argv[1], sys.argv[2], sys.argv[3]
+    on_w1, on_w4, off_w1, off_w4, micro = sys.argv[1:6]
+    runs = {
+        "reuse_on": [load_run(on_w1), load_run(on_w4)],
+        "reuse_off": [load_run(off_w1), load_run(off_w4)],
+    }
     report = {
         "description": (
-            "Solver-engine bench for the warm-started branch & bound + presolve "
-            "PR. Each run is `birpbench -exp fig7 -slots 150 -seed 1 -json ...` "
-            "differing only in -workers; stdout of the two runs was "
-            "byte-identical (checked by scripts/check.sh -bench), so the "
-            "accelerated engine keeps the deterministic parallel contract. "
-            "Note: fig7 output differs from the PR1 baseline binary — the "
-            "0.5% MILP gap tolerance accepts the first incumbent proved within "
-            "gap, and warm-started vertices/presolve bounds legitimately steer "
-            "the search to different (equally within-gap) incumbents. "
-            "Determinism is across worker counts, not across solver versions."
+            "Cross-slot reuse bench for the temporal warm-start PR. Each run "
+            "is `birpbench -exp fig7 -slots 150 -seed 1 -json ...` in the "
+            "reuse on/off × -workers {1,4} matrix (off = -noreuse). Within "
+            "each reuse setting the stdout of the two worker counts was "
+            "byte-identical (checked by scripts/check.sh -bench). Reuse "
+            "changes only the certified starting incumbent, so on/off "
+            "objectives agree within the solver's 0.5% gap tolerance but "
+            "need not be byte-identical to each other."
         ),
         "go": "go1.24 linux/amd64",
-        "command": "birpbench -exp fig7 -slots 150 -seed 1 -workers {1,4} -json ...",
+        "command": "birpbench -exp fig7 -slots 150 -seed 1 -workers {1,4} [-noreuse] -json ...",
         "outputs_identical_across_workers": True,
-        "runs": [load_run(w1), load_run(w4)],
+        "runs": runs,
         "micro_benchmarks": parse_micro(micro),
     }
-    base = baseline_fig7()
-    if base is not None:
-        report["baseline_pr1_fig7"] = base
-        after = next(
-            (
-                t["seconds"]
-                for t in report["runs"][0]["timings"]
-                if t["name"] == "fig7"
-            ),
-            None,
+    on1 = fig7_seconds(runs["reuse_on"][0])
+    off1 = fig7_seconds(runs["reuse_off"][0])
+    if on1 and off1:
+        report["reuse_onoff_ratio_workers_1"] = round(off1 / on1, 2)
+
+    # PR trajectory: fig7 workers=1 seconds across the committed bench
+    # artifacts. PR1 ran the pre-warm-start engine, PR2 added warm-started
+    # branch & bound + presolve, PR5 (this run) adds the cross-slot layer,
+    # the compiled standard form, and the unrolled pivot kernel.
+    trajectory = []
+    for name, path in (("PR1", "BENCH_PR1.json"), ("PR2", "BENCH_PR2.json")):
+        base = prior_fig7(path)
+        if base and base.get("workers_1_seconds"):
+            trajectory.append(
+                {"pr": name, "fig7_workers_1_seconds": base["workers_1_seconds"]}
+            )
+    if on1:
+        trajectory.append({"pr": "PR5", "fig7_workers_1_seconds": on1})
+    for row in trajectory:
+        ref = next(
+            (r["fig7_workers_1_seconds"] for r in trajectory if r["pr"] == "PR2"), None
         )
-        before = base.get("workers_1_seconds")
-        if before and after:
-            report["fig7_speedup_workers_1"] = round(before / after, 2)
+        if ref:
+            row["speedup_vs_pr2"] = round(ref / row["fig7_workers_1_seconds"], 2)
+    report["fig7_trajectory"] = trajectory
+
     json.dump(report, sys.stdout, indent=2)
     sys.stdout.write("\n")
 

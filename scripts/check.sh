@@ -7,9 +7,10 @@
 #   scripts/check.sh          # full gate (lint + race over every package)
 #   scripts/check.sh -short   # quick tier: lint + build + short-mode race
 #   scripts/check.sh -lint    # lint tier only: vet + gofmt + birplint
-#   scripts/check.sh -bench   # solver bench tier: fig7 serial vs parallel,
-#                             # relaxation counts, warm-start hit rate;
-#                             # writes BENCH_PR2.json (see that file's shape)
+#   scripts/check.sh -bench   # solver bench tier: fig7 reuse on/off ×
+#                             # workers {1,4}, relaxation counts, warm-start
+#                             # hit rate, slot-loop allocs; writes
+#                             # BENCH_PR5.json (see that file's shape)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,25 +20,34 @@ if [[ "${1:-}" == "-bench" ]]; then
 	echo "== build birpbench"
 	go build -o "$tmp/birpbench" ./cmd/birpbench
 	slots=150
-	for w in 1 4; do
-		echo "== fig7 -slots $slots -workers $w"
-		"$tmp/birpbench" -exp fig7 -slots $slots -seed 1 -workers "$w" \
-			-solverstats -json "$tmp/w$w.json" >"$tmp/out_w$w.txt"
+	for reuse in on off; do
+		flag=""
+		if [[ $reuse == off ]]; then
+			flag="-noreuse"
+		fi
+		for w in 1 4; do
+			echo "== fig7 -slots $slots -workers $w reuse=$reuse"
+			# shellcheck disable=SC2086
+			"$tmp/birpbench" -exp fig7 -slots $slots -seed 1 -workers "$w" $flag \
+				-solverstats -json "$tmp/${reuse}_w$w.json" >"$tmp/out_${reuse}_w$w.txt"
+		done
+		echo "== cross-worker output identity (reuse=$reuse)"
+		# Strip the wall-clock trailer; everything else (figures, summaries,
+		# solver counters) must match byte for byte across worker counts.
+		sed '/ completed in /d' "$tmp/out_${reuse}_w1.txt" >"$tmp/id_${reuse}_w1.txt"
+		sed '/ completed in /d' "$tmp/out_${reuse}_w4.txt" >"$tmp/id_${reuse}_w4.txt"
+		cmp "$tmp/id_${reuse}_w1.txt" "$tmp/id_${reuse}_w4.txt"
 	done
-	echo "== cross-worker output identity"
-	# Strip the wall-clock trailer; everything else (figures, summaries,
-	# solver counters) must match byte for byte across worker counts.
-	sed '/ completed in /d' "$tmp/out_w1.txt" >"$tmp/id_w1.txt"
-	sed '/ completed in /d' "$tmp/out_w4.txt" >"$tmp/id_w4.txt"
-	cmp "$tmp/id_w1.txt" "$tmp/id_w4.txt"
-	echo "== micro-benches (warm vs cold, LP allocation budget)"
+	echo "== micro-benches (warm vs cold, LP allocation budget, slot-loop allocs)"
 	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
 		tee "$tmp/micro.txt"
 	go test ./internal/lp -run '^$' -bench 'BenchmarkBoundedBoxLP' -benchmem |
 		tee -a "$tmp/micro.txt"
-	python3 scripts/benchreport.py "$tmp/w1.json" "$tmp/w4.json" \
-		"$tmp/micro.txt" >BENCH_PR2.json
-	echo "ok: wrote BENCH_PR2.json"
+	go test ./internal/core -run '^$' -bench 'BenchmarkSlotLoop' -benchtime 200x -benchmem |
+		tee -a "$tmp/micro.txt"
+	python3 scripts/benchreport.py "$tmp/on_w1.json" "$tmp/on_w4.json" \
+		"$tmp/off_w1.json" "$tmp/off_w4.json" "$tmp/micro.txt" >BENCH_PR5.json
+	echo "ok: wrote BENCH_PR5.json"
 	exit 0
 fi
 
