@@ -133,6 +133,11 @@ type SchedulerOptions struct {
 	// changes the certified starting incumbent; reuse-on and reuse-off
 	// decisions agree within the solver's gap tolerance.
 	DisableSlotReuse bool
+	// DenseEngine solves every LP relaxation with the legacy dense tableau
+	// engine instead of the sparse revised simplex — an A/B oracle switch for
+	// verifying the revised engine. Both engines certify the same optima, so
+	// decisions agree within the solver's gap tolerance.
+	DenseEngine bool
 }
 
 // coreMod returns a config hook forwarding the shared core knobs.
@@ -140,6 +145,7 @@ func (o SchedulerOptions) coreMod() func(*core.Config) {
 	return func(cfg *core.Config) {
 		cfg.Workers = o.Workers
 		cfg.DisableSlotReuse = o.DisableSlotReuse
+		cfg.DenseEngine = o.DenseEngine
 	}
 }
 

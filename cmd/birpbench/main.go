@@ -54,6 +54,7 @@ func main() {
 	solverStats := flag.Bool("solverstats", false, "print cumulative MIQP solver counters (nodes, warm-start hit rate, pivots, presolve reductions) after fig6/fig7")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold — for A/B measurement")
+	dense := flag.Bool("dense", false, "solve all LP relaxations with the legacy dense tableau engine instead of the sparse revised simplex — for A/B measurement")
 	flag.Parse()
 
 	if *pprofPath != "" {
@@ -74,7 +75,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers, DisableSlotReuse: *noReuse}
+	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers, DisableSlotReuse: *noReuse, DenseEngine: *dense}
 	report := timingReport{
 		Workers: *workers, Slots: *slots, Seed: *seed, Quick: *quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -124,6 +124,10 @@ type EdgeProblem struct {
 	// Workers is the branch-and-bound relaxation parallelism (≤ 1 = serial).
 	// The solve is deterministic for every value; see miqp.Options.Workers.
 	Workers int
+	// DenseEngine forwards miqp.Options.DenseEngine: solve every relaxation
+	// with the legacy dense tableau engine (A/B oracle for the revised
+	// simplex) instead of the sparse revised default.
+	DenseEngine bool
 	// SingleVersion restricts each application to at most one deployed model
 	// version on this edge (Σ_j x_ij ≤ 1) — the "model selection" decision
 	// granularity of the OAEI baseline, which picks a version per
@@ -841,6 +845,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		// simulator and cuts the proof-of-optimality tail off the search.
 		GapTol:           0.005 * (1 + objOf(prob, inc)),
 		Workers:          p.Workers,
+		DenseEngine:      p.DenseEngine,
 		RootBasis:        p.RootBasis,
 		CaptureRootBasis: p.CaptureRootBasis,
 		Pool:             p.Pool,

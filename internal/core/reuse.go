@@ -28,6 +28,23 @@ import (
 // worker counts. Reuse changes which certified incumbent a solve starts from,
 // so reuse-on vs reuse-off agree only within the solver's 0.5% gap tolerance
 // — the same bound PR 2 established for warm-vs-cold engines.
+//
+// When do the memo counters actually fire? The fingerprint covers every solve
+// input, so memo_hits and delta_skipped_edges stay at zero unless the whole
+// input vector repeats bit-for-bit. Under the default configuration two
+// inputs drift every slot by design, keeping the memo legitimately cold:
+//
+//   - The online tuner's LCB shading √(ε²·ln(t+1)/(n+1)) (paper Eq. 17)
+//     folds the slot counter t advanced by Tick(), so every arm's shaded
+//     parameters move each slot even with no new observations. Skipping the
+//     solve anyway would serve a plan computed for different parameters.
+//   - Cluster bandwidth is redrawn per (slot, edge) from [Lo, Hi] Mbps, so
+//     the ship budget repeats only when Lo == Hi.
+//
+// With an OfflineProvider (fixed parameters) and fixed bandwidth, repeated
+// arrivals hit both paths — TestMemoAndDeltaCountersFireOnRepeatedInputs
+// pins that down. The memo pays off exactly in that regime: stationary
+// pre-profiled deployments, not the exploring online scheduler.
 
 // defaultSlotCacheSize bounds the per-edge memo LRU when Config.SlotCacheSize
 // is zero. Per-edge memory therefore stays O(1) and total memory O(K).

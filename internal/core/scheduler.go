@@ -103,6 +103,12 @@ type Config struct {
 	// byte-identity across Workers values holds in both settings. Decomposed
 	// mode only — the joint solver always runs cold.
 	DisableSlotReuse bool
+	// DenseEngine forces every LP relaxation (per-edge MILPs, the joint
+	// program, and the redistribution LP) onto the legacy dense tableau
+	// engine instead of the sparse revised simplex. A/B oracle switch: both
+	// engines certify the same optima, so plans agree within solver
+	// tolerance, and each engine is bit-identical across Workers values.
+	DenseEngine bool
 	// SlotCacheSize bounds the per-edge plan-memoization LRU (0 = 8 entries),
 	// keeping the reuse layer's memory O(K·SlotCacheSize).
 	SlotCacheSize int
@@ -256,6 +262,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	redistOpts := s.cfg.Redist
 	redistOpts.DownEdges = s.down
 	redistOpts.Scratch = s.redistScratch
+	redistOpts.DenseEngine = s.cfg.DenseEngine
 	red, err := Redistribute(c, s.cfg.Apps, arrivals,
 		s.provider.Params, s.gamma, t, redistOpts)
 	if err != nil {
@@ -368,6 +375,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				OverflowPenaltyPerMS: s.cfg.OverflowPenaltyPerMS,
 				SingleVersion:        s.cfg.SingleVersion,
 				Workers:              miqpWorkers,
+				DenseEngine:          s.cfg.DenseEngine,
 				Pool:                 s.pool,
 			}
 			if ru := reuseFor(s.reuse, k); ru != nil {

@@ -49,6 +49,11 @@ type Options struct {
 	// cold. For A/B measurement; reuse-on and reuse-off runs agree within the
 	// solver's certified gap tolerance.
 	DisableSlotReuse bool
+	// DenseEngine forwards core.Config.DenseEngine to every core-family arm:
+	// all LP relaxations run on the legacy dense tableau engine instead of
+	// the sparse revised simplex. A/B oracle switch — both engines certify
+	// the same optima, so runs agree within the solver's gap tolerance.
+	DenseEngine bool
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +130,7 @@ func coreMod(opt Options) func(*core.Config) {
 	return func(cfg *core.Config) {
 		cfg.Workers = opt.Workers
 		cfg.DisableSlotReuse = opt.DisableSlotReuse
+		cfg.DenseEngine = opt.DenseEngine
 	}
 }
 

@@ -66,6 +66,11 @@ type Form struct {
 	// shift: b[i] = B[i] − Σ_k rowVal[i][k]·shift[rowNZ[i][k]].
 	rowNZ  [][]int32
 	rowVal [][]float64
+
+	// csc is the compiled sparse column form of sfA for the revised engine:
+	// one compression per tree instead of one per solve. Read-only after
+	// NewForm, like everything else here.
+	csc cscMatrix
 }
 
 // NewForm compiles p's matrices and bound pattern into a reusable Form. The
@@ -157,6 +162,7 @@ func NewForm(p *Problem) (*Form, error) {
 	for i := range p.Aub {
 		emit(p.Aub[i], nStruct+i)
 	}
+	buildCSC(&f.csc, f.sfA, f.m, f.nCols)
 	return f, nil
 }
 
@@ -240,6 +246,38 @@ func (f *Form) SolveWarm(lb, ub []float64, opt Options, sc *Scratch, warm *Basis
 	tol := opt.Tol
 	if mat.Zero(tol) {
 		tol = defaultTol
+	}
+	if opt.Engine != EngineDense {
+		// Revised engine: both the warm re-entry and the cold two-phase solve
+		// run directly on the compiled (unnormalized) rows and the
+		// precompiled CSC — sign-matched artificials make the b ≥ 0
+		// normalization unnecessary, so the per-solve coefficient transform
+		// is skipped entirely. Pattern mismatch or a numerical failure falls
+		// through to the raw-problem cold path below.
+		if sf, ok := f.instantiate(lb, ub, sc); ok {
+			if warm != nil {
+				if res, ok2 := revWarmAttempt(p, f.n, sf, &f.csc, opt, tol, sc, warm); ok2 {
+					return res, nil
+				}
+			}
+			maxIter := opt.MaxIter
+			if maxIter == 0 {
+				maxIter = 20*(f.m+f.nCols) + 200
+			}
+			if f.m > 0 {
+				if res, ok2 := revSolveCold(p, f.n, sf, &f.csc, opt, tol, sc, maxIter); ok2 {
+					if warm != nil {
+						res.WarmFallback = true
+					}
+					return res, nil
+				}
+			}
+		}
+		res, err := solveCold(p, f.n, opt, tol, sc)
+		if err == nil && warm != nil {
+			res.WarmFallback = true
+		}
+		return res, err
 	}
 	if warm != nil {
 		if sf, ok := f.instantiate(lb, ub, sc); ok {

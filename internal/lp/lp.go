@@ -1,5 +1,5 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the general form
+// Package lp implements bounded-variable simplex solvers for linear programs
+// in the general form
 //
 //	minimize    cᵀx
 //	subject to  Aeq·x  = beq
@@ -9,16 +9,22 @@
 // The general form is mechanically reduced to the boxed standard form
 // "min cᵀx, A·x = b, 0 ≤ x ≤ u" (shifting finite lower bounds, splitting
 // free variables, adding slack variables for inequalities; upper bounds stay
-// native) and solved with a dense bounded-variable tableau simplex: nonbasic
-// variables rest at either bound and the ratio test admits bound flips, so
-// a box constraint costs no extra row. Phase I finds a basic feasible point
-// with artificial variables only for rows whose slack cannot seed the basis;
-// Phase II optimizes the true objective. Bland's rule is engaged after a
-// stall to guarantee termination.
+// native): nonbasic variables rest at either bound and the ratio test admits
+// bound flips, so a box constraint costs no extra row. Phase I finds a basic
+// feasible point with artificial variables only for rows whose slack cannot
+// seed the basis; Phase II optimizes the true objective. Bland's rule is
+// engaged after a stall to guarantee termination.
 //
-// The solver targets the small per-slot instances produced by the BIRP
-// scheduler (tens to a few hundred variables), where the dense tableau is both
-// fast and easy to audit.
+// Two interchangeable kernels implement that scheme. The default
+// EngineRevised (revised.go) is a sparse revised simplex: the constraint
+// matrix stays in CSC form, the basis is an LU factorization with eta-file
+// updates and a deterministic refactorization trigger, iterations price with
+// BTRAN and update with FTRAN, and warm re-entry after a bound tightening
+// runs the dual simplex. EngineDense (bounded.go) is the original dense
+// tableau, kept as an A/B oracle and as the fallback when a factorization is
+// numerically singular. Both target the small per-slot instances produced by
+// the BIRP scheduler (tens to a few hundred variables) and both are
+// bit-deterministic: identical inputs produce identical pivot trajectories.
 package lp
 
 import (
@@ -112,6 +118,16 @@ type Result struct {
 	// iterations of the main loop (Phase I + II when cold, polish when warm).
 	CrashPivots  int
 	RepairPivots int
+	// DualReentry reports that a revised-engine warm solve re-entered through
+	// the dual simplex under the caller's PreferDual guarantee; DualPivots
+	// counts its dual pivots (also included in RepairPivots so Pivots() stays
+	// comparable across engines).
+	DualReentry bool
+	DualPivots  int
+	// Refactorizations and EtaLen are revised-engine observability: basis
+	// refactorization count and total eta-file updates of the solve.
+	Refactorizations int
+	EtaLen           int
 }
 
 // Pivots returns the total pivot work of the solve: crash and repair pivots
@@ -136,6 +152,17 @@ type Options struct {
 	// malformed problem solved with AssumeValid may panic or return
 	// nonsense instead of ErrBadProblem.
 	AssumeValid bool
+	// Engine selects the simplex kernel; the zero value is the sparse
+	// revised simplex (EngineRevised). EngineDense forces the legacy dense
+	// tableau, the A/B oracle.
+	Engine Engine
+	// PreferDual asserts that the warm basis passed to SolveWarm was optimal
+	// for a problem differing from this one only in variable bounds, so it
+	// is dual feasible here. The revised engine then trusts a dual-simplex
+	// dead-end as a certified StatusInfeasible instead of falling back to a
+	// cold solve. Never set it when costs or constraint data changed.
+	// Ignored by the dense engine and by cold solves.
+	PreferDual bool
 }
 
 const defaultTol = 1e-9
@@ -151,6 +178,10 @@ const defaultTol = 1e-9
 type Scratch struct {
 	buf  []float64
 	used int
+	// rev is the lazily created revised-simplex engine state (LU storage,
+	// eta file, work vectors), reused across solves under the same
+	// single-owner discipline as the arena.
+	rev *revEngine
 }
 
 // NewScratch returns an empty reusable scratch.
@@ -240,7 +271,11 @@ func SolveWarm(p *Problem, opt Options, sc *Scratch, warm *Basis) (*Result, erro
 		tol = defaultTol
 	}
 	if warm != nil {
-		if res, ok := solveWarmAttempt(p, n, opt, tol, sc, warm); ok {
+		if opt.Engine == EngineDense {
+			if res, ok := solveWarmAttempt(p, n, opt, tol, sc, warm); ok {
+				return res, nil
+			}
+		} else if res, ok := revWarmSolve(p, n, opt, tol, sc, warm); ok {
 			return res, nil
 		}
 	}
@@ -249,6 +284,17 @@ func SolveWarm(p *Problem, opt Options, sc *Scratch, warm *Basis) (*Result, erro
 		res.WarmFallback = true
 	}
 	return res, err
+}
+
+// revWarmSolve is the package-level revised warm entry: build the standard
+// form for the problem, then attempt the factorized re-entry.
+func revWarmSolve(p *Problem, n int, opt Options, tol float64, sc *Scratch, warm *Basis) (*Result, bool) {
+	reserveFor(p, n, sc)
+	sf, err := toStandardForm(p, n, sc)
+	if err != nil {
+		return nil, false
+	}
+	return revWarmAttempt(p, n, sf, nil, opt, tol, sc, warm)
 }
 
 // reserveFor sizes the scratch arena for one solve of the problem's standard
@@ -281,6 +327,14 @@ func solveCold(p *Problem, n int, opt Options, tol float64, sc *Scratch) (*Resul
 	maxIter := opt.MaxIter
 	if maxIter == 0 {
 		maxIter = 20*(len(sf.b)+sf.nCols) + 200
+	}
+	if opt.Engine != EngineDense && len(sf.a) > 0 {
+		if res, ok := revSolveCold(p, n, sf, nil, opt, tol, sc, maxIter); ok {
+			return res, nil
+		}
+		// Numerical failure in the revised kernel (singular factorization,
+		// un-invertible pivot): the dense oracle answers. The failure is a
+		// pure function of the input, so the fallback is deterministic.
 	}
 	st, xs, duals, iters, bt := solveBounded(sf, sf.colUB, tol, maxIter, sc)
 	res := &Result{Status: st, Iterations: iters}

@@ -17,6 +17,15 @@ type Basis struct {
 	flipped []bool // flipped[j]: column j rests at its upper bound
 	nCols   int    // structural+slack column count of the captured form
 	m       int    // row count of the captured form
+	// d is the exit reduced-cost vector of the capturing solve (revised
+	// engine only; nil otherwise). It is valid exactly when the re-entering
+	// problem has the same objective as the captured one — the
+	// Options.PreferDual contract — and then lets the dual re-entry skip its
+	// entry pricing pass (one BTRAN plus a full pricing sweep). Advisory
+	// numbers only: pivot selection uses them, certificates never do (the
+	// infeasibility proof and the polish pass both reprice from scratch), so
+	// carrying the parent's incremental drift is safe.
+	d []float64
 }
 
 // Shape returns the standard-form dimensions (rows, columns) of the problem

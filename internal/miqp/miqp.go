@@ -241,6 +241,11 @@ type Options struct {
 	// DisablePresolve skips the pre-root bound-implication pass and the
 	// root reduced-cost bound tightening.
 	DisablePresolve bool
+	// DenseEngine forces every LP relaxation onto the legacy dense tableau
+	// kernel instead of the default sparse revised simplex. It exists as the
+	// A/B oracle for bisecting solver regressions (birpbench -dense),
+	// mirroring the cross-slot layer's -noreuse switch.
+	DenseEngine bool
 }
 
 // relaxBatch is the number of frontier nodes expanded per batch-synchronous
@@ -509,8 +514,16 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			if warmOK {
 				warm = nd.basis
 			}
+			// Dual re-entry dispatch: a non-root node's warm basis came from
+			// its parent in this same tree — identical costs and matrices,
+			// bounds only tightened — which is exactly the dual-feasible
+			// re-entry state the revised engine's PreferDual contract needs.
+			// The root's cross-solve basis (RootBasis) may come from a
+			// different slot's problem, so it stays on the primal path.
+			preferDual := warm != nil && nd.depth > 0
 			var err error
-			relaxes[i], err = solveRelaxation(pp, form, nd.lb, nd.ub, scratches[w], warm, warmOK, rootRC && nd.depth == 0)
+			relaxes[i], err = solveRelaxation(pp, form, nd.lb, nd.ub, scratches[w], warm, warmOK,
+				rootRC && nd.depth == 0, opt.DenseEngine, preferDual)
 			return err
 		}); err != nil {
 			return nil, err
@@ -522,6 +535,12 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			r := &relaxes[i]
 			res.Stats.Relaxations++
 			res.Stats.Pivots += r.pivots
+			res.Stats.DualPivots += r.dualPivots
+			res.Stats.Refactorizations += r.refactorizations
+			res.Stats.EtaLength += r.etaLen
+			if r.dualReentry {
+				res.Stats.DualReentries++
+			}
 			if r.warmAttempted {
 				res.Stats.WarmAttempts++
 				if r.warmFellBack {
@@ -727,9 +746,13 @@ type relaxResult struct {
 	basis *lp.Basis
 	rc    []float64
 	// observability counters for Stats aggregation.
-	warmAttempted bool
-	warmFellBack  bool
-	pivots        int
+	warmAttempted    bool
+	warmFellBack     bool
+	dualReentry      bool
+	pivots           int
+	dualPivots       int
+	refactorizations int
+	etaLen           int
 }
 
 // solveRelaxation solves the continuous relaxation under node bounds. form,
@@ -738,10 +761,15 @@ type relaxResult struct {
 // the calling worker's LP scratch (unused on the QP paths); concurrent
 // callers must pass distinct scratches. warm, when non-nil, is the parent
 // basis to re-enter from; capture asks for the optimal basis (for this node's
-// children); wantRC asks for reduced costs (root tightening).
-func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC bool) (relaxResult, error) {
+// children); wantRC asks for reduced costs (root tightening). dense forces
+// the dense tableau kernel; preferDual asserts warm is dual feasible here
+// (bounds-only change), enabling the revised engine's dual re-entry.
+func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC, dense, preferDual bool) (relaxResult, error) {
 	if p.Q == nil {
-		lpOpt := lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC, AssumeValid: true}
+		lpOpt := lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC, AssumeValid: true, PreferDual: preferDual}
+		if dense {
+			lpOpt.Engine = lp.EngineDense
+		}
 		var res *lp.Result
 		var err error
 		if form != nil {
@@ -757,9 +785,13 @@ func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch
 			return relaxResult{}, err
 		}
 		out := relaxResult{
-			warmAttempted: warm != nil,
-			warmFellBack:  res.WarmFallback,
-			pivots:        res.Pivots(),
+			warmAttempted:    warm != nil,
+			warmFellBack:     res.WarmFallback,
+			dualReentry:      res.DualReentry,
+			pivots:           res.Pivots(),
+			dualPivots:       res.DualPivots,
+			refactorizations: res.Refactorizations,
+			etaLen:           res.EtaLen,
 		}
 		switch res.Status {
 		case lp.StatusOptimal:

@@ -22,6 +22,17 @@ type Stats struct {
 	// Pivots is the total simplex pivot work across all relaxations (crash +
 	// repair + main-loop iterations); the quantity warm starting exists to cut.
 	Pivots int `json:"pivots"`
+	// Revised-engine observability. DualReentries counts warm re-entries that
+	// resolved through the dual simplex under the bounds-only-change
+	// guarantee (including certified-infeasible children); DualPivots their
+	// dual pivot work (a subset of Pivots); Refactorizations the basis LU
+	// rebuilds (the deterministic eta-file trigger plus one per factorized
+	// solve); EtaLength the total eta-file updates appended. All zero under
+	// Options.DenseEngine.
+	DualReentries    int `json:"dual_reentries"`
+	DualPivots       int `json:"dual_pivots"`
+	Refactorizations int `json:"refactorizations"`
+	EtaLength        int `json:"eta_length"`
 	// PresolveFixedVars / PresolveTightenedBounds / PresolveRemovedRows count
 	// the pre-root reductions; RootCutBounds counts reduced-cost bound
 	// tightenings applied at the root once an incumbent exists.
@@ -54,6 +65,10 @@ func (s *Stats) Add(o Stats) {
 	s.WarmHits += o.WarmHits
 	s.WarmFallbacks += o.WarmFallbacks
 	s.Pivots += o.Pivots
+	s.DualReentries += o.DualReentries
+	s.DualPivots += o.DualPivots
+	s.Refactorizations += o.Refactorizations
+	s.EtaLength += o.EtaLength
 	s.PresolveFixedVars += o.PresolveFixedVars
 	s.PresolveTightenedBounds += o.PresolveTightenedBounds
 	s.PresolveRemovedRows += o.PresolveRemovedRows
@@ -86,9 +101,10 @@ func (s Stats) PivotsPerRelaxation() float64 {
 // String renders the compact one-line form used by birpbench -solverstats.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d) reuse(seed=%d rep=%d rej=%d memo=%d delta=%d)",
+		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) dual(reentry=%d pivots=%d refactor=%d eta=%d) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d) reuse(seed=%d rep=%d rej=%d memo=%d delta=%d)",
 		s.Nodes, s.Relaxations, s.WarmHits, s.WarmAttempts, 100*s.WarmHitRate(),
 		s.WarmFallbacks, s.Pivots, s.PivotsPerRelaxation(),
+		s.DualReentries, s.DualPivots, s.Refactorizations, s.EtaLength,
 		s.PresolveFixedVars, s.PresolveTightenedBounds, s.PresolveRemovedRows, s.RootCutBounds,
 		s.IncumbentSeeded, s.IncumbentRepaired, s.IncumbentRejected, s.MemoHits, s.DeltaSkippedEdges)
 }

@@ -7,10 +7,10 @@
 #   scripts/check.sh          # full gate (lint + race over every package)
 #   scripts/check.sh -short   # quick tier: lint + build + short-mode race
 #   scripts/check.sh -lint    # lint tier only: vet + gofmt + birplint
-#   scripts/check.sh -bench   # solver bench tier: fig7 reuse on/off ×
-#                             # workers {1,4}, relaxation counts, warm-start
-#                             # hit rate, slot-loop allocs; writes
-#                             # BENCH_PR5.json (see that file's shape)
+#   scripts/check.sh -bench   # solver bench tier: fig7 revised/dense engine ×
+#                             # workers {1,4}, pivots per node, warm-fallback
+#                             # rate, dual re-entry counters, slot-loop
+#                             # allocs; writes BENCH_PR6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,34 +20,34 @@ if [[ "${1:-}" == "-bench" ]]; then
 	echo "== build birpbench"
 	go build -o "$tmp/birpbench" ./cmd/birpbench
 	slots=150
-	for reuse in on off; do
+	for engine in revised dense; do
 		flag=""
-		if [[ $reuse == off ]]; then
-			flag="-noreuse"
+		if [[ $engine == dense ]]; then
+			flag="-dense"
 		fi
 		for w in 1 4; do
-			echo "== fig7 -slots $slots -workers $w reuse=$reuse"
+			echo "== fig7 -slots $slots -workers $w engine=$engine"
 			# shellcheck disable=SC2086
 			"$tmp/birpbench" -exp fig7 -slots $slots -seed 1 -workers "$w" $flag \
-				-solverstats -json "$tmp/${reuse}_w$w.json" >"$tmp/out_${reuse}_w$w.txt"
+				-solverstats -json "$tmp/${engine}_w$w.json" >"$tmp/out_${engine}_w$w.txt"
 		done
-		echo "== cross-worker output identity (reuse=$reuse)"
+		echo "== cross-worker output identity (engine=$engine)"
 		# Strip the wall-clock trailer; everything else (figures, summaries,
 		# solver counters) must match byte for byte across worker counts.
-		sed '/ completed in /d' "$tmp/out_${reuse}_w1.txt" >"$tmp/id_${reuse}_w1.txt"
-		sed '/ completed in /d' "$tmp/out_${reuse}_w4.txt" >"$tmp/id_${reuse}_w4.txt"
-		cmp "$tmp/id_${reuse}_w1.txt" "$tmp/id_${reuse}_w4.txt"
+		sed '/ completed in /d' "$tmp/out_${engine}_w1.txt" >"$tmp/id_${engine}_w1.txt"
+		sed '/ completed in /d' "$tmp/out_${engine}_w4.txt" >"$tmp/id_${engine}_w4.txt"
+		cmp "$tmp/id_${engine}_w1.txt" "$tmp/id_${engine}_w4.txt"
 	done
-	echo "== micro-benches (warm vs cold, LP allocation budget, slot-loop allocs)"
+	echo "== micro-benches (warm vs cold, LP box solve, warm re-entry, slot-loop allocs)"
 	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
 		tee "$tmp/micro.txt"
-	go test ./internal/lp -run '^$' -bench 'BenchmarkBoundedBoxLP' -benchmem |
+	go test ./internal/lp -run '^$' -bench 'BenchmarkBoundedBoxLP|BenchmarkWarmReentry' -benchmem |
 		tee -a "$tmp/micro.txt"
 	go test ./internal/core -run '^$' -bench 'BenchmarkSlotLoop' -benchtime 200x -benchmem |
 		tee -a "$tmp/micro.txt"
-	python3 scripts/benchreport.py "$tmp/on_w1.json" "$tmp/on_w4.json" \
-		"$tmp/off_w1.json" "$tmp/off_w4.json" "$tmp/micro.txt" >BENCH_PR5.json
-	echo "ok: wrote BENCH_PR5.json"
+	python3 scripts/benchreport.py "$tmp/revised_w1.json" "$tmp/revised_w4.json" \
+		"$tmp/dense_w1.json" "$tmp/dense_w4.json" "$tmp/micro.txt" >BENCH_PR6.json
+	echo "ok: wrote BENCH_PR6.json"
 	exit 0
 fi
 
