@@ -99,6 +99,16 @@ func CustomCluster(specs []EdgeSpec, opts ...cluster.Option) (*Cluster, error) {
 // WithSlotSeconds overrides a cluster's slot duration at construction.
 func WithSlotSeconds(s float64) cluster.Option { return cluster.WithSlotSeconds(s) }
 
+// WithSeed sets a cluster's per-slot bandwidth-realization seed.
+func WithSeed(seed int64) cluster.Option { return cluster.WithSeed(seed) }
+
+// ScaledCluster builds a seeded synthetic fleet of k heterogeneous edges for
+// scale experiments (K up to the hundreds) — the natural topology for
+// hierarchical scheduling (SchedulerOptions.Domains/DomainSize).
+func ScaledCluster(k int, opts ...cluster.Option) (*Cluster, error) {
+	return cluster.Scaled(k, opts...)
+}
+
 // Catalogue builds the evaluation model catalogue (nApps applications ×
 // nVersions model versions spanning the paper's parameter ranges).
 func Catalogue(nApps, nVersions int) []*Application { return models.Catalogue(nApps, nVersions) }
@@ -138,6 +148,16 @@ type SchedulerOptions struct {
 	// verifying the revised engine. Both engines certify the same optima, so
 	// decisions agree within the solver's gap tolerance.
 	DenseEngine bool
+	// Domains > 0 enables hierarchical domain-decomposed scheduling with
+	// exactly that many collaboration domains: each domain solves its own
+	// redistribution LP + per-edge MILPs concurrently behind a deterministic
+	// cross-domain coordinator. Near-linear scaling to fleets of hundreds of
+	// edges; decisions remain bit-identical across Workers values.
+	Domains int
+	// DomainSize bounds domain sizes instead of fixing the count (the fleet
+	// splits into ⌈K/DomainSize⌉ domains). Either knob enables hierarchical
+	// scheduling; both zero means monolithic.
+	DomainSize int
 }
 
 // coreMod returns a config hook forwarding the shared core knobs.
@@ -146,6 +166,8 @@ func (o SchedulerOptions) coreMod() func(*core.Config) {
 		cfg.Workers = o.Workers
 		cfg.DisableSlotReuse = o.DisableSlotReuse
 		cfg.DenseEngine = o.DenseEngine
+		cfg.Domains = o.Domains
+		cfg.DomainSize = o.DomainSize
 	}
 }
 
@@ -230,6 +252,12 @@ func Fig6(w io.Writer, opt ExperimentOptions) ([]EvalResult, error) {
 // Fig7 regenerates the large-scale comparison (paper Fig. 7).
 func Fig7(w io.Writer, opt ExperimentOptions) ([]EvalResult, error) {
 	return experiments.Fig7(w, opt)
+}
+
+// Scale runs the fleet-scaling experiment: BIRP (monolithic or hierarchical
+// per opt.Hierarchical/Domains/DomainSize) on a seeded Scaled(opt.K) fleet.
+func Scale(w io.Writer, opt ExperimentOptions) (*experiments.ScaleResult, error) {
+	return experiments.Scale(w, opt)
 }
 
 // PresetSweep regenerates the ε1/ε2 preset analysis (paper Fig. 4 and 5).

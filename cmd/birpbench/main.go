@@ -36,6 +36,22 @@ type timingReport struct {
 	// "experiment/arm" (BIRP-family arms only), so bench harnesses can
 	// track relaxation counts and warm-start hit rates mechanically.
 	Solver map[string]birp.SolverStats `json:"solver,omitempty"`
+	// Scale carries the fleet-scaling experiment's quality outcome (-exp
+	// scale), which the text tables don't expose mechanically.
+	Scale *scaleSummary `json:"scale,omitempty"`
+}
+
+// scaleSummary is the JSON shape of one -exp scale run.
+type scaleSummary struct {
+	K            int     `json:"k"`
+	Hierarchical bool    `json:"hierarchical"`
+	Domains      int     `json:"domains"`
+	Slots        int     `json:"slots"`
+	TotalLoss    float64 `json:"total_loss"`
+	FailureRate  float64 `json:"failure_rate"`
+	Served       int     `json:"served"`
+	Dropped      int     `json:"dropped"`
+	Violations   int     `json:"violations"`
 }
 
 type expTiming struct {
@@ -44,7 +60,7 @@ type expTiming struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig2,fig4,fig5,fig6,fig7,convergence,ablations,scorecard,sensitivity")
+	exp := flag.String("exp", "all", "comma-separated experiments: fig1,table1,fig2,fig4,fig5,fig6,fig7,convergence,ablations,scorecard,sensitivity,scale (scale is opt-in, not in \"all\")")
 	slots := flag.Int("slots", 300, "evaluation horizon in slots")
 	seed := flag.Int64("seed", 1, "trace and noise seed")
 	quick := flag.Bool("quick", false, "reduced sizes (fast smoke run)")
@@ -55,6 +71,9 @@ func main() {
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold — for A/B measurement")
 	dense := flag.Bool("dense", false, "solve all LP relaxations with the legacy dense tableau engine instead of the sparse revised simplex — for A/B measurement")
+	k := flag.Int("k", 50, "fleet size for -exp scale (seeded synthetic fleet)")
+	hier := flag.Bool("hier", false, "hierarchical domain-decomposed scheduling for the core-family arms (default domain size 16)")
+	domains := flag.Int("domains", 0, "fix the collaboration-domain count (> 0 implies -hier)")
 	flag.Parse()
 
 	if *pprofPath != "" {
@@ -75,7 +94,11 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	opt := birp.ExperimentOptions{Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers, DisableSlotReuse: *noReuse, DenseEngine: *dense}
+	opt := birp.ExperimentOptions{
+		Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers,
+		DisableSlotReuse: *noReuse, DenseEngine: *dense,
+		Hierarchical: *hier, Domains: *domains, K: *k,
+	}
 	report := timingReport{
 		Workers: *workers, Slots: *slots, Seed: *seed, Quick: *quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -153,6 +176,33 @@ func main() {
 		_, err := birp.Convergence(os.Stdout, opt)
 		return err
 	})
+	// scale is opt-in only (not part of "all"): large fleets at the default
+	// 300-slot horizon would dominate the suite's runtime.
+	runScale := func() error {
+		res, err := birp.Scale(os.Stdout, opt)
+		if err != nil {
+			return err
+		}
+		report.Scale = &scaleSummary{
+			K: res.K, Hierarchical: res.Hierarchical, Domains: res.Domains,
+			Slots: res.Slots, TotalLoss: res.TotalLoss, FailureRate: res.FailureRate,
+			Served: res.Served, Dropped: res.Dropped, Violations: res.Violations,
+		}
+		if res.Solver != nil {
+			report.Solver["scale/BIRP"] = *res.Solver
+		}
+		return nil
+	}
+	if want["scale"] {
+		start := time.Now()
+		if err := runScale(); err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		report.Timings = append(report.Timings, expTiming{Name: "scale", Seconds: elapsed.Seconds()})
+		fmt.Printf("[scale completed in %v]\n\n", elapsed.Round(time.Millisecond))
+	}
 	run("fig7", func() error {
 		results, err := birp.Fig7(os.Stdout, opt)
 		if err != nil {

@@ -25,6 +25,8 @@ func main() {
 	slots := flag.Int("slots", 50, "slots to schedule")
 	tolerate := flag.Bool("tolerate", false, "survive agent failures: mark dead edges down, let restarted agents rejoin")
 	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold")
+	hier := flag.Bool("hier", false, "hierarchical domain-decomposed scheduling (default domain size 16)")
+	domains := flag.Int("domains", 0, "fix the collaboration-domain count (> 0 implies -hier)")
 	flag.Parse()
 
 	c := birp.DefaultCluster()
@@ -32,7 +34,11 @@ func main() {
 		c = birp.SmallCluster()
 	}
 	catalogue := birp.Catalogue(*apps, *versions)
-	sched, err := birp.NewBIRP(c, catalogue, birp.SchedulerOptions{DisableSlotReuse: *noReuse})
+	schedOpt := birp.SchedulerOptions{DisableSlotReuse: *noReuse, Domains: *domains}
+	if *hier && *domains == 0 {
+		schedOpt.DomainSize = 16
+	}
+	sched, err := birp.NewBIRP(c, catalogue, schedOpt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -34,6 +34,11 @@ type Cluster struct {
 	// budget) at laptop scale — see EXPERIMENTS.md for the scaling argument.
 	SlotSeconds float64
 	seed        int64
+	// bwIndex, when non-nil, maps local edge index → the index used for
+	// bandwidth realization. Sub views set it so a domain's edges draw
+	// exactly the per-slot budgets they would draw in the parent fleet;
+	// nil means the identity mapping.
+	bwIndex []int
 	// bw caches realized BandwidthMBAt draws per (t, k): seeding a fresh
 	// math/rand source for every query is ~100× the cost of the single
 	// uniform it produces, and the schedulers re-query the same slot's
@@ -149,11 +154,41 @@ func (c *Cluster) BandwidthMBAt(t, k int) float64 {
 		return v.(float64)
 	}
 	e := c.Edges[k]
-	rng := rand.New(rand.NewSource(c.seed ^ int64(t)*1000003 ^ int64(k)*10007))
+	bk := k
+	if c.bwIndex != nil {
+		bk = c.bwIndex[k]
+	}
+	rng := rand.New(rand.NewSource(c.seed ^ int64(t)*1000003 ^ int64(bk)*10007))
 	mbps := e.BandwidthLoMbps + rng.Float64()*(e.BandwidthHiMbps-e.BandwidthLoMbps)
 	mb := mbps * c.SlotSeconds / 8
 	c.bw.Store(key, mb)
 	return mb
+}
+
+// Sub returns a restricted view of the cluster containing the given edges, in
+// the given order. The view shares the parent's edge descriptors, slot
+// duration, and seed, and — crucially — its bandwidth realizations: local edge
+// j draws the per-slot budget of parent edge indices[j], so a domain solver
+// plans against exactly the budgets the monolithic solver would see. The view
+// keeps its own draw cache and is safe to use concurrently with the parent
+// and with sibling views.
+func (c *Cluster) Sub(indices []int) (*Cluster, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("cluster: Sub needs at least one edge")
+	}
+	sub := &Cluster{SlotSeconds: c.SlotSeconds, seed: c.seed}
+	for _, k := range indices {
+		if k < 0 || k >= len(c.Edges) {
+			return nil, fmt.Errorf("cluster: Sub index %d out of range [0, %d)", k, len(c.Edges))
+		}
+		bk := k
+		if c.bwIndex != nil {
+			bk = c.bwIndex[k]
+		}
+		sub.Edges = append(sub.Edges, c.Edges[k])
+		sub.bwIndex = append(sub.bwIndex, bk)
+	}
+	return sub, nil
 }
 
 // SlotMS returns the slot duration in milliseconds.

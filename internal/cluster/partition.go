@@ -1,0 +1,92 @@
+package cluster
+
+import "sort"
+
+// DefaultDomainSize bounds collaboration domains when the caller fixes
+// neither a domain count nor a size. Sixteen edges keeps every per-domain
+// redistribution LP small enough that the per-slot joint stage stays in the
+// millisecond range while leaving each domain enough heterogeneity for
+// workload redistribution to pay off.
+const DefaultDomainSize = 16
+
+// Partition splits the fleet into bounded-size collaboration domains for
+// hierarchical scheduling. domains > 0 fixes the number of domains; otherwise
+// maxSize bounds each domain's edge count (≤ 0 means DefaultDomainSize) and
+// the domain count becomes ⌈K/maxSize⌉.
+//
+// The clustering is a capacity-balanced affinity dealing: edges are ordered
+// by a deterministic affinity key — device compute capability (SM count ×
+// clock), then mean wireless bandwidth, then memory — and dealt snake-wise
+// across the domains. Every domain therefore mixes fast and slow edges with
+// near-equal aggregate capacity, which is what intra-domain redistribution
+// needs (overloaded slow edges must find fast neighbours *inside* their
+// domain, because the top-level coordinator only settles coarse cross-domain
+// flow).
+//
+// Determinism: the key is a pure function of the edge specs (never of map
+// order, RNG draws, or wall clock), ties break on edge index, each returned
+// domain lists its edges in ascending index order, and domains are ordered by
+// their lowest member. Permuting the input edge specs permutes the labels but
+// yields the same grouping, and repeated calls are identical — the partition
+// is stable across runs and across processes.
+func Partition(c *Cluster, domains, maxSize int) [][]int {
+	K := c.N()
+	if K == 0 {
+		return nil
+	}
+	D := domains
+	if D <= 0 {
+		size := maxSize
+		if size <= 0 {
+			size = DefaultDomainSize
+		}
+		D = (K + size - 1) / size
+	}
+	if D < 1 {
+		D = 1
+	}
+	if D > K {
+		D = K
+	}
+
+	// Affinity ordering: strongest edge first.
+	order := make([]int, K)
+	for i := range order {
+		order[i] = i
+	}
+	score := func(k int) (compute, bw, mem float64) {
+		e := c.Edges[k]
+		return float64(e.Device.NumSM) * e.Device.Clock,
+			(e.BandwidthLoMbps + e.BandwidthHiMbps) / 2,
+			e.MemoryMB
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, ba, ma := score(order[a])
+		cb, bb, mb := score(order[b])
+		switch {
+		case ca > cb || cb > ca:
+			return ca > cb
+		case ba > bb || bb > ba:
+			return ba > bb
+		case ma > mb || mb > ma:
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+
+	// Snake dealing balances aggregate capacity: 0..D-1, then D-1..0, ...
+	out := make([][]int, D)
+	for pos, k := range order {
+		lap, off := pos/D, pos%D
+		d := off
+		if lap%2 == 1 {
+			d = D - 1 - off
+		}
+		out[d] = append(out[d], k)
+	}
+	for d := range out {
+		sort.Ints(out[d])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionShapes(t *testing.T) {
+	c, err := Scaled(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		domains, maxSize, wantD int
+	}{
+		{domains: 4, wantD: 4},
+		{maxSize: 16, wantD: 4}, // ⌈50/16⌉
+		{maxSize: 50, wantD: 1},
+		{wantD: 4}, // DefaultDomainSize = 16
+		{domains: 100, wantD: 50},
+	}
+	for _, tc := range cases {
+		parts := Partition(c, tc.domains, tc.maxSize)
+		if len(parts) != tc.wantD {
+			t.Errorf("Partition(domains=%d, maxSize=%d): %d domains, want %d",
+				tc.domains, tc.maxSize, len(parts), tc.wantD)
+			continue
+		}
+		seen := make([]bool, c.N())
+		for d, dom := range parts {
+			if len(dom) == 0 {
+				t.Errorf("domain %d is empty", d)
+			}
+			for i, k := range dom {
+				if k < 0 || k >= c.N() || seen[k] {
+					t.Fatalf("domain %d: bad or duplicate edge %d", d, k)
+				}
+				seen[k] = true
+				if i > 0 && dom[i-1] >= k {
+					t.Errorf("domain %d not in ascending edge order: %v", d, dom)
+				}
+			}
+			if d > 0 && parts[d-1][0] >= dom[0] {
+				t.Errorf("domains not ordered by first member")
+			}
+		}
+		for k, ok := range seen {
+			if !ok {
+				t.Fatalf("edge %d missing from partition", k)
+			}
+		}
+		// Snake dealing bounds the size spread to one edge.
+		lo, hi := c.N(), 0
+		for _, dom := range parts {
+			if len(dom) < lo {
+				lo = len(dom)
+			}
+			if len(dom) > hi {
+				hi = len(dom)
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("domain sizes spread [%d, %d], want balanced within 1", lo, hi)
+		}
+	}
+}
+
+func TestPartitionDeterministicAndRepeatable(t *testing.T) {
+	c, err := Scaled(40, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Partition(c, 0, 10)
+	b := Partition(c, 0, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Partition is not repeatable on the same cluster")
+	}
+}
+
+// TestPartitionStableUnderPermutation: permuting the input edge order permutes
+// the labels but must yield the same grouping — the affinity key is a pure
+// function of the specs, so edge identity (not position) decides membership.
+func TestPartitionStableUnderPermutation(t *testing.T) {
+	c, err := Scaled(24, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(11)).Perm(c.N()) // permuted[p] = original perm[p]
+	permuted := &Cluster{SlotSeconds: c.SlotSeconds, seed: c.seed}
+	for _, k := range perm {
+		permuted.Edges = append(permuted.Edges, c.Edges[k])
+	}
+	canon := func(parts [][]int, toOrig func(int) int) map[int][]int {
+		// Key each domain by its lowest original-edge member.
+		out := map[int][]int{}
+		for _, dom := range parts {
+			var orig []int
+			lo := -1
+			for _, k := range dom {
+				o := toOrig(k)
+				orig = append(orig, o)
+				if lo < 0 || o < lo {
+					lo = o
+				}
+			}
+			out[lo] = orig
+		}
+		for _, dom := range out {
+			sortInts(dom)
+		}
+		return out
+	}
+	a := canon(Partition(c, 0, 8), func(k int) int { return k })
+	b := canon(Partition(permuted, 0, 8), func(k int) int { return perm[k] })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("grouping changed under permutation:\noriginal: %v\npermuted: %v", a, b)
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+)
+
+// Scaled builds a seeded synthetic fleet of k heterogeneous edges for
+// scale experiments (K up to the hundreds), so benches and tests stop
+// hand-rolling Custom specs. The fleet mixes the four standard device types
+// in fixed proportions (NX-heavy, echoing the paper's testbed ratio plus a
+// tail of weak Edge TPUs), with per-edge memory drawn within ±20% of the
+// device default and bandwidth ranges drawn inside the paper's wireless
+// envelope ([40, 140] Mbps).
+//
+// Every draw comes from a single rand source seeded by WithSeed (default 1),
+// so the fleet is a pure function of (k, seed): repeated calls, different
+// processes, and different worker counts all see byte-identical topologies.
+// The same seed also drives the per-slot bandwidth realization, exactly as in
+// Default/Custom clusters.
+func Scaled(k int, opts ...Option) (*Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: Scaled needs at least one edge, got %d", k)
+	}
+	c := &Cluster{SlotSeconds: 10, seed: 1}
+	for _, o := range opts {
+		o(c)
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	// Device mix: 30% NX, 30% Nano, 25% Atlas, 15% Edge TPU. A repeating
+	// 20-slot pattern keeps the proportions exact at every fleet size and
+	// independent of the RNG.
+	pattern := []*accel.Device{
+		&accel.JetsonNX, &accel.JetsonNano, &accel.Atlas200DK, &accel.JetsonNX,
+		&accel.JetsonNano, &accel.EdgeTPU, &accel.Atlas200DK, &accel.JetsonNX,
+		&accel.JetsonNano, &accel.Atlas200DK, &accel.JetsonNX, &accel.EdgeTPU,
+		&accel.JetsonNano, &accel.Atlas200DK, &accel.JetsonNX, &accel.JetsonNano,
+		&accel.EdgeTPU, &accel.Atlas200DK, &accel.JetsonNX, &accel.JetsonNano,
+	}
+	for i := 0; i < k; i++ {
+		d := pattern[i%len(pattern)]
+		mem := d.MemoryMB * (0.8 + 0.4*rng.Float64())
+		lo := 40 + 40*rng.Float64()      // [40, 80] Mbps
+		hi := lo + 20 + 40*rng.Float64() // up to [60, 140] Mbps
+		c.Edges = append(c.Edges, &Edge{
+			Name:            fmt.Sprintf("edge-%d(%s)", i, d.Name),
+			Device:          d,
+			MemoryMB:        mem,
+			BandwidthLoMbps: lo,
+			BandwidthHiMbps: hi,
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import "testing"
+
+func TestScaledDeterministicAndValid(t *testing.T) {
+	for _, k := range []int{1, 6, 50, 500} {
+		a, err := Scaled(k, WithSeed(5))
+		if err != nil {
+			t.Fatalf("Scaled(%d): %v", k, err)
+		}
+		if a.N() != k {
+			t.Fatalf("Scaled(%d) has %d edges", k, a.N())
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Scaled(%d) invalid: %v", k, err)
+		}
+		b, err := Scaled(k, WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Edges {
+			ea, eb := a.Edges[i], b.Edges[i]
+			if ea.Name != eb.Name || ea.Device != eb.Device ||
+				ea.MemoryMB != eb.MemoryMB ||
+				ea.BandwidthLoMbps != eb.BandwidthLoMbps ||
+				ea.BandwidthHiMbps != eb.BandwidthHiMbps {
+				t.Fatalf("Scaled(%d) edge %d differs across identical calls", k, i)
+			}
+		}
+		// Per-slot bandwidth realizations are part of the contract too.
+		for tt := 0; tt < 3; tt++ {
+			for i := 0; i < min(a.N(), 10); i++ {
+				if a.BandwidthMBAt(tt, i) != b.BandwidthMBAt(tt, i) {
+					t.Fatalf("Scaled(%d): bandwidth draw (%d, %d) differs", k, tt, i)
+				}
+			}
+		}
+	}
+	if _, err := Scaled(0); err == nil {
+		t.Fatal("Scaled(0) should fail")
+	}
+}
+
+func TestScaledDeviceMixAndRanges(t *testing.T) {
+	c, err := Scaled(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	for _, e := range c.Edges {
+		types[e.Device.Name]++
+		if e.MemoryMB < 0.8*e.Device.MemoryMB-1e-9 || e.MemoryMB > 1.2*e.Device.MemoryMB+1e-9 {
+			t.Errorf("%s: memory %v outside ±20%% of device default %v", e.Name, e.MemoryMB, e.Device.MemoryMB)
+		}
+		if e.BandwidthLoMbps < 40 || e.BandwidthHiMbps > 140 || e.BandwidthHiMbps <= e.BandwidthLoMbps {
+			t.Errorf("%s: bandwidth range [%v, %v] outside envelope", e.Name, e.BandwidthLoMbps, e.BandwidthHiMbps)
+		}
+	}
+	// 20-slot pattern at k=100: exact proportions.
+	want := map[string]int{"Jetson NX": 30, "Jetson Nano": 30, "Atlas 200DK": 25, "Edge TPU": 15}
+	for name, n := range want {
+		if types[name] != n {
+			t.Errorf("device %s: %d edges, want %d (mix %v)", name, types[name], n, types)
+		}
+	}
+}
+
+func TestSubSharesBandwidthRealizations(t *testing.T) {
+	c, err := Scaled(12, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{3, 7, 10}
+	sub, err := c.Sub(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != len(idx) {
+		t.Fatalf("sub has %d edges", sub.N())
+	}
+	for tt := 0; tt < 5; tt++ {
+		for li, gk := range idx {
+			if sub.BandwidthMBAt(tt, li) != c.BandwidthMBAt(tt, gk) {
+				t.Fatalf("sub draw (%d, %d) != parent draw (%d, %d)", tt, li, tt, gk)
+			}
+		}
+	}
+	// A view of a view still maps to the root realization.
+	nested, err := sub.Sub([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.BandwidthMBAt(1, 0) != c.BandwidthMBAt(1, 10) ||
+		nested.BandwidthMBAt(1, 1) != c.BandwidthMBAt(1, 3) {
+		t.Fatal("nested sub view does not share root bandwidth realizations")
+	}
+	if _, err := c.Sub(nil); err == nil {
+		t.Fatal("empty Sub should fail")
+	}
+	if _, err := c.Sub([]int{99}); err == nil {
+		t.Fatal("out-of-range Sub should fail")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// recordHierRun drives a hierarchical scheduler through the same seeded
+// closed-loop simulation recordRun uses and returns the plan sequence.
+func recordHierRun(t *testing.T, c *cluster.Cluster, apps []*models.Application, workers, slots int, seed int64, domains, domainSize int) []*edgesim.Plan {
+	t.Helper()
+	s, err := New(Config{
+		Cluster: c, Apps: apps, Workers: workers,
+		Domains: domains, DomainSize: domainSize,
+		Provider: NewOnlineTuner(0.04, 0.07),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &planRecorder{Scheduler: s}
+	runSim(t, rec, c, apps, slots, seed)
+	return rec.plans
+}
+
+// TestHierarchicalWorkerCountInvariantK6 extends the byte-identity contract to
+// hierarchical mode at testbed scale: three 2-edge domains, closed loop, so a
+// single divergent coordinator or domain decision would cascade into the tuner
+// feedback and be caught.
+func TestHierarchicalWorkerCountInvariantK6(t *testing.T) {
+	c := cluster.Default()
+	apps := models.Catalogue(1, 3)
+	serial := recordHierRun(t, c, apps, 1, 20, 9, 3, 0)
+	par := recordHierRun(t, c, apps, 8, 20, 9, 3, 0)
+	if !reflect.DeepEqual(serial, par) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Fatalf("slot %d: hierarchical plans diverged across worker counts\nserial: %+v\npar:    %+v", i, serial[i], par[i])
+			}
+		}
+		t.Fatalf("hierarchical plan sequences diverged (lengths %d vs %d)", len(serial), len(par))
+	}
+}
+
+// TestHierarchicalWorkerCountInvariantK50 repeats the invariance check at a
+// scale where the domain fan-out actually runs concurrently (4 domains of
+// ~13 edges) and the coordinator genuinely moves workload between domains.
+func TestHierarchicalWorkerCountInvariantK50(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	c, err := cluster.Scaled(50, cluster.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := models.Catalogue(2, 3)
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: 3, Seed: 4,
+		MeanPerSlot: 5, Imbalance: 0.9, BurstProb: 0.1, BurstScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []*edgesim.Plan {
+		s, err := New(Config{Cluster: c, Apps: apps, Workers: workers, DomainSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plans []*edgesim.Plan
+		for tt := 0; tt < 3; tt++ {
+			p, err := s.Decide(tt, tr.R[tt])
+			if err != nil {
+				t.Fatalf("workers=%d slot %d: %v", workers, tt, err)
+			}
+			plans = append(plans, p)
+		}
+		return plans
+	}
+	serial := run(1)
+	par := run(4)
+	if !reflect.DeepEqual(serial, par) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], par[i]) {
+				t.Fatalf("slot %d: K=50 hierarchical plans diverged across worker counts", i)
+			}
+		}
+		t.Fatal("K=50 hierarchical plan sequences diverged")
+	}
+}
+
+// TestHierarchicalOneDomainEquivalentToMonolithic: with a single domain the
+// coordinator never runs, the cluster view is the identity, and the provider
+// remap is the identity — so the hierarchical path must emit plans
+// byte-identical to the monolithic scheduler over a closed-loop run.
+func TestHierarchicalOneDomainEquivalentToMonolithic(t *testing.T) {
+	c := cluster.Default()
+	apps := models.Catalogue(1, 3)
+	mono := recordRun(t, c, apps, 2, 25, 9, SolveModeDecomposed)
+	hier := recordHierRun(t, c, apps, 2, 25, 9, 1, 0)
+	if !reflect.DeepEqual(mono, hier) {
+		for i := range mono {
+			if !reflect.DeepEqual(mono[i], hier[i]) {
+				t.Fatalf("slot %d: one-domain hierarchical diverged from monolithic\nmono: %+v\nhier: %+v", i, mono[i], hier[i])
+			}
+		}
+		t.Fatalf("plan sequences diverged (lengths %d vs %d)", len(mono), len(hier))
+	}
+}
+
+// TestHierarchicalRepeatable: two identically configured hierarchical runs —
+// including the coordinator's balancing rounds — must produce byte-identical
+// plan sequences (the partition, the coordinator, and the domain solves are
+// all pure functions of the seeded inputs).
+func TestHierarchicalRepeatable(t *testing.T) {
+	c := cluster.Default()
+	apps := models.Catalogue(2, 3)
+	a := recordHierRun(t, c, apps, 4, 15, 3, 0, 2)
+	b := recordHierRun(t, c, apps, 4, 15, 3, 0, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("hierarchical runs with identical configuration diverged")
+	}
+}
+
+// TestHierarchicalPlansExecuteCleanly runs the hierarchical scheduler through
+// the strict executor: merged plans (coordinator transfers + per-domain
+// deployments with globally remapped indices) must satisfy conservation,
+// memory, and bandwidth at fleet scope.
+func TestHierarchicalPlansExecuteCleanly(t *testing.T) {
+	c := cluster.Default()
+	apps := models.Catalogue(2, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, Domains: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, s, c, apps, 30, 7)
+	if len(res.Violations) != 0 {
+		t.Fatalf("hierarchical plans violated executor constraints: %v",
+			res.Violations[:min(3, len(res.Violations))])
+	}
+	if res.Served == 0 {
+		t.Fatal("hierarchical scheduler served nothing")
+	}
+}
+
+// TestHierarchicalRejectsJointMode: the hierarchy decomposes the decomposed
+// solver; the joint program has no domain form.
+func TestHierarchicalRejectsJointMode(t *testing.T) {
+	_, err := New(Config{
+		Cluster: cluster.Small(), Apps: models.Catalogue(1, 2),
+		SolveMode: SolveModeJoint, Domains: 2,
+	})
+	if err == nil {
+		t.Fatal("expected an error for hierarchical + joint")
+	}
+}
+
+// TestHierarchicalEdgeDownForwarded: marking an edge down at the top level
+// must keep workload away from it inside its domain too.
+func TestHierarchicalEdgeDownForwarded(t *testing.T) {
+	c := cluster.Default()
+	apps := models.Catalogue(1, 3)
+	s, err := New(Config{Cluster: c, Apps: apps, Domains: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const downEdge = 1
+	s.SetEdgeDown(downEdge, true)
+	arrivals := [][]int{{4, 4, 4, 4, 4, 4}}
+	p, err := s.Decide(0, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Deployments {
+		if d.Edge == downEdge {
+			t.Fatalf("deployment on downed edge: %+v", d)
+		}
+	}
+	for _, tr := range p.Transfers {
+		if tr.To == downEdge {
+			t.Fatalf("transfer into downed edge: %+v", tr)
+		}
+	}
+}

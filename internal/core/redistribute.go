@@ -56,6 +56,18 @@ type RedistOptions struct {
 	// instead of the sparse revised simplex (A/B oracle switch; see
 	// core.Config.DenseEngine).
 	DenseEngine bool
+	// ReservedMB[k] is bandwidth a parent coordinator already spent at edge k
+	// this slot (cross-domain transfers charge both endpoints); the forwarding
+	// budget rows plan against the remainder. Nil means nothing reserved.
+	ReservedMB []float64
+}
+
+// reservedAt reads a reserved-bandwidth vector that may be nil or short.
+func reservedAt(reserved []float64, k int) float64 {
+	if k < len(reserved) {
+		return reserved[k]
+	}
+	return 0
 }
 
 // Redistribution is the stage-1 outcome.
@@ -293,15 +305,20 @@ func Redistribute(
 			bub = append(bub, memFrac*c.Edges[k].MemoryMB)
 		}
 	}
-	// Bandwidth per edge (request forwarding only, hard with reserve).
+	// Bandwidth per edge (request forwarding only, hard with reserve; any
+	// coordinator-reserved spend comes off the top).
 	for k := 0; k < K; k++ {
 		r := row()
 		for i := 0; i < I; i++ {
 			r[outIdx[i][k]] = apps[i].RequestMB
 			r[inIdx[i][k]] = apps[i].RequestMB
 		}
+		budget := bwFrac*c.BandwidthMBAt(slot, k) - reservedAt(opt.ReservedMB, k)
+		if budget < 0 {
+			budget = 0
+		}
 		aub = append(aub, r)
-		bub = append(bub, bwFrac*c.BandwidthMBAt(slot, k))
+		bub = append(bub, budget)
 	}
 
 	prob := &lp.Problem{C: obj, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub, Ub: ub}
@@ -337,7 +354,7 @@ func Redistribute(
 	alloc := roundAlloc(serve, arrivals, opt.RoundRNG)
 	red := &Redistribution{Alloc: alloc, ForwardMB: make([]float64, K)}
 	red.Transfers = matchTransfers(arrivals, alloc)
-	red.enforceBandwidth(c, apps, arrivals, slot, bwFrac)
+	red.enforceBandwidth(c, apps, arrivals, slot, bwFrac, opt.ReservedMB)
 	for _, tr := range red.Transfers {
 		mb := float64(tr.Count) * apps[tr.App].RequestMB
 		red.ForwardMB[tr.From] += mb
@@ -356,7 +373,9 @@ func orDefault(v, def float64) float64 {
 // RealizeAllocation turns a target integer allocation into pairwise
 // transfers from the arrival pattern, trimming transfers that exceed the
 // per-edge forwarding budget (trimmed requests stay at their origin, and
-// Alloc reflects the post-trim reality). Used by the drop-repair pass.
+// Alloc reflects the post-trim reality). reservedMB, which may be nil, is
+// bandwidth a parent coordinator already spent per edge. Used by the
+// drop-repair pass.
 func RealizeAllocation(
 	c *cluster.Cluster,
 	apps []*models.Application,
@@ -364,6 +383,7 @@ func RealizeAllocation(
 	alloc [][]int,
 	slot int,
 	bwFrac float64,
+	reservedMB []float64,
 ) *Redistribution {
 	K := c.N()
 	cp := make([][]int, len(alloc))
@@ -372,7 +392,7 @@ func RealizeAllocation(
 	}
 	red := &Redistribution{Alloc: cp, ForwardMB: make([]float64, K)}
 	red.Transfers = matchTransfers(arrivals, cp)
-	red.enforceBandwidth(c, apps, arrivals, slot, bwFrac)
+	red.enforceBandwidth(c, apps, arrivals, slot, bwFrac, reservedMB)
 	for _, tr := range red.Transfers {
 		mb := float64(tr.Count) * apps[tr.App].RequestMB
 		red.ForwardMB[tr.From] += mb
@@ -526,14 +546,15 @@ func (r *Redistribution) enforceBandwidth(
 	arrivals [][]int,
 	slot int,
 	bwFrac float64,
+	reservedMB []float64,
 ) {
 	K := c.N()
 	used := make([]float64, K)
 	var kept []edgesim.Transfer
 	for _, tr := range r.Transfers {
 		mb := float64(tr.Count) * apps[tr.App].RequestMB
-		fromBudget := bwFrac * c.BandwidthMBAt(slot, tr.From)
-		toBudget := bwFrac * c.BandwidthMBAt(slot, tr.To)
+		fromBudget := bwFrac*c.BandwidthMBAt(slot, tr.From) - reservedAt(reservedMB, tr.From)
+		toBudget := bwFrac*c.BandwidthMBAt(slot, tr.To) - reservedAt(reservedMB, tr.To)
 		if used[tr.From]+mb <= fromBudget+1e-9 && used[tr.To]+mb <= toBudget+1e-9 {
 			used[tr.From] += mb
 			used[tr.To] += mb

@@ -112,6 +112,26 @@ type Config struct {
 	// SlotCacheSize bounds the per-edge plan-memoization LRU (0 = 8 entries),
 	// keeping the reuse layer's memory O(K·SlotCacheSize).
 	SlotCacheSize int
+	// Domains > 0 partitions the fleet into exactly that many collaboration
+	// domains and enables hierarchical scheduling: each domain runs its own
+	// redistribution LP + per-edge MILPs (concurrently across domains), and a
+	// thin top-level coordinator settles cross-domain workload flow with a
+	// deterministic greedy dual-adjustment pass over the Eq. 3 conservation
+	// constraint before the domains solve. Decomposed mode only. See
+	// hierarchy.go for the determinism argument; plans stay byte-identical
+	// across Workers values in hierarchical mode too.
+	Domains int
+	// DomainSize bounds domain sizes instead of fixing their count: the fleet
+	// splits into ⌈K/DomainSize⌉ domains. Either knob enables hierarchical
+	// scheduling; when both are zero the scheduler is monolithic (the
+	// historical behavior). With one resulting domain the hierarchical path
+	// reduces exactly to the monolithic one.
+	DomainSize int
+	// CoordRounds bounds the coordinator's cross-domain balancing rounds per
+	// slot (0 = 2). Each round pairs the most- and least-loaded domains and
+	// moves workload until their congestion estimates meet or bandwidth runs
+	// out; more rounds refine the balance at O(K) cost each.
+	CoordRounds int
 	// RootBasisHandoff re-enters each edge's root relaxation from the optimal
 	// root basis captured in the previous slot (in addition to the incumbent
 	// seeding the reuse layer always does). Off by default: the handoff is
@@ -145,6 +165,22 @@ type Scheduler struct {
 	// slot loop allocates almost nothing for solver workspaces.
 	pool          *miqp.ScratchPool
 	redistScratch *lp.Scratch
+	// hier is the hierarchical decomposition state (domain partition,
+	// per-domain sub-schedulers, coordinator caches); nil in monolithic mode.
+	hier *hierState
+	// bwReserved[k] is forwarding bandwidth the parent coordinator already
+	// spent at edge k this slot (cross-domain transfers charge both ends).
+	// Stage 1, the ship budget, and preloading all plan against the remaining
+	// budget. Nil at the top level; set per slot on domain sub-schedulers.
+	bwReserved []float64
+}
+
+// reservedMB returns the coordinator's bandwidth spend at edge k this slot.
+func (s *Scheduler) reservedMB(k int) float64 {
+	if s.bwReserved == nil {
+		return 0
+	}
+	return s.bwReserved[k]
 }
 
 // New builds a scheduler. The zero Config value is invalid; Cluster and Apps
@@ -182,6 +218,16 @@ func New(cfg Config) (*Scheduler, error) {
 	s.cfg.Redist.MaxBatch = cfg.MaxBatch
 	s.cfg.Redist.Mem = cfg.Mem
 	s.reset()
+	if cfg.Domains > 0 || cfg.DomainSize > 0 {
+		if cfg.SolveMode != SolveModeDecomposed {
+			return nil, fmt.Errorf("core: hierarchical scheduling requires SolveModeDecomposed")
+		}
+		h, err := newHierState(s)
+		if err != nil {
+			return nil, err
+		}
+		s.hier = h
+	}
 	return s, nil
 }
 
@@ -213,6 +259,9 @@ func (s *Scheduler) reset() {
 func (s *Scheduler) SetEdgeDown(k int, down bool) {
 	if k >= 0 && k < len(s.down) {
 		s.down[k] = down
+		if s.hier != nil {
+			s.hier.subs[s.hier.domainOf[k]].SetEdgeDown(s.hier.localOf[k], down)
+		}
 	}
 }
 
@@ -247,6 +296,9 @@ func (s *Scheduler) Decide(t int, arrivals [][]int) (*edgesim.Plan, error) {
 	if s.cfg.SolveMode == SolveModeJoint {
 		return s.decideJoint(t, arrivals)
 	}
+	if s.hier != nil {
+		return s.decideHierarchical(t, arrivals)
+	}
 	return s.decideDecomposed(t, arrivals)
 }
 
@@ -263,6 +315,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	redistOpts.DownEdges = s.down
 	redistOpts.Scratch = s.redistScratch
 	redistOpts.DenseEngine = s.cfg.DenseEngine
+	redistOpts.ReservedMB = s.bwReserved
 	red, err := Redistribute(c, s.cfg.Apps, arrivals,
 		s.provider.Params, s.gamma, t, redistOpts)
 	if err != nil {
@@ -286,10 +339,6 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	// goroutine and merge overhead without any concurrency (plans are
 	// pool-width independent, so the cap cannot change results).
 	workers := par.CapWorkers(s.cfg.Workers)
-	miqpWorkers := workers / K
-	if miqpWorkers < 1 {
-		miqpWorkers = 1
-	}
 	asgs := make([]*EdgeAssignment, K)
 	curFP := make([]uint64, K) // fingerprint behind asgs[k] (valid when non-nil)
 	ws := make([][]int, K)
@@ -326,7 +375,9 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 			}
 			// Stage 1 reserved (1 − bwFrac) of the bandwidth for shipping;
 			// whatever forwarding left unspent is released to shipping too.
-			ship := c.BandwidthMBAt(t, k) - red.ForwardMB[k]
+			// Cross-domain transfers the coordinator already booked come off
+			// the top — that bandwidth is spent before this solver plans.
+			ship := c.BandwidthMBAt(t, k) - red.ForwardMB[k] - s.reservedMB(k)
 			if ship < 0 {
 				ship = 0
 			}
@@ -355,7 +406,13 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 			}
 			solve = append(solve, k)
 		}
-		if err := par.ForEach(workers, len(solve), func(_, idx int) error {
+		// Two-level split of the worker budget: with more pending edges than
+		// workers each MILP runs serially and the fan-out is K-wide; with
+		// fewer (small domains, late repair rounds, heavy cache hits) the
+		// leftover workers parallelize the branch & bound inside each MILP
+		// instead of idling.
+		outer, inner := par.TwoLevel(workers, len(solve))
+		if err := par.ForEach(outer, len(solve), func(_, idx int) error {
 			k := solve[idx]
 			snap := snaps[k]
 			ep := &EdgeProblem{
@@ -374,7 +431,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				DropPenalty:          s.cfg.DropPenalty,
 				OverflowPenaltyPerMS: s.cfg.OverflowPenaltyPerMS,
 				SingleVersion:        s.cfg.SingleVersion,
-				Workers:              miqpWorkers,
+				Workers:              inner(idx),
 				DenseEngine:          s.cfg.DenseEngine,
 				Pool:                 s.pool,
 			}
@@ -432,7 +489,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 		if !moved {
 			break
 		}
-		red = RealizeAllocation(c, s.cfg.Apps, arrivals, red.Alloc, t, bwFrac)
+		red = RealizeAllocation(c, s.cfg.Apps, arrivals, red.Alloc, t, bwFrac, s.bwReserved)
 	}
 	plan.Solver = &slotSolver
 	s.solver.Add(slotSolver)
@@ -554,10 +611,11 @@ func (s *Scheduler) maybePreload(t int, arrivals [][]int, plan *edgesim.Plan) {
 	}
 	c := s.cfg.Cluster
 	K := c.N()
-	// Spare bandwidth per edge after this plan's forwarding and shipping.
+	// Spare bandwidth per edge after this plan's forwarding and shipping
+	// (and any budget the parent coordinator already committed).
 	spare := make([]float64, K)
 	for k := 0; k < K; k++ {
-		spare[k] = c.BandwidthMBAt(t, k)
+		spare[k] = c.BandwidthMBAt(t, k) - s.reservedMB(k)
 	}
 	for _, tr := range plan.Transfers {
 		mb := float64(tr.Count) * s.cfg.Apps[tr.App].RequestMB

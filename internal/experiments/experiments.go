@@ -54,6 +54,19 @@ type Options struct {
 	// the sparse revised simplex. A/B oracle switch — both engines certify
 	// the same optima, so runs agree within the solver's gap tolerance.
 	DenseEngine bool
+	// Hierarchical enables domain-decomposed scheduling for every core-family
+	// arm: the fleet partitions into bounded-size collaboration domains
+	// (DomainSize, default cluster.DefaultDomainSize) solved concurrently
+	// behind a deterministic cross-domain coordinator. Domains > 0 fixes the
+	// domain count instead; either field alone also enables the mode.
+	Hierarchical bool
+	// Domains fixes the number of collaboration domains (hierarchical mode).
+	Domains int
+	// DomainSize bounds domain sizes (hierarchical mode; 0 with Hierarchical
+	// set means cluster.DefaultDomainSize).
+	DomainSize int
+	// K is the fleet size for the Scale experiment (0 = 50).
+	K int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +144,13 @@ func coreMod(opt Options) func(*core.Config) {
 		cfg.Workers = opt.Workers
 		cfg.DisableSlotReuse = opt.DisableSlotReuse
 		cfg.DenseEngine = opt.DenseEngine
+		if opt.Hierarchical || opt.Domains > 0 || opt.DomainSize > 0 {
+			cfg.Domains = opt.Domains
+			cfg.DomainSize = opt.DomainSize
+			if cfg.Domains == 0 && cfg.DomainSize == 0 {
+				cfg.DomainSize = cluster.DefaultDomainSize
+			}
+		}
 	}
 }
 

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/metrics"
+	"repro/internal/miqp"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// ScaleResult is one fleet-scaling measurement: a BIRP run (monolithic or
+// hierarchical) over a seeded K-edge fleet.
+type ScaleResult struct {
+	K            int
+	Hierarchical bool
+	// Domains is the realized collaboration-domain count (1 for monolithic).
+	Domains     int
+	Slots       int
+	TotalLoss   float64
+	FailureRate float64
+	Served      int
+	Dropped     int
+	// Violations counts executor constraint findings (conservation, memory,
+	// bandwidth); always 0 for a correct scheduler.
+	Violations int
+	Solver     *miqp.Stats
+}
+
+// Scale runs the fleet-scaling experiment (fig7-style workload on a seeded
+// Scaled(K) fleet): one BIRP arm, monolithic or hierarchical per
+// opt.Hierarchical/Domains/DomainSize. It reports quality (total loss, p%,
+// drops) and executor-verified feasibility; wall-clock timing belongs to the
+// caller (birpbench), which brackets this call.
+func Scale(w io.Writer, opt Options) (*ScaleResult, error) {
+	opt = opt.withDefaults()
+	k := opt.K
+	if k == 0 {
+		k = 50
+	}
+	c, err := cluster.Scaled(k, cluster.WithSeed(opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	apps := models.Catalogue(largeScaleApps, largeScaleVersions)
+	tr, err := trace.Generate(trace.Config{
+		Apps: len(apps), Edges: c.N(), Slots: opt.Slots, Seed: opt.Seed,
+		MeanPerSlot: largeScaleMean, Imbalance: 0.8, BurstProb: 0.05, BurstScale: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Cluster: c, Apps: apps,
+		Provider: core.NewOnlineTuner(opt.Eps1, opt.Eps2),
+	}
+	coreMod(opt)(&cfg)
+	sched, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := edgesim.New(edgesim.Config{
+		Cluster: c, Apps: apps,
+		NoiseSigma: 0.02, SlotNoiseSigma: 0.05, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sched, tr.R)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScaleResult{
+		K:            k,
+		Hierarchical: cfg.Domains > 0 || cfg.DomainSize > 0,
+		Domains:      1,
+		Slots:        opt.Slots,
+		FailureRate:  res.FailureRate(),
+		Served:       res.Served,
+		Dropped:      res.Dropped,
+		Violations:   len(res.Violations),
+	}
+	if cum := res.Loss.Cumulative(); len(cum) > 0 {
+		out.TotalLoss = cum[len(cum)-1]
+	}
+	if out.Hierarchical {
+		out.Domains = len(cluster.Partition(c, cfg.Domains, cfg.DomainSize))
+	}
+	st := sched.SolverStats()
+	out.Solver = &st
+	if w != nil {
+		mode := "monolithic"
+		if out.Hierarchical {
+			mode = fmt.Sprintf("hierarchical (%d domains)", out.Domains)
+		}
+		tab := metrics.NewTable("K", "mode", "slots", "total loss", "p%", "served", "dropped", "violations")
+		tab.AddRow(fmt.Sprintf("%d", out.K), mode, fmt.Sprintf("%d", out.Slots),
+			fmt.Sprintf("%.0f", out.TotalLoss), fmt.Sprintf("%.2f%%", 100*out.FailureRate),
+			fmt.Sprintf("%d", out.Served), fmt.Sprintf("%d", out.Dropped),
+			fmt.Sprintf("%d", out.Violations))
+		fmt.Fprintf(w, "== Fleet scaling — BIRP at K=%d ==\n\n%s\n", out.K, tab)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestScaleHierarchicalFeasibleAndComparable runs the fleet-scaling
+// experiment both ways at a small K and checks the hierarchical arm stays
+// executor-feasible (no conservation/memory/bandwidth findings) and lands in
+// the same quality regime as the monolithic solver.
+func TestScaleHierarchicalFeasibleAndComparable(t *testing.T) {
+	base := Options{Seed: 1, Slots: 6, K: 12, Workers: 2}
+	mono, err := Scale(nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopt := base
+	hopt.Hierarchical = true
+	hopt.DomainSize = 6
+	hier, err := Scale(nil, hopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Violations != 0 || hier.Violations != 0 {
+		t.Fatalf("executor violations: mono %d, hier %d", mono.Violations, hier.Violations)
+	}
+	if !hier.Hierarchical || hier.Domains != 2 {
+		t.Fatalf("hierarchical run reported %+v", hier)
+	}
+	if mono.Hierarchical || mono.Domains != 1 {
+		t.Fatalf("monolithic run reported %+v", mono)
+	}
+	if hier.Served == 0 || mono.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if mono.TotalLoss > 0 && hier.TotalLoss > 2*mono.TotalLoss {
+		t.Fatalf("hierarchical loss %.0f far above monolithic %.0f", hier.TotalLoss, mono.TotalLoss)
+	}
+}
+
+// TestScaleRepeatable: the scale experiment is a pure function of its options.
+func TestScaleRepeatable(t *testing.T) {
+	opt := Options{Seed: 3, Slots: 4, K: 10, Hierarchical: true, DomainSize: 4}
+	a, err := Scale(nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scale(nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.Solver != *b.Solver || a.TotalLoss != b.TotalLoss || a.Served != b.Served {
+		t.Fatalf("scale runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -37,6 +37,44 @@ func CapWorkers(n int) int {
 	return w
 }
 
+// TwoLevel deterministically splits a worker budget across a two-level solve:
+// an outer fan-out of n independent items, each of which can itself use inner
+// workers (e.g. concurrent per-edge MILPs whose branch & bound is internally
+// parallel, or concurrent scheduling domains that fan out again over their
+// edges). The outer level gets min(workers, n) concurrent slots; when n <
+// workers the leftover capacity is dealt to the inner level by item index, so
+// any moment's running items use Σ inner(idx) = workers workers in total. When
+// n ≥ workers every concurrent outer slot is already backed by one CPU and
+// inner parallelism would only oversubscribe, so inner(idx) = 1.
+//
+// This replaces the workers/n division, which had two failure modes: with
+// n ≥ workers it was merely redundant, but with n < workers it stranded the
+// workers − n·(workers/n) remainder entirely, and with workers < n it starved
+// the inner level to 1 while the outer level could not use the width either.
+//
+// The split is a pure function of (workers, n, idx) — it never reads runtime
+// state — and both levels' engines are worker-count invariant, so the
+// allocation affects wall-clock time only, never results. workers should
+// already be resolved (Workers/CapWorkers); n == 0 returns (0, inner≡1).
+func TwoLevel(workers, n int) (outer int, inner func(idx int) int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return 0, func(int) int { return 1 }
+	}
+	if n >= workers {
+		return workers, func(int) int { return 1 }
+	}
+	base, rem := workers/n, workers%n
+	return n, func(idx int) int {
+		if idx < rem {
+			return base + 1
+		}
+		return base
+	}
+}
+
 // ForEach runs fn(worker, i) for every i in [0, n) on up to workers
 // concurrent goroutines and returns the error of the lowest index that
 // failed (nil when none fail). worker ∈ [0, effective workers) is stable for

@@ -19,6 +19,51 @@ func TestWorkersDefaults(t *testing.T) {
 	}
 }
 
+func TestTwoLevelSplitsBudget(t *testing.T) {
+	cases := []struct {
+		workers, n, outer int
+		inner             []int // expected inner width per item (nil = all 1)
+	}{
+		{workers: 8, n: 3, outer: 3, inner: []int{3, 3, 2}},
+		{workers: 4, n: 4, outer: 4},
+		{workers: 4, n: 8, outer: 4},
+		{workers: 1, n: 5, outer: 1},
+		{workers: 0, n: 5, outer: 1}, // unresolved budget degrades to serial
+		{workers: 6, n: 1, outer: 1, inner: []int{6}},
+		{workers: 5, n: 2, outer: 2, inner: []int{3, 2}},
+	}
+	for _, tc := range cases {
+		outer, inner := TwoLevel(tc.workers, tc.n)
+		if outer != tc.outer {
+			t.Errorf("TwoLevel(%d, %d): outer = %d, want %d", tc.workers, tc.n, outer, tc.outer)
+		}
+		total := 0
+		for idx := 0; idx < tc.n; idx++ {
+			w := inner(idx)
+			if w < 1 {
+				t.Errorf("TwoLevel(%d, %d): inner(%d) = %d, must be ≥ 1", tc.workers, tc.n, idx, w)
+			}
+			want := 1
+			if tc.inner != nil {
+				want = tc.inner[idx]
+			}
+			if w != want {
+				t.Errorf("TwoLevel(%d, %d): inner(%d) = %d, want %d", tc.workers, tc.n, idx, w, want)
+			}
+			total += w
+		}
+		// No stranded workers: when items are scarcer than workers, the inner
+		// widths must spend the entire budget (the workers/n bug this replaces
+		// stranded the remainder).
+		if want := tc.workers; want >= 1 && tc.n < want && total != want {
+			t.Errorf("TwoLevel(%d, %d): inner widths sum to %d, want %d", tc.workers, tc.n, total, want)
+		}
+	}
+	if outer, _ := TwoLevel(4, 0); outer != 0 {
+		t.Errorf("TwoLevel(4, 0): outer = %d, want 0", outer)
+	}
+}
+
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 100} {
 		n := 57

@@ -7,10 +7,11 @@
 #   scripts/check.sh          # full gate (lint + race over every package)
 #   scripts/check.sh -short   # quick tier: lint + build + short-mode race
 #   scripts/check.sh -lint    # lint tier only: vet + gofmt + birplint
-#   scripts/check.sh -bench   # solver bench tier: fig7 revised/dense engine ×
-#                             # workers {1,4}, pivots per node, warm-fallback
-#                             # rate, dual re-entry counters, slot-loop
-#                             # allocs; writes BENCH_PR6.json
+#   scripts/check.sh -bench   # K-scaling bench tier: fig7 workers {1,4} plus
+#                             # the monolithic vs hierarchical fleet-scaling
+#                             # matrix at K {6,50,500} × workers {1,4}, with
+#                             # cross-worker byte-identity checks per config;
+#                             # writes BENCH_PR7.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,25 +20,47 @@ if [[ "${1:-}" == "-bench" ]]; then
 	trap 'rm -rf "$tmp"' EXIT
 	echo "== build birpbench"
 	go build -o "$tmp/birpbench" ./cmd/birpbench
-	slots=150
-	for engine in revised dense; do
-		flag=""
-		if [[ $engine == dense ]]; then
-			flag="-dense"
-		fi
-		for w in 1 4; do
-			echo "== fig7 -slots $slots -workers $w engine=$engine"
-			# shellcheck disable=SC2086
-			"$tmp/birpbench" -exp fig7 -slots $slots -seed 1 -workers "$w" $flag \
-				-solverstats -json "$tmp/${engine}_w$w.json" >"$tmp/out_${engine}_w$w.txt"
-		done
-		echo "== cross-worker output identity (engine=$engine)"
-		# Strip the wall-clock trailer; everything else (figures, summaries,
-		# solver counters) must match byte for byte across worker counts.
-		sed '/ completed in /d' "$tmp/out_${engine}_w1.txt" >"$tmp/id_${engine}_w1.txt"
-		sed '/ completed in /d' "$tmp/out_${engine}_w4.txt" >"$tmp/id_${engine}_w4.txt"
-		cmp "$tmp/id_${engine}_w1.txt" "$tmp/id_${engine}_w4.txt"
+
+	# identical CONFIG: the two worker counts of one configuration must print
+	# byte-identical stdout once the wall-clock trailer is stripped.
+	identical() {
+		sed '/ completed in /d' "$tmp/out_$1_w1.txt" >"$tmp/id_$1_w1.txt"
+		sed '/ completed in /d' "$tmp/out_$1_w4.txt" >"$tmp/id_$1_w4.txt"
+		cmp "$tmp/id_$1_w1.txt" "$tmp/id_$1_w4.txt"
+	}
+
+	echo "== fig7 -slots 150 (trajectory anchor, workers {1,4})"
+	for w in 1 4; do
+		"$tmp/birpbench" -exp fig7 -slots 150 -seed 1 -workers "$w" \
+			-solverstats -json "$tmp/fig7_w$w.json" >"$tmp/out_fig7_w$w.txt"
 	done
+	identical fig7
+
+	# Fleet-scaling matrix. Horizons shrink as K grows so every cell stays
+	# tractable; the monolithic K=500 arm gets one slot and a hard timeout —
+	# recording a DNF there is an honest result, not a failure.
+	scale() { # name k slots extra...
+		local name=$1 k=$2 slots=$3
+		shift 3
+		for w in 1 4; do
+			echo "== scale K=$k slots=$slots workers=$w $name"
+			"$tmp/birpbench" -exp scale -k "$k" -slots "$slots" -seed 1 -workers "$w" "$@" \
+				-json "$tmp/${name}_w$w.json" >"$tmp/out_${name}_w$w.txt"
+		done
+		identical "$name"
+	}
+	scale k6_mono 6 40
+	scale k6_hier 6 40 -domains 3
+	scale k50_mono 50 8
+	scale k50_hier 50 8 -hier
+	scale k500_hier 500 3 -hier
+	echo "== scale K=500 slots=1 workers=1 monolithic (timeout 600s; DNF is a result)"
+	if ! timeout 600 "$tmp/birpbench" -exp scale -k 500 -slots 1 -seed 1 -workers 1 \
+		-json "$tmp/k500_mono_w1.json" >"$tmp/out_k500_mono_w1.txt"; then
+		echo "monolithic K=500 did not finish within 600s (recorded as DNF)"
+		rm -f "$tmp/k500_mono_w1.json"
+	fi
+
 	echo "== micro-benches (warm vs cold, LP box solve, warm re-entry, slot-loop allocs)"
 	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
 		tee "$tmp/micro.txt"
@@ -45,9 +68,8 @@ if [[ "${1:-}" == "-bench" ]]; then
 		tee -a "$tmp/micro.txt"
 	go test ./internal/core -run '^$' -bench 'BenchmarkSlotLoop' -benchtime 200x -benchmem |
 		tee -a "$tmp/micro.txt"
-	python3 scripts/benchreport.py "$tmp/revised_w1.json" "$tmp/revised_w4.json" \
-		"$tmp/dense_w1.json" "$tmp/dense_w4.json" "$tmp/micro.txt" >BENCH_PR6.json
-	echo "ok: wrote BENCH_PR6.json"
+	python3 scripts/benchreport.py "$tmp" >BENCH_PR7.json
+	echo "ok: wrote BENCH_PR7.json"
 	exit 0
 fi
 
