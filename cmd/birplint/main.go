@@ -1,13 +1,17 @@
 // Command birplint is the repository's determinism linter: it loads every
 // package in the module with the stdlib-only loader in internal/analysis and
 // runs the analyzers that enforce the solver stack's reproducibility
-// invariants (no observable map order, no raw float equality, no wall-clock
-// reads in solve paths, no dropped intra-module errors, no copied locks, no
-// loop-variable captures in fan-outs).
+// invariants — six intra-file rules (no observable map order, no raw float
+// equality, no wall-clock reads in solve paths, no dropped intra-module
+// errors, no copied locks, no loop-variable captures in fan-outs) and four
+// interprocedural rules over the whole-module call graph (determinism taint
+// into Plan/Report/Stats/Summary outputs, shared writes in goroutine
+// fan-outs, joinless goroutines, and non-total sort comparators).
 //
 // Usage:
 //
 //	birplint [-json] [-analyzers list] [patterns...]
+//	birplint -changed [files.go...]        # or: git diff --name-only | birplint -changed -
 //
 // Patterns are package directories; a trailing /... walks recursively (the
 // default pattern is ./...). testdata directories are skipped unless the
@@ -18,11 +22,21 @@
 //	birplint -json ./... | python3 scripts/lintreport.py
 //	birplint ./internal/analysis/testdata/src/...   # the seeded fixtures
 //
+// With -changed, the arguments are .go files instead of package directories
+// ("-" reads a newline-separated file list from stdin, which is how
+// scripts/check.sh -short feeds it the git diff). The full analyzer set runs
+// over the packages containing those files, but only findings positioned in
+// the named files are reported — the pre-commit tier in seconds instead of
+// whole-module time. The trade-off: interprocedural facts are computed from
+// the changed packages and their imports only, so a change that breaks an
+// invariant in an unloaded caller surfaces in the full run, not here.
+//
 // Exit status: 0 when every finding is waived or there are none, 1 when any
 // unwaived finding remains, 2 on usage or load errors.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	changed := flag.Bool("changed", false, "arguments are changed .go files (or - for stdin), not package patterns; only findings in those files are reported")
 	flag.Parse()
 
 	if *list {
@@ -55,11 +70,6 @@ func main() {
 		}
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -73,30 +83,45 @@ func main() {
 		fatal(err)
 	}
 
-	var dirs []string
-	seen := map[string]bool{}
-	for _, pat := range patterns {
-		expanded, err := expand(loader, pat)
+	var units []*analysis.Unit
+	if *changed {
+		units, err = loadChanged(loader, flag.Args())
 		if err != nil {
 			fatal(err)
 		}
-		for _, d := range expanded {
-			if !seen[d] {
-				seen[d] = true
-				dirs = append(dirs, d)
+		if len(units) == 0 {
+			// Nothing lintable changed: vacuously clean.
+			if *jsonOut {
+				writeJSON(os.Stdout, analyzers, nil, 0, analysis.ModuleStats{})
 			}
+			return
+		}
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		var dirs []string
+		seen := map[string]bool{}
+		for _, pat := range patterns {
+			expanded, err := expand(loader, pat)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range expanded {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+		}
+		units, err = loader.Load(dirs)
+		if err != nil {
+			fatal(err)
 		}
 	}
 
-	units, err := loader.Load(dirs)
-	if err != nil {
-		fatal(err)
-	}
-
-	var diags []analysis.Diagnostic
-	for _, u := range units {
-		diags = append(diags, analysis.Analyze(u, analyzers)...)
-	}
+	diags, stats := analysis.AnalyzeModule(units, analyzers)
 	for i := range diags {
 		// Report module-relative paths so output is stable across checkouts.
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -112,7 +137,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		writeJSON(os.Stdout, analyzers, diags, unwaived)
+		writeJSON(os.Stdout, analyzers, diags, unwaived, stats)
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
@@ -124,6 +149,60 @@ func main() {
 	if unwaived > 0 {
 		os.Exit(1)
 	}
+}
+
+// loadChanged resolves a changed-file list to loaded units restricted (via
+// Unit.OnlyFiles) to reporting on exactly those files. Missing files (e.g.
+// deletions in the diff) and non-Go files are skipped silently.
+func loadChanged(loader *analysis.Loader, args []string) ([]*analysis.Unit, error) {
+	var files []string
+	for _, a := range args {
+		if a == "-" {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				if line := strings.TrimSpace(sc.Text()); line != "" {
+					files = append(files, line)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		files = append(files, a)
+	}
+
+	only := map[string]bool{}
+	dirSeen := map[string]bool{}
+	var dirs []string
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		abs, err := filepath.Abs(f)
+		if err != nil {
+			return nil, err
+		}
+		if info, err := os.Stat(abs); err != nil || info.IsDir() {
+			continue
+		}
+		only[abs] = true
+		if d := filepath.Dir(abs); !dirSeen[d] {
+			dirSeen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, nil
+	}
+	units, err := loader.Load(dirs)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range units {
+		u.OnlyFiles = only
+	}
+	return units, nil
 }
 
 // expand resolves a package pattern to directories.
@@ -154,6 +233,9 @@ type report struct {
 	Findings  []analysis.Diagnostic `json:"findings"`
 	Counts    map[string]counts     `json:"counts"`
 	Unwaived  int                   `json:"unwaived"`
+	// CallGraph sizes the interprocedural machinery (zero-valued when no
+	// module analyzer ran) so analysis-cost regressions are visible.
+	CallGraph analysis.ModuleStats `json:"callgraph"`
 }
 
 type counts struct {
@@ -161,11 +243,12 @@ type counts struct {
 	Waived   int `json:"waived"`
 }
 
-func writeJSON(w *os.File, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic, unwaived int) {
+func writeJSON(w *os.File, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic, unwaived int, stats analysis.ModuleStats) {
 	r := report{
-		Findings: diags,
-		Counts:   map[string]counts{},
-		Unwaived: unwaived,
+		Findings:  diags,
+		Counts:    map[string]counts{},
+		Unwaived:  unwaived,
+		CallGraph: stats,
 	}
 	if r.Findings == nil {
 		r.Findings = []analysis.Diagnostic{}

@@ -89,6 +89,7 @@ func main() {
 
 	// Kill edge 1 shortly into the run, then bring up a replacement agent for
 	// the same edge — as if the crashed process had been restarted.
+	//birplint:ignore goroleak // demo choreography: fire-and-forget killer, bounded by the one-minute root context and process exit
 	go func() {
 		time.Sleep(300 * time.Millisecond)
 		fmt.Println(">>> killing edge 1 <<<")

@@ -61,7 +61,12 @@ type Analyzer struct {
 	// SkipTests drops findings positioned in _test.go files: test code is
 	// allowed to compare floats exactly, time itself, and drop errors.
 	SkipTests bool
+	// Run is the per-unit entry point (intra-file analyzers). RunModule is
+	// the whole-module entry point (interprocedural analyzers); it sees the
+	// call graph and summary table through the ModulePass. An analyzer sets
+	// exactly one of the two.
 	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // All returns the full analyzer registry in reporting order.
@@ -73,6 +78,10 @@ func All() []*Analyzer {
 		DroppedErr,
 		MutexCopy,
 		LoopCapture,
+		DetTaint,
+		SharedWrite,
+		GoroLeak,
+		CmpTotal,
 	}
 }
 
@@ -142,6 +151,9 @@ func Analyze(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	waived := collectWaivers(u)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-scoped analyzer; see AnalyzeModule
+		}
 		pass := &Pass{Unit: u, Analyzer: a}
 		a.Run(pass)
 		for _, d := range pass.diags {
@@ -155,6 +167,13 @@ func Analyze(u *Unit, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders findings by position then analyzer name — the
+// stable order both Analyze and AnalyzeModule report in.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -167,7 +186,6 @@ func Analyze(u *Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
 // waiverSet maps file → line → analyzer names waived there ("*" = all).

@@ -81,7 +81,8 @@ func readExpectations(t *testing.T, dir string) []*expectation {
 }
 
 // analyzeFixture loads one fixture directory and runs a single analyzer over
-// every unit in it.
+// it — through AnalyzeModule, so per-unit and interprocedural (RunModule)
+// analyzers go through the same door.
 func analyzeFixture(t *testing.T, analyzer, rel string) (string, []Diagnostic) {
 	t.Helper()
 	l := sharedLoader(t)
@@ -100,10 +101,7 @@ func analyzeFixture(t *testing.T, analyzer, rel string) (string, []Diagnostic) {
 	if err != nil {
 		t.Fatalf("ByName(%q): %v", analyzer, err)
 	}
-	var diags []Diagnostic
-	for _, u := range units {
-		diags = append(diags, Analyze(u, anz)...)
-	}
+	diags, _ := AnalyzeModule(units, anz)
 	return dir, diags
 }
 
@@ -122,6 +120,10 @@ func TestFixtures(t *testing.T) {
 		{"droppederr", "droppederr"},
 		{"mutexcopy", "mutexcopy"},
 		{"loopcapture", "loopcapture"},
+		{"dettaint", "dettaint"},
+		{"sharedwrite", "sharedwrite"},
+		{"goroleak", "goroleak"},
+		{"cmptotal", "cmptotal"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer+"/"+filepath.Base(c.dir), func(t *testing.T) {

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds birplint's whole-module static call graph, the substrate
+// the interprocedural analyzers (dettaint, sharedwrite, goroleak, cmptotal)
+// walk. It stays stdlib-only: nodes are the module's declared functions and
+// methods (anything with a body in a loaded Unit), and edges are resolved
+// three ways:
+//
+//   - direct calls and concrete-method calls resolve through go/types object
+//     identity, canonicalized by funcID so a call from one unit reaches the
+//     declaration typechecked in another unit (the loader typechecks each
+//     directory once as an import base and once as its own test-augmented
+//     unit, so *types.Func pointers are not comparable across units);
+//   - interface method calls resolve with the sound "all implementers"
+//     fallback: every named type in the module whose method set satisfies the
+//     interface contributes an edge to its implementation, so dataflow never
+//     silently stops at a dynamic dispatch;
+//   - calls of computed function values (fields, locals, returned closures)
+//     produce no edge — a documented precision loss; the dataflow engine
+//     treats such calls as conservative pass-throughs instead.
+//
+// Function literals are not separate nodes: a literal's statements are
+// attributed to the function that (lexically) encloses it, which matches how
+// the fan-out code here uses closures — created and run within one
+// orchestration function — and keeps every captured variable visible to a
+// single intraprocedural analysis.
+
+// Func is one call-graph node: a declared function or method with a body.
+type Func struct {
+	// ID is the canonical cross-unit identity, "pkgpath.Name" for functions
+	// and "pkgpath.Recv.Name" for methods (pointerness of the receiver is
+	// erased; duplicate IDs — multiple init functions — get a position
+	// suffix).
+	ID   string
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Unit *Unit
+	// Params is the receiver (if any) followed by the declared parameters, in
+	// the order call-site arguments bind to them.
+	Params []*types.Var
+	// Calls are the resolved call sites lexically inside this function
+	// (including inside its nested literals), in source order.
+	Calls []*Call
+	// Summary is the function's interprocedural fact set, filled in by the
+	// fixpoint in taint.go.
+	Summary Summary
+}
+
+// Call is one resolved call site.
+type Call struct {
+	Site *ast.CallExpr
+	// Callees holds every module function the site can reach, sorted by ID.
+	// Direct calls have one entry; interface calls have one per implementer.
+	Callees []*Func
+	// Iface marks a dynamically dispatched (interface method) site.
+	Iface bool
+}
+
+// CallGraph is the whole-module graph plus the size counters the JSON report
+// exposes so analysis-cost regressions stay visible across PRs.
+type CallGraph struct {
+	Funcs []*Func // sorted by ID
+	// Edges is the number of resolved caller→callee links.
+	Edges int
+
+	byID  map[string]*Func
+	calls map[*ast.CallExpr]*Call // every resolved site, across all units
+}
+
+// FuncByID looks a node up by its canonical ID ("" on miss returns nil).
+func (g *CallGraph) FuncByID(id string) *Func { return g.byID[id] }
+
+// Resolve returns the resolution of a call site, or nil when the site is
+// unresolved (external callee, computed function value).
+func (g *CallGraph) Resolve(call *ast.CallExpr) *Call { return g.calls[call] }
+
+// funcID canonicalizes a function object across independent typechecks of the
+// same source. The receiver's pointerness is erased so that the declaration's
+// object and a method-set lookup through either T or *T agree.
+func funcID(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := "?"
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name()
+		}
+		return pkg + "." + name + "." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// namedEntry is one candidate implementer for interface resolution.
+type namedEntry struct {
+	named *types.Named
+	pkg   *types.Package
+}
+
+// BuildCallGraph indexes every declared function in the units and resolves
+// their call sites. Units must share one FileSet (the loader guarantees it).
+func BuildCallGraph(units []*Unit) *CallGraph {
+	g := &CallGraph{
+		byID:  map[string]*Func{},
+		calls: map[*ast.CallExpr]*Call{},
+	}
+
+	// Pass 1: register nodes and collect the module's named types (the
+	// interface-implementer candidate set).
+	var named []namedEntry
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := funcID(obj)
+				if _, taken := g.byID[id]; taken {
+					// Multiple init functions (or a redeclaration across
+					// GoFiles and TestGoFiles views): disambiguate by position.
+					pos := u.Fset.Position(fd.Pos())
+					id = fmt.Sprintf("%s@%s:%d", id, pathTail(pos.Filename), pos.Line)
+				}
+				fn := &Func{ID: id, Obj: obj, Decl: fd, Unit: u, Params: paramVars(obj)}
+				g.byID[id] = fn
+			}
+		}
+		if u.Pkg != nil {
+			scope := u.Pkg.Scope()
+			for _, name := range scope.Names() { // Names() is sorted
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, namedEntry{named: n, pkg: u.Pkg})
+				}
+			}
+		}
+	}
+	for _, fn := range g.byID {
+		g.Funcs = append(g.Funcs, fn)
+	}
+	sort.SliceStable(g.Funcs, func(i, j int) bool { return g.Funcs[i].ID < g.Funcs[j].ID })
+
+	// Pass 2: resolve call sites.
+	for _, fn := range g.Funcs {
+		info := fn.Unit.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, iface := resolveCallees(g, info, call, named)
+			if len(callee) == 0 {
+				return true
+			}
+			c := &Call{Site: call, Callees: callee, Iface: iface}
+			fn.Calls = append(fn.Calls, c)
+			g.calls[call] = c
+			g.Edges += len(callee)
+			return true
+		})
+	}
+	return g
+}
+
+// paramVars lists the receiver (if any) followed by the parameters.
+func paramVars(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// resolveCallees maps one call expression to its module-internal targets.
+func resolveCallees(g *CallGraph, info *types.Info, call *ast.CallExpr, named []namedEntry) ([]*Func, bool) {
+	obj, ok := calleeObject(info, call).(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if types.IsInterface(rt) {
+			return interfaceImplementers(g, rt, obj.Name(), named), true
+		}
+	}
+	if target := g.byID[funcID(obj)]; target != nil {
+		return []*Func{target}, false
+	}
+	return nil, false
+}
+
+// interfaceImplementers returns the implementation methods of every module
+// named type satisfying iface — the sound "all implementers" fallback for
+// dynamic dispatch. Results are deduplicated by ID and sorted.
+func interfaceImplementers(g *CallGraph, ifaceType types.Type, method string, named []namedEntry) []*Func {
+	iface, ok := ifaceType.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	seen := map[string]*Func{}
+	for _, e := range named {
+		if types.IsInterface(e.named) {
+			continue
+		}
+		if !types.Implements(e.named, iface) && !types.Implements(types.NewPointer(e.named), iface) {
+			continue
+		}
+		mobj, _, _ := types.LookupFieldOrMethod(types.NewPointer(e.named), true, e.pkg, method)
+		mfn, ok := mobj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if target := g.byID[funcID(mfn)]; target != nil {
+			seen[target.ID] = target
+		}
+	}
+	out := make([]*Func, 0, len(seen))
+	for _, fn := range seen {
+		out = append(out, fn)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

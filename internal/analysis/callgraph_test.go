@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCallgraphFixture builds a Module over the callgraph fixture package.
+func loadCallgraphFixture(t *testing.T) *Module {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	units, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatalf("load callgraph fixture: %v", err)
+	}
+	return NewModule(units)
+}
+
+// funcBySuffix finds the unique graph node whose ID ends in suffix.
+func funcBySuffix(t *testing.T, m *Module, suffix string) *Func {
+	t.Helper()
+	var found *Func
+	for _, fn := range m.Graph.Funcs {
+		if strings.HasSuffix(fn.ID, suffix) {
+			if found != nil {
+				t.Fatalf("two functions match %q: %s and %s", suffix, found.ID, fn.ID)
+			}
+			found = fn
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function matching %q in graph", suffix)
+	}
+	return found
+}
+
+// TestCallGraphInterfaceDispatch pins the sound "all implementers" fallback:
+// the dynamic call in Dispatch must resolve to both Step implementations —
+// the value-receiver one and the pointer-receiver one — and be marked as an
+// interface site.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	m := loadCallgraphFixture(t)
+	disp := funcBySuffix(t, m, ".Dispatch")
+	var iface *Call
+	for _, c := range disp.Calls {
+		if c.Iface {
+			if iface != nil {
+				t.Fatalf("Dispatch has more than one interface call site")
+			}
+			iface = c
+		}
+	}
+	if iface == nil {
+		t.Fatal("Dispatch's s.Step(n) was not resolved as an interface call")
+	}
+	var ids []string
+	for _, callee := range iface.Callees {
+		ids = append(ids, callee.ID)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("interface dispatch resolved to %d callees %v, want 2 (alpha.Step and beta.Step)", len(ids), ids)
+	}
+	if !strings.HasSuffix(ids[0], ".alpha.Step") || !strings.HasSuffix(ids[1], ".beta.Step") {
+		t.Errorf("callees = %v, want [...alpha.Step ...beta.Step] in sorted order", ids)
+	}
+}
+
+// TestCallGraphRecursionFixpoint pins fixpoint convergence on cycles: the
+// self-recursive and mutually recursive functions must stabilize well inside
+// the iteration backstop, and the clock taint introduced at the bottom of the
+// Ping/Pong cycle must propagate to both functions' return summaries.
+func TestCallGraphRecursionFixpoint(t *testing.T) {
+	m := loadCallgraphFixture(t)
+	if m.FixpointIters <= 0 || m.FixpointIters >= maxFixpointIters {
+		t.Fatalf("fixpoint took %d iterations (backstop %d): divergence or a broken counter", m.FixpointIters, maxFixpointIters)
+	}
+	for _, suffix := range []string{".Ping", ".Pong"} {
+		fn := funcBySuffix(t, m, suffix)
+		if fn.Summary.Ret&taintClock == 0 {
+			t.Errorf("%s: clock taint did not propagate around the recursion cycle (Ret=%#x)", fn.ID, fn.Summary.Ret)
+		}
+	}
+	rec := funcBySuffix(t, m, ".Rec")
+	if got := intrinsicOf(rec.Summary.Ret); got != 0 {
+		t.Errorf("Rec: self-recursion invented intrinsic taint from nowhere (Ret=%#x)", got)
+	}
+}

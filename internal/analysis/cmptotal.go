@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CmpTotal vets sort.Slice / sort.SliceStable comparators for the properties
+// a deterministic sort needs:
+//
+//   - irreflexivity: `<=` / `>=` on sort keys makes less(i,i) true, which is
+//     undefined behavior for sort and can reorder equal elements differently
+//     run to run (rule A);
+//   - totality: a comparator that never reads one of its index parameters
+//     cannot order anything (rule B);
+//   - tie-breaks under sort.Slice (unstable): a single-key comparison leaves
+//     equal-key elements in input-dependent order (rule D), and all-float
+//     keys with no integral or index tie-break do the same for exactly equal
+//     floats (rule C). sort.SliceStable is exempt from C/D — stability IS the
+//     tie-break.
+//
+// This is the bug class the B&B (bound, depth, id) ordering and the
+// hierarchical domain-index merges exist to prevent; see DESIGN.md.
+var CmpTotal = &Analyzer{
+	Name:      "cmptotal",
+	Doc:       "sort comparator lacks a total order or deterministic tie-break",
+	SkipTests: true,
+	RunModule: runCmpTotal,
+}
+
+func runCmpTotal(p *ModulePass) {
+	for _, fn := range p.Module.Graph.Funcs {
+		info := fn.Unit.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			stable := isPkgCall(info, call, "sort", "SliceStable")
+			if !stable && !isPkgCall(info, call, "sort", "Slice") {
+				return true
+			}
+			if len(call.Args) != 2 {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+				checkComparator(p, info, lit, stable)
+			}
+			return true
+		})
+	}
+}
+
+func checkComparator(p *ModulePass, info *types.Info, lit *ast.FuncLit, stable bool) {
+	var params []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	if len(params) != 2 {
+		return
+	}
+	iObj := info.ObjectOf(params[0])
+	jObj := info.ObjectOf(params[1])
+
+	usesParam := func(e ast.Expr, obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	containsIndexByParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if ix, ok := n.(*ast.IndexExpr); ok {
+				if usesParam(ix.Index, iObj) || usesParam(ix.Index, jObj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// One classifying sweep over the body.
+	var (
+		usedI, usedJ  bool
+		nonStrictPos  = token.NoPos
+		elemCmp       int  // comparisons indexing by i or j
+		nonFloatElems int  // ...whose operands are not both floats
+		indexTieBreak bool // a direct i-vs-j comparison
+	)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(v)
+			if obj != nil && obj == iObj {
+				usedI = true
+			}
+			if obj != nil && obj == jObj {
+				usedJ = true
+			}
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			elem := containsIndexByParam(v.X) || containsIndexByParam(v.Y)
+			direct := isIdentObj(info, v.X, iObj, jObj) && isIdentObj(info, v.Y, iObj, jObj)
+			if direct {
+				indexTieBreak = true
+			}
+			if (elem || direct) && (v.Op == token.LEQ || v.Op == token.GEQ) && nonStrictPos == token.NoPos {
+				nonStrictPos = v.OpPos
+			}
+			if elem {
+				elemCmp++
+				if !isFloat(info.TypeOf(v.X)) || !isFloat(info.TypeOf(v.Y)) {
+					nonFloatElems++
+				}
+			}
+		}
+		return true
+	})
+
+	// singleKeyReturn: the whole body is one `return X < Y` / `return X > Y`.
+	var singleKeyReturn *ast.BinaryExpr
+	if len(lit.Body.List) == 1 {
+		if ret, ok := lit.Body.List[0].(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+			if be, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr); ok &&
+				(be.Op == token.LSS || be.Op == token.GTR) {
+				singleKeyReturn = be
+			}
+		}
+	}
+
+	// Rule A: non-strict key comparison breaks irreflexivity.
+	if nonStrictPos != token.NoPos {
+		p.Reportf(nonStrictPos, "sort comparator uses a non-strict comparison (<= or >=): less(i,i) must be false; use < or > so equal elements have a defined order")
+		return
+	}
+	// Rule B: an ignored index parameter cannot induce an order.
+	if !usedI || !usedJ {
+		name := params[0].Name
+		if usedI {
+			name = params[1].Name
+		}
+		p.Reportf(lit.Pos(), "sort comparator never reads its index parameter %s; it cannot define a total order", name)
+		return
+	}
+	if stable {
+		return
+	}
+	// Rule D: unstable single-key comparison — equal keys keep their
+	// input-dependent arrival order.
+	if singleKeyReturn != nil && elemCmp <= 1 && !indexTieBreak {
+		p.Reportf(singleKeyReturn.OpPos, "sort.Slice with a single-key comparator: equal keys keep input-dependent order; use sort.SliceStable or add a deterministic tie-break")
+		return
+	}
+	// Rule C: unstable all-float keys with no integral/index tie-break.
+	if elemCmp > 0 && nonFloatElems == 0 && !indexTieBreak {
+		p.Reportf(lit.Pos(), "sort.Slice comparator orders only by floating-point keys with no integral or index tie-break; exactly equal floats keep input-dependent order — use sort.SliceStable or add a tie-break")
+	}
+}
+
+// isIdentObj reports whether e is a plain identifier bound to one of objs.
+func isIdentObj(info *types.Info, e ast.Expr, objs ...types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, o := range objs {
+		if obj == o {
+			return true
+		}
+	}
+	return false
+}

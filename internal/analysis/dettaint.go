@@ -1,0 +1,25 @@
+package analysis
+
+// DetTaint tracks nondeterministic sources — wall clock, unseeded math/rand,
+// map iteration order, channel-drain order — interprocedurally through the
+// call-graph summary table, and reports when such a value reaches a
+// determinism-sensitive output: a field of a *Plan/*Report/*Stats/*Summary
+// struct (directly, via composite literal, or through a callee that stores
+// its parameter into one) or a sort comparator. These are exactly the outputs
+// the byte-identity benchmarks compare, so any intrinsic taint reaching them
+// breaks the "same inputs, same bytes" contract.
+var DetTaint = &Analyzer{
+	Name:      "dettaint",
+	Doc:       "nondeterministic value (clock/rand/map-order/chan-order) flows into a Plan/Report/Stats/Summary field or sort comparator",
+	SkipTests: true,
+	RunModule: runDetTaint,
+}
+
+func runDetTaint(p *ModulePass) {
+	// Summaries are already at fixpoint; re-run each function's local
+	// analysis once in reporting mode to emit findings against the
+	// stabilized state.
+	for _, fn := range p.Module.Graph.Funcs {
+		summarize(p.Module, fn, p)
+	}
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags `go` statements that launch a goroutine with no reachable
+// join: nothing in the enclosing function (or, for completion signals on
+// non-local channels/WaitGroups, nothing anywhere the owner can see) waits
+// for it. Leaked goroutines are how "one slow edge costs one timeout"
+// degrades back into unbounded resource growth under churn, and how a
+// fan-out's late writers race with the merge that already ran.
+//
+// A goroutine counts as joined when any of these holds:
+//
+//   - it signals completion — wg.Done() (directly or via a callee whose
+//     summary marks the WaitGroup parameter), a send on or close of a
+//     channel — and the enclosing function waits on that object
+//     (wg.Wait(), a receive/range/select on the channel), or the object is
+//     non-local (a parameter, field, or package variable: its owner joins);
+//   - it is lifecycle-bounded: it receives from a context's Done() channel;
+//   - a non-literal `go f(...)` resolves to a callee that signals one of its
+//     arguments (close/send/Done through the parameter), and that argument
+//     is waited on or non-local as above. Unresolved non-literal launches
+//     (stdlib, computed values) are skipped rather than guessed at.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "goroutine launched with no reachable join (WaitGroup.Wait, channel receive, or context-done bound)",
+	SkipTests: true,
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(p *ModulePass) {
+	for _, fn := range p.Module.Graph.Funcs {
+		gl := &goroLeakScan{p: p, fn: fn, info: fn.Unit.Info}
+		gl.run()
+	}
+}
+
+type goroLeakScan struct {
+	p    *ModulePass
+	fn   *Func
+	info *types.Info
+}
+
+func (gl *goroLeakScan) run() {
+	ast.Inspect(gl.fn.Decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			gl.checkGoStmt(gs)
+		}
+		return true
+	})
+}
+
+func (gl *goroLeakScan) checkGoStmt(gs *ast.GoStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		gl.checkGoLit(gs, lit)
+		return
+	}
+	gl.checkGoCall(gs)
+}
+
+// checkGoLit handles `go func(...){...}(args)`.
+func (gl *goroLeakScan) checkGoLit(gs *ast.GoStmt, lit *ast.FuncLit) {
+	signals, ctxBound := gl.litSignals(lit, gs.Call)
+	gl.verdict(gs, signals, ctxBound)
+}
+
+// checkGoCall handles `go f(args)` / `go x.m(args)` via f's summary.
+func (gl *goroLeakScan) checkGoCall(gs *ast.GoStmt) {
+	call := gs.Call
+	c := gl.p.Module.Graph.Resolve(call)
+	if c == nil {
+		return // unknown callee: no basis for a finding
+	}
+	// A context argument bounds the goroutine's lifecycle.
+	for _, arg := range call.Args {
+		if isContextType(gl.info.TypeOf(arg)) {
+			return
+		}
+	}
+	args := receiverFirstArgs(gl.info, call)
+	var signals []types.Object
+	for _, callee := range c.Callees {
+		for ai, arg := range args {
+			if ai >= len(callee.Params) {
+				continue
+			}
+			if callee.Summary.Signals&paramBit(ai) != 0 {
+				if root := exprRoot(gl.info, arg); root != nil {
+					signals = append(signals, root)
+				}
+			}
+		}
+	}
+	gl.verdict(gs, signals, false)
+}
+
+// verdict applies the join rules to the collected completion signals.
+func (gl *goroLeakScan) verdict(gs *ast.GoStmt, signals []types.Object, ctxBound bool) {
+	if ctxBound {
+		return
+	}
+	if len(signals) == 0 {
+		gl.p.Reportf(gs.Pos(), "goroutine has no completion signal (no WaitGroup.Done, channel send/close, or context-done bound); nothing can ever join it — add a WaitGroup or done channel, or waive with //birplint:ignore goroleak")
+		return
+	}
+	waits, receives := gl.enclosingJoins(gs)
+	for _, obj := range signals {
+		if waits[obj] || receives[obj] {
+			return
+		}
+		if !gl.localToFn(obj) {
+			// Parameter, field, captured or package-level object: its owner
+			// is responsible for (and positioned to do) the join.
+			return
+		}
+	}
+	gl.p.Reportf(gs.Pos(), "goroutine signals completion only on locally declared objects that this function never waits on (no Wait/receive on any return path); the goroutine can outlive its launcher — join it before returning or waive with //birplint:ignore goroleak")
+}
+
+// litSignals walks a go-literal's body for the completion signals it emits.
+// Signals on the literal's own parameters map back to the call-site argument
+// roots. Bodies of goroutines the literal itself launches are excluded —
+// a grandchild's Done is not this goroutine's completion.
+func (gl *goroLeakScan) litSignals(lit *ast.FuncLit, call *ast.CallExpr) (signals []types.Object, ctxBound bool) {
+	var litParams []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		litParams = append(litParams, f.Names...)
+	}
+	mapParam := func(obj types.Object) types.Object {
+		for i, id := range litParams {
+			if gl.info.ObjectOf(id) == obj && i < len(call.Args) {
+				return exprRoot(gl.info, call.Args[i])
+			}
+		}
+		return obj
+	}
+	note := func(obj types.Object) {
+		if obj = mapParam(obj); obj != nil {
+			signals = append(signals, obj)
+		}
+	}
+
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.GoStmt:
+				// Skip the nested goroutine's body; its args still evaluate
+				// in this goroutine.
+				for _, a := range v.Call.Args {
+					walk(a)
+				}
+				if _, isLit := ast.Unparen(v.Call.Fun).(*ast.FuncLit); !isLit {
+					walk(v.Call.Fun)
+				}
+				return false
+			case *ast.SendStmt:
+				note(exprRoot(gl.info, v.Chan))
+			case *ast.UnaryExpr:
+				if isContextDoneRecv(gl.info, v) {
+					ctxBound = true
+				}
+			case *ast.CallExpr:
+				if b, ok := calleeObject(gl.info, v).(*types.Builtin); ok && b.Name() == "close" && len(v.Args) == 1 {
+					note(exprRoot(gl.info, v.Args[0]))
+					return true
+				}
+				if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isWaitGroup(gl.info.TypeOf(sel.X)) {
+					note(exprRoot(gl.info, sel.X))
+					return true
+				}
+				// One call deep: a callee that signals through a parameter.
+				if c := gl.p.Module.Graph.Resolve(v); c != nil {
+					args := receiverFirstArgs(gl.info, v)
+					for _, callee := range c.Callees {
+						for ai, arg := range args {
+							if ai < len(callee.Params) && callee.Summary.Signals&paramBit(ai) != 0 {
+								note(exprRoot(gl.info, arg))
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(lit.Body)
+	return signals, ctxBound
+}
+
+// enclosingJoins collects the objects the enclosing function waits on,
+// everywhere except inside the analyzed goroutine itself (a goroutine cannot
+// join itself); sibling goroutines and deferred closures count — a drain is
+// a drain wherever it runs.
+func (gl *goroLeakScan) enclosingJoins(self *ast.GoStmt) (waits, receives map[types.Object]bool) {
+	waits = map[types.Object]bool{}
+	receives = map[types.Object]bool{}
+	note := func(m map[types.Object]bool, obj types.Object) {
+		if obj != nil {
+			m[obj] = true
+		}
+	}
+	ast.Inspect(gl.fn.Decl.Body, func(n ast.Node) bool {
+		if n == self {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				note(receives, exprRoot(gl.info, v.X))
+			}
+		case *ast.RangeStmt:
+			if _, isChan := typeUnderlying(gl.info.TypeOf(v.X)).(*types.Chan); isChan {
+				note(receives, exprRoot(gl.info, v.X))
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroup(gl.info.TypeOf(sel.X)) {
+				note(waits, exprRoot(gl.info, sel.X))
+			}
+		}
+		return true
+	})
+	return waits, receives
+}
+
+// localToFn reports whether obj is confined to this function — declared
+// lexically inside it, not a parameter/receiver (those are caller-owned), and
+// never returned (a returned object escapes to an owner who can join it, the
+// constructor-starts-a-goroutine / Close-joins-it pattern).
+func (gl *goroLeakScan) localToFn(obj types.Object) bool {
+	if obj.Pos() < gl.fn.Decl.Pos() || obj.Pos() > gl.fn.Decl.End() {
+		return false
+	}
+	for _, v := range gl.fn.Params {
+		if types.Object(v) == obj {
+			return false
+		}
+	}
+	escapes := false
+	ast.Inspect(gl.fn.Decl.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				if exprRoot(gl.info, r) == obj {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	})
+	return !escapes
+}
+
+// --- small shared helpers ---
+
+// exprRoot is rootObj without a funcState: the identifier object an
+// expression chain is rooted at.
+func exprRoot(info *types.Info, e ast.Expr) types.Object {
+	fs := funcState{info: info}
+	return fs.rootObj(e)
+}
+
+// receiverFirstArgs returns the call's arguments with the method receiver
+// prepended when the call is a selector method call, mirroring Func.Params.
+func receiverFirstArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	args := make([]ast.Expr, 0, len(call.Args)+1)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := info.Selections[sel]; isSel {
+			args = append(args, sel.X)
+		}
+	}
+	return append(args, call.Args...)
+}
+
+// isContextDoneRecv matches `<-x.Done()` where Done is context.Context's.
+func isContextDoneRecv(info *types.Info, u *ast.UnaryExpr) bool {
+	if u.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObject(info, call)
+	return obj != nil && obj.Name() == "Done" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+func typeUnderlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

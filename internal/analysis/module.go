@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Module is the whole-program view the interprocedural analyzers run against:
+// every loaded unit, the call graph over them, and the summary table after
+// the dataflow fixpoint.
+type Module struct {
+	Units []*Unit
+	Fset  *token.FileSet
+	Graph *CallGraph
+	// FixpointIters is how many whole-module iterations the summary fixpoint
+	// took (exported in the JSON report's callgraph block).
+	FixpointIters int
+}
+
+// NewModule builds the call graph and runs the summary fixpoint.
+func NewModule(units []*Unit) *Module {
+	m := &Module{Units: units}
+	if len(units) > 0 {
+		m.Fset = units[0].Fset
+	}
+	m.Graph = BuildCallGraph(units)
+	m.FixpointIters = computeSummaries(m)
+	return m
+}
+
+// ModuleStats sizes the interprocedural machinery for the JSON report, so
+// analysis-cost regressions (graph blow-ups, fixpoint divergence) are visible
+// across PRs.
+type ModuleStats struct {
+	Functions     int `json:"functions"`
+	Edges         int `json:"edges"`
+	FixpointIters int `json:"fixpoint_iters"`
+}
+
+// ModulePass carries one module-scoped analyzer's traversal.
+type ModulePass struct {
+	Module   *Module
+	Analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AnalyzeModule runs per-unit analyzers on each unit and module analyzers on
+// the whole-unit set, returning one globally sorted diagnostic list plus the
+// call-graph stats (zero-valued when no module analyzer was selected — the
+// graph is only built when something will walk it).
+func AnalyzeModule(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, ModuleStats) {
+	var perUnit, perModule []*Analyzer
+	for _, a := range analyzers {
+		if a.Run != nil {
+			perUnit = append(perUnit, a)
+		}
+		if a.RunModule != nil {
+			perModule = append(perModule, a)
+		}
+	}
+
+	var out []Diagnostic
+	for _, u := range units {
+		out = append(out, Analyze(u, perUnit)...)
+	}
+
+	var stats ModuleStats
+	if len(perModule) > 0 && len(units) > 0 {
+		m := NewModule(units)
+		stats = ModuleStats{
+			Functions:     len(m.Graph.Funcs),
+			Edges:         m.Graph.Edges,
+			FixpointIters: m.FixpointIters,
+		}
+
+		// Module-wide waivers and reporting filter. A diagnostic is kept when
+		// its file belongs to a unit with no OnlyFiles restriction or is
+		// listed in some unit's OnlyFiles set.
+		waived := waiverSet{}
+		allowed := map[string]bool{}
+		for _, u := range units {
+			//birplint:ordered // merging into a membership-only set; covers() never observes order
+			for file, lines := range collectWaivers(u) {
+				if waived[file] == nil {
+					waived[file] = map[int][]string{}
+				}
+				//birplint:ordered // same: per-line name lists are membership-checked, order unobservable
+				for line, names := range lines {
+					waived[file][line] = append(waived[file][line], names...)
+				}
+			}
+			for _, f := range u.Files {
+				name := u.Fset.Position(f.Pos()).Filename
+				if u.OnlyFiles == nil || u.OnlyFiles[name] {
+					allowed[name] = true
+				}
+			}
+		}
+
+		for _, a := range perModule {
+			pass := &ModulePass{Module: m, Analyzer: a}
+			a.RunModule(pass)
+			for _, d := range pass.diags {
+				if !allowed[d.File] {
+					continue
+				}
+				if a.SkipTests && strings.HasSuffix(d.File, "_test.go") {
+					continue
+				}
+				d.Waived = waived.covers(d.File, d.Line, a.Name)
+				out = append(out, d)
+			}
+		}
+	}
+
+	sortDiagnostics(out)
+	return out, stats
+}

@@ -1,38 +1,90 @@
 package analysis
 
 import (
+	"bytes"
+	"encoding/json"
+	"sync"
 	"testing"
 )
 
+var (
+	repoUnitsOnce sync.Once
+	repoUnitsVal  []*Unit
+	repoUnitsErr  error
+)
+
+// repoUnits loads every package in the module once per test process; the
+// repo-wide typecheck is the expensive part and both the self-check and the
+// determinism test need the same units.
+func repoUnits(t *testing.T) []*Unit {
+	t.Helper()
+	l := sharedLoader(t)
+	repoUnitsOnce.Do(func() {
+		dirs, err := l.Walk(l.ModuleRoot)
+		if err != nil {
+			repoUnitsErr = err
+			return
+		}
+		repoUnitsVal, repoUnitsErr = l.Load(dirs)
+	})
+	if repoUnitsErr != nil {
+		t.Fatalf("load repo units: %v", repoUnitsErr)
+	}
+	return repoUnitsVal
+}
+
 // TestRepoIsLintClean is the smoke test behind the `birplint ./...` gate: the
-// repository itself must carry zero unwaived findings. Skipped under -short
-// because it typechecks the whole module (including its stdlib dependencies)
-// from source.
+// repository itself must carry zero unwaived findings under all ten analyzers,
+// including the interprocedural ones. Skipped under -short because it
+// typechecks the whole module (including its stdlib dependencies) from source.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide typecheck is slow; covered by scripts/check.sh lint tier")
 	}
-	l := sharedLoader(t)
-	dirs, err := l.Walk(l.ModuleRoot)
-	if err != nil {
-		t.Fatalf("walk: %v", err)
-	}
-	units, err := l.Load(dirs)
-	if err != nil {
-		t.Fatalf("load: %v", err)
-	}
+	units := repoUnits(t)
+	diags, stats := AnalyzeModule(units, All())
 	waived := 0
-	for _, u := range units {
-		for _, d := range Analyze(u, All()) {
-			if d.Waived {
-				waived++
-				continue
-			}
-			t.Errorf("unwaived finding: %s:%d:%d [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	for _, d := range diags {
+		if d.Waived {
+			waived++
+			continue
 		}
+		t.Errorf("unwaived finding: %s:%d:%d [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 	}
 	if waived == 0 {
 		t.Error("expected at least one waived finding in the repo (the documented solver waivers); waiver collection may be broken")
+	}
+	if stats.Functions == 0 || stats.Edges == 0 {
+		t.Errorf("call graph is implausibly empty: %+v", stats)
+	}
+	if stats.FixpointIters <= 0 || stats.FixpointIters >= maxFixpointIters {
+		t.Errorf("summary fixpoint took %d iterations (backstop %d): divergence or a broken counter", stats.FixpointIters, maxFixpointIters)
+	}
+}
+
+// TestLintJSONDeterministic pins the byte-identity contract of the lint
+// report: two independent analysis runs over the same units — each building
+// its own call graph and re-running the summary fixpoint — must serialize to
+// identical bytes, diagnostics and call-graph stats included.
+func TestLintJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide typecheck is slow; covered by scripts/check.sh lint tier")
+	}
+	units := repoUnits(t)
+	run := func() []byte {
+		diags, stats := AnalyzeModule(units, All())
+		b, err := json.Marshal(struct {
+			Diagnostics []Diagnostic `json:"diagnostics"`
+			CallGraph   ModuleStats  `json:"callgraph"`
+		}{diags, stats})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Errorf("two analysis runs serialized differently:\n run 1: %d bytes\n run 2: %d bytes", len(first), len(second))
 	}
 }
 
@@ -48,6 +100,10 @@ func TestFixturesAreSeeded(t *testing.T) {
 		"droppederr":  "droppederr",
 		"mutexcopy":   "mutexcopy",
 		"loopcapture": "loopcapture",
+		"dettaint":    "dettaint",
+		"sharedwrite": "sharedwrite",
+		"goroleak":    "goroleak",
+		"cmptotal":    "cmptotal",
 	}
 	for analyzer, dir := range fixtures {
 		_, diags := analyzeFixture(t, analyzer, dir)

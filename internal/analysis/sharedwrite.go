@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedWrite flags writes to closure-captured state from concurrent
+// closures — function literals launched with `go` or passed to a callee that
+// (per its call-graph summary) invokes them on a spawned goroutine, which is
+// how par.ForEach's fan-out body is recognized without naming it. It
+// complements the dynamic `go test -race` gate: the race detector only sees
+// the schedules a run happens to exercise; this sees every textual write.
+//
+// A write inside a concurrent closure is reported unless one of the
+// disciplines the codebase actually uses makes it safe:
+//
+//   - per-index slot: the write is `s[i] = v` where the index expression
+//     mentions a variable declared inside the closure (loop-claimed index,
+//     worker id, fan-out parameter) — each goroutine owns distinct elements.
+//     Map writes never qualify: concurrent map writes fault even on distinct
+//     keys;
+//   - closure-local target: the root variable is declared inside the closure;
+//   - mutex: the closure acquires a lock (any `.Lock()` call) — coarse, but
+//     every guarded region here is a whole closure;
+//   - atomics need no exemption: they are calls, not assignment statements.
+//
+// Writes are also traced one call deep: passing a captured variable (not
+// indexed per-slot) to a module function whose summary says it writes through
+// that parameter is reported at the call site.
+var SharedWrite = &Analyzer{
+	Name:      "sharedwrite",
+	Doc:       "write to closure-captured state from a goroutine fan-out without mutex/atomic/per-index slot",
+	SkipTests: true,
+	RunModule: runSharedWrite,
+}
+
+func runSharedWrite(p *ModulePass) {
+	for _, fn := range p.Module.Graph.Funcs {
+		for _, cl := range concurrentLits(p.Module, fn) {
+			checkConcurrentLit(p, fn, cl)
+		}
+	}
+}
+
+// concLit is one concurrent closure plus the innermost enclosing function
+// literal or loop of its launch site. Objects declared inside that scope are
+// fresh allocations per execution of it, so concurrent launches write
+// DISTINCT objects — the per-iteration "construct, hand off to exactly one
+// goroutine" idiom is not sharing. (Two goroutines launched from the same
+// iteration both writing the same iteration-local object would be missed — a
+// documented precision loss.)
+type concLit struct {
+	lit   *ast.FuncLit
+	scope ast.Node // nil = launched from the function's top level
+}
+
+// concurrentLits collects the function literals inside fn whose bodies run on
+// another goroutine: launched by a `go` statement, or passed in a parameter
+// position some resolved callee marks Conc (invoked-on-goroutine).
+func concurrentLits(m *Module, fn *Func) []concLit {
+	var out []concLit
+	seen := map[*ast.FuncLit]bool{}
+	var stack []ast.Node
+	freshScope := func() ast.Node {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+				return stack[i]
+			}
+		}
+		return nil
+	}
+	add := func(lit *ast.FuncLit) {
+		if lit != nil && !seen[lit] {
+			seen[lit] = true
+			out = append(out, concLit{lit: lit, scope: freshScope()})
+		}
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				add(lit)
+			}
+		case *ast.CallExpr:
+			c := m.Graph.Resolve(v)
+			if c != nil {
+				for ai, arg := range v.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					for _, callee := range c.Callees {
+						if pi := calleeParamIndex(callee, v, ai); pi >= 0 && callee.Summary.Conc&paramBit(pi) != 0 {
+							add(lit)
+							break
+						}
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// calleeParamIndex maps a call-site argument position to the callee's Params
+// index (receiver-first); -1 when out of range and the callee is not
+// variadic-shaped.
+func calleeParamIndex(callee *Func, call *ast.CallExpr, argIdx int) int {
+	offset := 0
+	if sig, ok := callee.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		offset = 1
+	}
+	pi := argIdx + offset
+	if pi >= len(callee.Params) {
+		if len(callee.Params) == 0 {
+			return -1
+		}
+		pi = len(callee.Params) - 1 // variadic tail
+	}
+	return pi
+}
+
+// containsLockCall reports whether the subtree calls a .Lock()/.RLock()
+// method — the coarse "this closure is mutex-guarded" signal. Whole closures
+// are the locking granularity in this codebase, so one lock call exempts the
+// closure; finer-grained mixed closures would need a waiver either way.
+func containsLockCall(root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkConcurrentLit(p *ModulePass, fn *Func, cl concLit) {
+	lit := cl.lit
+	info := fn.Unit.Info
+	if containsLockCall(lit.Body) {
+		return
+	}
+
+	// Objects declared inside the literal (params included — lit.Type is part
+	// of the inspected subtree).
+	declared := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	// "inner" for safety purposes also covers objects declared inside the
+	// launch site's fresh scope: per-execution allocations that concurrent
+	// launches cannot share.
+	inner := func(obj types.Object) bool {
+		if declared[obj] {
+			return true
+		}
+		return cl.scope != nil && obj.Pos() >= cl.scope.Pos() && obj.Pos() <= cl.scope.End()
+	}
+	mentionsInner := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && inner(obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// pathFacts walks an lvalue/argument chain down to its root identifier.
+	pathFacts := func(e ast.Expr) (root types.Object, perIndex, mapStep bool) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				if isMap(info.TypeOf(v.X)) {
+					mapStep = true
+				}
+				if mentionsInner(v.Index) {
+					perIndex = true
+				}
+				e = v.X
+			case *ast.UnaryExpr:
+				if v.Op != token.AND {
+					return nil, perIndex, mapStep
+				}
+				e = v.X
+			case *ast.Ident:
+				return info.ObjectOf(v), perIndex, mapStep
+			default:
+				return nil, perIndex, mapStep
+			}
+		}
+	}
+
+	checkWrite := func(l ast.Expr) {
+		if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		root, perIndex, mapStep := pathFacts(l)
+		if root == nil || inner(root) {
+			return
+		}
+		name := root.Name()
+		switch {
+		case mapStep:
+			p.Reportf(l.Pos(), "concurrent map write through captured %s inside a goroutine fan-out: concurrent map writes fault even on distinct keys; guard with a mutex or collect per-worker and merge", name)
+		case perIndex:
+			// Distinct-element discipline: each goroutine owns its slot.
+		default:
+			p.Reportf(l.Pos(), "write to captured %s inside a goroutine fan-out without mutex/atomic/per-index slot; a concurrent schedule can lose or interleave updates — use a per-index result slot or a mutex", name)
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range v.Lhs {
+				checkWrite(l)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(v.X)
+		case *ast.CallExpr:
+			c := p.Module.Graph.Resolve(v)
+			if c == nil {
+				return true
+			}
+			// Receiver-first argument list, mirroring Func.Params.
+			args := make([]ast.Expr, 0, len(v.Args)+1)
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				if _, isSel := info.Selections[sel]; isSel {
+					args = append(args, sel.X)
+				}
+			}
+			args = append(args, v.Args...)
+			for ai, arg := range args {
+				root, perIndex, _ := pathFacts(arg)
+				if root == nil || inner(root) || perIndex {
+					continue
+				}
+				for _, callee := range c.Callees {
+					if ai >= len(callee.Params) {
+						continue
+					}
+					if callee.Summary.Writes&paramBit(ai) != 0 {
+						p.Reportf(arg.Pos(), "captured %s is passed to %s, which writes through it; called from a goroutine fan-out this is a shared write — pass a per-worker copy or guard with a mutex", root.Name(), callee.ID)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}

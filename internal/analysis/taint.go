@@ -1,0 +1,770 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the forward dataflow/taint engine behind the interprocedural
+// analyzers. Facts are bitmasks over a small lattice:
+//
+//   - four intrinsic source bits (wall clock, unseeded rand, map iteration
+//     order, channel-drain completion order) mark values that can differ
+//     between two runs on identical inputs;
+//   - one bit per parameter (receiver first) marks values derived from that
+//     parameter, which is how facts cross call boundaries: a function's
+//     Summary says which parameters reach its returns, its sink writes, and
+//     so on, and callers substitute argument masks for parameter bits.
+//
+// Summaries are computed to a module-wide fixpoint over the call graph: every
+// function is re-summarized with its callees' current summaries until nothing
+// changes. Masks only ever gain bits and the lattice is finite, so the
+// fixpoint terminates; maxFixpointIters is a backstop, and the iteration
+// count is exported so analysis-cost regressions show up in lint reports.
+//
+// Precision stance (documented, deliberate):
+//   - flow- and path-insensitive: a variable tainted anywhere in a function
+//     is tainted everywhere in it;
+//   - field-insensitive: writing a tainted value into x.F taints all of x;
+//   - unresolved calls (stdlib, computed function values) conservatively
+//     pass argument taint through to their results but are assumed not to
+//     store arguments into determinism-sensitive fields.
+
+// taint is a fact bitmask: intrinsic source bits plus per-parameter bits.
+type taint uint64
+
+const (
+	taintClock     taint = 1 << iota // time.Now / time.Since / time.Until
+	taintRand                        // package-level math/rand draws (unseeded global source)
+	taintMapOrder                    // map iteration order
+	taintChanOrder                   // channel-drain / goroutine-completion order
+	numSourceBits  = 4
+	maxTaintParams = 59 // bits beyond this collapse onto the last tracked one
+)
+
+const intrinsicMask taint = 1<<numSourceBits - 1
+
+// All four intrinsic bits are tracked through summaries, but dettaint only
+// REPORTS a subset:
+//
+//   - sinks report clock, rand, and chan-order. Map iteration order is
+//     excluded: flow- and field-insensitive propagation smears one map range
+//     over everything downstream (every Plan transitively touches one), and
+//     the sequence-sensitive per-file maporder analyzer already owns that
+//     class with sorted-after detection. The bit still flows through
+//     summaries so tests and future sequence-sensitive reporting can see it;
+//   - comparators report clock and rand only: a comparator reading
+//     map/chan-ordered data over a total-order key is not a bug, it is the
+//     normalization idiom — sorting is how that taint gets cleansed.
+const (
+	reportSinkMask = taintClock | taintRand | taintChanOrder
+	reportCmpMask  = taintClock | taintRand
+)
+
+func paramBit(i int) taint {
+	if i >= maxTaintParams {
+		i = maxTaintParams - 1
+	}
+	return 1 << (numSourceBits + i)
+}
+
+func intrinsicOf(m taint) taint { return m & intrinsicMask }
+func paramsOf(m taint) taint    { return m &^ intrinsicMask }
+
+// kindString names the intrinsic sources in a mask, for diagnostics.
+func kindString(m taint) string {
+	var parts []string
+	if m&taintClock != 0 {
+		parts = append(parts, "wall clock")
+	}
+	if m&taintRand != 0 {
+		parts = append(parts, "unseeded rand")
+	}
+	if m&taintMapOrder != 0 {
+		parts = append(parts, "map iteration order")
+	}
+	if m&taintChanOrder != 0 {
+		parts = append(parts, "channel-drain order")
+	}
+	if len(parts) == 0 {
+		return "nondeterminism"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Summary is one function's interprocedural fact set. All fields are masks
+// whose parameter bits refer to Func.Params positions (receiver first).
+type Summary struct {
+	// Ret: intrinsic bits that can reach a return value, plus parameter bits
+	// whose argument can flow to a return value.
+	Ret taint
+	// Sink: parameter bits whose argument is stored (possibly transitively)
+	// into a determinism-sensitive output field (Plan/Report/Stats/Summary).
+	Sink taint
+	// Writes: parameter bits the function writes through (pointer, slice,
+	// map, or field store through the parameter), directly or transitively.
+	Writes taint
+	// Signals: parameter bits the function completes through — closes or
+	// sends on a channel parameter, or calls Done on a WaitGroup parameter.
+	Signals taint
+	// Conc: parameter bits of function-typed parameters the function invokes
+	// on a spawned goroutine (directly or by forwarding to another Conc
+	// callee). par.ForEach's fn parameter carries this bit.
+	Conc taint
+}
+
+const (
+	maxFixpointIters = 32
+	maxLocalPasses   = 8
+)
+
+// computeSummaries drives the module fixpoint; it returns the number of
+// whole-module iterations it took to stabilize.
+func computeSummaries(m *Module) int {
+	for iter := 1; iter <= maxFixpointIters; iter++ {
+		changed := false
+		for _, fn := range m.Graph.Funcs {
+			s := summarize(m, fn, nil)
+			if s != fn.Summary {
+				fn.Summary = s
+				changed = true
+			}
+		}
+		if !changed {
+			return iter
+		}
+	}
+	return maxFixpointIters
+}
+
+// summarize runs the intraprocedural analysis of fn with its callees' current
+// summaries. With p non-nil it additionally reports dettaint findings (direct
+// and call-mediated sink writes of intrinsically tainted values, and tainted
+// sort comparators) on a final sweep over the stabilized state.
+func summarize(m *Module, fn *Func, p *ModulePass) Summary {
+	fs := &funcState{
+		m:       m,
+		fn:      fn,
+		info:    fn.Unit.Info,
+		vt:      map[types.Object]taint{},
+		paramIx: map[types.Object]int{},
+	}
+	for i, v := range fn.Params {
+		fs.paramIx[v] = i
+		fs.vt[v] = paramBit(i)
+	}
+	for pass := 0; pass < maxLocalPasses; pass++ {
+		fs.changed = false
+		fs.stmt(fn.Decl.Body, false)
+		if !fs.changed {
+			break
+		}
+	}
+	if p != nil {
+		fs.report = p
+		fs.stmt(fn.Decl.Body, false)
+	}
+	return fs.sum
+}
+
+// funcState is one function's in-flight analysis.
+type funcState struct {
+	m       *Module
+	fn      *Func
+	info    *types.Info
+	vt      map[types.Object]taint // variable → accumulated taint
+	paramIx map[types.Object]int
+	sum     Summary
+	changed bool
+	report  *ModulePass // non-nil only on the dettaint reporting sweep
+}
+
+func (fs *funcState) mark(obj types.Object, m taint) {
+	if obj == nil || m == 0 {
+		return
+	}
+	if fs.vt[obj]|m != fs.vt[obj] {
+		fs.vt[obj] |= m
+		fs.changed = true
+	}
+}
+
+// rootObj unwraps an expression to the identifier object it is rooted at
+// (x, x.F, x[i], *x, &x, x.(T) all root at x); nil when the root is not a
+// simple identifier (call results, literals).
+func (fs *funcState) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			e = v.X
+		case *ast.Ident:
+			return fs.info.ObjectOf(v)
+		default:
+			return nil
+		}
+	}
+}
+
+// --- statements ---
+
+func (fs *funcState) stmt(s ast.Stmt, inGo bool) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, x := range st.List {
+			fs.stmt(x, inGo)
+		}
+	case *ast.LabeledStmt:
+		fs.stmt(st.Stmt, inGo)
+	case *ast.ExprStmt:
+		fs.eval(st.X, inGo)
+	case *ast.AssignStmt:
+		fs.assign(st.Lhs, st.Rhs, st.Tok, inGo)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				fs.assign(lhs, vs.Values, token.DEFINE, inGo)
+			}
+		}
+	case *ast.IncDecStmt:
+		fs.eval(st.X, inGo)
+	case *ast.SendStmt:
+		mv := fs.eval(st.Value, inGo)
+		fs.eval(st.Chan, inGo)
+		root := fs.rootObj(st.Chan)
+		fs.mark(root, mv)
+		if pi, ok := fs.paramIx[root]; ok {
+			fs.sum.Signals |= paramBit(pi)
+		}
+	case *ast.GoStmt:
+		fs.spawn(st.Call)
+	case *ast.DeferStmt:
+		fs.eval(st.Call, inGo)
+	case *ast.ReturnStmt:
+		if len(st.Results) == 0 {
+			// Naked return: union the named results.
+			if ft := fs.fn.Decl.Type.Results; ft != nil {
+				for _, f := range ft.List {
+					for _, name := range f.Names {
+						fs.sum.Ret |= fs.vt[fs.info.ObjectOf(name)]
+					}
+				}
+			}
+			return
+		}
+		for _, r := range st.Results {
+			fs.sum.Ret |= fs.eval(r, inGo)
+		}
+	case *ast.IfStmt:
+		fs.stmt(st.Init, inGo)
+		fs.eval(st.Cond, inGo)
+		fs.stmt(st.Body, inGo)
+		fs.stmt(st.Else, inGo)
+	case *ast.ForStmt:
+		fs.stmt(st.Init, inGo)
+		if st.Cond != nil {
+			fs.eval(st.Cond, inGo)
+		}
+		fs.stmt(st.Post, inGo)
+		fs.stmt(st.Body, inGo)
+	case *ast.RangeStmt:
+		fs.rangeStmt(st, inGo)
+	case *ast.SwitchStmt:
+		fs.stmt(st.Init, inGo)
+		if st.Tag != nil {
+			fs.eval(st.Tag, inGo)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					fs.eval(e, inGo)
+				}
+				for _, b := range cc.Body {
+					fs.stmt(b, inGo)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		fs.stmt(st.Init, inGo)
+		var assertMask taint
+		if as, ok := st.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			assertMask = fs.eval(as.Rhs[0], inGo)
+		} else if es, ok := st.Assign.(*ast.ExprStmt); ok {
+			assertMask = fs.eval(es.X, inGo)
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			// The per-clause implicit binding inherits the asserted value's
+			// taint.
+			if obj := fs.info.Implicits[cc]; obj != nil {
+				fs.mark(obj, assertMask)
+			}
+			for _, b := range cc.Body {
+				fs.stmt(b, inGo)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				fs.stmt(cc.Comm, inGo)
+				for _, b := range cc.Body {
+					fs.stmt(b, inGo)
+				}
+			}
+		}
+	}
+}
+
+// spawn handles `go call`: argument masks bind to the literal's parameters
+// and the body is walked in goroutine context (for Conc detection).
+func (fs *funcState) spawn(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		fs.bindLitArgs(lit, call)
+		fs.walkLit(lit, true)
+		return
+	}
+	// `go f(...)` / `go x.m(...)`: an ordinary call evaluation, except a
+	// parameter function launched directly gets its Conc bit.
+	if obj := fs.rootObj(call.Fun); obj != nil {
+		if pi, ok := fs.paramIx[obj]; ok {
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				fs.sum.Conc |= paramBit(pi)
+			}
+		}
+	}
+	fs.evalCall(call, true)
+}
+
+// bindLitArgs propagates call-site argument taint onto a literal's parameters.
+func (fs *funcState) bindLitArgs(lit *ast.FuncLit, call *ast.CallExpr) {
+	var params []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	for i, arg := range call.Args {
+		if i < len(params) {
+			fs.mark(fs.info.ObjectOf(params[i]), fs.eval(arg, false))
+		}
+	}
+}
+
+// walkLit analyzes a function literal's body in the enclosing function's
+// state (captured variables are shared).
+func (fs *funcState) walkLit(lit *ast.FuncLit, inGo bool) {
+	fs.stmt(lit.Body, inGo)
+}
+
+func (fs *funcState) rangeStmt(st *ast.RangeStmt, inGo bool) {
+	xMask := fs.eval(st.X, inGo)
+	var keyMask, valMask taint
+	t := fs.info.TypeOf(st.X)
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			keyMask = xMask | taintMapOrder
+			valMask = xMask | taintMapOrder
+		case *types.Chan:
+			keyMask = xMask | taintChanOrder
+		default:
+			// slice/array/string/int: positions are deterministic; elements
+			// inherit the container's taint.
+			valMask = xMask
+		}
+	}
+	assignVar := func(e ast.Expr, m taint) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		fs.mark(fs.rootObj(e), m)
+	}
+	assignVar(st.Key, keyMask)
+	assignVar(st.Value, valMask)
+	fs.stmt(st.Body, inGo)
+}
+
+func (fs *funcState) assign(lhs, rhs []ast.Expr, tok token.Token, inGo bool) {
+	masks := make([]taint, len(lhs))
+	if len(rhs) == 1 && len(lhs) > 1 {
+		m := fs.eval(rhs[0], inGo)
+		for i := range masks {
+			masks[i] = m
+		}
+	} else {
+		for i := range lhs {
+			if i < len(rhs) {
+				masks[i] = fs.eval(rhs[i], inGo)
+			}
+		}
+	}
+	for i, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		mask := masks[i]
+		if tok != token.ASSIGN && tok != token.DEFINE {
+			// Compound assignment reads the target too.
+			mask |= fs.eval(l, inGo)
+		}
+		root := fs.rootObj(l)
+		if _, plain := l.(*ast.Ident); !plain {
+			fs.eval(l, inGo) // subscripts etc. may contain calls
+			if pi, ok := fs.paramIx[root]; ok {
+				fs.sum.Writes |= paramBit(pi)
+			}
+			if field := fs.sinkField(l); field != "" {
+				fs.sum.Sink |= paramsOf(mask)
+				if fs.report != nil && mask&reportSinkMask != 0 {
+					fs.report.Reportf(l.Pos(), "nondeterministic value (%s) is stored into %s; determinism-sensitive outputs must be pure functions of the inputs — derive it deterministically or waive with //birplint:ignore dettaint",
+						kindString(mask&reportSinkMask), field)
+				}
+			}
+		}
+		fs.mark(root, mask)
+	}
+}
+
+// sinkField reports a non-empty description when lhs writes a field of a
+// determinism-sensitive output type (named *Plan/*Report/*Stats/*Summary)
+// anywhere along its access chain.
+func (fs *funcState) sinkField(lhs ast.Expr) string {
+	for {
+		switch v := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = v.X
+		case *ast.IndexExpr:
+			lhs = v.X
+		case *ast.StarExpr:
+			lhs = v.X
+		case *ast.SelectorExpr:
+			if name := sinkTypeName(fs.info.TypeOf(v.X)); name != "" {
+				return name + "." + v.Sel.Name
+			}
+			lhs = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// sinkSuffixes are the output-type name suffixes whose fields every consumer
+// (bench JSON, reports, solver stats merges) expects to be reproducible.
+var sinkSuffixes = []string{"Plan", "Report", "Stats", "Summary"}
+
+// sinkTypeName returns the qualified name of t when it is (a pointer to) a
+// named determinism-sensitive output struct, else "".
+func sinkTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	name := n.Obj().Name()
+	for _, suf := range sinkSuffixes {
+		if strings.HasSuffix(name, suf) {
+			if pkg := n.Obj().Pkg(); pkg != nil {
+				return pathTail(pkg.Path()) + "." + name
+			}
+			return name
+		}
+	}
+	return ""
+}
+
+// --- expressions ---
+
+func (fs *funcState) eval(e ast.Expr, inGo bool) taint {
+	switch v := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		return fs.vt[fs.info.ObjectOf(v)]
+	case *ast.BasicLit:
+		return 0
+	case *ast.ParenExpr:
+		return fs.eval(v.X, inGo)
+	case *ast.SelectorExpr:
+		// Qualified package identifiers have no value taint.
+		if id, ok := v.X.(*ast.Ident); ok {
+			if _, isPkg := fs.info.ObjectOf(id).(*types.PkgName); isPkg {
+				return 0
+			}
+		}
+		return fs.eval(v.X, inGo)
+	case *ast.IndexExpr:
+		return fs.eval(v.X, inGo) | fs.eval(v.Index, inGo)
+	case *ast.SliceExpr:
+		return fs.eval(v.X, inGo) | fs.eval(v.Low, inGo) | fs.eval(v.High, inGo) | fs.eval(v.Max, inGo)
+	case *ast.StarExpr:
+		return fs.eval(v.X, inGo)
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW {
+			// A single blocking receive yields whatever the sender sent; the
+			// value itself inherits the channel's taint but not a new order
+			// bit (ordering hazards come from drains, i.e. range-over-chan).
+			return fs.eval(v.X, inGo)
+		}
+		return fs.eval(v.X, inGo)
+	case *ast.BinaryExpr:
+		return fs.eval(v.X, inGo) | fs.eval(v.Y, inGo)
+	case *ast.TypeAssertExpr:
+		return fs.eval(v.X, inGo)
+	case *ast.KeyValueExpr:
+		return fs.eval(v.Value, inGo)
+	case *ast.CompositeLit:
+		var m taint
+		for _, elt := range v.Elts {
+			em := fs.eval(elt, inGo)
+			m |= em
+			if name := sinkTypeName(fs.info.TypeOf(v)); name != "" {
+				fs.sum.Sink |= paramsOf(em)
+				if fs.report != nil && em&reportSinkMask != 0 {
+					fs.report.Reportf(elt.Pos(), "nondeterministic value (%s) is stored into a %s literal; determinism-sensitive outputs must be pure functions of the inputs — derive it deterministically or waive with //birplint:ignore dettaint",
+						kindString(em&reportSinkMask), name)
+				}
+			}
+		}
+		return m
+	case *ast.FuncLit:
+		// The literal's statements run in this function's scope; its value
+		// carries no taint of its own.
+		fs.walkLit(v, inGo)
+		return 0
+	case *ast.CallExpr:
+		return fs.evalCall(v, inGo)
+	default:
+		return 0
+	}
+}
+
+// sourceCall returns the intrinsic bit a call introduces, or 0.
+func sourceCall(info *types.Info, call *ast.CallExpr) taint {
+	if isPkgCall(info, call, "time", "Now", "Since", "Until") {
+		return taintClock
+	}
+	obj := calleeObject(info, call)
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "math/rand" || path == "math/rand/v2" {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				switch fn.Name() {
+				case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					// Constructors of explicitly seeded generators.
+				default:
+					return taintRand
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func (fs *funcState) evalCall(call *ast.CallExpr, inGo bool) taint {
+	// Type conversions pass their operand through.
+	if tv, ok := fs.info.Types[call.Fun]; ok && tv.IsType() {
+		var m taint
+		for _, a := range call.Args {
+			m |= fs.eval(a, inGo)
+		}
+		return m
+	}
+
+	obj := calleeObject(fs.info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		var m taint
+		for _, a := range call.Args {
+			m |= fs.eval(a, inGo)
+		}
+		if b.Name() == "close" {
+			if pi, ok := fs.paramIx[fs.rootObj(call.Args[0])]; ok {
+				fs.sum.Signals |= paramBit(pi)
+			}
+		}
+		return m
+	}
+
+	if src := sourceCall(fs.info, call); src != 0 {
+		for _, a := range call.Args {
+			fs.eval(a, inGo)
+		}
+		return src
+	}
+
+	// sort.Slice / sort.SliceStable comparator: on the reporting sweep, a
+	// comparator reading intrinsically nondeterministic state is a dettaint
+	// finding — comparison results feed the permutation directly.
+	if fs.report != nil && isPkgCall(fs.info, call, "sort", "Slice", "SliceStable") && len(call.Args) == 2 {
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+			fs.reportTaintedComparator(lit)
+		}
+	}
+
+	// A parameter function invoked in goroutine context is concurrent.
+	if pobj := fs.rootObj(call.Fun); pobj != nil {
+		if pi, ok := fs.paramIx[pobj]; ok && inGo {
+			if _, isFunc := pobj.Type().Underlying().(*types.Signature); isFunc {
+				fs.sum.Conc |= paramBit(pi)
+			}
+		}
+	}
+
+	// Argument expressions, receiver first when the call is a method call
+	// through a selector.
+	args := make([]ast.Expr, 0, len(call.Args)+1)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := fs.info.Selections[sel]; isSel {
+			args = append(args, sel.X)
+		}
+	}
+	args = append(args, call.Args...)
+	argMasks := make([]taint, len(args))
+	for i, a := range args {
+		argMasks[i] = fs.eval(a, inGo)
+	}
+
+	resolved := fs.m.Graph.Resolve(call)
+	if resolved == nil {
+		// Unknown callee (stdlib or computed value): conservative
+		// pass-through of argument and receiver taint, plus the WaitGroup
+		// completion signal.
+		var m taint
+		for _, am := range argMasks {
+			m |= am
+		}
+		fs.noteWaitGroupDone(call)
+		return m
+	}
+
+	var res taint
+	for _, callee := range resolved.Callees {
+		s := callee.Summary
+		res |= intrinsicOf(s.Ret)
+		for ai, am := range argMasks {
+			pi := ai
+			if len(callee.Params) == 0 {
+				break
+			}
+			if pi >= len(callee.Params) {
+				pi = len(callee.Params) - 1 // variadic tail
+			}
+			bit := paramBit(pi)
+			if s.Ret&bit != 0 {
+				res |= am
+			}
+			if s.Sink&bit != 0 {
+				fs.sum.Sink |= paramsOf(am)
+				if fs.report != nil && am&reportSinkMask != 0 {
+					fs.report.Reportf(args[ai].Pos(), "nondeterministic value (%s) is passed to %s, which stores it into a determinism-sensitive output field; derive it deterministically or waive with //birplint:ignore dettaint",
+						kindString(am&reportSinkMask), callee.ID)
+				}
+			}
+			root := fs.rootObj(args[ai])
+			if rpi, isParam := fs.paramIx[root]; isParam {
+				if s.Writes&bit != 0 {
+					fs.sum.Writes |= paramBit(rpi)
+				}
+				if s.Signals&bit != 0 {
+					fs.sum.Signals |= paramBit(rpi)
+				}
+				if s.Conc&bit != 0 {
+					if _, isFunc := root.Type().Underlying().(*types.Signature); isFunc {
+						fs.sum.Conc |= paramBit(rpi)
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// noteWaitGroupDone records the Signals fact for wg.Done() on a WaitGroup
+// parameter (sync is outside the module, so it has no summary).
+func (fs *funcState) noteWaitGroupDone(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return
+	}
+	if !isWaitGroup(fs.info.TypeOf(sel.X)) {
+		return
+	}
+	if pi, ok := fs.paramIx[fs.rootObj(sel.X)]; ok {
+		fs.sum.Signals |= paramBit(pi)
+	}
+}
+
+// isWaitGroup reports whether t is (a pointer to) sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "WaitGroup" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// reportTaintedComparator flags identifiers with intrinsic taint inside a
+// sort comparator literal.
+func (fs *funcState) reportTaintedComparator(lit *ast.FuncLit) {
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fs.info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if m := fs.vt[obj] & reportCmpMask; m != 0 {
+			fs.report.Reportf(id.Pos(), "sort comparator reads %s, which carries nondeterminism (%s); the resulting permutation differs run to run — sort a deterministic key or waive with //birplint:ignore dettaint",
+				id.Name, kindString(m))
+			reported = true
+			return false
+		}
+		return true
+	})
+}

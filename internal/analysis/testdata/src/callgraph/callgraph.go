@@ -1,0 +1,43 @@
+// Package callgraph exercises the call-graph builder and the summary
+// fixpoint: an interface call site must fan out to every module implementer
+// (the sound fallback for dynamic dispatch), and self- and mutual recursion
+// must reach a stable summary without diverging.
+package callgraph
+
+import "time"
+
+// Stepper is implemented by alpha (value receiver) and beta (pointer
+// receiver); Dispatch calls it dynamically.
+type Stepper interface{ Step(n int) int }
+
+type alpha struct{}
+
+func (alpha) Step(n int) int { return n + 1 }
+
+type beta struct{ k int }
+
+func (b *beta) Step(n int) int { return n + b.k }
+
+// Dispatch is a dynamic call site: resolution must include both implementers.
+func Dispatch(s Stepper, n int) int { return s.Step(n) }
+
+// Rec is self-recursive; its summary must stabilize.
+func Rec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Rec(n - 1)
+}
+
+// Ping and Pong are mutually recursive and carry wall-clock taint through
+// both summaries: the fixpoint must propagate the intrinsic bit around the
+// cycle.
+func Ping(n int) int64 {
+	if n <= 0 {
+		return time.Now().UnixNano()
+	}
+	return Pong(n - 1)
+}
+
+// Pong forwards to Ping; its return inherits the clock bit transitively.
+func Pong(n int) int64 { return Ping(n - 1) }

@@ -1,0 +1,79 @@
+// Package cmptotal seeds the cmptotal analyzer: sort comparators must define
+// a strict total order with a deterministic tie-break. Non-strict key
+// comparisons, ignored index parameters, unstable single-key sorts, and
+// unstable all-float sorts must be flagged; stable sorts and comparators with
+// an integral or index tie-break must not.
+package cmptotal
+
+import "sort"
+
+type pt struct{ x, y float64 }
+
+type row struct {
+	score float64
+	id    int
+}
+
+// NonStrict uses <= on the key: less(i,i) is true, which is undefined for
+// sort and reorders equal elements run to run.
+func NonStrict(xs []int) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i] <= xs[j] // want "non-strict comparison"
+	})
+}
+
+// IgnoresIndex never reads j: the comparator cannot define a total order.
+func IgnoresIndex(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { // want "never reads its index parameter j"
+		return xs[i] < 0
+	})
+}
+
+// SingleKey sorts unstable on one key: equal keys keep input-dependent order.
+func SingleKey(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i] < xs[j] // want "single-key comparator"
+	})
+}
+
+// FloatKeys orders only by floating-point keys with no integral or index
+// tie-break under an unstable sort.
+func FloatKeys(ps []pt) {
+	sort.Slice(ps, func(i, j int) bool { // want "only by floating-point keys"
+		if ps[i].x != ps[j].x {
+			return ps[i].x < ps[j].x
+		}
+		return ps[i].y < ps[j].y
+	})
+}
+
+// Stable is exempt from the tie-break rules: stability IS the tie-break.
+func Stable(xs []float64) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// TieBreak falls back to the index order: deterministic under unstable sort.
+func TieBreak(ps []pt) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].x != ps[j].x {
+			return ps[i].x < ps[j].x
+		}
+		return i < j
+	})
+}
+
+// ByScoreThenID breaks float ties on an integral key: not flagged.
+func ByScoreThenID(rs []row) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score < rs[j].score
+		}
+		return rs[i].id < rs[j].id
+	})
+}
+
+// Waived keeps a deliberately unstable presentation sort under a waiver.
+func Waived(xs []int) {
+	//birplint:ignore cmptotal // presentation-only ordering; equal keys are never rendered
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // wantwaived "single-key comparator"
+}

@@ -1,0 +1,97 @@
+// Package dettaint seeds the dettaint analyzer: intrinsically nondeterministic
+// values (wall clock, unseeded rand, channel-drain order) reaching a
+// determinism-sensitive output — a field of a *Report-suffixed struct, directly,
+// through a callee's return, through a callee that stores its parameter, or via
+// a composite literal — must be flagged, as must sort comparators reading such
+// values. Values derived purely from the inputs, and explicitly seeded
+// generators, must not.
+package dettaint
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SlotReport is determinism-sensitive by naming convention (Report suffix):
+// its fields are what the byte-identity benchmarks compare.
+type SlotReport struct {
+	Stamp  int64
+	Jitter float64
+	Count  int
+}
+
+// DirectStore writes a wall-clock read straight into a report field.
+func DirectStore(r *SlotReport) {
+	r.Stamp = time.Now().UnixNano() // want "wall clock.*stored into dettaint.SlotReport.Stamp"
+}
+
+// stampNow launders the clock through a helper return.
+func stampNow() int64 { return time.Now().UnixNano() }
+
+// ViaHelper stores a callee's wall-clock return: the taint crosses the call
+// through the callee's Ret summary.
+func ViaHelper(r *SlotReport) {
+	r.Stamp = stampNow() // want "wall clock.*stored into dettaint.SlotReport.Stamp"
+}
+
+// record stores its argument into the report: a transitive sink.
+func record(r *SlotReport, v float64) { r.Jitter = v }
+
+// ViaSink hands an unseeded draw to a callee whose summary marks the
+// parameter as sink-reaching: flagged at the call site.
+func ViaSink(r *SlotReport) {
+	record(r, rand.Float64()) // want "unseeded rand.*passed to .*record, which stores it into a determinism-sensitive output"
+}
+
+// LitStore builds a report literal around a rand draw.
+func LitStore() SlotReport {
+	return SlotReport{Jitter: rand.Float64()} // want "unseeded rand.*stored into a dettaint.SlotReport literal"
+}
+
+// DrainStore stores whichever worker result drains first: completion order.
+func DrainStore(r *SlotReport, results chan int) {
+	for v := range results {
+		r.Count = v // want "channel-drain order.*stored into dettaint.SlotReport.Count"
+		break
+	}
+}
+
+// ShuffleSort perturbs the sort key with an unseeded draw: the permutation
+// differs run to run.
+func ShuffleSort(xs []float64) {
+	j := rand.Float64()
+	sort.Slice(xs, func(a, b int) bool {
+		return xs[a]+j < xs[b]+j // want "sort comparator reads j, which carries nondeterminism"
+	})
+}
+
+// SeededOK draws from an explicitly seeded generator: a pure function of the
+// seed, not flagged.
+func SeededOK(r *SlotReport, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	r.Jitter = rng.Float64()
+}
+
+// CountOK stores a pure function of the inputs: not flagged.
+func CountOK(r *SlotReport, xs []int) {
+	r.Count = len(xs)
+}
+
+// MapOrderOK: map-iteration taint is tracked through summaries but
+// deliberately not reported at sinks — the commutative-merge / sorted-after
+// idioms that make it safe are sequence-sensitive, and the per-file maporder
+// analyzer owns that class.
+func MapOrderOK(r *SlotReport, m map[int]int) {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	r.Count = total
+}
+
+// WaivedStamp keeps a deliberate timestamp under a waiver.
+func WaivedStamp(r *SlotReport) {
+	//birplint:ignore dettaint // telemetry field, excluded from byte-identity comparisons
+	r.Stamp = time.Now().UnixNano() // wantwaived "wall clock.*stored into dettaint.SlotReport.Stamp"
+}

@@ -1,0 +1,113 @@
+// Package goroleak seeds the goroleak analyzer: goroutines with no reachable
+// join — no completion signal at all, or signals only on locally declared
+// objects the launcher never waits on — must be flagged. Joined, context-
+// bounded, owner-escaping, and summary-mediated launches must not.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak launches a goroutine nothing can ever join.
+func Leak(xs []int) {
+	go func() { // want "no completion signal"
+		for range xs {
+		}
+	}()
+}
+
+// LocalNoWait signals on a local channel the function never receives from:
+// the close can never be observed and the goroutine can outlive its launcher.
+func LocalNoWait(xs []int) {
+	done := make(chan struct{})
+	go func() { // want "locally declared objects that this function never waits on"
+		close(done)
+	}()
+}
+
+// Joined drains the result channel: the goroutine is joined.
+func Joined(xs []int) int {
+	out := make(chan int)
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		out <- s
+	}()
+	return <-out
+}
+
+// WgJoined uses the WaitGroup protocol: Done inside, Wait outside.
+func WgJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxBounded is lifecycle-bounded by its context: not flagged.
+func CtxBounded(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case tick <- 1:
+			}
+		}
+	}()
+}
+
+type worker struct{ done chan struct{} }
+
+// start launches the run loop; the worker escapes to the caller, who joins
+// through Wait — the constructor-starts, owner-joins pattern, not flagged.
+func start() *worker {
+	w := &worker{done: make(chan struct{})}
+	go func() {
+		close(w.done)
+	}()
+	return w
+}
+
+// Wait joins a started worker.
+func (w *worker) Wait() { <-w.done }
+
+// pump sends every item then closes out; its summary marks the channel
+// parameter as a completion signal.
+func pump(xs []int, out chan int) {
+	for _, x := range xs {
+		out <- x
+	}
+	close(out)
+}
+
+// GoCallJoined launches pump by name and drains it: joined via the summary.
+func GoCallJoined(xs []int) int {
+	out := make(chan int)
+	go pump(xs, out)
+	total := 0
+	for v := range out {
+		total += v
+	}
+	return total
+}
+
+// GoCallLeak launches pump but never drains the channel it signals on.
+func GoCallLeak(xs []int) {
+	out := make(chan int, len(xs))
+	go pump(xs, out) // want "locally declared objects that this function never waits on"
+}
+
+// Waived keeps a deliberate fire-and-forget goroutine under a waiver.
+func Waived() {
+	//birplint:ignore goroleak // fire-and-forget; bounded by process exit in this demo shape
+	go func() { // wantwaived "no completion signal"
+	}()
+}

@@ -1,0 +1,145 @@
+// Package sharedwrite seeds the sharedwrite analyzer: writes to
+// closure-captured state from concurrent closures — launched with `go` or
+// passed to a callee whose summary marks the parameter as
+// invoked-on-goroutine — must be flagged unless a per-index slot, a mutex, or
+// per-execution freshness makes them safe.
+package sharedwrite
+
+import "sync"
+
+type box struct{ v int }
+
+// Race accumulates into a captured counter from the fan-out: lost updates.
+func Race(xs []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			total += x // want "write to captured total"
+		}(x)
+	}
+	wg.Wait()
+	return total
+}
+
+// PerIndex writes each goroutine's result into its own slot, the fan-out
+// discipline the codebase standardizes on: not flagged.
+func PerIndex(xs []int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * x
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+// MapWrite writes a captured map per-key: concurrent map writes fault even on
+// distinct keys, so the per-index exemption never applies to maps.
+func MapWrite(xs []int) map[int]int {
+	out := map[int]int{}
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x // want "concurrent map write through captured out"
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+// Locked guards the shared write with a mutex: not flagged.
+func Locked(xs []int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			mu.Lock()
+			total += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total
+}
+
+// Handoff constructs a per-iteration object and hands it to exactly one
+// goroutine: each launch writes a distinct allocation, not shared state.
+func Handoff(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		agg := &box{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			agg.v = 1
+		}()
+	}
+	wg.Wait()
+}
+
+// fill writes through its pointer parameter; its summary carries the fact.
+func fill(dst *box, v int) { dst.v = v }
+
+// ViaCallee passes captured state to a writer from inside the fan-out: the
+// write happens one call deep but is still shared.
+func ViaCallee(xs []int) box {
+	var shared box
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			fill(&shared, x) // want "captured shared is passed to .*fill, which writes through it"
+		}(x)
+	}
+	wg.Wait()
+	return shared
+}
+
+// each invokes fn once per item on a spawned goroutine — the par.ForEach
+// shape; its summary marks fn as invoked-on-goroutine.
+func each(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FanOut's body literal runs concurrently via each, so its captured write is
+// shared even though no `go` statement appears here.
+func FanOut(n int) int {
+	sum := 0
+	each(n, func(i int) {
+		sum += i // want "write to captured sum"
+	})
+	return sum
+}
+
+// Waived keeps a known-benign single-writer flag under a waiver.
+func Waived(done chan struct{}) {
+	ready := false
+	go func() {
+		//birplint:ignore sharedwrite // single writer; the reader is gated behind the done channel
+		ready = true // wantwaived "write to captured ready"
+		close(done)
+	}()
+	<-done
+	_ = ready
+}

@@ -87,6 +87,8 @@ func Partition(c *Cluster, domains, maxSize int) [][]int {
 	for d := range out {
 		sort.Ints(out[d])
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	// Domain minima are distinct (domains partition the edge set), but keep
+	// the sort stable so ties could never depend on deal order.
+	sort.SliceStable(out, func(a, b int) bool { return out[a][0] < out[b][0] })
 	return out
 }

@@ -508,7 +508,8 @@ func (s *Server) admitRejoins(t int, conns []*conn, ch chan rejoinReq, downSince
 	}
 	// Arrival order on the channel is wall-clock nondeterministic; admit in
 	// edge-id order so the Report is stable given the same failure set.
-	sort.Slice(pending, func(i, j int) bool { return pending[i].k < pending[j].k })
+	// Stable so duplicate rejoins by one edge keep a defined relative order.
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].k < pending[j].k })
 	for _, r := range pending {
 		if conns[r.k] != nil {
 			select {

@@ -52,7 +52,9 @@ func Piecewise(samples []Sample) (bandit.TIRParams, error) {
 	if len(distinct) < 2 {
 		return bandit.TIRParams{}, fmt.Errorf("%w: %d distinct batch sizes > 1", ErrNoData, len(distinct))
 	}
-	sort.Slice(clean, func(i, j int) bool { return clean[i].B < clean[j].B })
+	// Stable: several samples can share a batch size, and the fit must not
+	// depend on the arrival order of equal-B ties.
+	sort.SliceStable(clean, func(i, j int) bool { return clean[i].B < clean[j].B })
 
 	best := bandit.TIRParams{}
 	bestSSE := math.Inf(1)

@@ -209,3 +209,40 @@ func TestQuickEtaRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression for the equal-B tie-order bug: Piecewise sorts samples by batch
+// size with a stable sort, so permuting samples that share a batch size must
+// not change the fitted law. (An unstable sort let the arrival order of
+// equal-B ties leak into the changepoint search through plateauMean's
+// accumulation order.)
+func TestPiecewiseOrderInvariant(t *testing.T) {
+	base := []Sample{
+		{B: 1, TIR: 1.00},
+		{B: 2, TIR: 1.15},
+		{B: 2, TIR: 1.22},
+		{B: 4, TIR: 1.41},
+		{B: 4, TIR: 1.38},
+		{B: 8, TIR: 1.62},
+		{B: 8, TIR: 1.60},
+		{B: 8, TIR: 1.65},
+		{B: 16, TIR: 1.63},
+		{B: 16, TIR: 1.61},
+	}
+	want, err := Piecewise(base)
+	if err != nil {
+		t.Fatalf("baseline fit: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]Sample, len(base))
+		copy(perm, base)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err := Piecewise(perm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: permuted samples changed the fit: got %+v, want %+v", trial, got, want)
+		}
+	}
+}

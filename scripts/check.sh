@@ -94,12 +94,27 @@ fi
 
 # The determinism linter runs in every tier, including -short: its findings
 # are exactly the bugs the race detector and seeded tests can miss (map-order
-# output, float equality, swallowed solver errors).
-echo "== birplint ./..."
+# output, float equality, swallowed solver errors). The -short tier lints only
+# the files changed since HEAD (tracked edits plus untracked .go files) via
+# birplint -changed; an empty change list or no usable git falls back to the
+# full module so the quick tier never silently skips the gate.
 lint_tmp=$(mktemp -d)
 trap 'rm -rf "$lint_tmp"' EXIT
 lint_status=0
-go run ./cmd/birplint -json ./... >"$lint_tmp/lint.json" || lint_status=$?
+changed=""
+if [[ -n "$short" ]] && command -v git >/dev/null && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+	# testdata fixtures deliberately seed findings and are excluded from the
+	# gate, same as the full-module walk excludes them.
+	changed=$( (git diff --name-only HEAD -- '*.go'; git ls-files --others --exclude-standard -- '*.go') |
+		grep -v '/testdata/' | sort -u || true)
+fi
+if [[ -n "$changed" ]]; then
+	echo "== birplint -changed ($(wc -l <<<"$changed") files)"
+	go run ./cmd/birplint -changed -json - <<<"$changed" >"$lint_tmp/lint.json" || lint_status=$?
+else
+	echo "== birplint ./..."
+	go run ./cmd/birplint -json ./... >"$lint_tmp/lint.json" || lint_status=$?
+fi
 python3 scripts/lintreport.py "$lint_tmp/lint.json"
 if [[ $lint_status -ne 0 ]]; then
 	echo "birplint: unwaived findings (exit $lint_status); fix them or waive with //birplint:ignore" >&2

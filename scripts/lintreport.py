@@ -35,6 +35,17 @@ def main(argv):
     total_waived = sum(c.get("waived", 0) for c in counts.values())
     print(f"{'total':<{width}}  {unwaived:>8}  {total_waived:>6}")
 
+    # Call-graph size line: how much interprocedural machinery the module
+    # analyzers walked, so graph blow-ups or fixpoint divergence show up in
+    # every lint run.
+    cg = report.get("callgraph") or {}
+    if cg.get("functions"):
+        print(
+            f"callgraph: {cg.get('functions', 0)} functions, "
+            f"{cg.get('edges', 0)} edges, "
+            f"fixpoint in {cg.get('fixpoint_iters', 0)} iterations"
+        )
+
     if unwaived:
         print()
         print("unwaived findings:")
