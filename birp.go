@@ -27,8 +27,10 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/experiments"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/miqp"
 	"repro/internal/models"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -71,6 +73,23 @@ type (
 	// (branch-and-bound nodes, warm-start hit rate, simplex pivots, presolve
 	// reductions); EvalResult.Solver carries them for the BIRP arms.
 	SolverStats = miqp.Stats
+	// ServeLoop is the online serving loop: admission → routing against an
+	// immutable plan snapshot, with background re-optimization over the
+	// rolling arrival window (cmd/birpserve is its daemon front end).
+	ServeLoop = serve.Loop
+	// ServeConfig assembles a ServeLoop.
+	ServeConfig = serve.Config
+	// ServeRequest is one inference request offered to the serving loop.
+	ServeRequest = serve.Request
+	// ServeDecision is the outcome of one served request.
+	ServeDecision = serve.Decision
+	// ServeStats aggregates the serving loop's admission/routing/staleness
+	// counters.
+	ServeStats = metrics.ServeStats
+	// ServePlanner re-solves the slot optimizer over a rolling window.
+	ServePlanner = serve.Planner
+	// ServeFrontend serves the JSON-lines request protocol over TCP.
+	ServeFrontend = serve.Frontend
 )
 
 // DefaultCluster returns the paper's testbed: Jetson NX, Jetson Nano, and
@@ -223,6 +242,36 @@ type Simulator = edgesim.Sim
 // execution-time noise; seed drives it.
 func NewSimulator(c *Cluster, apps []*Application, noiseSigma float64, seed int64) (*Simulator, error) {
 	return edgesim.New(edgesim.Config{Cluster: c, Apps: apps, NoiseSigma: noiseSigma, Seed: seed})
+}
+
+// NewServeLoop builds the online serving loop.
+func NewServeLoop(cfg ServeConfig) (*ServeLoop, error) { return serve.NewLoop(cfg) }
+
+// NewServeFrontend listens on addr and serves the JSON-lines request
+// protocol against loop; nowNS stamps arrivals that carry no timestamp.
+func NewServeFrontend(loop *ServeLoop, addr string, nowNS func() int64) (*ServeFrontend, error) {
+	return serve.NewFrontend(loop, addr, nowNS)
+}
+
+// NewServeAdmission builds an admission policy by name ("always",
+// "token-bucket"); capacity/ratePerSec parameterize the token bucket.
+func NewServeAdmission(name string, capacity, ratePerSec float64) (serve.AdmissionPolicy, error) {
+	return serve.NewAdmission(name, capacity, ratePerSec)
+}
+
+// NewServeRouter builds a router by name ("round-robin", "least-loaded",
+// "affinity").
+func NewServeRouter(name string) (serve.Router, error) { return serve.NewRouter(name) }
+
+// ServePlannerFor adapts a scheduler into the serving loop's re-optimizer.
+// The core-family schedulers (NewBIRP and friends) implement the windowed
+// re-solve natively — rate rescaling plus the cross-slot reuse layer; any
+// other Scheduler is fed each window as the next slot's arrivals unscaled.
+func ServePlannerFor(s Scheduler) ServePlanner {
+	if p, ok := s.(ServePlanner); ok {
+		return p
+	}
+	return serve.NewSlotPlanner(s)
 }
 
 // NewSchedulerServer builds the distributed prototype's coordinator.

@@ -20,7 +20,16 @@ import (
 	"time"
 
 	birp "repro"
+	"repro/internal/cliutil"
 )
+
+// knownExps is the -exp vocabulary; an unknown name is an error, not a
+// silent no-op run (a typo like "fig77" used to run nothing and exit 0).
+var knownExps = map[string]bool{
+	"all": true, "fig1": true, "table1": true, "fig2": true, "fig4": true,
+	"fig5": true, "fig6": true, "fig7": true, "convergence": true,
+	"ablations": true, "scorecard": true, "sensitivity": true, "scale": true,
+}
 
 // timingReport is the machine-readable output of -json: per-experiment
 // wall-clock seconds plus the knobs that shaped the run, so serial and
@@ -75,6 +84,20 @@ func main() {
 	hier := flag.Bool("hier", false, "hierarchical domain-decomposed scheduling for the core-family arms (default domain size 16)")
 	domains := flag.Int("domains", 0, "fix the collaboration-domain count (> 0 implies -hier)")
 	flag.Parse()
+
+	check := &cliutil.Checker{}
+	check.KnownNames("exp", *exp, knownExps)
+	check.PositiveInt("slots", *slots)
+	check.NonNegativeInt("workers", *workers)
+	check.PositiveInt("k", *k)
+	check.NonNegativeInt("domains", *domains)
+	// -dense -hier is NOT a conflict: hierarchical sub-schedulers inherit
+	// the engine choice, so the combination A/Bs the dense engine inside
+	// every domain (TestHierarchicalDenseEngineComposes pins it).
+	if err := check.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *pprofPath != "" {
 		f, err := os.Create(*pprofPath)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	birp "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -28,6 +29,16 @@ func main() {
 	hier := flag.Bool("hier", false, "hierarchical domain-decomposed scheduling (default domain size 16)")
 	domains := flag.Int("domains", 0, "fix the collaboration-domain count (> 0 implies -hier)")
 	flag.Parse()
+
+	check := &cliutil.Checker{}
+	check.PositiveInt("apps", *apps)
+	check.PositiveInt("versions", *versions)
+	check.PositiveInt("slots", *slots)
+	check.NonNegativeInt("domains", *domains)
+	if err := check.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	c := birp.DefaultCluster()
 	if *small {

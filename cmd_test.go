@@ -1,6 +1,7 @@
 package birp_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -28,7 +29,7 @@ func binaries(t *testing.T) string {
 			buildErr = err
 			return
 		}
-		for _, tool := range []string{"birpsim", "birpbench", "birpsched", "birpedge", "tirprofile"} {
+		for _, tool := range []string{"birpsim", "birpbench", "birpsched", "birpedge", "birpserve", "tirprofile"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = fmt.Errorf("building %s: %v\n%s", tool, err, out)
@@ -51,6 +52,15 @@ func runTool(t *testing.T, name string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
 	}
 	return string(out)
+}
+
+// runToolErr runs a CLI expected to fail, returning its combined output and
+// exit error for the flag-validation tests.
+func runToolErr(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
 }
 
 func TestCLIBirpsim(t *testing.T) {
@@ -98,6 +108,141 @@ func TestCLITirprofile(t *testing.T) {
 	out := runTool(t, "tirprofile", "-device", "atlas", "-maxb", "8", "-reps", "3")
 	if !strings.Contains(out, "Atlas 200DK") || !strings.Contains(out, "TIR(b)") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIBirpserveReplayDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	log1 := filepath.Join(dir, "w1.log")
+	log4 := filepath.Join(dir, "w4.log")
+	jsonOut := filepath.Join(dir, "serve.json")
+	common := []string{"-gen", "2000", "-seed", "3", "-policy", "token-bucket",
+		"-cap", "32", "-rate", "16", "-route", "least-loaded"}
+	out := runTool(t, "birpserve", append(common, "-workers", "1", "-log", log1, "-json", jsonOut)...)
+	if !strings.Contains(out, "replay: submitted 2000") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	runTool(t, "birpserve", append(common, "-workers", "4", "-log", log4)...)
+	b1, err := os.ReadFile(log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := os.ReadFile(log4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 || string(b1) != string(b4) {
+		t.Fatalf("decision logs differ across -workers 1 vs 4 (%d vs %d bytes)", len(b1), len(b4))
+	}
+	var js struct {
+		Submitted  int64   `json:"submitted"`
+		Admitted   int64   `json:"admitted"`
+		Rejected   int64   `json:"rejected"`
+		StaleMax   float64 `json:"stale_max_ms"`
+		StaleBound float64 `json:"stale_bound_ms"`
+	}
+	buf, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		t.Fatalf("%v in %s", err, buf)
+	}
+	if js.Submitted != js.Admitted+js.Rejected {
+		t.Fatalf("accounting leak in JSON: %d != %d + %d", js.Submitted, js.Admitted, js.Rejected)
+	}
+	if js.StaleMax > js.StaleBound {
+		t.Fatalf("staleness bound violated: max %.1fms > bound %.1fms", js.StaleMax, js.StaleBound)
+	}
+}
+
+func TestCLIBirpserveDaemonCleanShutdown(t *testing.T) {
+	dir := binaries(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(filepath.Join(dir, "birpserve"), "-listen", addr, "-apps", "1")
+	outBuf := &strings.Builder{}
+	daemon.Stdout = outBuf
+	daemon.Stderr = outBuf
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var conn net.Conn
+	for i := 0; i < 50; i++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		_ = daemon.Process.Kill()
+		t.Fatalf("daemon never listened: %v\n%s", err, outBuf.String())
+	}
+	for q := 0; q < 3; q++ {
+		fmt.Fprintf(conn, `{"id":%d,"app":0,"region":%d}`+"\n", q, q%3)
+	}
+	scan := make([]byte, 4096)
+	total := ""
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for strings.Count(total, "\n") < 3 {
+		n, err := conn.Read(scan)
+		if err != nil {
+			t.Fatalf("reading decisions: %v (got %q)", err, total)
+		}
+		total += string(scan[:n])
+	}
+	if !strings.Contains(total, `"admit":true`) {
+		t.Fatalf("no admissions in daemon replies: %q", total)
+	}
+	conn.Close()
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, outBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		_ = daemon.Process.Kill()
+		t.Fatalf("daemon did not shut down on SIGINT\n%s", outBuf.String())
+	}
+	if !strings.Contains(outBuf.String(), "daemon: submitted 3 admitted 3") {
+		t.Fatalf("daemon summary missing:\n%s", outBuf.String())
+	}
+}
+
+// TestCLIFlagValidationFailsFast pins the satellite audit: flag values that
+// used to be silently reinterpreted (negative -domains meant "monolithic",
+// unknown -exp names ran nothing and exited 0) now exit nonzero with one
+// clear message listing every problem.
+func TestCLIFlagValidationFailsFast(t *testing.T) {
+	cases := []struct {
+		tool string
+		args []string
+		want string
+	}{
+		{"birpsched", []string{"-listen", "127.0.0.1:0", "-domains", "-3"}, "-domains -3"},
+		{"birpbench", []string{"-exp", "fig77", "-quick"}, `unknown name "fig77"`},
+		{"birpserve", []string{"-policy", "token-bucket", "-rate", "0", "-gen", "10"}, "-rate 0"},
+		{"birpserve", []string{"-policy", "lottery"}, "-policy"},
+	}
+	for _, tc := range cases {
+		out, err := runToolErr(t, tc.tool, tc.args...)
+		if err == nil {
+			t.Fatalf("%s %v: accepted invalid flags:\n%s", tc.tool, tc.args, out)
+		}
+		if !strings.Contains(out, "invalid flags") || !strings.Contains(out, tc.want) {
+			t.Fatalf("%s %v: message missing %q:\n%s", tc.tool, tc.args, tc.want, out)
+		}
 	}
 }
 

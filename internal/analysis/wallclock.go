@@ -10,7 +10,7 @@ import (
 // run (time-based cutoffs, timestamps in solutions). Profiling belongs in the
 // callers (cmd/birpbench, cmd/tirprofile) or behind an explicitly waived
 // stats seam.
-var wallclockPkgs = map[string]bool{"lp": true, "miqp": true, "core": true, "par": true}
+var wallclockPkgs = map[string]bool{"lp": true, "miqp": true, "core": true, "par": true, "serve": true}
 
 // WallClock flags time.Now/Since/Until calls inside the deterministic solver
 // packages (internal/lp, internal/miqp, internal/core, internal/par).

@@ -1,0 +1,91 @@
+// Package cliutil centralizes flag validation for the birp command family.
+// Every binary funnels its parsed flags through a Checker so invalid or
+// contradictory values fail fast with one clear, complete error message —
+// instead of being silently reinterpreted the way `birpsched -domains -3`
+// (negative count meant "monolithic") or `birpbench -exp fig77` (unknown
+// names ran nothing and exited 0) used to be.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Checker accumulates flag problems; Err joins them so the user sees every
+// mistake in one run instead of fixing them one rerun at a time.
+type Checker struct{ problems []string }
+
+// Checkf records a problem when ok is false.
+func (c *Checker) Checkf(ok bool, format string, args ...any) {
+	if !ok {
+		c.problems = append(c.problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// PositiveInt requires v > 0.
+func (c *Checker) PositiveInt(name string, v int) {
+	c.Checkf(v > 0, "-%s %d: must be > 0", name, v)
+}
+
+// NonNegativeInt requires v ≥ 0.
+func (c *Checker) NonNegativeInt(name string, v int) {
+	c.Checkf(v >= 0, "-%s %d: must be >= 0", name, v)
+}
+
+// PositiveFloat requires v > 0.
+func (c *Checker) PositiveFloat(name string, v float64) {
+	c.Checkf(v > 0, "-%s %g: must be > 0", name, v)
+}
+
+// NonNegativeFloat requires v ≥ 0.
+func (c *Checker) NonNegativeFloat(name string, v float64) {
+	c.Checkf(v >= 0, "-%s %g: must be >= 0", name, v)
+}
+
+// MinInt requires v ≥ min.
+func (c *Checker) MinInt(name string, v, min int) {
+	c.Checkf(v >= min, "-%s %d: must be >= %d", name, v, min)
+}
+
+// OneOf requires v to be one of the allowed literals.
+func (c *Checker) OneOf(name, v string, allowed ...string) {
+	for _, a := range allowed {
+		if v == a {
+			return
+		}
+	}
+	c.Checkf(false, "-%s %q: must be one of %s", name, v, strings.Join(allowed, ", "))
+}
+
+// KnownNames requires every entry of a comma-separated list flag to be a
+// known name (e.g. -exp experiment lists); unknown entries are reported
+// against the sorted vocabulary.
+func (c *Checker) KnownNames(name, list string, known map[string]bool) {
+	var vocab []string
+	for k := range known {
+		vocab = append(vocab, k)
+	}
+	sort.Strings(vocab)
+	for _, v := range strings.Split(list, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		c.Checkf(known[v], "-%s %q: unknown name %q (known: %s)", name, list, v, strings.Join(vocab, ", "))
+	}
+}
+
+// Conflict records a problem when two flags contradict each other.
+func (c *Checker) Conflict(conflicting bool, msg string) {
+	c.Checkf(!conflicting, "%s", msg)
+}
+
+// Err returns nil when every check passed, or one error listing every
+// problem found.
+func (c *Checker) Err() error {
+	if len(c.problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid flags:\n  %s", strings.Join(c.problems, "\n  "))
+}

@@ -1,0 +1,100 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerPassesCleanFlags(t *testing.T) {
+	var c Checker
+	c.PositiveInt("apps", 3)
+	c.NonNegativeInt("domains", 0)
+	c.PositiveFloat("rate", 0.5)
+	c.NonNegativeFloat("stale-ms", 0)
+	c.MinInt("k", 2, 1)
+	c.OneOf("policy", "token-bucket", "always", "token-bucket")
+	c.KnownNames("exp", "fig1, fig7", map[string]bool{"fig1": true, "fig7": true})
+	c.Conflict(false, "never fires")
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean flags rejected: %v", err)
+	}
+}
+
+func TestCheckerNumericBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		bad  func(c *Checker)
+		want string
+	}{
+		{"positive-int", func(c *Checker) { c.PositiveInt("domains", -3) }, "-domains -3: must be > 0"},
+		{"positive-int-zero", func(c *Checker) { c.PositiveInt("slots", 0) }, "-slots 0: must be > 0"},
+		{"non-negative-int", func(c *Checker) { c.NonNegativeInt("workers", -1) }, "-workers -1: must be >= 0"},
+		{"positive-float", func(c *Checker) { c.PositiveFloat("rate", 0) }, "-rate 0: must be > 0"},
+		{"non-negative-float", func(c *Checker) { c.NonNegativeFloat("stale-ms", -2.5) }, "-stale-ms -2.5: must be >= 0"},
+		{"min-int", func(c *Checker) { c.MinInt("cap", 0, 1) }, "-cap 0: must be >= 1"},
+	}
+	for _, tc := range cases {
+		var c Checker
+		tc.bad(&c)
+		err := c.Err()
+		if err == nil {
+			t.Fatalf("%s: bad value accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: message %q missing %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}
+
+func TestCheckerOneOf(t *testing.T) {
+	var c Checker
+	c.OneOf("route", "random", "round-robin", "least-loaded", "affinity")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("unknown literal accepted")
+	}
+	if !strings.Contains(err.Error(), "round-robin, least-loaded, affinity") {
+		t.Fatalf("allowed set not listed: %v", err)
+	}
+}
+
+func TestCheckerKnownNames(t *testing.T) {
+	known := map[string]bool{"fig1": true, "fig7": true, "all": true}
+	var c Checker
+	c.KnownNames("exp", "fig1,bogus , fig7", known)
+	err := c.Err()
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// One problem for the single bad entry, vocabulary sorted.
+	if got := strings.Count(err.Error(), "unknown name"); got != 1 {
+		t.Fatalf("%d problems, want 1: %v", got, err)
+	}
+	if !strings.Contains(err.Error(), `"bogus" (known: all, fig1, fig7)`) {
+		t.Fatalf("vocabulary not sorted in message: %v", err)
+	}
+	// Empty entries (trailing comma) are not errors.
+	var c2 Checker
+	c2.KnownNames("exp", "fig1,", known)
+	if err := c2.Err(); err != nil {
+		t.Fatalf("trailing comma rejected: %v", err)
+	}
+}
+
+func TestCheckerConflictAndJoinedMessage(t *testing.T) {
+	var c Checker
+	c.PositiveInt("apps", 0)
+	c.Conflict(true, "-a and -b are mutually exclusive")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("conflict not reported")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "invalid flags:") {
+		t.Fatalf("missing header: %q", msg)
+	}
+	// Both problems must be present, each on its own indented line.
+	if !strings.Contains(msg, "\n  -apps 0") || !strings.Contains(msg, "\n  -a and -b") {
+		t.Fatalf("problems not joined: %q", msg)
+	}
+}

@@ -168,6 +168,10 @@ type Scheduler struct {
 	// hier is the hierarchical decomposition state (domain partition,
 	// per-domain sub-schedulers, coordinator caches); nil in monolithic mode.
 	hier *hierState
+	// serveT counts windowed re-solves (Replan in window.go): the online
+	// serving layer has no simulator slot index, so Replan synthesizes a
+	// monotone one to keep the provider ticking and the reuse layer keyed.
+	serveT int
 	// bwReserved[k] is forwarding bandwidth the parent coordinator already
 	// spent at edge k this slot (cross-domain transfers charge both ends).
 	// Stage 1, the ship budget, and preloading all plan against the remaining

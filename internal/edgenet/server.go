@@ -2,6 +2,7 @@ package edgenet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -37,6 +38,17 @@ type ServerConfig struct {
 	// cleared, and work is routed back to it. Without TolerateFailures, any
 	// agent failure aborts the run.
 	TolerateFailures bool
+	// ArrivalSource overrides the planning arrivals: when set, slot t plans
+	// against ArrivalSource(t) — e.g. the online serving layer's drained
+	// request window — instead of the agents' phase-1 reports. The phase-1
+	// barrier still runs (agents stay in step and protocol violations are
+	// still policed); the reported counts just stop feeding the optimizer.
+	// The returned matrix must be apps×edges and non-negative or the run
+	// aborts.
+	ArrivalSource func(t int) [][]int
+	// PlanHook observes every accepted plan before its assignments are
+	// dispatched — the serving layer installs its routing snapshot here.
+	PlanHook func(t int, plan *edgesim.Plan)
 }
 
 // EdgeDownMarker is implemented by schedulers that can exclude failed edges
@@ -83,6 +95,12 @@ type Server struct {
 	// serialPhases disables the concurrent phase collection (test hook: the
 	// fold order is by edge id either way, so the Report must not change).
 	serialPhases bool
+	// mu guards the shutdown state: Close must sever any connection whose
+	// hello is still being read, or the reading goroutine stays parked
+	// until its SlotTimeout deadline (the shutdown race this fixes).
+	mu      sync.Mutex
+	closed  bool
+	pending map[net.Conn]struct{} // conns mid-hello during registration
 }
 
 // NewServer binds the listen address; call Run to serve.
@@ -100,14 +118,56 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edgenet: listen: %w", err)
 	}
-	return &Server{cfg: cfg, ln: ln}, nil
+	return &Server{cfg: cfg, ln: ln, pending: map[net.Conn]struct{}{}}, nil
 }
 
 // Addr returns the bound listen address (for agents to dial).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close releases the listener (Run closes it on return as well).
-func (s *Server) Close() error { return s.ln.Close() }
+// Close shuts the server down: it releases the listener and severs any
+// connection whose registration hello is still in flight, so goroutines
+// parked in a hello read unblock immediately instead of waiting out their
+// deadline. Idempotent and safe to call concurrently with Run — repeated
+// or post-Run calls return nil rather than a spurious "use of closed
+// network connection".
+func (s *Server) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.pending {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if already || err == nil || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// track registers a conn whose hello is being read; false once Close has
+// begun (the caller must abandon the conn).
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.pending[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, c)
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // rejoinReq is a validated mid-run hello parked by the accept loop until the
 // slot loop folds it in at a boundary.
@@ -123,7 +183,7 @@ type rejoinReq struct {
 // between phases. After initial registration the listener keeps accepting,
 // so agents that died can re-register mid-run (see TolerateFailures).
 func (s *Server) Run(ctx context.Context) (*Report, error) {
-	defer s.ln.Close()
+	defer func() { _ = s.Close() }()
 	K := s.cfg.Cluster.N()
 	conns := make([]*conn, K)
 	defer func() {
@@ -148,7 +208,7 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 	defer func() {
 		// Close the listener here (not just in Run's outer defer, which runs
 		// too late) so the accept loop exits, then release parked conns.
-		s.ln.Close()
+		_ = s.Close()
 		<-acceptDone
 		for {
 			select {
@@ -256,11 +316,24 @@ func (s *Server) Run(ctx context.Context) (*Report, error) {
 				arrivals[i][k] = n
 			}
 		}
+		// Serving-path override: the barrier above still synchronized the
+		// fleet and policed the protocol, but planning demand comes from the
+		// serving layer's rolling window instead of the agents' reports.
+		if s.cfg.ArrivalSource != nil {
+			src := s.cfg.ArrivalSource(t)
+			if err := validArrivals(src, I, K); err != nil {
+				return nil, fmt.Errorf("edgenet: arrival source slot %d: %w", t, err)
+			}
+			arrivals = src
+		}
 		// Phase 2: decide.
 		plan, err := s.cfg.Scheduler.Decide(t, arrivals)
 		if err != nil {
 			s.broadcast(conns, &Message{Type: TypeError, Err: err.Error()})
 			return nil, fmt.Errorf("edgenet: decide slot %d: %w", t, err)
+		}
+		if s.cfg.PlanHook != nil {
+			s.cfg.PlanHook(t, plan)
 		}
 		// Phase 3: push per-edge assignments (transfers are already netted
 		// into the deployments, which is all an executor needs).
@@ -384,11 +457,22 @@ func (s *Server) register(ctx context.Context, conns []*conn) error {
 		}
 		raw, err := s.ln.Accept()
 		if err != nil {
+			if s.isClosed() {
+				return fmt.Errorf("edgenet: server closed during registration (have %d/%d agents)", registered, K)
+			}
 			return fmt.Errorf("edgenet: accept (have %d/%d agents): %w", registered, K, err)
+		}
+		// Track the conn for the duration of the hello read so an external
+		// Close severs it instead of leaving this loop parked until the
+		// read deadline.
+		if !s.track(raw) {
+			_ = raw.Close()
+			return fmt.Errorf("edgenet: server closed during registration (have %d/%d agents)", registered, K)
 		}
 		c := &conn{raw: raw}
 		_ = raw.SetReadDeadline(deadline)
 		m, err := c.recv()
+		s.untrack(raw)
 		if err != nil || m.Type != TypeHello {
 			c.close()
 			continue
@@ -585,6 +669,22 @@ func (s *Server) broadcast(conns []*conn, m *Message) {
 			_ = c.send(m)
 		}
 	}
+}
+
+// validArrivals checks an ArrivalSource matrix: apps×edges, non-negative.
+func validArrivals(a [][]int, I, K int) error {
+	if len(a) != I {
+		return fmt.Errorf("want %d app rows, got %d", I, len(a))
+	}
+	for i := range a {
+		if len(a[i]) != K {
+			return fmt.Errorf("app %d: want %d edge cells, got %d", i, K, len(a[i]))
+		}
+		if minInt(a[i]) < 0 {
+			return fmt.Errorf("app %d: negative arrivals", i)
+		}
+	}
+	return nil
 }
 
 func containsInt(xs []int, x int) bool {

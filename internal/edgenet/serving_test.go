@@ -1,0 +1,152 @@
+package edgenet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+// servingSched forwards SetEdgeDown to both the optimizer and the serving
+// loop: when the slot barrier detects a dead agent, planning excludes the
+// edge AND live routing steers away from it in the same breath.
+type servingSched struct {
+	*core.Scheduler
+	loop *serve.Loop
+}
+
+func (s *servingSched) SetEdgeDown(k int, down bool) {
+	s.Scheduler.SetEdgeDown(k, down)
+	s.loop.SetEdgeDown(k, down)
+}
+
+// TestServingPathDispatchUnderTolerate wires the full serving seam through
+// the distributed slot barrier: the serve loop's drained request window is
+// the planning demand (ArrivalSource), every accepted plan becomes the
+// routing snapshot (PlanHook), and an agent crash mid-run must both keep
+// the barrier alive (-tolerate) and steer subsequent routing off the dead
+// edge.
+func TestServingPathDispatchUnderTolerate(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	K := c.N()
+	slots := 6
+	secNS := int64(1e9)
+
+	loop, err := serve.NewLoop(serve.Config{Apps: len(apps), Edges: K, ExternalPlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reqID int64
+	var srv *Server
+	srv, err = NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: &servingSched{Scheduler: sched, loop: loop},
+		Slots:     slots, SlotTimeout: 5 * time.Second,
+		TolerateFailures: true,
+		// The serving frontend's arrivals since the last barrier: submit this
+		// slot's burst, then drain the rolling window as planning demand.
+		ArrivalSource: func(tt int) [][]int {
+			for q := 0; q < 3*K; q++ {
+				if _, err := loop.Submit(serve.Request{
+					ID: reqID, App: 0, Region: q % K,
+					ArriveNS: int64(tt+1) * secNS,
+				}); err != nil {
+					t.Errorf("slot %d submit: %v", tt, err)
+				}
+				reqID++
+			}
+			return loop.DrainWindow()
+		},
+		PlanHook: func(tt int, plan *edgesim.Plan) {
+			loop.AdoptPlan(int64(tt+1)*secNS, plan)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < K; k++ {
+		k := k
+		if k == 1 {
+			// Edge 1 crashes after two slots and never rejoins.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runFlakyAgent(t, srv.Addr().String(), 1, len(apps), 2, emptyReport)
+			}()
+			continue
+		}
+		arr := make([][]int, slots)
+		for tt := range arr {
+			arr[tt] = make([]int, len(apps)) // agents report nothing; demand is the loop's
+		}
+		agent, err := NewAgent(AgentConfig{
+			Addr: srv.Addr().String(), EdgeID: k,
+			Device: c.Edges[k].Device, Apps: apps,
+			Arrivals: arr, Seed: int64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("healthy agent %d: %v", k, err)
+			}
+		}()
+	}
+	rep, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatalf("server must survive the crash: %v", err)
+	}
+	wg.Wait()
+
+	if len(rep.FailedEdges) != 1 || rep.FailedEdges[0] != 1 {
+		t.Fatalf("failed edges %v, want [1]", rep.FailedEdges)
+	}
+	if rep.Served == 0 {
+		t.Fatal("surviving edges served nothing")
+	}
+	// Every slot's plan became a routing snapshot.
+	if got := loop.Snapshot().ID; got != int64(slots) {
+		t.Fatalf("snapshot id %d after %d slots, want one adoption per slot", got, slots)
+	}
+	stats := loop.Stats()
+	if stats.Admitted == 0 {
+		t.Fatal("serving loop admitted nothing")
+	}
+	if stats.Submitted != stats.Admitted+stats.RejectedTotal() {
+		t.Fatalf("accounting leak: %d != %d + %d",
+			stats.Submitted, stats.Admitted, stats.RejectedTotal())
+	}
+	// The failure must have reached the loop: post-run routing avoids edge 1.
+	for q := 0; q < 2*K; q++ {
+		d, err := loop.Submit(serve.Request{
+			ID: reqID, App: 0, Region: q % K,
+			ArriveNS: int64(slots+2) * secNS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqID++
+		if d.Admitted && d.Edge == 1 {
+			t.Fatalf("request routed to the dead edge: %+v", d)
+		}
+	}
+}

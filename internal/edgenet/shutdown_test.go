@@ -1,0 +1,161 @@
+package edgenet
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// waitNoLeak polls until the goroutine count returns to the baseline — the
+// shutdown path claims every parked reader has been joined, not abandoned.
+func waitNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseUnblocksStalledRegistration is the shutdown-race regression: a
+// client that connects during registration but never sends its hello used to
+// park the accept loop in a blocking read until the SlotTimeout deadline —
+// an external Close released the listener but not that read, so Run stayed
+// wedged for up to 30s. Close must sever pending hello reads so Run returns
+// promptly.
+func TestCloseUnblocksStalledRegistration(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: 2,
+		SlotTimeout: 30 * time.Second, // long enough that waiting it out fails the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+	stall, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	// Let register() accept the conn and park in the hello read.
+	time.Sleep(200 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run succeeded with no registered agents")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run still blocked 5s after Close — the stalled hello read was not severed")
+	}
+	// Close is idempotent: post-Run and repeated calls stay nil instead of
+	// surfacing "use of closed network connection".
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	waitNoLeak(t, base)
+}
+
+func TestCloseBeforeRunIsIdempotent(t *testing.T) {
+	c := cluster.Small()
+	apps := models.Catalogue(1, 2)
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps, Scheduler: sched, Slots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestRunReapsStrayMidRunConn covers the rejoin-path half of the shutdown
+// sweep: a connection that arrives mid-run and never completes its hello is
+// parked in acceptRejoins' vet read. When the run ends, cleanup must sever
+// it and join its goroutine instead of waiting out the read deadline.
+func TestRunReapsStrayMidRunConn(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	slots := 3
+	tr, err := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: slots, Seed: 11, MeanPerSlot: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.New(core.Config{Cluster: c, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strayOnce sync.Once
+	var stray net.Conn
+	var srv *Server
+	srv, err = NewServer(ServerConfig{
+		Listen: "127.0.0.1:0", Cluster: c, Apps: apps,
+		Scheduler: sched, Slots: slots, SlotTimeout: 10 * time.Second,
+		// PlanHook fires after registration, mid-run: the perfect moment to
+		// plant a stray half-open conn on the rejoin listener.
+		PlanHook: func(tt int, plan *edgesim.Plan) {
+			strayOnce.Do(func() {
+				conn, err := net.Dial("tcp", srv.Addr().String())
+				if err != nil {
+					t.Errorf("stray dial: %v", err)
+					return
+				}
+				stray = conn
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSystem(t, srv, c, apps, tr, slots, 0)
+	if rep.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	// The server must have let go of the stray without the client closing.
+	waitNoLeak(t, base)
+	if stray != nil {
+		stray.Close()
+	}
+}

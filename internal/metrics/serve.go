@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ServeStats aggregates the online serving layer's observability counters:
+// admission outcomes, per-edge routing volume, snapshot swaps, and the
+// snapshot-staleness distribution observed at decision time. Every request
+// offered to the serving loop lands in exactly one of Admitted or Rejected
+// (by reason), so Submitted == Admitted + RejectedTotal() is an invariant
+// the smoke tier asserts — nothing is dropped on the floor unaccounted.
+//
+// All times are virtual nanoseconds from the serving loop's deterministic
+// clock; the wall clock never feeds these fields (dettaint enforces that:
+// ServeStats is a *Stats sink type).
+type ServeStats struct {
+	// Submitted counts every request offered to the loop.
+	Submitted int64 `json:"submitted"`
+	// Admitted counts requests that passed admission and were routed.
+	Admitted int64 `json:"admitted"`
+	// Rejected counts shed requests by reason ("rate-limit", "no-edge",
+	// "bad-request", ...).
+	Rejected map[string]int64 `json:"rejected,omitempty"`
+	// RoutedByEdge[k] counts admitted requests dispatched to edge k.
+	RoutedByEdge []int64 `json:"routed_by_edge"`
+	// Replans counts snapshot swaps (re-optimizations adopted);
+	// ForcedReplans is the subset run synchronously because a decision
+	// would otherwise have read a snapshot older than the staleness bound.
+	Replans       int64 `json:"replans"`
+	ForcedReplans int64 `json:"forced_replans"`
+	// ReplanErrors counts re-optimizations that failed (the previous
+	// snapshot stays installed; serving continues).
+	ReplanErrors int64 `json:"replan_errors,omitempty"`
+	// MaxStaleNS is the largest snapshot staleness observed at any decision.
+	MaxStaleNS int64 `json:"max_stale_ns"`
+
+	staleNS []int64 // per-decision staleness samples
+}
+
+// NewServeStats sizes the per-edge counters for a K-edge cluster.
+func NewServeStats(edges int) *ServeStats {
+	return &ServeStats{
+		Rejected:     map[string]int64{},
+		RoutedByEdge: make([]int64, edges),
+	}
+}
+
+// NoteAdmit records an admitted request routed to edge at the given
+// snapshot staleness.
+func (s *ServeStats) NoteAdmit(edge int, staleNS int64) {
+	s.Admitted++
+	if edge >= 0 && edge < len(s.RoutedByEdge) {
+		s.RoutedByEdge[edge]++
+	}
+	s.noteStale(staleNS)
+}
+
+// NoteReject records a shed request with its reason.
+func (s *ServeStats) NoteReject(reason string, staleNS int64) {
+	if s.Rejected == nil {
+		s.Rejected = map[string]int64{}
+	}
+	s.Rejected[reason]++
+	s.noteStale(staleNS)
+}
+
+func (s *ServeStats) noteStale(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	if ns > s.MaxStaleNS {
+		s.MaxStaleNS = ns
+	}
+	s.staleNS = append(s.staleNS, ns)
+}
+
+// NoteReplan records a snapshot swap.
+func (s *ServeStats) NoteReplan(forced bool) {
+	s.Replans++
+	if forced {
+		s.ForcedReplans++
+	}
+}
+
+// RejectedTotal sums the per-reason reject counters.
+func (s *ServeStats) RejectedTotal() int64 {
+	var n int64
+	for _, v := range s.Rejected { // integer sum: order-independent
+		n += v
+	}
+	return n
+}
+
+// Decisions is the number of requests decided (admitted or rejected).
+func (s *ServeStats) Decisions() int64 { return s.Admitted + s.RejectedTotal() }
+
+// StaleQuantileNS returns the q-th nearest-rank quantile of the staleness
+// samples (0 when no decisions were recorded).
+func (s *ServeStats) StaleQuantileNS(q float64) int64 {
+	if len(s.staleNS) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), s.staleNS...)
+	// Equal int64 keys are interchangeable, so a stable sort yields a total
+	// deterministic order regardless of sample arrival interleaving.
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(float64(len(sorted))*q) - 1
+	if q >= 1 {
+		i = len(sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// Clone deep-copies the stats so a live serving loop can publish a
+// consistent snapshot while decisions continue.
+func (s *ServeStats) Clone() *ServeStats {
+	cp := *s
+	cp.Rejected = make(map[string]int64, len(s.Rejected))
+	for k, v := range s.Rejected { // map→map copy: order cannot leak
+		cp.Rejected[k] = v
+	}
+	cp.RoutedByEdge = append([]int64(nil), s.RoutedByEdge...)
+	cp.staleNS = append([]int64(nil), s.staleNS...)
+	return &cp
+}
+
+// String renders the counters deterministically (reject reasons sorted).
+func (s *ServeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "submitted %d admitted %d rejected %d", s.Submitted, s.Admitted, s.RejectedTotal())
+	reasons := make([]string, 0, len(s.Rejected))
+	for r := range s.Rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, " %s=%d", r, s.Rejected[r])
+	}
+	fmt.Fprintf(&b, " replans %d (forced %d) stale p50/p99/max %.1f/%.1f/%.1fms",
+		s.Replans, s.ForcedReplans,
+		float64(s.StaleQuantileNS(0.5))/1e6, float64(s.StaleQuantileNS(0.99))/1e6,
+		float64(s.MaxStaleNS)/1e6)
+	return b.String()
+}

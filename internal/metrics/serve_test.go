@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeStatsCountersAndInvariant(t *testing.T) {
+	s := NewServeStats(3)
+	s.Submitted = 5
+	s.NoteAdmit(0, 100)
+	s.NoteAdmit(2, 300)
+	s.NoteAdmit(2, 200)
+	s.NoteReject("rate-limit", 400)
+	s.NoteReject("no-edge", 50)
+	if s.Admitted != 3 || s.RejectedTotal() != 2 || s.Decisions() != 5 {
+		t.Fatalf("admitted=%d rejected=%d decisions=%d", s.Admitted, s.RejectedTotal(), s.Decisions())
+	}
+	if s.Submitted != s.Admitted+s.RejectedTotal() {
+		t.Fatal("accounting invariant broken")
+	}
+	if s.RoutedByEdge[0] != 1 || s.RoutedByEdge[1] != 0 || s.RoutedByEdge[2] != 2 {
+		t.Fatalf("routed-by-edge %v", s.RoutedByEdge)
+	}
+	if s.MaxStaleNS != 400 {
+		t.Fatalf("max stale %d, want 400", s.MaxStaleNS)
+	}
+	s.NoteReplan(false)
+	s.NoteReplan(true)
+	if s.Replans != 2 || s.ForcedReplans != 1 {
+		t.Fatalf("replans %d forced %d", s.Replans, s.ForcedReplans)
+	}
+	// Out-of-range edge must not panic or corrupt the counters.
+	s.NoteAdmit(99, 0)
+	if s.Admitted != 4 {
+		t.Fatalf("out-of-range admit lost: %d", s.Admitted)
+	}
+}
+
+func TestServeStatsQuantiles(t *testing.T) {
+	s := NewServeStats(1)
+	if s.StaleQuantileNS(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	// Insert 1..100ns out of order; nearest-rank must sort internally.
+	for _, v := range []int64{70, 10, 100, 40, 20, 90, 30, 60, 50, 80} {
+		s.noteStale(v)
+	}
+	if got := s.StaleQuantileNS(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := s.StaleQuantileNS(1.0); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+	if got := s.StaleQuantileNS(0.01); got != 10 {
+		t.Fatalf("p1 clamps to first sample, got %d", got)
+	}
+	// Negative samples clamp to zero.
+	s2 := NewServeStats(1)
+	s2.noteStale(-5)
+	if s2.MaxStaleNS != 0 || s2.StaleQuantileNS(1) != 0 {
+		t.Fatal("negative staleness not clamped")
+	}
+}
+
+func TestServeStatsCloneIsIndependent(t *testing.T) {
+	s := NewServeStats(2)
+	s.Submitted = 2
+	s.NoteAdmit(1, 10)
+	s.NoteReject("rate-limit", 20)
+	cp := s.Clone()
+	s.NoteAdmit(0, 999)
+	s.NoteReject("rate-limit", 999)
+	s.Rejected["no-edge"] = 7
+	if cp.Admitted != 1 || cp.RejectedTotal() != 1 || cp.MaxStaleNS != 20 {
+		t.Fatalf("clone mutated by later writes: %+v", cp)
+	}
+	if cp.RoutedByEdge[0] != 0 || cp.StaleQuantileNS(1) != 20 {
+		t.Fatal("clone shares backing slices with the original")
+	}
+}
+
+func TestServeStatsStringDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		s := NewServeStats(1)
+		for _, r := range order {
+			s.NoteReject(r, 0)
+		}
+		s.Submitted = int64(len(order))
+		return s.String()
+	}
+	a := build([]string{"no-edge", "rate-limit", "bad-request"})
+	b := build([]string{"rate-limit", "bad-request", "no-edge"})
+	if a != b {
+		t.Fatalf("String depends on insertion order:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "bad-request=1 no-edge=1 rate-limit=1") {
+		t.Fatalf("reasons not sorted: %s", a)
+	}
+}

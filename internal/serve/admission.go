@@ -1,0 +1,99 @@
+package serve
+
+import "fmt"
+
+// AdmissionPolicy decides whether a request enters the system at all.
+// Policies are called under the loop's decision lock with a non-decreasing
+// virtual time, and must be deterministic functions of (time, request,
+// their own state) — never the wall clock.
+type AdmissionPolicy interface {
+	Name() string
+	// Admit returns (true, "") to admit, or (false, reason) to shed.
+	Admit(nowNS int64, req Request) (bool, string)
+}
+
+// NewAdmission builds a policy by name: "always" admits everything;
+// "token-bucket" applies NewTokenBucket(capacity, ratePerSec).
+func NewAdmission(name string, capacity, ratePerSec float64) (AdmissionPolicy, error) {
+	switch name {
+	case "always", "always-admit":
+		return AlwaysAdmit{}, nil
+	case "token-bucket", "token":
+		return NewTokenBucket(capacity, ratePerSec)
+	}
+	return nil, fmt.Errorf("serve: unknown admission policy %q (want always or token-bucket)", name)
+}
+
+// AlwaysAdmit admits every request — the slot-batch pipeline's implicit
+// policy, kept as the explicit default.
+type AlwaysAdmit struct{}
+
+func (AlwaysAdmit) Name() string { return "always" }
+
+func (AlwaysAdmit) Admit(int64, Request) (bool, string) { return true, "" }
+
+// TokenBucket is a deterministic virtual-time token bucket: Capacity bounds
+// the burst, ratePerSec the sustained admission rate (tokens per virtual
+// second). One request costs one token; the bucket starts full at the first
+// decision's timestamp.
+//
+// Refill is accumulate-then-clamp: the refill for the entire elapsed span
+// is credited first and the capacity clamp applied once afterwards. The
+// reversed order (clamp the stored level, then credit the span) lets a
+// single large virtual-time step — e.g. a quiet period followed by a burst
+// — leave the bucket holding capacity + rate·span tokens, over-granting
+// the burst. TestTokenBucketWindowBound pins the admitted-count bound
+// admitted(window) ≤ capacity + rate·window that only the correct order
+// satisfies.
+type TokenBucket struct {
+	capacity float64
+	rate     float64 // tokens per virtual second
+	tokens   float64
+	lastNS   int64
+	primed   bool
+}
+
+// NewTokenBucket validates the knobs: capacity ≥ 1 (a bucket that cannot
+// hold one whole token never admits) and ratePerSec > 0.
+func NewTokenBucket(capacity, ratePerSec float64) (*TokenBucket, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("serve: token-bucket capacity %.3g < 1 would never admit a request", capacity)
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("serve: token-bucket refill rate %.3g must be > 0", ratePerSec)
+	}
+	return &TokenBucket{capacity: capacity, rate: ratePerSec}, nil
+}
+
+func (b *TokenBucket) Name() string { return "token-bucket" }
+
+// Admit spends one token if available.
+func (b *TokenBucket) Admit(nowNS int64, _ Request) (bool, string) {
+	b.refill(nowNS)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, ""
+	}
+	return false, ReasonRate
+}
+
+// refill advances the bucket to nowNS. Accumulate THEN clamp — see the
+// type comment; do not reorder. A clock that appears to run backward
+// (never happens under the loop's monotone clock, but TCP callers are
+// untrusted) credits nothing.
+func (b *TokenBucket) refill(nowNS int64) {
+	if !b.primed {
+		b.primed = true
+		b.lastNS = nowNS
+		b.tokens = b.capacity
+		return
+	}
+	if nowNS <= b.lastNS {
+		return
+	}
+	b.tokens += b.rate * (float64(nowNS-b.lastNS) / 1e9)
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.lastNS = nowNS
+}

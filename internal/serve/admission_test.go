@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0.5, 10); err == nil {
+		t.Fatal("capacity < 1 must be rejected")
+	}
+	if _, err := NewTokenBucket(10, 0); err == nil {
+		t.Fatal("zero refill rate must be rejected")
+	}
+	if _, err := NewTokenBucket(10, -1); err == nil {
+		t.Fatal("negative refill rate must be rejected")
+	}
+	if _, err := NewTokenBucket(1, 0.001); err != nil {
+		t.Fatalf("minimal valid bucket rejected: %v", err)
+	}
+}
+
+func TestTokenBucketStartsFullAndSheds(t *testing.T) {
+	b, err := NewTokenBucket(3, 1) // 3-token burst, 1 token/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		if ok, _ := b.Admit(0, Request{}); !ok {
+			t.Fatalf("burst request %d rejected with a full bucket", q)
+		}
+	}
+	if ok, reason := b.Admit(0, Request{}); ok || reason != ReasonRate {
+		t.Fatalf("dry bucket admitted (ok=%v reason=%q)", ok, reason)
+	}
+	// One virtual second refills exactly one token.
+	if ok, _ := b.Admit(1e9, Request{}); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := b.Admit(1e9, Request{}); ok {
+		t.Fatal("second request at the same instant over-granted")
+	}
+}
+
+// TestTokenBucketLargeStepClamps is the regression for the refill-order
+// bug: a single virtual-time step spanning many refill periods must credit
+// at most one full bucket — accumulate-then-clamp. The broken order
+// (clamp, then accumulate the whole span uncapped) leaves the bucket
+// holding far more than capacity and the subsequent burst over-admits.
+func TestTokenBucketLargeStepClamps(t *testing.T) {
+	b, err := NewTokenBucket(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the initial burst at t=0.
+	for q := 0; q < 5; q++ {
+		b.Admit(0, Request{})
+	}
+	// Jump 100 virtual seconds: 1000 tokens of raw refill, clamped to 5.
+	admitted := 0
+	for q := 0; q < 50; q++ {
+		if ok, _ := b.Admit(100e9, Request{}); ok {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("burst after a long quiet period admitted %d, want exactly capacity 5", admitted)
+	}
+}
+
+func TestTokenBucketBackwardClockCreditsNothing(t *testing.T) {
+	b, err := NewTokenBucket(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Admit(10e9, Request{})
+	b.Admit(10e9, Request{}) // bucket dry at t=10s
+	if ok, _ := b.Admit(5e9, Request{}); ok {
+		t.Fatal("backward timestamp minted tokens")
+	}
+}
+
+// TestTokenBucketWindowBound is the satellite property test: over ANY
+// window of the admission history, admitted ≤ capacity + rate·window. A
+// clamp-then-accumulate refill violates this after large time steps; the
+// correct order satisfies it for every window.
+func TestTokenBucketWindowBound(t *testing.T) {
+	const (
+		capacity = 7.0
+		rate     = 3.0 // tokens per virtual second
+	)
+	rng := rand.New(rand.NewSource(42))
+	b, err := NewTokenBucket(capacity, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		ns       int64
+		admitted bool
+	}
+	var events []event
+	now := int64(0)
+	for q := 0; q < 400; q++ {
+		// Mixed gaps: dense bursts, sub-second pacing, and occasional
+		// multi-period jumps (the over-grant trigger).
+		switch rng.Intn(5) {
+		case 0: // same-instant burst
+		case 1:
+			now += int64(rng.Intn(50)) * 1e6 // up to 50ms
+		case 2:
+			now += int64(rng.Intn(500)) * 1e6 // up to 0.5s
+		case 3:
+			now += int64(1+rng.Intn(3)) * 1e9 // 1-3s
+		case 4:
+			now += int64(10+rng.Intn(30)) * 1e9 // 10-40s jump
+		}
+		ok, _ := b.Admit(now, Request{ID: int64(q)})
+		events = append(events, event{ns: now, admitted: ok})
+	}
+	// Exhaustive O(n²) window check.
+	for lo := 0; lo < len(events); lo++ {
+		admitted := 0
+		for hi := lo; hi < len(events); hi++ {
+			if events[hi].admitted {
+				admitted++
+			}
+			window := float64(events[hi].ns-events[lo].ns) / 1e9
+			// +1: the window is closed on both ends, so the request AT the
+			// left edge may itself have been granted from the same budget.
+			bound := capacity + rate*window + 1
+			if float64(admitted) > bound {
+				t.Fatalf("window [%d,%d] (%.3fs): admitted %d > bound %.2f",
+					lo, hi, window, admitted, bound)
+			}
+		}
+	}
+}
+
+func TestNewAdmission(t *testing.T) {
+	if p, err := NewAdmission("always", 0, 0); err != nil || p.Name() != "always" {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := NewAdmission("token-bucket", 4, 2); err != nil || p.Name() != "token-bucket" {
+		t.Fatalf("token-bucket: %v %v", p, err)
+	}
+	if _, err := NewAdmission("token-bucket", 0, 2); err == nil {
+		t.Fatal("invalid token-bucket knobs accepted")
+	}
+	if _, err := NewAdmission("nope", 0, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

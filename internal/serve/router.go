@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Router picks the serving edge for an admitted request. Routers run under
+// the loop's decision lock with a consistent view of the snapshot, edge
+// liveness, and the per-edge routed counts since the snapshot was
+// installed; they must be deterministic functions of exactly those inputs
+// plus their own state.
+type Router interface {
+	Name() string
+	// Route returns the serving edge, or (-1, reason) when no edge is
+	// eligible. up[k] marks edges currently live; load[k] counts requests
+	// already routed to edge k under the current snapshot.
+	Route(req Request, snap *Snapshot, up []bool, load []int64) (int, string)
+}
+
+// NewRouter builds a router by name: "round-robin", "least-loaded", or
+// "affinity".
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "least-loaded", "least":
+		return LeastLoaded{}, nil
+	case "affinity":
+		return Affinity{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown router %q (want round-robin, least-loaded, or affinity)", name)
+}
+
+// eligible: edge k can serve only when it is live and the current plan
+// allocated it capacity (an edge the optimizer assigned nothing is not a
+// serving target, whatever its hardware).
+func eligible(snap *Snapshot, up []bool, k int) bool {
+	return up[k] && snap.CapPerSlot[k] > 0
+}
+
+// RoundRobin cycles through eligible edges in id order, remembering its
+// cursor across requests.
+type RoundRobin struct{ next int }
+
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+func (r *RoundRobin) Route(_ Request, snap *Snapshot, up []bool, _ []int64) (int, string) {
+	n := len(up)
+	for i := 0; i < n; i++ {
+		k := (r.next + i) % n
+		if eligible(snap, up, k) {
+			r.next = (k + 1) % n
+			return k, ""
+		}
+	}
+	return -1, ReasonNoEdge
+}
+
+// LeastLoaded routes to the eligible edge with the lowest ratio of routed
+// requests to plan capacity, so load tracks the optimizer's allocation
+// proportionally. Ratios are compared by integer cross-multiplication
+// (load[k]·cap[best] < load[best]·cap[k]) — no floats, no float ties; the
+// lowest edge id wins exact ties.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+func (LeastLoaded) Route(_ Request, snap *Snapshot, up []bool, load []int64) (int, string) {
+	best := -1
+	for k := range up {
+		if !eligible(snap, up, k) {
+			continue
+		}
+		if best < 0 ||
+			load[k]*int64(snap.CapPerSlot[best]) < load[best]*int64(snap.CapPerSlot[k]) {
+			best = k
+		}
+	}
+	if best < 0 {
+		return -1, ReasonNoEdge
+	}
+	return best, ""
+}
+
+// Affinity pins requests to a stable edge for cache and model-residency
+// locality: the request's own region when that edge is eligible, otherwise
+// an FNV-1a hash of (app, region) spread over the eligible edges —
+// deterministic failover that keeps each (app, region) pair together.
+type Affinity struct{}
+
+func (Affinity) Name() string { return "affinity" }
+
+func (Affinity) Route(req Request, snap *Snapshot, up []bool, _ []int64) (int, string) {
+	if req.Region >= 0 && req.Region < len(up) && eligible(snap, up, req.Region) {
+		return req.Region, ""
+	}
+	n := 0
+	for k := range up {
+		if eligible(snap, up, k) {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1, ReasonNoEdge
+	}
+	var key [16]byte
+	binary.LittleEndian.PutUint64(key[0:], uint64(req.App))
+	binary.LittleEndian.PutUint64(key[8:], uint64(req.Region))
+	h := fnv.New64a()
+	h.Write(key[:])
+	want := int(h.Sum64() % uint64(n))
+	for k := range up {
+		if !eligible(snap, up, k) {
+			continue
+		}
+		if want == 0 {
+			return k, ""
+		}
+		want--
+	}
+	return -1, ReasonNoEdge // unreachable: n > 0
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/edgesim"
+)
+
+func snapWithCaps(caps ...int) *Snapshot {
+	plan := &edgesim.Plan{}
+	for k, c := range caps {
+		if c > 0 {
+			plan.Deployments = append(plan.Deployments, edgesim.Deployment{
+				Edge: k, App: 0, Version: 0, Requests: c,
+			})
+		}
+	}
+	return BuildSnapshot(1, 0, len(caps), plan)
+}
+
+func allUp(n int) []bool {
+	up := make([]bool, n)
+	for k := range up {
+		up[k] = true
+	}
+	return up
+}
+
+func TestNewRouter(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-loaded", "affinity"} {
+		r, err := NewRouter(name)
+		if err != nil || r.Name() != name {
+			t.Fatalf("%s: %v %v", name, r, err)
+		}
+	}
+	if _, err := NewRouter("random"); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}
+
+func TestRoundRobinSkipsIneligible(t *testing.T) {
+	snap := snapWithCaps(4, 0, 4) // edge 1 has no plan capacity
+	up := allUp(3)
+	r := &RoundRobin{}
+	load := make([]int64, 3)
+	var got []int
+	for q := 0; q < 4; q++ {
+		k, reason := r.Route(Request{}, snap, up, load)
+		if k < 0 {
+			t.Fatalf("rejected: %s", reason)
+		}
+		got = append(got, k)
+	}
+	want := []int{0, 2, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", got, want)
+		}
+	}
+	// All edges ineligible → no-edge.
+	down := make([]bool, 3)
+	if k, reason := r.Route(Request{}, snap, down, load); k != -1 || reason != ReasonNoEdge {
+		t.Fatalf("want no-edge, got %d %q", k, reason)
+	}
+}
+
+func TestLeastLoadedTracksPlanProportionally(t *testing.T) {
+	// Capacity 2:1 — the router should send ~2/3 of traffic to edge 0.
+	snap := snapWithCaps(20, 10)
+	up := allUp(2)
+	load := make([]int64, 2)
+	r := LeastLoaded{}
+	for q := 0; q < 30; q++ {
+		k, reason := r.Route(Request{}, snap, up, load)
+		if k < 0 {
+			t.Fatalf("rejected: %s", reason)
+		}
+		load[k]++
+	}
+	if load[0] != 20 || load[1] != 10 {
+		t.Fatalf("load split %v, want proportional [20 10]", load)
+	}
+}
+
+func TestLeastLoadedTieBreaksLowestID(t *testing.T) {
+	snap := snapWithCaps(5, 5)
+	load := make([]int64, 2)
+	k, _ := LeastLoaded{}.Route(Request{}, snap, allUp(2), load)
+	if k != 0 {
+		t.Fatalf("tie went to edge %d, want 0", k)
+	}
+}
+
+func TestAffinityPrefersRegionThenHashes(t *testing.T) {
+	snap := snapWithCaps(3, 3, 3)
+	up := allUp(3)
+	load := make([]int64, 3)
+	r := Affinity{}
+	if k, _ := r.Route(Request{App: 1, Region: 2}, snap, up, load); k != 2 {
+		t.Fatalf("eligible region not preferred: got %d", k)
+	}
+	// Region down → deterministic hash failover, stable per (app, region).
+	up[2] = false
+	k1, _ := r.Route(Request{App: 1, Region: 2}, snap, up, load)
+	k2, _ := r.Route(Request{App: 1, Region: 2}, snap, up, load)
+	if k1 != k2 || k1 == 2 || k1 < 0 {
+		t.Fatalf("failover not stable/eligible: %d then %d", k1, k2)
+	}
+	// A different app may land elsewhere but must also be stable.
+	k3, _ := r.Route(Request{App: 0, Region: 2}, snap, up, load)
+	k4, _ := r.Route(Request{App: 0, Region: 2}, snap, up, load)
+	if k3 != k4 {
+		t.Fatalf("failover for app 0 not stable: %d then %d", k3, k4)
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/edgesim"
+)
+
+// Snapshot is an immutable routing view of one optimizer plan — the
+// substrate every decision between two re-optimizations dispatches
+// against. Snapshots are never mutated after construction: the
+// re-optimizer builds a fresh one and swaps the pointer, so the serving
+// path reads a consistent plan without holding the optimizer's locks.
+type Snapshot struct {
+	// ID is the plan generation: 0 for the empty pre-plan snapshot, 1 for
+	// the bootstrap plan, +1 per re-optimization adopted.
+	ID int64
+	// MadeNS is the virtual time the snapshot was installed; staleness at
+	// a decision is the decision time minus MadeNS.
+	MadeNS int64
+	// CapPerSlot[k] is the number of requests the plan assigns edge k per
+	// slot — the router's eligibility and proportional-load signal.
+	CapPerSlot []int
+	// Plan is the underlying slot plan (read-only; nil for ID 0).
+	Plan *edgesim.Plan
+}
+
+// BuildSnapshot derives the routing view from a plan over a K-edge
+// cluster: per-edge capacity is the sum of deployed request allocations.
+func BuildSnapshot(id, madeNS int64, K int, plan *edgesim.Plan) *Snapshot {
+	s := &Snapshot{ID: id, MadeNS: madeNS, CapPerSlot: make([]int, K), Plan: plan}
+	if plan != nil {
+		for _, d := range plan.Deployments {
+			if d.Edge >= 0 && d.Edge < K {
+				s.CapPerSlot[d.Edge] += d.Requests
+			}
+		}
+	}
+	return s
+}
+
+// StaleNS is the snapshot's age at virtual time nowNS (never negative).
+func (s *Snapshot) StaleNS(nowNS int64) int64 {
+	if d := nowNS - s.MadeNS; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// holder publishes the current snapshot with atomic pointer swaps so
+// metrics readers outside the decision lock still see a whole snapshot.
+type holder struct{ p atomic.Pointer[Snapshot] }
+
+func (h *holder) load() *Snapshot  { return h.p.Load() }
+func (h *holder) swap(s *Snapshot) { h.p.Store(s) }

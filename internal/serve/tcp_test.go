@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestFrontendRoundTripAndCleanShutdown(t *testing.T) {
+	base := runtime.NumGoroutine()
+	l, err := NewLoop(Config{
+		Apps: 1, Edges: 2,
+		Planner:      &stubPlanner{caps: []int{4, 4}},
+		ReoptEveryNS: 10 * secNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock int64
+	fe, err := NewFrontend(l, "127.0.0.1:0", func() int64 { clock++; return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for q := 0; q < 3; q++ {
+		fmt.Fprintf(conn, `{"id":%d,"app":0,"region":%d}`+"\n", q, q%2)
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", q, err)
+		}
+		var d wireDecision
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("response %d: %v in %q", q, err, line)
+		}
+		if d.ID != int64(q) || !d.Admit || d.Edge < 0 {
+			t.Fatalf("response %d: %+v", q, d)
+		}
+	}
+	// A malformed line closes that conn without disturbing the loop.
+	bad, err := net.Dial("tcp", fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(bad, "not json at all")
+	_ = bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bufio.NewReader(bad).ReadByte(); err == nil {
+		t.Fatal("malformed request did not close the connection")
+	}
+	bad.Close()
+
+	// Close must sever the idle conn above (no in-flight request) and
+	// reap every goroutine; double Close stays nil.
+	if err := fe.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	stats := l.Stats()
+	if stats.Admitted != 3 {
+		t.Fatalf("admitted %d, want 3", stats.Admitted)
+	}
+	waitGoroutines(t, base)
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline — Close claims every handler goroutine has been joined.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFrontendRequiresClock(t *testing.T) {
+	l, err := NewLoop(Config{Apps: 1, Edges: 1, ExternalPlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrontend(l, "127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the persistence seam: arbitrary bytes must either load a
+// trace that passes Validate or return an error — never panic, and never
+// hand back a half-read workload. A loaded trace must survive a Save→Load
+// round trip byte-identically (canonical form is a fixed point).
+func FuzzLoad(f *testing.F) {
+	// Seed with a real trace, the classic corruptions, and the trailing-data
+	// regression that motivated dec.More().
+	tr, err := Generate(Config{Apps: 2, Edges: 3, Slots: 4, Seed: 1, MeanPerSlot: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := tr.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"apps":1,"edges":1,"slots":2,"r":[[[1]]]}`))            // short slot rows
+	f.Add([]byte(`{"apps":1,"edges":2,"slots":1,"r":[[[1]]]}`))            // short edge row
+	f.Add([]byte(`{"apps":1,"edges":1,"slots":1,"r":[[[-3]]]}`))           // negative arrivals
+	f.Add([]byte(`{"apps":0,"edges":1,"slots":1,"r":[]}`))                 // degenerate dims
+	f.Add(append(append([]byte(nil), valid.Bytes()...), valid.Bytes()...)) // concatenated objects
+	f.Add([]byte(valid.String() + "trailing"))
+	f.Add(valid.Bytes()[:valid.Len()/2]) // truncated mid-object
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Load returned an invalid trace: %v", err)
+		}
+		var first, second bytes.Buffer
+		if err := got.Save(&first); err != nil {
+			t.Fatalf("re-save: %v", err)
+		}
+		again, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load of a saved trace: %v", err)
+		}
+		if err := again.Save(&second); err != nil {
+			t.Fatalf("second save: %v", err)
+		}
+		// Compare the two canonical serializations, not input vs output —
+		// the fuzzer may feed semantically-equal JSON with different spacing.
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Save→Load→Save not a fixed point:\n%s\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// TestLoadRejectsTrailingData pins the concatenated-file regression as a
+// plain unit test so it runs in every `go test` invocation, not just fuzzing.
+func TestLoadRejectsTrailingData(t *testing.T) {
+	tr, err := Generate(Config{Apps: 1, Edges: 2, Slots: 2, Seed: 3, MeanPerSlot: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doubled := buf.String() + buf.String()
+	if _, err := Load(strings.NewReader(doubled)); err == nil {
+		t.Fatal("concatenated trace objects accepted")
+	}
+	if _, err := Load(strings.NewReader(buf.String() + "garbage")); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("clean trace rejected: %v", err)
+	}
+}

@@ -23,11 +23,18 @@ func (tr *Trace) Save(w io.Writer) error {
 }
 
 // Load reads a trace previously written by Save and validates its shape.
+// Malformed, truncated, or trailing-garbage input returns an error — a
+// replay must never start from a half-read workload.
 func Load(r io.Reader) (*Trace, error) {
 	var p persisted
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	// A concatenated or corrupted file decodes one object and leaves bytes
+	// behind; that is not a trace Save wrote.
+	if dec.More() {
+		return nil, fmt.Errorf("trace: trailing data after trace object")
 	}
 	tr := &Trace{Apps: p.Apps, Edges: p.Edges, Slots: p.Slots, R: p.R}
 	if err := tr.Validate(); err != nil {

@@ -1,26 +1,22 @@
 #!/usr/bin/env python3
-"""Assemble BENCH_PR7.json from the K-scaling bench matrix's birpbench runs.
+"""Assemble BENCH_PR9.json from the serving-daemon bench runs.
 
 Usage:
-    benchreport.py <benchdir> > BENCH_PR7.json
+    benchreport.py <benchdir> > BENCH_PR9.json
 
 <benchdir> is the scratch directory scripts/check.sh -bench populates:
 
-    fig7_w{1,4}.json                    trajectory anchor (150-slot fig7)
-    k6_mono_w{1,4}.json                 -exp scale -k 6   -slots 40
-    k6_hier_w{1,4}.json                 -exp scale -k 6   -slots 40 -domains 3
-    k50_mono_w{1,4}.json                -exp scale -k 50  -slots 8
-    k50_hier_w{1,4}.json                -exp scale -k 50  -slots 8  -hier
-    k500_hier_w{1,4}.json               -exp scale -k 500 -slots 3  -hier
-    k500_mono_w1.json                   -exp scale -k 500 -slots 1 (may be
-                                        absent: a timeout records a DNF)
-    micro.txt                           go test -bench output
+    fig7_w{1,4}.json      trajectory anchor (150-slot fig7 via birpbench)
+    serve_w{1,4}.json     birpserve 10k-request replay counters (-json),
+                          one per planner worker count; the decision logs
+                          of the two runs were byte-compared by check.sh
+    micro.txt             go test -bench output
 
-The report carries the full mono/hier × K × workers quality matrix, the
-per-K hierarchical speedup (seconds per slot), the K=6 solution-quality gap,
-the per-edge scaling profile that makes the near-linear claim checkable, the
-micro-benchmarks, and a PR1→PR2→PR5→PR6→PR7 fig7 trajectory pulled from the
-committed BENCH_*.json artifacts.
+The report carries the serving section (admitted-requests/sec pipeline
+throughput, the staleness percentile profile against its bound, and the
+admission/routing counter breakdown), the micro-benchmarks, and a
+PR1→PR2→PR5→PR6→PR7→PR9 fig7 trajectory pulled from the committed
+BENCH_*.json artifacts.
 """
 import json
 import os
@@ -76,8 +72,9 @@ def exp_seconds(run, name):
 def iter_prior_runs(prev):
     """Yield workers-1-first runs from a committed artifact. PR1/PR2 store
     "runs" as a flat list; PR5/PR6 store a dict of named variants (reuse-on
-    and the revised engine are those PRs' headline configurations)."""
-    runs = prev.get("runs", [])
+    and the revised engine are those PRs' headline configurations); PR7
+    stores its fig7 anchor runs under "fig7_runs"."""
+    runs = prev.get("runs") or prev.get("fig7_runs") or []
     if isinstance(runs, dict):
         runs = (
             runs.get("reuse_on")
@@ -102,130 +99,97 @@ def prior_fig7(path):
     return out or None
 
 
-def scale_row(run):
-    """Flatten one -exp scale run into a matrix row."""
+def serve_row(run):
+    """Flatten one birpserve -json replay into a serving-section row."""
     if run is None:
         return None
-    sc = run.get("scale") or {}
-    sec = exp_seconds(run, "scale")
-    slots = sc.get("slots", 0)
-    row = {
-        "k": sc.get("k"),
-        "mode": "hierarchical" if sc.get("hierarchical") else "monolithic",
-        "domains": sc.get("domains"),
+    return {
         "workers": run.get("workers"),
-        "slots": slots,
-        "seconds": round(sec, 3) if sec is not None else None,
-        "seconds_per_slot": (
-            round(sec / slots, 4) if sec is not None and slots else None
-        ),
-        "total_loss": sc.get("total_loss"),
-        "failure_rate": sc.get("failure_rate"),
-        "served": sc.get("served"),
-        "dropped": sc.get("dropped"),
-        "violations": sc.get("violations"),
+        "policy": run.get("policy"),
+        "route": run.get("route"),
+        "submitted": run.get("submitted"),
+        "admitted": run.get("admitted"),
+        "rejected": run.get("rejected"),
+        "rejected_by_reason": run.get("rejected_by_reason"),
+        "routed_by_edge": run.get("routed_by_edge"),
+        "replans": run.get("replans"),
+        "forced_replans": run.get("forced_replans"),
+        "stale_ms": {
+            "p50": run.get("stale_p50_ms"),
+            "p90": run.get("stale_p90_ms"),
+            "p99": run.get("stale_p99_ms"),
+            "max": run.get("stale_max_ms"),
+            "bound": run.get("stale_bound_ms"),
+        },
+        "wall_seconds": round(run.get("wall_seconds", 0.0), 3),
+        "admitted_per_sec": round(run.get("admitted_per_sec", 0.0)),
     }
-    if "scale/BIRP" in (run.get("solver") or {}):
-        row["solver"] = run["solver"]["scale/BIRP"]
-    return row
 
 
 def main():
     d = sys.argv[1]
     fig7 = [load_run(os.path.join(d, f"fig7_w{w}.json")) for w in (1, 4)]
-
-    matrix = []
-    for name in ("k6_mono", "k6_hier", "k50_mono", "k50_hier", "k500_hier"):
-        for w in (1, 4):
-            row = scale_row(load_run(os.path.join(d, f"{name}_w{w}.json")))
-            if row:
-                matrix.append(row)
-    mono500 = scale_row(load_run(os.path.join(d, "k500_mono_w1.json")))
-    if mono500:
-        matrix.append(mono500)
-
-    def cell(k, mode, workers=1):
-        for row in matrix:
-            if row["k"] == k and row["mode"] == mode and row["workers"] == workers:
-                return row
-        return None
+    serve = [
+        serve_row(load_run(os.path.join(d, f"serve_w{w}.json"))) for w in (1, 4)
+    ]
+    serve = [r for r in serve if r]
 
     report = {
         "description": (
-            "K-scaling bench for the hierarchical domain-decomposed "
-            "scheduling PR. Each matrix cell is `birpbench -exp scale -k K "
-            "-seed 1` on the seeded synthetic fleet (cluster.Scaled), "
-            "monolithic vs hierarchical (-hier / -domains) × -workers {1,4}; "
-            "horizons shrink with K so every cell stays tractable. Within "
-            "each configuration the stdout of the two worker counts was "
-            "byte-identical (checked by scripts/check.sh -bench). The "
-            "monolithic K=500 arm runs one slot under a 600 s timeout; if "
-            "that cell is missing the run did not finish (DNF). This "
-            "container is single-core, so workers=4 buys no wall-clock — the "
-            "hierarchical speedup reported here is algorithmic (domain-local "
-            "LPs replace one fleet-wide LP), and parallel domain solves "
-            "stack on top of it on real multi-core hosts. Wall-clock varies "
-            "±10-20% between identical runs; losses, failure rates, and "
-            "solver counters are exact and deterministic."
+            "Online-serving bench for the birpserve daemon PR. The serving "
+            "section replays a 10k-request scripted stream (seed 1, "
+            "token-bucket cap 64 / rate 48, least-loaded routing) through "
+            "the admission→routing→snapshot pipeline on the deterministic "
+            "virtual clock, once per planner worker count; "
+            "scripts/check.sh -bench byte-compared the two decision logs. "
+            "stale_ms is the snapshot-staleness distribution observed at "
+            "decision time (virtual-clock milliseconds) against the forced-"
+            "replan bound; admitted_per_sec is wall-clock pipeline "
+            "throughput including every synchronous re-optimization on the "
+            "replay path. Wall-clock varies ±10-20% between identical runs; "
+            "all counters and the decision log are exact and deterministic. "
+            "The fig7 anchor guards the monolithic optimizer path against "
+            "regression."
         ),
         "go": "go1.24 linux/amd64",
         "command": (
-            "birpbench -exp scale -k {6,50,500} -seed 1 -workers {1,4} "
-            "[-hier|-domains D] -json ..."
+            "birpserve -gen 10000 -seed 1 -policy token-bucket -cap 64 "
+            "-rate 48 -route least-loaded -workers {1,4} -log ... -json ..."
         ),
-        "outputs_identical_across_workers": True,
-        "k_scaling_matrix": matrix,
+        "decision_logs_identical_across_workers": True,
+        "serve_replay": serve,
     }
 
-    # Headline: hierarchical vs monolithic seconds per slot at each K.
-    speedups = {}
-    for k in (6, 50, 500):
-        mono, hier = cell(k, "monolithic"), cell(k, "hierarchical")
-        if not hier or not hier["seconds_per_slot"]:
-            continue
-        entry = {"hier_seconds_per_slot": hier["seconds_per_slot"]}
-        if mono and mono["seconds_per_slot"]:
-            entry["mono_seconds_per_slot"] = mono["seconds_per_slot"]
-            entry["hier_speedup"] = round(
-                mono["seconds_per_slot"] / hier["seconds_per_slot"], 2
+    # Accounting headline: the counters the smoke tier asserts.
+    if serve:
+        s0 = serve[0]
+        report["serve_headline"] = {
+            "admitted_per_sec": s0["admitted_per_sec"],
+            "admit_rate": round(s0["admitted"] / s0["submitted"], 4)
+            if s0["submitted"]
+            else None,
+            "stale_p99_over_bound": round(
+                s0["stale_ms"]["p99"] / s0["stale_ms"]["bound"], 4
             )
-        elif k == 500:
-            entry["mono_seconds_per_slot"] = "DNF (>600s for 1 slot)"
-        speedups[f"k{k}"] = entry
-    report["hier_vs_mono"] = speedups
-
-    # Quality check: at K=6 the 3-domain coordinator must land within ~1% of
-    # the monolithic solver's total loss over the 40-slot horizon.
-    mono6, hier6 = cell(6, "monolithic"), cell(6, "hierarchical")
-    if mono6 and hier6 and mono6["total_loss"]:
-        report["k6_loss_gap_percent"] = round(
-            100 * (hier6["total_loss"] / mono6["total_loss"] - 1), 2
-        )
-
-    # Near-linearity profile: hierarchical milliseconds per edge per slot
-    # should stay roughly flat as K grows (monolithic blows up superlinearly).
-    profile = {}
-    for row in matrix:
-        if row["workers"] != 1 or not row["seconds_per_slot"]:
-            continue
-        profile.setdefault(row["mode"], {})[f"k{row['k']}"] = round(
-            1000 * row["seconds_per_slot"] / row["k"], 2
-        )
-    report["ms_per_edge_slot"] = profile
+            if s0["stale_ms"]["bound"]
+            else None,
+        }
 
     report["micro_benchmarks"] = parse_micro(os.path.join(d, "micro.txt"))
 
     # PR trajectory: fig7 workers=1 seconds across the committed bench
     # artifacts. PR1 ran the pre-warm-start engine, PR2 added warm-started
     # branch & bound + presolve, PR5 the cross-slot reuse layer, PR6 the
-    # sparse revised simplex, PR7 (this run) leaves the monolithic fig7 path
-    # untouched — its row guards against regression.
+    # sparse revised simplex, PR7 hierarchical decomposition, PR9 (this run)
+    # leaves the monolithic fig7 path untouched — its row guards against
+    # regression.
     trajectory = []
     for name, path in (
         ("PR1", "BENCH_PR1.json"),
         ("PR2", "BENCH_PR2.json"),
         ("PR5", "BENCH_PR5.json"),
         ("PR6", "BENCH_PR6.json"),
+        ("PR7", "BENCH_PR7.json"),
     ):
         base = prior_fig7(path)
         if base and base.get("workers_1_seconds"):
@@ -234,7 +198,7 @@ def main():
             )
     fig7_w1 = exp_seconds(fig7[0], "fig7") if fig7[0] else None
     if fig7_w1:
-        trajectory.append({"pr": "PR7", "fig7_workers_1_seconds": fig7_w1})
+        trajectory.append({"pr": "PR9", "fig7_workers_1_seconds": fig7_w1})
     ref = next(
         (r["fig7_workers_1_seconds"] for r in trajectory if r["pr"] == "PR2"), None
     )

@@ -4,22 +4,92 @@
 # parallel solve engine requires; CI and pre-commit hooks should run this.
 #
 # Usage:
-#   scripts/check.sh          # full gate (lint + race over every package)
-#   scripts/check.sh -short   # quick tier: lint + build + short-mode race
+#   scripts/check.sh          # full gate (lint + race over every package + serve smoke)
+#   scripts/check.sh -short   # quick tier: lint + build + short-mode race + serve smoke
 #   scripts/check.sh -lint    # lint tier only: vet + gofmt + birplint
-#   scripts/check.sh -bench   # K-scaling bench tier: fig7 workers {1,4} plus
-#                             # the monolithic vs hierarchical fleet-scaling
-#                             # matrix at K {6,50,500} × workers {1,4}, with
-#                             # cross-worker byte-identity checks per config;
-#                             # writes BENCH_PR7.json
+#   scripts/check.sh -serve   # serving smoke tier only: 10k-request replay with
+#                             # byte-identical decision logs across -workers {1,4},
+#                             # accounting + staleness-bound assertions, and a TCP
+#                             # daemon round trip with SIGINT clean shutdown
+#   scripts/check.sh -bench   # bench tier: fig7 workers {1,4} trajectory anchor,
+#                             # serve replay throughput + staleness percentiles,
+#                             # micro-benches; writes BENCH_PR9.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# serve_smoke: the online-serving acceptance gate. The replay arm proves the
+# determinism contract (same seed -> byte-identical decision log for any
+# -workers value) and the counter invariants (every request accounted, max
+# staleness within the bound); the daemon arm proves the TCP frontend serves
+# round trips and shuts down cleanly on SIGINT.
+serve_smoke() {
+	local stmp
+	stmp=$(mktemp -d)
+	echo "== build birpserve"
+	go build -o "$stmp/birpserve" ./cmd/birpserve
+
+	echo "== serve replay 10k (workers 1 vs 4, byte-identical decision logs)"
+	for w in 1 4; do
+		"$stmp/birpserve" -gen 10000 -seed 1 -policy token-bucket -cap 64 -rate 48 \
+			-route least-loaded -workers "$w" -log "$stmp/serve_w$w.log" \
+			-json "$stmp/serve_w$w.json" >"$stmp/serve_w$w.txt"
+	done
+	cmp "$stmp/serve_w1.log" "$stmp/serve_w4.log"
+	python3 - "$stmp/serve_w1.json" <<-'EOF'
+		import json, sys
+		o = json.load(open(sys.argv[1]))
+		assert o["submitted"] == 10000, o["submitted"]
+		assert o["submitted"] == o["admitted"] + o["rejected"], "accounting leak"
+		assert o["admitted"] > 0, "nothing admitted"
+		assert o["stale_max_ms"] <= o["stale_bound_ms"] + 1e-9, "staleness bound violated"
+		print(f"ok: 10k requests accounted, stale max {o['stale_max_ms']:.1f}ms"
+		      f" <= bound {o['stale_bound_ms']:.1f}ms")
+	EOF
+
+	echo "== serve daemon smoke (TCP round trip + SIGINT clean shutdown)"
+	"$stmp/birpserve" -listen 127.0.0.1:0 -apps 1 >"$stmp/daemon.txt" 2>&1 &
+	local pid=$! addr=""
+	for _ in $(seq 100); do
+		addr=$(sed -n 's/^serving on \(.*\) (SIGINT.*/\1/p' "$stmp/daemon.txt" | head -1)
+		[[ -n "$addr" ]] && break
+		sleep 0.1
+	done
+	if [[ -z "$addr" ]]; then
+		kill "$pid" 2>/dev/null || true
+		echo "daemon never announced its address" >&2
+		exit 1
+	fi
+	python3 - "$addr" <<-'EOF'
+		import json, socket, sys
+		host, port = sys.argv[1].rsplit(":", 1)
+		s = socket.create_connection((host, int(port)), timeout=5)
+		f = s.makefile("rw")
+		for q in range(5):
+		    f.write(json.dumps({"id": q, "app": 0, "region": q % 3}) + "\n")
+		    f.flush()
+		    d = json.loads(f.readline())
+		    assert d["id"] == q and d.get("admit"), d
+		s.close()
+		print("ok: 5 daemon round trips")
+	EOF
+	kill -INT "$pid"
+	wait "$pid"
+	grep -q "daemon: submitted 5 admitted 5" "$stmp/daemon.txt"
+	rm -rf "$stmp"
+	echo "ok: serve smoke passed"
+}
+
+if [[ "${1:-}" == "-serve" ]]; then
+	serve_smoke
+	exit 0
+fi
 
 if [[ "${1:-}" == "-bench" ]]; then
 	tmp=$(mktemp -d)
 	trap 'rm -rf "$tmp"' EXIT
-	echo "== build birpbench"
+	echo "== build birpbench + birpserve"
 	go build -o "$tmp/birpbench" ./cmd/birpbench
+	go build -o "$tmp/birpserve" ./cmd/birpserve
 
 	# identical CONFIG: the two worker counts of one configuration must print
 	# byte-identical stdout once the wall-clock trailer is stripped.
@@ -36,30 +106,13 @@ if [[ "${1:-}" == "-bench" ]]; then
 	done
 	identical fig7
 
-	# Fleet-scaling matrix. Horizons shrink as K grows so every cell stays
-	# tractable; the monolithic K=500 arm gets one slot and a hard timeout —
-	# recording a DNF there is an honest result, not a failure.
-	scale() { # name k slots extra...
-		local name=$1 k=$2 slots=$3
-		shift 3
-		for w in 1 4; do
-			echo "== scale K=$k slots=$slots workers=$w $name"
-			"$tmp/birpbench" -exp scale -k "$k" -slots "$slots" -seed 1 -workers "$w" "$@" \
-				-json "$tmp/${name}_w$w.json" >"$tmp/out_${name}_w$w.txt"
-		done
-		identical "$name"
-	}
-	scale k6_mono 6 40
-	scale k6_hier 6 40 -domains 3
-	scale k50_mono 50 8
-	scale k50_hier 50 8 -hier
-	scale k500_hier 500 3 -hier
-	echo "== scale K=500 slots=1 workers=1 monolithic (timeout 600s; DNF is a result)"
-	if ! timeout 600 "$tmp/birpbench" -exp scale -k 500 -slots 1 -seed 1 -workers 1 \
-		-json "$tmp/k500_mono_w1.json" >"$tmp/out_k500_mono_w1.txt"; then
-		echo "monolithic K=500 did not finish within 600s (recorded as DNF)"
-		rm -f "$tmp/k500_mono_w1.json"
-	fi
+	echo "== serve replay 10k (workers {1,4}, admitted/sec + staleness percentiles)"
+	for w in 1 4; do
+		"$tmp/birpserve" -gen 10000 -seed 1 -policy token-bucket -cap 64 -rate 48 \
+			-route least-loaded -workers "$w" -log "$tmp/serve_w$w.log" \
+			-json "$tmp/serve_w$w.json" >"$tmp/out_serve_w$w.txt"
+	done
+	cmp "$tmp/serve_w1.log" "$tmp/serve_w4.log"
 
 	echo "== micro-benches (warm vs cold, LP box solve, warm re-entry, slot-loop allocs)"
 	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
@@ -68,8 +121,8 @@ if [[ "${1:-}" == "-bench" ]]; then
 		tee -a "$tmp/micro.txt"
 	go test ./internal/core -run '^$' -bench 'BenchmarkSlotLoop' -benchtime 200x -benchmem |
 		tee -a "$tmp/micro.txt"
-	python3 scripts/benchreport.py "$tmp" >BENCH_PR7.json
-	echo "ok: wrote BENCH_PR7.json"
+	python3 scripts/benchreport.py "$tmp" >BENCH_PR9.json
+	echo "ok: wrote BENCH_PR9.json"
 	exit 0
 fi
 
@@ -130,5 +183,7 @@ fi
 # gets a generous timeout for single-core machines.
 echo "== go test -race $short ./..."
 go test -race $short -timeout 45m ./...
+
+serve_smoke
 
 echo "ok: all checks passed"
