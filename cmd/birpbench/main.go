@@ -78,8 +78,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment timings (JSON) to this file")
 	solverStats := flag.Bool("solverstats", false, "print cumulative MIQP solver counters (nodes, warm-start hit rate, pivots, presolve reductions) after fig6/fig7")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
+	profileKind := flag.String("profile", "", "write per-experiment profiles: cpu, heap, or allocs (one <exp>.<kind>.pprof per experiment; see -profdir)")
+	profDir := flag.String("profdir", ".", "directory for -profile output files")
 	noReuse := flag.Bool("noreuse", false, "disable cross-slot solver reuse (incumbent seeding, plan memoization); every slot solves cold — for A/B measurement")
 	dense := flag.Bool("dense", false, "solve all LP relaxations with the legacy dense tableau engine instead of the sparse revised simplex — for A/B measurement")
+	noFactorReuse := flag.Bool("nofactorreuse", false, "refactorize on every warm simplex re-entry instead of reusing the parent node's LU snapshot — for A/B measurement (plans are byte-identical either way)")
 	k := flag.Int("k", 50, "fleet size for -exp scale (seeded synthetic fleet)")
 	hier := flag.Bool("hier", false, "hierarchical domain-decomposed scheduling for the core-family arms (default domain size 16)")
 	domains := flag.Int("domains", 0, "fix the collaboration-domain count (> 0 implies -hier)")
@@ -94,6 +97,10 @@ func main() {
 	// -dense -hier is NOT a conflict: hierarchical sub-schedulers inherit
 	// the engine choice, so the combination A/Bs the dense engine inside
 	// every domain (TestHierarchicalDenseEngineComposes pins it).
+	if *profileKind != "" {
+		check.OneOf("profile", *profileKind, "cpu", "heap", "allocs")
+		check.Checkf(*pprofPath == "", "-profile and -pprof are mutually exclusive (only one CPU profile can be active)")
+	}
 	if err := check.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -119,7 +126,7 @@ func main() {
 	all := want["all"]
 	opt := birp.ExperimentOptions{
 		Seed: *seed, Slots: *slots, Quick: *quick, Workers: *workers,
-		DisableSlotReuse: *noReuse, DenseEngine: *dense,
+		DisableSlotReuse: *noReuse, DenseEngine: *dense, NoFactorReuse: *noFactorReuse,
 		Hierarchical: *hier, Domains: *domains, K: *k,
 	}
 	report := timingReport{
@@ -137,6 +144,9 @@ func main() {
 	run := func(name string, f func() error) {
 		if !all && !want[name] {
 			return
+		}
+		if *profileKind != "" {
+			f = profiled(*profileKind, *profDir, name, f)
 		}
 		start := time.Now()
 		if err := f(); err != nil {
@@ -218,6 +228,9 @@ func main() {
 		return nil
 	}
 	if want["scale"] {
+		if *profileKind != "" {
+			runScale = profiled(*profileKind, *profDir, "scale", runScale)
+		}
 		start := time.Now()
 		if err := runScale(); err != nil {
 			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
@@ -255,6 +268,53 @@ func main() {
 			fmt.Fprintf(os.Stderr, "timings: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// profiled wraps one experiment with profile capture, writing
+// <dir>/<name>.<kind>.pprof. CPU profiles bracket the experiment;
+// heap/allocs profiles are written after it returns (after a GC for "heap",
+// so the snapshot shows live retention rather than collectable garbage;
+// "allocs" reports every sampled allocation since process start, which
+// attributes steady-state churn to its allocation sites). The reproducible
+// profiling workflow (scripts/profreport.py) consumes these files.
+func profiled(kind, dir, name string, f func() error) func() error {
+	return func() error {
+		path := fmt.Sprintf("%s/%s.%s.pprof", dir, name, kind)
+		switch kind {
+		case "cpu":
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := pprof.StartCPUProfile(out); err != nil {
+				out.Close()
+				return err
+			}
+			err = f()
+			pprof.StopCPUProfile()
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		case "heap", "allocs":
+			if err := f(); err != nil {
+				return err
+			}
+			if kind == "heap" {
+				runtime.GC()
+			}
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := pprof.Lookup(kind).WriteTo(out, 0); err != nil {
+				out.Close()
+				return err
+			}
+			return out.Close()
+		}
+		return f()
 	}
 }
 

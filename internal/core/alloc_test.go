@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/miqp"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// TestSlotLoopAllocBudget enforces the steady-state allocation budget of the
+// closed Decide loop (the BenchmarkSlotLoop path): once the scheduler's
+// scratch pools, slot buffers, and the LP arenas are warm, a slot decision
+// must stay under an explicit allocs-per-op ceiling. The ceiling (300) sits
+// above the measured steady state (~200) to absorb map rehashes and the
+// occasional memo-miss resolve, but far below the pre-pooling baseline (938),
+// so a leak that reintroduces per-slot churn fails loudly.
+func TestSlotLoopAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted by the race detector's shadow allocations")
+	}
+	const budget = 300
+	c := cluster.Small()
+	apps := models.Catalogue(1, 3)
+	tr, err := trace.Generate(trace.Config{
+		Apps: 1, Edges: c.N(), Slots: 64, Seed: 3,
+		MeanPerSlot: 60, Imbalance: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: c, Apps: apps, Workers: 1, Provider: NewOnlineTuner(0.04, 0.07)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm phase: one full pass over the trace grows every pool to its
+	// steady-state size (scratch slabs, slot buffers, memo entries).
+	slot := 0
+	decide := func() {
+		if _, err := s.Decide(slot%64, tr.R[slot%64]); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		slot++
+	}
+	for i := 0; i < 64; i++ {
+		decide()
+	}
+	if got := testing.AllocsPerRun(64, decide); got > budget {
+		t.Fatalf("steady-state slot decision allocates %.1f objects/op, budget %d", got, budget)
+	}
+}
+
+// TestFactorReuseKnobPlanEquivalence pins the determinism contract of the
+// persistent-factorization handoff on the fig7 workload (5 apps × 5 versions
+// on the six-edge default cluster): Config.NoFactorReuse must be plan-neutral
+// AND search-neutral. Reusing a parent basis's LU factors is bit-identical to
+// refactorizing the same basis, so toggling the knob may only move the work
+// counters (Refactorizations, FactorReuses) — plans, node counts, and pivot
+// counts must not change. A drift in nodes or pivots would mean reuse altered
+// the numerics, not just the accounting.
+func TestFactorReuseKnobPlanEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	c := cluster.Default()
+	apps := models.Catalogue(5, 5)
+	tr, err := trace.Generate(trace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noReuse bool) ([]*edgePlanSeq, miqp.Stats) {
+		s, err := New(Config{Cluster: c, Apps: apps, Workers: 1, NoFactorReuse: noReuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plans []*edgePlanSeq
+		for tt := 0; tt < 4; tt++ {
+			p, err := s.Decide(tt, tr.R[tt])
+			if err != nil {
+				t.Fatalf("noReuse=%v slot %d: %v", noReuse, tt, err)
+			}
+			// The plan's attached per-slot Solver stats carry the two work
+			// counters the knob moves by design; the aggregate comparison
+			// below checks them explicitly, so neutralize them here and hold
+			// the rest of the plan (and its remaining counters) to identity.
+			p.Solver.Refactorizations = 0
+			p.Solver.FactorReuses = 0
+			plans = append(plans, &edgePlanSeq{slot: tt, plan: p})
+		}
+		return plans, s.SolverStats()
+	}
+	withReuse, on := run(false)
+	without, off := run(true)
+	if !reflect.DeepEqual(withReuse, without) {
+		for i := range withReuse {
+			if !reflect.DeepEqual(withReuse[i], without[i]) {
+				t.Fatalf("slot %d: plans diverged across the NoFactorReuse knob\nreuse on:  %+v\nreuse off: %+v",
+					i, withReuse[i].plan, without[i].plan)
+			}
+		}
+		t.Fatal("plan sequences diverged across the NoFactorReuse knob")
+	}
+	if off.FactorReuses != 0 {
+		t.Fatalf("NoFactorReuse run still reused factors %d times", off.FactorReuses)
+	}
+	if on.FactorReuses == 0 {
+		t.Fatal("reuse-enabled run never reused a factorization; the knob test is vacuous")
+	}
+	// Neutralize the two counters the knob is allowed to move, then demand
+	// every remaining counter — nodes, relaxations, pivots, dual work, eta
+	// updates, presolve and reuse provenance — be bit-identical.
+	on.Refactorizations, off.Refactorizations = 0, 0
+	on.FactorReuses, off.FactorReuses = 0, 0
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("search counters moved with the NoFactorReuse knob\nreuse on:  %+v\nreuse off: %+v", on, off)
+	}
+}
+
+// edgePlanSeq pairs a plan with its slot for the equivalence diff output.
+type edgePlanSeq struct {
+	slot int
+	plan interface{}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/miqp"
+	"repro/internal/models"
+)
+
+// varSet carries the column indices and per-deployment constants of one
+// (app, model) candidate deployment in the per-edge program.
+type varSet struct {
+	x, served int
+	units     int // interpretation depends on mode (batch, count, #batches)
+	unitCap   int // upper bound of units
+	bStar     int // merged multi-batch: physical batch size
+	model     *models.Model
+	par       bandit.TIRParams
+	gamma     float64
+	slopeMS   float64 // merged-mode per-request planned time
+	fixedMS   float64 // merged-mode per-deployment fixed planned time
+}
+
+// actTerm is one activation-memory contribution to the Eq. 6 budget.
+type actTerm struct {
+	col  int
+	coef float64
+}
+
+// edgeScratch is the reusable working storage of one SolveEdge call: the
+// model builder, the flat (app, model) variable table, row-assembly buffers,
+// and the incumbent/seed point vectors. A scheduler hands each fan-out worker
+// its own scratch (EdgeProblem.scratch), so steady-state slot solves of
+// same-shaped edges never touch the allocator; callers without one fall back
+// to the package pool. Everything here is call-scoped — SolveEdge results
+// never alias the scratch.
+type edgeScratch struct {
+	b     *miqp.Builder
+	vars  []varSet
+	vsOff []int // vars index of app i's first model; len I+1
+
+	appCols  [][]int // per-app compute-row terms
+	appCoefs [][]float64
+
+	weightCols  []int
+	weightCoefs []float64
+	actTerms    []actTerm
+	shipCols    []int
+	shipCoefs   []float64
+
+	drops      []int
+	classes    []float64
+	classSlack []int
+
+	// rowCols/rowCoefs assemble one constraint row at a time (AddEq/AddLe
+	// copy into the builder's slab, so sequential reuse is safe).
+	rowCols  []int
+	rowCoefs []float64
+
+	order     []int // greedyFill model ordering
+	inc       []float64
+	incRem    []int
+	seedPoint []float64
+	seedRem   []int
+}
+
+var edgeScratchPool = sync.Pool{New: func() interface{} {
+	return &edgeScratch{b: miqp.NewBuilder()}
+}}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloatsZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growVarSets(s []varSet, n int) []varSet {
+	if cap(s) < n {
+		return make([]varSet, n)
+	}
+	return s[:n]
+}

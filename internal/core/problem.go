@@ -128,6 +128,10 @@ type EdgeProblem struct {
 	// with the legacy dense tableau engine (A/B oracle for the revised
 	// simplex) instead of the sparse revised default.
 	DenseEngine bool
+	// NoFactorReuse forwards miqp.Options.NoFactorReuse: refactorize on
+	// every warm re-entry instead of reusing the parent's LU snapshot.
+	// Plan-neutral; only the factorization counters change.
+	NoFactorReuse bool
 	// SingleVersion restricts each application to at most one deployed model
 	// version on this edge (Σ_j x_ij ≤ 1) — the "model selection" decision
 	// granularity of the OAEI baseline, which picks a version per
@@ -151,6 +155,11 @@ type EdgeProblem struct {
 	// Pool, when non-nil, supplies the solver's per-worker LP scratch arenas
 	// (see miqp.ScratchPool); nil uses the package-level pool.
 	Pool *miqp.ScratchPool
+	// scratch, when non-nil, is the caller-owned model-build working storage
+	// for this solve. The scheduler keeps one per fan-out worker so repeated
+	// slot solves reuse it without contention; external callers leave it nil
+	// and SolveEdge borrows from a package pool.
+	scratch *edgeScratch
 }
 
 // EdgeAssignment is the per-edge solve result.
@@ -206,35 +215,54 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		nodes = 4000
 	}
 
-	b := miqp.NewBuilder()
-	type varSet struct {
-		x, served int
-		units     int // interpretation depends on mode (batch, count, #batches)
-		unitCap   int // upper bound of units
-		bStar     int // merged multi-batch: physical batch size
-		model     *models.Model
-		par       bandit.TIRParams
-		gamma     float64
-		slopeMS   float64 // merged-mode per-request planned time
-		fixedMS   float64 // merged-mode per-deployment fixed planned time
+	es := p.scratch
+	if es == nil {
+		es = edgeScratchPool.Get().(*edgeScratch)
+		defer edgeScratchPool.Put(es)
 	}
-	vars := map[[2]int]*varSet{}
-	appComputeCols := make([][]int, I)
-	appComputeCoefs := make([][]float64, I)
+	b := es.b
+	b.Reset()
+	// Flat (app, model) variable table replacing a per-call map: entry
+	// vsOff[i]+j is valid iff app i has positive workload (vsAt guards).
+	// Variables are unnamed on this path; names only ever served debugging
+	// and cost a Sprintf per variable per slot.
+	total := 0
+	vsOff := growInts(es.vsOff, I+1)
+	for i := 0; i < I; i++ {
+		vsOff[i] = total
+		total += len(p.Apps[i].Models)
+	}
+	vsOff[I] = total
+	es.vsOff = vsOff
+	vars := growVarSets(es.vars, total)
+	es.vars = vars
+	vsAt := func(i, j int) *varSet {
+		if i < 0 || i >= I || p.Workload[i] <= 0 || j < 0 || j >= vsOff[i+1]-vsOff[i] {
+			return nil
+		}
+		return &vars[vsOff[i]+j]
+	}
+	if cap(es.appCols) < I {
+		es.appCols = make([][]int, I)
+		es.appCoefs = make([][]float64, I)
+	}
+	appComputeCols := es.appCols[:I]
+	appComputeCoefs := es.appCoefs[:I]
+	for i := range appComputeCols {
+		appComputeCols[i] = appComputeCols[i][:0]
+		appComputeCoefs[i] = appComputeCoefs[i][:0]
+	}
+	es.appCols, es.appCoefs = appComputeCols, appComputeCoefs
 	var curApp int
 	addCompute := func(cols []int, coefs []float64) {
 		appComputeCols[curApp] = append(appComputeCols[curApp], cols...)
 		appComputeCoefs[curApp] = append(appComputeCoefs[curApp], coefs...)
 	}
-	var weightCols []int
-	var weightCoefs []float64
-	type actTerm struct {
-		col  int
-		coef float64
-	}
-	var actTerms []actTerm
-	var shipCols []int
-	var shipCoefs []float64
+	weightCols := es.weightCols[:0]
+	weightCoefs := es.weightCoefs[:0]
+	actTerms := es.actTerms[:0]
+	shipCols := es.shipCols[:0]
+	shipCoefs := es.shipCoefs[:0]
 
 	for i := 0; i < I; i++ {
 		w := p.Workload[i]
@@ -245,8 +273,9 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		for j, m := range p.Apps[i].Models {
 			par := p.Params(i, j)
 			gamma := p.GammaMS(i, j)
-			vs := &varSet{model: m, par: par, gamma: gamma}
-			x := b.AddBinary(fmt.Sprintf("x_%d_%d", i, j))
+			vs := &vars[vsOff[i]+j]
+			*vs = varSet{model: m, par: par, gamma: gamma}
+			x := b.AddBinary("")
 			vs.x = x
 			switch p.Mode {
 			case ModeMerged:
@@ -260,7 +289,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 					if ub < 1 {
 						ub = 1
 					}
-					units := b.AddVar(fmt.Sprintf("b_%d_%d", i, j), 0, float64(ub), true)
+					units := b.AddVar("", 0, float64(ub), true)
 					vs.units = units
 					vs.unitCap = ub
 					vs.bStar = ub
@@ -295,7 +324,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 				if bStar < 1 {
 					bStar = 1
 				}
-				units := b.AddVar(fmt.Sprintf("n_%d_%d", i, j), 0, float64(w), true)
+				units := b.AddVar("", 0, float64(w), true)
 				vs.units = units
 				vs.unitCap = w
 				vs.bStar = bStar
@@ -312,7 +341,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 				actTerms = append(actTerms, actTerm{x, m.IntermediateMB * float64(bStar)})
 			case ModeSerial:
 				// units = request count, executed one by one (TIR = 1).
-				units := b.AddVar(fmt.Sprintf("n_%d_%d", i, j), 0, float64(w), true)
+				units := b.AddVar("", 0, float64(w), true)
 				vs.units = units
 				vs.unitCap = w
 				vs.served = units
@@ -324,8 +353,8 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 			case ModeFixed:
 				// units = number of B0-sized physical batches; served ≤ B0·units.
 				maxBatches := (w + p.FixedB0 - 1) / p.FixedB0
-				units := b.AddVar(fmt.Sprintf("m_%d_%d", i, j), 0, float64(maxBatches), true)
-				served := b.AddVar(fmt.Sprintf("s_%d_%d", i, j), 0, float64(w), true)
+				units := b.AddVar("", 0, float64(maxBatches), true)
+				served := b.AddVar("", 0, float64(w), true)
 				vs.units = units
 				vs.unitCap = maxBatches
 				vs.served = served
@@ -346,12 +375,12 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 				shipCols = append(shipCols, x)
 				shipCoefs = append(shipCoefs, m.CompressedMB)
 			}
-			vars[[2]int{i, j}] = vs
 		}
 	}
 
 	// Per-app conservation: Σ_j served + dropped = workload.
-	drops := make([]int, I)
+	drops := growInts(es.drops, I)
+	es.drops = drops
 	for i := range drops {
 		drops[i] = -1
 	}
@@ -360,24 +389,26 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		if w <= 0 {
 			continue
 		}
-		d := b.AddVar(fmt.Sprintf("d_%d", i), 0, float64(w), true)
+		d := b.AddVar("", 0, float64(w), true)
 		drops[i] = d
 		b.SetObj(d, dropPen)
-		cols := []int{d}
-		coefs := []float64{1}
+		cols := append(es.rowCols[:0], d)
+		coefs := append(es.rowCoefs[:0], 1)
 		for j := range p.Apps[i].Models {
-			cols = append(cols, vars[[2]int{i, j}].served)
+			cols = append(cols, vsAt(i, j).served)
 			coefs = append(coefs, 1)
 		}
 		b.AddEq(cols, coefs, float64(w))
+		es.rowCols, es.rowCoefs = cols, coefs
 		if p.SingleVersion {
-			xs := make([]int, 0, len(p.Apps[i].Models))
-			ones := make([]float64, 0, len(p.Apps[i].Models))
+			xs := es.rowCols[:0]
+			ones := es.rowCoefs[:0]
 			for j := range p.Apps[i].Models {
-				xs = append(xs, vars[[2]int{i, j}].x)
+				xs = append(xs, vsAt(i, j).x)
 				ones = append(ones, 1)
 			}
 			b.AddLe(xs, ones, 1)
+			es.rowCols, es.rowCoefs = xs, ones
 		}
 	}
 
@@ -385,14 +416,16 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	// the executor runs tighter-SLO applications first, so everything with
 	// SLO ≤ f must fit within f·τ. With the paper's uniform SLO = 1 this is
 	// exactly the single Eq. 25 row. Each class gets its own overflow slack.
-	classes := sloClasses(p.Apps, p.Workload)
-	classSlack := make([]int, len(classes))
+	classes := sloClassesInto(es.classes[:0], p.Apps, p.Workload)
+	es.classes = classes
+	classSlack := growInts(es.classSlack, len(classes))
+	es.classSlack = classSlack
 	for ci, f := range classes {
-		sl := b.AddVar(fmt.Sprintf("overflow_ms_%d", ci), 0, math.Inf(1), false)
+		sl := b.AddVar("", 0, math.Inf(1), false)
 		b.SetObj(sl, ovPen)
 		classSlack[ci] = sl
-		var cols []int
-		var coefs []float64
+		cols := es.rowCols[:0]
+		coefs := es.rowCoefs[:0]
 		for i := 0; i < I; i++ {
 			if p.Workload[i] <= 0 || p.Apps[i].SLO() > f+1e-12 {
 				continue
@@ -400,32 +433,34 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 			cols = append(cols, appComputeCols[i]...)
 			coefs = append(coefs, appComputeCoefs[i]...)
 		}
-		if len(cols) == 0 {
-			continue
+		if len(cols) != 0 {
+			cols = append(cols, sl)
+			coefs = append(coefs, -1)
+			b.AddLe(cols, coefs, f*p.SlotMS)
 		}
-		cols = append(cols, sl)
-		coefs = append(coefs, -1)
-		b.AddLe(cols, coefs, f*p.SlotMS)
+		es.rowCols, es.rowCoefs = cols, coefs
 	}
 	slack := classSlack[len(classSlack)-1] // widest class = total overflow
 	// Hard memory budget (Eq. 6, under the configured interpretation).
 	if len(weightCols) > 0 {
 		switch p.Mem {
 		case MemSum:
-			cols := append([]int{}, weightCols...)
-			coefs := append([]float64{}, weightCoefs...)
+			cols := append(es.rowCols[:0], weightCols...)
+			coefs := append(es.rowCoefs[:0], weightCoefs...)
 			for _, a := range actTerms {
 				cols = append(cols, a.col)
 				coefs = append(coefs, a.coef)
 			}
 			b.AddLe(cols, coefs, p.Edge.MemoryMB)
+			es.rowCols, es.rowCoefs = cols, coefs
 		default: // MemTimeSliced: Σ δ·x + each deployment's peak batch ≤ M.
 			for _, a := range actTerms {
-				cols := append([]int{}, weightCols...)
-				coefs := append([]float64{}, weightCoefs...)
+				cols := append(es.rowCols[:0], weightCols...)
+				coefs := append(es.rowCoefs[:0], weightCoefs...)
 				cols = append(cols, a.col)
 				coefs = append(coefs, a.coef)
 				b.AddLe(cols, coefs, p.Edge.MemoryMB)
+				es.rowCols, es.rowCoefs = cols, coefs
 			}
 		}
 	}
@@ -433,8 +468,13 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	if len(shipCols) > 0 {
 		b.AddLe(shipCols, shipCoefs, p.ShipBudgetMB)
 	}
+	es.weightCols, es.weightCoefs = weightCols, weightCoefs
+	es.actTerms = actTerms
+	es.shipCols, es.shipCoefs = shipCols, shipCoefs
 
-	prob := b.Build()
+	// The problem aliases builder-owned storage reused across slots; it is
+	// consumed entirely within this call (SolveOpts copies what it keeps).
+	prob := b.BuildShared()
 	// greedyFill completes point into an integer-feasible plan: it serves as
 	// many of remaining's requests as the leftover budgets allow — best
 	// models first within budgets, overflow when cheaper than dropping —
@@ -467,13 +507,14 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 			chosenJ := -1 // SingleVersion: first deployed version locks the app
 			if p.SingleVersion {
 				for j := range p.Apps[i].Models {
-					if vs := vars[[2]int{i, j}]; vs != nil && point[vs.x] > 0.5 {
+					if vs := vsAt(i, j); vs != nil && point[vs.x] > 0.5 {
 						chosenJ = j
 						break
 					}
 				}
 			}
-			order := make([]int, len(p.Apps[i].Models))
+			order := growInts(es.order, len(p.Apps[i].Models))
+			es.order = order
 			for j := range order {
 				order[j] = j
 			}
@@ -486,7 +527,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 					if p.SingleVersion && chosenJ >= 0 && chosenJ != j {
 						continue
 					}
-					vs := vars[[2]int{i, j}]
+					vs := vsAt(i, j)
 					m := vs.model
 					already := point[vs.x] > 0.5
 					shipCost := 0.0
@@ -655,9 +696,12 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	budgetsOf := func(point []float64) (computeLeft, memLeft, maxAct, shipLeft float64) {
 		computeLeft, memLeft, maxAct, shipLeft = p.SlotMS, p.Edge.MemoryMB, 0, p.ShipBudgetMB
 		for i := 0; i < I; i++ {
+			if p.Workload[i] <= 0 {
+				continue
+			}
 			for j := range p.Apps[i].Models {
-				vs := vars[[2]int{i, j}]
-				if vs == nil || point[vs.x] < 0.5 {
+				vs := vsAt(i, j)
+				if point[vs.x] < 0.5 {
 					continue
 				}
 				m := vs.model
@@ -702,8 +746,10 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	// optimal or near, and collapses the search — without it, branching on
 	// the fixed-charge x variables barely moves the LP bound and the tree
 	// explodes.
-	inc := make([]float64, b.NumVars())
-	remaining := make([]int, I)
+	inc := growFloatsZero(es.inc, b.NumVars())
+	es.inc = inc
+	remaining := growInts(es.incRem, I)
+	es.incRem = remaining
 	copy(remaining, p.Workload)
 	greedyFill(inc, remaining, p.SlotMS, p.Edge.MemoryMB, 0, p.ShipBudgetMB)
 	for i := 0; i < I; i++ {
@@ -719,14 +765,11 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		for ci, f := range classes {
 			var lhs float64
 			for i := 0; i < I; i++ {
-				if p.Apps[i].SLO() > f+1e-12 {
+				if p.Workload[i] <= 0 || p.Apps[i].SLO() > f+1e-12 {
 					continue
 				}
 				for j := range p.Apps[i].Models {
-					vs := vars[[2]int{i, j}]
-					if vs == nil {
-						continue
-					}
+					vs := vsAt(i, j)
 					units := point[vs.units]
 					xv := point[vs.x]
 					switch p.Mode {
@@ -756,11 +799,13 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	// bound a stale plan cannot certify. Pure function of (Seed, problem):
 	// deterministic across runs and worker counts.
 	repairSeed := func() (point []float64, didRepair, ok bool) {
-		point = make([]float64, b.NumVars())
-		remaining := make([]int, I)
+		point = growFloatsZero(es.seedPoint, b.NumVars())
+		es.seedPoint = point
+		remaining := growInts(es.seedRem, I)
+		es.seedRem = remaining
 		copy(remaining, p.Workload)
 		for _, dep := range p.Seed.Deployments {
-			vs := vars[[2]int{dep.App, dep.Version}]
+			vs := vsAt(dep.App, dep.Version)
 			if vs == nil || dep.Requests <= 0 {
 				if dep.Requests > 0 {
 					didRepair = true // app lost its workload here; requests fall to drops
@@ -846,6 +891,7 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 		GapTol:           0.005 * (1 + objOf(prob, inc)),
 		Workers:          p.Workers,
 		DenseEngine:      p.DenseEngine,
+		NoFactorReuse:    p.NoFactorReuse,
 		RootBasis:        p.RootBasis,
 		CaptureRootBasis: p.CaptureRootBasis,
 		Pool:             p.Pool,
@@ -870,11 +916,11 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	// Extract deployments in (app, version) order so the plan — and the float
 	// accumulation into PredictedMS — is deterministic.
 	for i := 0; i < I; i++ {
+		if p.Workload[i] <= 0 {
+			continue
+		}
 		for j := range p.Apps[i].Models {
-			vs := vars[[2]int{i, j}]
-			if vs == nil {
-				continue
-			}
+			vs := vsAt(i, j)
 			served := int(math.Round(res.X[vs.served]))
 			units := int(math.Round(res.X[vs.units]))
 			if served <= 0 {
@@ -917,21 +963,22 @@ func SolveEdge(p *EdgeProblem) (*EdgeAssignment, error) {
 	// Diagnostic: how much of each budget the plan consumes, and which one
 	// binds. Memory usage is recomputed per the configured model.
 	var memUsed, shipUsed float64
-	seenModel := map[int]bool{}
 	maxAct2 := 0.0
 	for i := 0; i < I; i++ {
+		if p.Workload[i] <= 0 {
+			continue
+		}
 		for j := range p.Apps[i].Models {
-			vs := vars[[2]int{i, j}]
-			if vs == nil || res.X[vs.x] < 0.5 {
+			vs := vsAt(i, j)
+			if res.X[vs.x] < 0.5 {
 				continue
 			}
 			m := vs.model
-			if !seenModel[vs.x] {
-				seenModel[vs.x] = true
-				memUsed += m.WeightsMB
-				if !p.PrevDeployed[[2]int{i, j}] {
-					shipUsed += m.CompressedMB
-				}
+			// Each (i, j) owns a distinct x column, so weights/ship are
+			// counted once per deployment.
+			memUsed += m.WeightsMB
+			if !p.PrevDeployed[[2]int{i, j}] {
+				shipUsed += m.CompressedMB
 			}
 			act := 0.0
 			switch p.Mode {
@@ -983,20 +1030,35 @@ func safeFrac(used, budget float64) float64 {
 // sloClasses returns the distinct SLO fractions of the applications with
 // positive workload, ascending (at least one class, 1.0, when none).
 func sloClasses(apps []*models.Application, workload []int) []float64 {
-	seen := map[float64]bool{}
-	var out []float64
+	return sloClassesInto(nil, apps, workload)
+}
+
+// sloClassesInto is sloClasses appending into dst (allocation-free once dst
+// has capacity). There are only ever a handful of classes, so the dedupe is
+// a linear scan.
+func sloClassesInto(dst []float64, apps []*models.Application, workload []int) []float64 {
+	out := dst[:0]
 	for i, a := range apps {
 		if i < len(workload) && workload[i] <= 0 {
 			continue
 		}
 		f := a.SLO()
-		if !seen[f] {
-			seen[f] = true
+		dup := false
+		for _, g := range out {
+			// SLO fractions compare exactly: the dedupe must treat two apps
+			// with the same configured fraction as one class.
+			//birplint:ignore floateq
+			if g == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, f)
 		}
 	}
 	if len(out) == 0 {
-		out = []float64{1}
+		out = append(out, 1)
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"math"
 
 	"repro/internal/edgesim"
@@ -94,11 +93,14 @@ func (r *edgeReuse) clear() {
 }
 
 // lookup returns the memoized assignment for fp and refreshes its recency.
+// The recency slide is in place — the memo fires every slot in stationary
+// regimes, so it must not churn the allocator.
 func (r *edgeReuse) lookup(fp uint64) *EdgeAssignment {
 	for i := len(r.lru) - 1; i >= 0; i-- {
 		if r.lru[i].fp == fp {
 			e := r.lru[i]
-			r.lru = append(append(r.lru[:i:i], r.lru[i+1:]...), e)
+			copy(r.lru[i:], r.lru[i+1:])
+			r.lru[len(r.lru)-1] = e
 			return e.asg
 		}
 	}
@@ -106,17 +108,22 @@ func (r *edgeReuse) lookup(fp uint64) *EdgeAssignment {
 }
 
 // store inserts (fp, asg) as most recent, evicting the least recent past cap.
+// In-place like lookup; the backing array is bounded by cap+1 entries.
 func (r *edgeReuse) store(fp uint64, asg *EdgeAssignment) {
 	for i := len(r.lru) - 1; i >= 0; i-- {
 		if r.lru[i].fp == fp {
-			r.lru = append(r.lru[:i:i], r.lru[i+1:]...)
+			copy(r.lru[i:], r.lru[i+1:])
+			r.lru = r.lru[:len(r.lru)-1]
 			break
 		}
 	}
 	r.lru = append(r.lru, memoEntry{fp, asg})
-	if len(r.lru) > r.cap {
-		over := len(r.lru) - r.cap
-		r.lru = append(r.lru[:0:0], r.lru[over:]...)
+	if over := len(r.lru) - r.cap; over > 0 {
+		copy(r.lru, r.lru[over:])
+		for i := len(r.lru) - over; i < len(r.lru); i++ {
+			r.lru[i] = memoEntry{}
+		}
+		r.lru = r.lru[:len(r.lru)-over]
 	}
 }
 
@@ -166,13 +173,19 @@ func cloneAssignment(a *EdgeAssignment) *EdgeAssignment {
 // cross-worker byte-identity of cached plans. All composite state is iterated
 // in index order (never map order), so the hash is deterministic.
 func (s *Scheduler) fingerprintEdge(k int, w []int, shipMB float64, snap *paramSnapshot) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	// Hand-rolled FNV-1a over the little-endian bytes of each word —
+	// bit-identical to hash/fnv over the same byte stream, without the
+	// hash.Hash64 interface allocation per call.
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
 	u64 := func(v uint64) {
 		for b := 0; b < 8; b++ {
-			buf[b] = byte(v >> (8 * b))
+			h ^= uint64(byte(v >> (8 * b)))
+			h *= fnvPrime64
 		}
-		h.Write(buf[:])
 	}
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
 	i64 := func(v int) { u64(uint64(int64(v))) }
@@ -221,5 +234,5 @@ func (s *Scheduler) fingerprintEdge(k int, w []int, shipMB float64, snap *paramS
 	b1(s.cfg.SingleVersion)
 	f64(s.cfg.DropPenalty)
 	f64(s.cfg.OverflowPenaltyPerMS)
-	return h.Sum64()
+	return h
 }

@@ -109,6 +109,13 @@ type Config struct {
 	// engines certify the same optima, so plans agree within solver
 	// tolerance, and each engine is bit-identical across Workers values.
 	DenseEngine bool
+	// NoFactorReuse disables carrying LU factorizations across warm
+	// dual-simplex re-entries inside each branch & bound tree, forcing a
+	// refactorization on every warm entry (the pre-reuse behavior). A/B
+	// switch for the fixed-cost-elimination layer: plans are byte-identical
+	// with the knob on or off — only the Refactorizations/FactorReuses
+	// counters move.
+	NoFactorReuse bool
 	// SlotCacheSize bounds the per-edge plan-memoization LRU (0 = 8 entries),
 	// keeping the reuse layer's memory O(K·SlotCacheSize).
 	SlotCacheSize int
@@ -165,6 +172,23 @@ type Scheduler struct {
 	// slot loop allocates almost nothing for solver workspaces.
 	pool          *miqp.ScratchPool
 	redistScratch *lp.Scratch
+	// edgeScr holds one SolveEdge model-build scratch per fan-out worker
+	// (indexed by the par.ForEach worker id, so there is no contention);
+	// grown lazily.
+	edgeScr []*edgeScratch
+	// Slot-loop buffers reused across Decide calls (decideDecomposed):
+	// per-edge assignments, fingerprints, workload rows (cut from one
+	// backing slab), ship budgets, parameter snapshots, and the pending
+	// solve list. All are overwritten at the start of each slot; nothing
+	// returned to the caller aliases them.
+	slotAsgs   []*EdgeAssignment
+	slotFP     []uint64
+	slotWS     [][]int
+	slotWSBack []int
+	slotShips  []float64
+	slotFPs    []uint64
+	slotSnaps  []paramSnapshot
+	slotSolve  []int
 	// hier is the hierarchical decomposition state (domain partition,
 	// per-domain sub-schedulers, coordinator caches); nil in monolithic mode.
 	hier *hierState
@@ -254,6 +278,17 @@ func (s *Scheduler) reset() {
 	}
 	s.pool = miqp.NewScratchPool()
 	s.redistScratch = lp.NewScratch()
+	s.edgeScr = nil
+}
+
+// edgeScratchFor returns the per-worker SolveEdge scratch, growing the table
+// on first use. Callers are the sequential setup of a fan-out (never the
+// workers themselves), so no locking is needed.
+func (s *Scheduler) edgeScratchFor(w int) *edgeScratch {
+	for len(s.edgeScr) <= w {
+		s.edgeScr = append(s.edgeScr, &edgeScratch{b: miqp.NewBuilder()})
+	}
+	return s.edgeScr[w]
 }
 
 // SetEdgeDown marks an edge failed (true) or recovered (false). Failed edges
@@ -343,13 +378,28 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 	// goroutine and merge overhead without any concurrency (plans are
 	// pool-width independent, so the cap cannot change results).
 	workers := par.CapWorkers(s.cfg.Workers)
-	asgs := make([]*EdgeAssignment, K)
-	curFP := make([]uint64, K) // fingerprint behind asgs[k] (valid when non-nil)
-	ws := make([][]int, K)
-	ships := make([]float64, K)
-	fps := make([]uint64, K)
-	snaps := make([]*paramSnapshot, K)
-	solve0 := make([]int, 0, K)
+	if cap(s.slotAsgs) < K {
+		s.slotAsgs = make([]*EdgeAssignment, K)
+		s.slotFP = make([]uint64, K)
+		s.slotWS = make([][]int, K)
+		s.slotShips = make([]float64, K)
+		s.slotFPs = make([]uint64, K)
+		s.slotSnaps = make([]paramSnapshot, K)
+		s.slotSolve = make([]int, 0, K)
+	}
+	if cap(s.slotWSBack) < K*I {
+		s.slotWSBack = make([]int, K*I)
+	}
+	asgs := s.slotAsgs[:K]
+	for k := range asgs {
+		asgs[k] = nil // a nil entry means "not yet assigned this slot"
+	}
+	curFP := s.slotFP[:K] // fingerprint behind asgs[k] (valid when non-nil)
+	ws := s.slotWS[:K]
+	ships := s.slotShips[:K]
+	fps := s.slotFPs[:K]
+	snaps := s.slotSnaps[:K]
+	solve0 := s.slotSolve[:0]
 	var plan *edgesim.Plan
 	var slotSolver miqp.Stats // fresh solves only, accumulated across repairs
 	for attempt := 0; ; attempt++ {
@@ -361,7 +411,7 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 		// never inside the fan-out.
 		solve := solve0[:0]
 		for k := 0; k < K; k++ {
-			w := make([]int, I)
+			w := s.slotWSBack[k*I : (k+1)*I : (k+1)*I]
 			for i := 0; i < I; i++ {
 				w[i] = red.Alloc[i][k]
 			}
@@ -386,8 +436,8 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				ship = 0
 			}
 			ships[k] = ship
-			snaps[k] = s.snapshotParams(k, w)
-			fps[k] = s.fingerprintEdge(k, w, ship, snaps[k])
+			s.snapshotParams(k, w, &snaps[k])
+			fps[k] = s.fingerprintEdge(k, w, ship, &snaps[k])
 			if asgs[k] != nil && fps[k] == curFP[k] {
 				continue // unchanged within this slot
 			}
@@ -416,9 +466,12 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 		// leftover workers parallelize the branch & bound inside each MILP
 		// instead of idling.
 		outer, inner := par.TwoLevel(workers, len(solve))
-		if err := par.ForEach(outer, len(solve), func(_, idx int) error {
+		if outer > 0 {
+			s.edgeScratchFor(outer - 1) // pre-grow before the workers race
+		}
+		if err := par.ForEach(outer, len(solve), func(w, idx int) error {
 			k := solve[idx]
-			snap := snaps[k]
+			snap := &snaps[k]
 			ep := &EdgeProblem{
 				Edge: c.Edges[k], EdgeIdx: k, Apps: s.cfg.Apps, Workload: ws[k],
 				Params:               snap.params,
@@ -437,7 +490,9 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 				SingleVersion:        s.cfg.SingleVersion,
 				Workers:              inner(idx),
 				DenseEngine:          s.cfg.DenseEngine,
+				NoFactorReuse:        s.cfg.NoFactorReuse,
 				Pool:                 s.pool,
+				scratch:              s.edgeScr[w],
 			}
 			if ru := reuseFor(s.reuse, k); ru != nil {
 				// Temporal warm starts: the previous plan seeds the incumbent
@@ -505,8 +560,12 @@ func (s *Scheduler) decideDecomposed(t int, arrivals [][]int) (*edgesim.Plan, er
 // paramSnapshot holds per-edge TIR parameters and γ predictions captured
 // before the per-edge fan-out, so worker goroutines never touch the (lazily
 // materializing) provider or a caller-supplied GammaMS func concurrently.
+// Snapshots are pooled per edge slot (Scheduler.slotSnaps): rows of apps with
+// zero workload may hold stale values from an earlier slot, and every reader
+// (fingerprintEdge, SolveEdge via params/gammaAt) touches only apps with
+// positive workload.
 type paramSnapshot struct {
-	par   [][]bandit.TIRParams // [app][version], nil row when workload 0
+	par   [][]bandit.TIRParams // [app][version]; valid only where workload > 0
 	gamma [][]float64
 }
 
@@ -514,25 +573,33 @@ func (ps *paramSnapshot) params(i, j int) bandit.TIRParams { return ps.par[i][j]
 func (ps *paramSnapshot) gammaAt(i, j int) float64         { return ps.gamma[i][j] }
 
 // snapshotParams captures the TIR/γ values edge k's solve will read, touching
-// exactly the keys the serial path would (apps with positive workload).
-func (s *Scheduler) snapshotParams(k int, w []int) *paramSnapshot {
-	ps := &paramSnapshot{
-		par:   make([][]bandit.TIRParams, len(s.cfg.Apps)),
-		gamma: make([][]float64, len(s.cfg.Apps)),
+// exactly the keys the serial path would (apps with positive workload),
+// filling ps in place (allocation-free once its rows have grown).
+func (s *Scheduler) snapshotParams(k int, w []int, ps *paramSnapshot) {
+	I := len(s.cfg.Apps)
+	if cap(ps.par) < I {
+		ps.par = make([][]bandit.TIRParams, I)
+		ps.gamma = make([][]float64, I)
 	}
+	ps.par = ps.par[:I]
+	ps.gamma = ps.gamma[:I]
 	for i, app := range s.cfg.Apps {
 		if w[i] <= 0 {
 			continue
 		}
-		ps.par[i] = make([]bandit.TIRParams, len(app.Models))
-		ps.gamma[i] = make([]float64, len(app.Models))
+		nm := len(app.Models)
+		if cap(ps.par[i]) < nm {
+			ps.par[i] = make([]bandit.TIRParams, nm)
+			ps.gamma[i] = make([]float64, nm)
+		}
+		ps.par[i] = ps.par[i][:nm]
+		ps.gamma[i] = ps.gamma[i][:nm]
 		for j := range app.Models {
 			key := ModelKey{Edge: k, App: i, Version: j}
 			ps.par[i][j] = s.provider.Params(key)
 			ps.gamma[i][j] = s.gamma(key)
 		}
 	}
-	return ps
 }
 
 // moveDrops reassigns dropped requests to the edges with the most compute
@@ -583,7 +650,12 @@ func (s *Scheduler) moveDrops(alloc [][]int, dropped [][]int, asgs []*EdgeAssign
 
 func (s *Scheduler) noteDeployments(plan *edgesim.Plan) {
 	for k := range s.prev {
-		s.prev[k] = map[[2]int]bool{}
+		// Clear in place: the maps live for the scheduler's lifetime and
+		// deleting every key is iteration-order independent.
+		//birplint:ordered
+		for key := range s.prev[k] {
+			delete(s.prev[k], key)
+		}
 	}
 	for _, d := range plan.Deployments {
 		s.prev[d.Edge][[2]int{d.App, d.Version}] = true

@@ -59,7 +59,7 @@ func Ablations(w io.Writer, opt Options) ([]AblationResult, error) {
 	// Variants share nothing but the (read-only) trace: run them concurrently
 	// and gather into the variant order.
 	out := make([]AblationResult, len(variants))
-	if err := par.ForEach(par.Workers(opt.Workers), len(variants), func(_, idx int) error {
+	if err := par.ForEach(par.CapWorkers(opt.Workers), len(variants), func(_, idx int) error {
 		v := variants[idx]
 		cfg := core.Config{
 			Cluster: c, Apps: apps,

@@ -54,6 +54,11 @@ type Options struct {
 	// the sparse revised simplex. A/B oracle switch — both engines certify
 	// the same optima, so runs agree within the solver's gap tolerance.
 	DenseEngine bool
+	// NoFactorReuse forwards core.Config.NoFactorReuse to every core-family
+	// arm: warm re-entries refactorize instead of reusing the parent's LU
+	// snapshot. Byte-identical decisions either way (the A/B the equivalence
+	// tests pin); only factorization counters change.
+	NoFactorReuse bool
 	// Hierarchical enables domain-decomposed scheduling for every core-family
 	// arm: the fleet partitions into bounded-size collaboration domains
 	// (DomainSize, default cluster.DefaultDomainSize) solved concurrently
@@ -144,6 +149,7 @@ func coreMod(opt Options) func(*core.Config) {
 		cfg.Workers = opt.Workers
 		cfg.DisableSlotReuse = opt.DisableSlotReuse
 		cfg.DenseEngine = opt.DenseEngine
+		cfg.NoFactorReuse = opt.NoFactorReuse
 		if opt.Hierarchical || opt.Domains > 0 || opt.DomainSize > 0 {
 			cfg.Domains = opt.Domains
 			cfg.DomainSize = opt.DomainSize
@@ -198,9 +204,12 @@ func runComparison(c *cluster.Cluster, apps []*models.Application, specs []sched
 	}
 	// Each arm owns its scheduler, simulator, and seeded RNGs, so the arms
 	// run concurrently; results land in per-arm slots so the output order is
-	// the spec order regardless of completion order.
+	// the spec order regardless of completion order. The fan-out is capped at
+	// the schedulable CPUs (CapWorkers) like the in-solver pools: arms are
+	// CPU-bound, so a wider pool only interleaves them and pays switch and
+	// cache-pressure overhead without finishing any sooner.
 	out := make([]EvalResult, len(specs))
-	if err := par.ForEach(par.Workers(opt.Workers), len(specs), func(_, idx int) error {
+	if err := par.ForEach(par.CapWorkers(opt.Workers), len(specs), func(_, idx int) error {
 		spec := specs[idx]
 		sched, err := spec.make()
 		if err != nil {

@@ -76,7 +76,7 @@ func PresetSweep(w io.Writer, opt Options, snapshots []int) ([]SweepPoint, error
 	// write each into its (e1, e2) slot so the returned order — and every
 	// seeded RNG inside a cell — matches the serial sweep exactly.
 	points := make([]SweepPoint, len(eps1s)*len(eps2s))
-	if err := par.ForEach(par.Workers(opt.Workers), len(points), func(_, idx int) error {
+	if err := par.ForEach(par.CapWorkers(opt.Workers), len(points), func(_, idx int) error {
 		e1 := eps1s[idx/len(eps2s)]
 		e2 := eps2s[idx%len(eps2s)]
 		s, err := core.New(core.Config{

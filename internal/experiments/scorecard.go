@@ -59,7 +59,7 @@ func Scorecard(w io.Writer, opt Options) ([]Check, error) {
 			return
 		},
 	}
-	if err := par.ForEach(par.Workers(opt.Workers), len(groups), func(_, i int) error {
+	if err := par.ForEach(par.CapWorkers(opt.Workers), len(groups), func(_, i int) error {
 		return groups[i]()
 	}); err != nil {
 		return nil, err

@@ -61,7 +61,7 @@ func Sensitivity(w io.Writer, opt Options, loads []float64) ([]SensitivityPoint,
 	// Each operating point regenerates its own trace and schedulers, so the
 	// load sweep fans out cleanly; gather preserves the loads order.
 	points := make([]SensitivityPoint, len(loads))
-	if err := par.ForEach(par.Workers(opt.Workers), len(loads), func(_, idx int) error {
+	if err := par.ForEach(par.CapWorkers(opt.Workers), len(loads), func(_, idx int) error {
 		mean := loads[idx]
 		tr, err := trace.Generate(trace.Config{
 			Apps: 2, Edges: c.N(), Slots: slots, Seed: opt.Seed,

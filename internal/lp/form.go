@@ -71,30 +71,44 @@ type Form struct {
 	// one compression per tree instead of one per solve. Read-only after
 	// NewForm, like everything else here.
 	csc cscMatrix
+
+	// Backing slabs for the per-row slices above, recycled by NewFormReuse.
+	sfASlab    []float64
+	rowNZSlab  []int32
+	rowValSlab []float64
 }
 
 // NewForm compiles p's matrices and bound pattern into a reusable Form. The
 // bound *values* in p.Lb/p.Ub are not retained — only which bounds are finite
 // — so subsequent SolveWarm calls may pass any bounds with the same pattern.
 // The matrices are validated here, once, in full.
-func NewForm(p *Problem) (*Form, error) {
+func NewForm(p *Problem) (*Form, error) { return NewFormReuse(nil, p) }
+
+// NewFormReuse compiles p exactly like NewForm but recycles prev's storage
+// (prev may be nil, and any shape difference is handled by regrowing). The
+// returned Form is prev when prev was non-nil. Caller contract: prev must no
+// longer be in use by any solver — in particular, factor snapshots captured
+// against prev's compiled matrix must all be dead (see Scratch.BeginTree),
+// because the recycled matrix keeps its pointer identity while changing
+// contents.
+func NewFormReuse(prev *Form, p *Problem) (*Form, error) {
 	n := len(p.C)
 	if err := validate(p, n); err != nil {
 		return nil, err
 	}
-	f := &Form{
-		c:       p.C,
-		aeq:     p.Aeq,
-		beq:     p.Beq,
-		aub:     p.Aub,
-		bub:     p.Bub,
-		n:       n,
-		m:       len(p.Aeq) + len(p.Aub),
-		pattern: make([]uint8, n),
-		pos:     make([]int, n),
-		neg:     make([]int, n),
-		sign:    make([]float64, n),
+	f := prev
+	if f == nil {
+		f = &Form{}
 	}
+	f.c = p.C
+	f.aeq, f.beq = p.Aeq, p.Beq
+	f.aub, f.bub = p.Aub, p.Bub
+	f.n = n
+	f.m = len(p.Aeq) + len(p.Aub)
+	f.pattern = growU8(f.pattern, n)
+	f.pos = growInt(f.pos, n)
+	f.neg = growInt(f.neg, n)
+	f.sign = growF64(f.sign, n)
 	col := 0
 	for j := 0; j < n; j++ {
 		lb, ub := boundsAt(p, j)
@@ -117,7 +131,10 @@ func NewForm(p *Problem) (*Form, error) {
 	nStruct := col
 	f.nCols = nStruct + len(p.Aub)
 
-	f.sfC = make([]float64, f.nCols)
+	f.sfC = growF64(f.sfC, f.nCols)
+	for j := range f.sfC {
+		f.sfC[j] = 0
+	}
 	for j := 0; j < n; j++ {
 		cj := p.C[j]
 		f.sfC[f.pos[j]] += cj * f.sign[j]
@@ -126,15 +143,26 @@ func NewForm(p *Problem) (*Form, error) {
 		}
 	}
 
-	f.sfA = make([][]float64, f.m)
-	f.slackCol = make([]int, f.m)
-	f.rowNZ = make([][]int32, f.m)
-	f.rowVal = make([][]float64, f.m)
+	f.sfA = growRows(f.sfA, f.m)
+	f.slackCol = growInt(f.slackCol, f.m)
+	f.rowNZ = growRowsI32(f.rowNZ, f.m)
+	f.rowVal = growRows(f.rowVal, f.m)
+	if need := f.m * f.nCols; cap(f.sfASlab) < need {
+		f.sfASlab = make([]float64, need)
+	}
+	// The nonzero slabs are appended to (total nnz is not known up front), so
+	// per-row headers are cut from recorded offsets after the fill — an append
+	// may relocate the slab, which would invalidate slices taken earlier.
+	f.rowNZSlab = f.rowNZSlab[:0]
+	f.rowValSlab = f.rowValSlab[:0]
+	rowOff := 0
 	row := 0
 	emit := func(coef []float64, slackCol int) {
-		r := make([]float64, f.nCols)
-		var nz []int32
-		var val []float64
+		r := f.sfASlab[rowOff : rowOff+f.nCols : rowOff+f.nCols]
+		rowOff += f.nCols
+		for j := range r {
+			r[j] = 0
+		}
 		for j := 0; j < n; j++ {
 			a := coef[j]
 			if mat.Zero(a) {
@@ -144,16 +172,16 @@ func NewForm(p *Problem) (*Form, error) {
 			if f.neg[j] >= 0 {
 				r[f.neg[j]] -= a
 			}
-			nz = append(nz, int32(j))
-			val = append(val, a)
+			f.rowNZSlab = append(f.rowNZSlab, int32(j))
+			f.rowValSlab = append(f.rowValSlab, a)
 		}
 		if slackCol >= 0 {
 			r[slackCol] = 1
 		}
 		f.sfA[row] = r
 		f.slackCol[row] = slackCol
-		f.rowNZ[row] = nz
-		f.rowVal[row] = val
+		// Stash the end offset; the header pass below turns these into slices.
+		f.rowNZ[row] = f.rowNZSlab[:len(f.rowNZSlab)]
 		row++
 	}
 	for _, r := range p.Aeq {
@@ -162,8 +190,43 @@ func NewForm(p *Problem) (*Form, error) {
 	for i := range p.Aub {
 		emit(p.Aub[i], nStruct+i)
 	}
+	start := 0
+	for i := 0; i < f.m; i++ {
+		end := len(f.rowNZ[i])
+		f.rowNZ[i] = f.rowNZSlab[start:end:end]
+		f.rowVal[i] = f.rowValSlab[start:end:end]
+		start = end
+	}
 	buildCSC(&f.csc, f.sfA, f.m, f.nCols)
 	return f, nil
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
+}
+
+func growRowsI32(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
+	}
+	return s[:n]
 }
 
 // instantiate builds the per-solve standardForm for the given bounds from the

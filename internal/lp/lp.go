@@ -128,6 +128,12 @@ type Result struct {
 	// refactorization count and total eta-file updates of the solve.
 	Refactorizations int
 	EtaLen           int
+	// FactorReuses counts warm entries that loaded the parent basis's captured
+	// canonical LU factorization instead of refactorizing (0 or 1 per solve).
+	// The loaded factors are bit-identical to what a fresh factorization would
+	// produce, so reuse changes no solver decision — only the Refactorizations
+	// work counter.
+	FactorReuses int
 }
 
 // Pivots returns the total pivot work of the solve: crash and repair pivots
@@ -163,6 +169,12 @@ type Options struct {
 	// cold solve. Never set it when costs or constraint data changed.
 	// Ignored by the dense engine and by cold solves.
 	PreferDual bool
+	// NoFactorReuse disables the factorization handoff of the revised engine:
+	// captured bases then carry no LU snapshot and warm re-entries always
+	// refactorize from scratch, exactly the pre-reuse behavior. Debug knob for
+	// A/B equivalence runs — plans are byte-identical either way (the snapshot
+	// is bit-exact by construction); only the Refactorizations counter moves.
+	NoFactorReuse bool
 }
 
 const defaultTol = 1e-9
@@ -186,6 +198,19 @@ type Scratch struct {
 
 // NewScratch returns an empty reusable scratch.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// BeginTree marks the start of a branch & bound tree on this scratch: it
+// recycles the factor-snapshot arena, invalidating every snapshot handed out
+// through this scratch since the previous call. The caller must guarantee no
+// Basis captured before the call is re-entered after it (bases that escape the
+// tree go through Basis.CloneForHandoff, which drops the snapshot). Solvers
+// that never capture bases need not call it.
+func (s *Scratch) BeginTree() {
+	if s.rev != nil {
+		s.rev.snapUsed = 0
+		s.rev.basisUsed = 0
+	}
+}
 
 // reserve begins a new solve: it rewinds the arena and grows it to hold at
 // least n floats. It must be called before any take of the same solve, since

@@ -26,6 +26,31 @@ type Basis struct {
 	// infeasibility proof and the polish pass both reprice from scratch), so
 	// carrying the parent's incremental drift is safe.
 	d []float64
+	// snap is the canonical LU factorization of this basis (revised engine,
+	// Form path only; nil otherwise). A child re-entering from this basis
+	// loads the factors instead of refactorizing — bit-identical by the
+	// factorSnapshot invariant — unless Options.NoFactorReuse disables it.
+	// Must be stripped (StripFactors) whenever the basis outlives the branch &
+	// bound tree whose Form it was factorized against.
+	snap *factorSnapshot
+}
+
+// CloneForHandoff returns a deep copy of the basis with no factorization
+// snapshot attached, for carrying across branch & bound trees (e.g. the
+// cross-slot root-basis handoff). The copy is mandatory on two counts: the
+// original may live in pooled per-tree storage that a later tree rewrites, and
+// the snapshot pins — and is keyed by pointer identity to — the dead tree's
+// compiled matrix, whose storage may likewise be pooled and rewritten, which
+// would make the identity guard meaningless. Returns nil for a nil receiver.
+func (b *Basis) CloneForHandoff() *Basis {
+	if b == nil {
+		return nil
+	}
+	cp := &Basis{nCols: b.nCols, m: b.m}
+	cp.cols = append(cp.cols, b.cols...)
+	cp.flipped = append(cp.flipped, b.flipped...)
+	cp.d = append(cp.d, b.d...)
+	return cp
 }
 
 // Shape returns the standard-form dimensions (rows, columns) of the problem

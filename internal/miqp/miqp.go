@@ -246,6 +246,11 @@ type Options struct {
 	// A/B oracle for bisecting solver regressions (birpbench -dense),
 	// mirroring the cross-slot layer's -noreuse switch.
 	DenseEngine bool
+	// NoFactorReuse forwards lp.Options.NoFactorReuse: warm re-entries always
+	// refactorize instead of loading the parent basis's captured LU. Debug
+	// knob for A/B equivalence — solutions and node/pivot counts are identical
+	// either way; only Stats.Refactorizations/FactorReuses move.
+	NoFactorReuse bool
 }
 
 // relaxBatch is the number of frontier nodes expanded per batch-synchronous
@@ -325,8 +330,21 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	if err := validateRows(p, n); err != nil {
 		return nil, err
 	}
-	lb := make([]float64, n)
-	ub := make([]float64, n)
+	// Per-tree reusable storage: from the caller's pool when supplied (keeps
+	// the slot loop's allocation profile flat across GC cycles), else the
+	// package pool.
+	var ts *treeState
+	if opt.Pool != nil {
+		ts = opt.Pool.getTree()
+		defer opt.Pool.putTree(ts)
+	} else {
+		ts = treePool.Get().(*treeState)
+		defer treePool.Put(ts)
+	}
+	ts.nodesUsed = 0
+	lb := growFloats(ts.lb, n)
+	ub := growFloats(ts.ub, n)
+	ts.lb, ts.ub = lb, ub
 	for j := 0; j < n; j++ {
 		lb[j] = 0
 		ub[j] = math.Inf(1)
@@ -385,7 +403,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	// point satisfying all original rows — survives every reduction).
 	pp := p
 	if !opt.DisablePresolve {
-		info := presolve(p, lb, ub)
+		info := presolve(p, lb, ub, ts)
 		res.Stats.PresolveFixedVars = info.fixed
 		res.Stats.PresolveTightenedBounds = info.tightened
 		res.Stats.PresolveRemovedRows = info.removed
@@ -403,10 +421,10 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			return res, nil
 		}
 		if info.aub != nil {
-			reduced := *p
-			reduced.Aub = info.aub
-			reduced.Bub = info.bub
-			pp = &reduced
+			ts.reduced = *p
+			ts.reduced.Aub = info.aub
+			ts.reduced.Bub = info.bub
+			pp = &ts.reduced
 		}
 	}
 
@@ -421,14 +439,22 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	// building its own standard form, exactly as before.
 	var form *lp.Form
 	if p.Q == nil {
-		if f, err := lp.NewForm(&lp.Problem{
+		// Recycling ts.form is safe because every factor snapshot keyed to its
+		// compiled matrix died with the tree that captured it (BeginTree below).
+		if f, err := lp.NewFormReuse(ts.form, &lp.Problem{
 			C: pp.C, Aeq: pp.Aeq, Beq: pp.Beq, Aub: pp.Aub, Bub: pp.Bub, Lb: lb, Ub: ub,
 		}); err == nil {
 			form = f
+			ts.form = f
 		}
 	}
 
-	root := &node{lb: lb, ub: ub, bound: math.Inf(-1), id: 1}
+	root := &ts.root
+	root.lb, root.ub = lb, ub
+	root.bound = math.Inf(-1)
+	root.depth = 0
+	root.id = 1
+	root.basis = nil
 	if warmOK && opt.RootBasis != nil {
 		// Cross-solve warm start: re-enter the previous solve's optimal root
 		// basis. Presolve may have rewritten the row set and bound tightening
@@ -440,7 +466,8 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			root.basis = opt.RootBasis
 		}
 	}
-	h := &nodeHeap{root}
+	ts.heap = append(ts.heap[:0], root)
+	h := &ts.heap
 	heap.Init(h)
 	nextID := uint64(2)
 	// Root reduced-cost tightening needs the root solve to report reduced
@@ -457,13 +484,19 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 	// A pool wider than the schedulable CPUs only adds goroutine/merge
 	// overhead (results are pool-width independent, so this is free).
 	workers = par.CapWorkers(workers)
-	scratches := make([]*lp.Scratch, workers)
+	if cap(ts.scratches) < workers {
+		ts.scratches = make([]*lp.Scratch, workers)
+	}
+	scratches := ts.scratches[:workers]
 	for w := range scratches {
 		if opt.Pool != nil {
 			scratches[w] = opt.Pool.Get()
 		} else {
 			scratches[w] = lpScratchPool.Get().(*lp.Scratch)
 		}
+		// Recycle the factor-snapshot arena: every basis captured on this
+		// scratch by a previous tree is dead (or was CloneForHandoff'd).
+		scratches[w].BeginTree()
 	}
 	defer func() {
 		for _, sc := range scratches {
@@ -474,8 +507,14 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			}
 		}
 	}()
-	batch := make([]*node, 0, relaxBatch)
-	relaxes := make([]relaxResult, relaxBatch)
+	if cap(ts.batch) < relaxBatch {
+		ts.batch = make([]*node, 0, relaxBatch)
+	}
+	batch := ts.batch[:0]
+	if cap(ts.relaxes) < relaxBatch {
+		ts.relaxes = make([]relaxResult, relaxBatch)
+	}
+	relaxes := ts.relaxes[:relaxBatch]
 
 	for h.Len() > 0 {
 		if res.Nodes >= maxNodes {
@@ -523,7 +562,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			preferDual := warm != nil && nd.depth > 0
 			var err error
 			relaxes[i], err = solveRelaxation(pp, form, nd.lb, nd.ub, scratches[w], warm, warmOK,
-				rootRC && nd.depth == 0, opt.DenseEngine, preferDual)
+				rootRC && nd.depth == 0, opt.DenseEngine, preferDual, opt.NoFactorReuse)
 			return err
 		}); err != nil {
 			return nil, err
@@ -538,6 +577,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 			res.Stats.DualPivots += r.dualPivots
 			res.Stats.Refactorizations += r.refactorizations
 			res.Stats.EtaLength += r.etaLen
+			res.Stats.FactorReuses += r.factorReuses
 			if r.dualReentry {
 				res.Stats.DualReentries++
 			}
@@ -550,7 +590,10 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				}
 			}
 			if opt.CaptureRootBasis && batch[i].depth == 0 && r.status == relaxOptimal {
-				res.RootBasis = r.basis
+				// The published basis outlives this tree (it seeds a future
+				// solve over a different Form), so it must not retain the
+				// tree-local factor snapshot: deep-copy without it.
+				res.RootBasis = r.basis.CloneForHandoff()
 			}
 		}
 		for i, nd := range batch {
@@ -573,7 +616,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				// nothing remains to branch on. Children restart cold (nil
 				// basis): the failed solve produced nothing to re-enter from.
 				if j := firstBranchable(p, nd.lb, nd.ub); j >= 0 {
-					branchAt(h, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound, &nextID, nil)
+					branchAt(h, ts, nd, j, (nd.lb[j]+nd.ub[j])/2, nd.bound, &nextID, nil)
 				}
 				continue
 			}
@@ -658,7 +701,7 @@ func SolveOpts(p *Problem, opt Options) (*Result, error) {
 				}
 				continue
 			}
-			branchAt(h, nd, branch, relax.x[branch], relax.obj, &nextID, relax.basis)
+			branchAt(h, ts, nd, branch, relax.x[branch], relax.obj, &nextID, relax.basis)
 		}
 	}
 	if incumbent != nil {
@@ -684,16 +727,21 @@ func firstBranchable(p *Problem, lb, ub []float64) int {
 
 // branchAt pushes the floor/ceil children of nd split at value v on column j,
 // handing both children the parent relaxation's basis for warm re-entry.
-// ids are drawn from *nextID; callers only invoke this from the sequential
-// merge phase, so the numbering is deterministic.
-func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64, basis *lp.Basis) {
+// Nodes come from the tree arena; ids are drawn from *nextID. Callers only
+// invoke this from the sequential merge phase, so both the arena order and
+// the numbering are deterministic.
+func branchAt(h *nodeHeap, ts *treeState, nd *node, j int, v, bound float64, nextID *uint64, basis *lp.Basis) {
+	n := len(nd.lb)
 	lo := math.Floor(v)
 	if lo < nd.lb[j] {
 		lo = nd.lb[j]
 	}
 	hi := lo + 1
 	if lo >= nd.lb[j] {
-		left := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID, basis: basis}
+		left := ts.takeNode(n)
+		copy(left.lb, nd.lb)
+		copy(left.ub, nd.ub)
+		left.bound, left.depth, left.id, left.basis = bound, nd.depth+1, *nextID, basis
 		*nextID++
 		left.ub[j] = lo
 		if left.lb[j] <= left.ub[j] {
@@ -701,7 +749,10 @@ func branchAt(h *nodeHeap, nd *node, j int, v, bound float64, nextID *uint64, ba
 		}
 	}
 	if hi <= nd.ub[j] {
-		right := &node{lb: clone(nd.lb), ub: clone(nd.ub), bound: bound, depth: nd.depth + 1, id: *nextID, basis: basis}
+		right := ts.takeNode(n)
+		copy(right.lb, nd.lb)
+		copy(right.ub, nd.ub)
+		right.bound, right.depth, right.id, right.basis = bound, nd.depth+1, *nextID, basis
 		*nextID++
 		right.lb[j] = hi
 		if right.lb[j] <= right.ub[j] {
@@ -753,6 +804,7 @@ type relaxResult struct {
 	dualPivots       int
 	refactorizations int
 	etaLen           int
+	factorReuses     int
 }
 
 // solveRelaxation solves the continuous relaxation under node bounds. form,
@@ -764,9 +816,9 @@ type relaxResult struct {
 // children); wantRC asks for reduced costs (root tightening). dense forces
 // the dense tableau kernel; preferDual asserts warm is dual feasible here
 // (bounds-only change), enabling the revised engine's dual re-entry.
-func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC, dense, preferDual bool) (relaxResult, error) {
+func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch, warm *lp.Basis, capture, wantRC, dense, preferDual, noReuse bool) (relaxResult, error) {
 	if p.Q == nil {
-		lpOpt := lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC, AssumeValid: true, PreferDual: preferDual}
+		lpOpt := lp.Options{CaptureBasis: capture, WantReducedCosts: wantRC, AssumeValid: true, PreferDual: preferDual, NoFactorReuse: noReuse}
 		if dense {
 			lpOpt.Engine = lp.EngineDense
 		}
@@ -792,6 +844,7 @@ func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch
 			dualPivots:       res.DualPivots,
 			refactorizations: res.Refactorizations,
 			etaLen:           res.EtaLen,
+			factorReuses:     res.FactorReuses,
 		}
 		switch res.Status {
 		case lp.StatusOptimal:
@@ -869,16 +922,26 @@ func solveRelaxation(p *Problem, form *lp.Form, lb, ub []float64, sc *lp.Scratch
 // Builder incrementally assembles a Problem. It exists because the BIRP
 // per-slot models are built from many small constraint groups; the Builder
 // owns variable naming, bound setting, and the x·b product linearization.
+// Rows are stored as offset ranges into one entry slab, so a Reset/rebuild
+// cycle of a same-shaped model touches no allocator at all.
 type Builder struct {
 	names   []string
 	lb, ub  []float64
 	integer []bool
 	c       []float64
 	q       map[[2]int]float64
-	aeq     [][]sparseEntry
+	entries []sparseEntry
+	aeq     []rowRef
 	beq     []float64
-	aub     [][]sparseEntry
+	aub     []rowRef
 	bub     []float64
+
+	// BuildShared storage: the dense problem materialized into builder-owned
+	// slabs, reused across Reset cycles.
+	shared       Problem
+	sharedSlab   []float64
+	sharedEqRows [][]float64
+	sharedUbRows [][]float64
 }
 
 type sparseEntry struct {
@@ -886,9 +949,33 @@ type sparseEntry struct {
 	coef float64
 }
 
+// rowRef is a half-open range of Builder.entries holding one constraint row.
+type rowRef struct{ start, end int32 }
+
 // NewBuilder returns an empty model builder.
 func NewBuilder() *Builder {
 	return &Builder{q: make(map[[2]int]float64)}
+}
+
+// Reset empties the builder for a fresh model while keeping every backing
+// array (names, bounds, rows, the entry slab, the BuildShared storage), so a
+// long-lived builder assembles one model per slot without allocating.
+// Problems obtained from BuildShared are invalidated.
+func (b *Builder) Reset() {
+	b.names = b.names[:0]
+	b.lb = b.lb[:0]
+	b.ub = b.ub[:0]
+	b.integer = b.integer[:0]
+	b.c = b.c[:0]
+	//birplint:ordered // delete-every-key is iteration-order independent
+	for k := range b.q {
+		delete(b.q, k)
+	}
+	b.entries = b.entries[:0]
+	b.aeq = b.aeq[:0]
+	b.beq = b.beq[:0]
+	b.aub = b.aub[:0]
+	b.bub = b.bub[:0]
 }
 
 // AddVar adds a variable and returns its column index.
@@ -917,34 +1004,34 @@ func (b *Builder) SetQuad(i, j int, coef float64) {
 
 // AddEq adds the constraint Σ coefs[k]·x[cols[k]] = rhs.
 func (b *Builder) AddEq(cols []int, coefs []float64, rhs float64) {
-	b.aeq = append(b.aeq, toSparse(cols, coefs))
+	b.aeq = append(b.aeq, b.appendRow(cols, coefs, 1))
 	b.beq = append(b.beq, rhs)
 }
 
 // AddLe adds the constraint Σ coefs[k]·x[cols[k]] ≤ rhs.
 func (b *Builder) AddLe(cols []int, coefs []float64, rhs float64) {
-	b.aub = append(b.aub, toSparse(cols, coefs))
+	b.aub = append(b.aub, b.appendRow(cols, coefs, 1))
 	b.bub = append(b.bub, rhs)
 }
 
-// AddGe adds the constraint Σ coefs[k]·x[cols[k]] ≥ rhs.
+// AddGe adds the constraint Σ coefs[k]·x[cols[k]] ≥ rhs, stored as the
+// negated ≤ row directly in the entry slab.
 func (b *Builder) AddGe(cols []int, coefs []float64, rhs float64) {
-	neg := make([]float64, len(coefs))
-	for i, v := range coefs {
-		neg[i] = -v
-	}
-	b.AddLe(cols, neg, -rhs)
+	b.aub = append(b.aub, b.appendRow(cols, coefs, -1))
+	b.bub = append(b.bub, -rhs)
 }
 
-func toSparse(cols []int, coefs []float64) []sparseEntry {
+// appendRow copies one sign-scaled row into the entry slab and returns its
+// range.
+func (b *Builder) appendRow(cols []int, coefs []float64, sign float64) rowRef {
 	if len(cols) != len(coefs) {
 		panic("miqp: cols/coefs length mismatch")
 	}
-	s := make([]sparseEntry, len(cols))
+	start := int32(len(b.entries))
 	for i := range cols {
-		s[i] = sparseEntry{cols[i], coefs[i]}
+		b.entries = append(b.entries, sparseEntry{cols[i], sign * coefs[i]})
 	}
-	return s
+	return rowRef{start, int32(len(b.entries))}
 }
 
 // LinearizeProduct adds a variable z = x·y where x is binary and y lies in
@@ -1001,11 +1088,11 @@ func (b *Builder) Build() *Problem {
 		}
 		p.Q = q
 	}
-	dense := func(rows [][]sparseEntry) [][]float64 {
+	dense := func(rows []rowRef) [][]float64 {
 		out := make([][]float64, len(rows))
 		for i, r := range rows {
 			row := make([]float64, n)
-			for _, e := range r {
+			for _, e := range b.entries[r.start:r.end] {
 				row[e.col] += e.coef
 			}
 			out[i] = row
@@ -1017,4 +1104,65 @@ func (b *Builder) Build() *Problem {
 	p.Aub = dense(b.aub)
 	p.Bub = clone(b.bub)
 	return p
+}
+
+// BuildShared materializes the dense Problem into builder-owned storage that
+// is reused across Reset cycles, so a steady-state build of a same-shaped
+// model performs no allocation. The returned Problem and every slice it
+// references alias the builder: they are valid only until the next Reset or
+// BuildShared call, and the builder must not be mutated (AddVar/SetObj/...)
+// while the Problem is in use. Callers that need the model to outlive the
+// builder cycle must use Build. Quadratic objectives fall back to the
+// allocating Build path (BIRP's per-edge models are linear).
+func (b *Builder) BuildShared() *Problem {
+	if len(b.q) > 0 {
+		return b.Build()
+	}
+	n := len(b.names)
+	p := &b.shared
+	p.C = b.c
+	p.Lb = b.lb
+	p.Ub = b.ub
+	p.Integer = b.integer
+	p.Q = nil
+	p.Beq = b.beq
+	p.Bub = b.bub
+	m := len(b.aeq) + len(b.aub)
+	need := m * n
+	if cap(b.sharedSlab) < need {
+		b.sharedSlab = make([]float64, need)
+	}
+	slab := b.sharedSlab[:need]
+	for i := range slab {
+		slab[i] = 0
+	}
+	b.sharedEqRows = growRowHeaders(b.sharedEqRows, len(b.aeq))
+	b.sharedUbRows = growRowHeaders(b.sharedUbRows, len(b.aub))
+	off := 0
+	for i, r := range b.aeq {
+		row := slab[off : off+n : off+n]
+		off += n
+		for _, e := range b.entries[r.start:r.end] {
+			row[e.col] += e.coef
+		}
+		b.sharedEqRows[i] = row
+	}
+	for i, r := range b.aub {
+		row := slab[off : off+n : off+n]
+		off += n
+		for _, e := range b.entries[r.start:r.end] {
+			row[e.col] += e.coef
+		}
+		b.sharedUbRows[i] = row
+	}
+	p.Aeq = b.sharedEqRows
+	p.Aub = b.sharedUbRows
+	return p
+}
+
+func growRowHeaders(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
 }

@@ -103,12 +103,21 @@ func tightenFromRow(p *Problem, row []float64, b float64, lb, ub []float64) (int
 
 // presolve runs the implication passes to a fixpoint (capped), mutating
 // lb/ub in place and returning the reduced row set plus reduction counters.
-func presolve(p *Problem, lb, ub []float64) presolveInfo {
+// Work arrays and the reduced row set come from ts (tree-scoped storage: the
+// returned aub/bub are valid until the next tree reuses ts).
+func presolve(p *Problem, lb, ub []float64, ts *treeState) presolveInfo {
 	const maxPasses = 10
 	var info presolveInfo
 	fixedBefore := countFixed(p, lb, ub)
-	removed := make([]bool, len(p.Aub))
-	negRow := make([]float64, len(p.C)) // scratch for equality rows as ≥
+	if cap(ts.psRemoved) < len(p.Aub) {
+		ts.psRemoved = make([]bool, len(p.Aub))
+	}
+	removed := ts.psRemoved[:len(p.Aub)]
+	for i := range removed {
+		removed[i] = false
+	}
+	negRow := growFloats(ts.psNegRow, len(p.C)) // scratch for equality rows as ≥
+	ts.psNegRow = negRow
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := 0
 		for i, row := range p.Aub {
@@ -161,14 +170,16 @@ func presolve(p *Problem, lb, ub []float64) presolveInfo {
 	}
 	info.fixed = countFixed(p, lb, ub) - fixedBefore
 	if info.removed > 0 {
-		info.aub = make([][]float64, 0, len(p.Aub)-info.removed)
-		info.bub = make([]float64, 0, len(p.Bub)-info.removed)
+		ts.psAub = ts.psAub[:0]
+		ts.psBub = ts.psBub[:0]
 		for i, row := range p.Aub {
 			if !removed[i] {
-				info.aub = append(info.aub, row)
-				info.bub = append(info.bub, p.Bub[i])
+				ts.psAub = append(ts.psAub, row)
+				ts.psBub = append(ts.psBub, p.Bub[i])
 			}
 		}
+		info.aub = ts.psAub
+		info.bub = ts.psBub
 	}
 	return info
 }

@@ -13,11 +13,16 @@ import (
 // for the whole run, so steady-state slot solves allocate almost nothing.
 //
 // The zero value is ready to use. Get/Put are safe for concurrent use; the
-// pool only hands out ownership, so determinism is unaffected (a Scratch
-// carries no solver state between solves, only capacity).
+// pool only hands out ownership, so determinism is unaffected: a Scratch
+// carries capacity between solves, never solver state (its per-tree factor
+// and basis arenas are recycled by Scratch.BeginTree at the start of each
+// branch & bound tree, so nothing captured in one tree is visible to the
+// next). The pool also recycles the solver's per-tree search state
+// (treeState) under the same ownership discipline.
 type ScratchPool struct {
-	mu   sync.Mutex
-	free []*lp.Scratch
+	mu    sync.Mutex
+	free  []*lp.Scratch
+	trees []*treeState
 }
 
 // NewScratchPool returns an empty pool.
@@ -44,4 +49,84 @@ func (sp *ScratchPool) Put(sc *lp.Scratch) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	sp.free = append(sp.free, sc)
+}
+
+// getTree returns a pooled per-tree search-state bundle.
+func (sp *ScratchPool) getTree() *treeState {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if n := len(sp.trees); n > 0 {
+		t := sp.trees[n-1]
+		sp.trees[n-1] = nil
+		sp.trees = sp.trees[:n-1]
+		return t
+	}
+	return &treeState{}
+}
+
+// putTree returns a treeState to the pool.
+func (sp *ScratchPool) putTree(t *treeState) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.trees = append(sp.trees, t)
+}
+
+// treePool is the package-level fallback for callers without a ScratchPool.
+var treePool = sync.Pool{New: func() interface{} { return &treeState{} }}
+
+// treeState bundles every piece of per-tree storage SolveOpts needs — root
+// bounds, the compiled lp.Form, the frontier heap backing, the node arena,
+// batch and relaxation buffers, presolve work arrays — so a steady-state
+// solve of a same-shaped problem allocates (almost) nothing. All storage is
+// tree-scoped: nothing handed out from here may outlive the SolveOpts call
+// that took it (results returned to the caller are always fresh or cloned).
+type treeState struct {
+	lb, ub    []float64
+	form      *lp.Form
+	root      node
+	heap      nodeHeap
+	batch     []*node
+	relaxes   []relaxResult
+	scratches []*lp.Scratch
+	reduced   Problem
+
+	// node arena: nodes are created only during the sequential merge phase
+	// and die with the tree, so they recycle per tree like the lp arenas.
+	nodes     []*node
+	nodesUsed int
+
+	// presolve work arrays; psAub/psBub back the reduced row set, which the
+	// whole tree references (tree-scoped, like everything else here).
+	psRemoved []bool
+	psNegRow  []float64
+	psAub     [][]float64
+	psBub     []float64
+}
+
+// takeNode returns a recycled node with node-owned bound slices of length n
+// (contents unspecified; the caller overwrites them).
+func (t *treeState) takeNode(n int) *node {
+	var nd *node
+	if t.nodesUsed < len(t.nodes) {
+		nd = t.nodes[t.nodesUsed]
+	} else {
+		nd = &node{}
+		t.nodes = append(t.nodes, nd)
+	}
+	t.nodesUsed++
+	if cap(nd.lb) < n {
+		nd.lb = make([]float64, n)
+		nd.ub = make([]float64, n)
+	}
+	nd.lb = nd.lb[:n]
+	nd.ub = nd.ub[:n]
+	nd.basis = nil
+	return nd
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }

@@ -33,6 +33,11 @@ type Stats struct {
 	DualPivots       int `json:"dual_pivots"`
 	Refactorizations int `json:"refactorizations"`
 	EtaLength        int `json:"eta_length"`
+	// FactorReuses counts warm re-entries that loaded the parent basis's
+	// captured LU factorization instead of refactorizing (the PR10 handoff;
+	// bit-identical numerics, so only work accounting — zero under
+	// Options.NoFactorReuse or DenseEngine).
+	FactorReuses int `json:"factor_reuses"`
 	// PresolveFixedVars / PresolveTightenedBounds / PresolveRemovedRows count
 	// the pre-root reductions; RootCutBounds counts reduced-cost bound
 	// tightenings applied at the root once an incumbent exists.
@@ -69,6 +74,7 @@ func (s *Stats) Add(o Stats) {
 	s.DualPivots += o.DualPivots
 	s.Refactorizations += o.Refactorizations
 	s.EtaLength += o.EtaLength
+	s.FactorReuses += o.FactorReuses
 	s.PresolveFixedVars += o.PresolveFixedVars
 	s.PresolveTightenedBounds += o.PresolveTightenedBounds
 	s.PresolveRemovedRows += o.PresolveRemovedRows
@@ -101,10 +107,10 @@ func (s Stats) PivotsPerRelaxation() float64 {
 // String renders the compact one-line form used by birpbench -solverstats.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) dual(reentry=%d pivots=%d refactor=%d eta=%d) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d) reuse(seed=%d rep=%d rej=%d memo=%d delta=%d)",
+		"nodes=%d relax=%d warm=%d/%d (%.1f%% hit, %d fallback) pivots=%d (%.1f/relax) dual(reentry=%d pivots=%d refactor=%d factor-reuse=%d eta=%d) presolve(fix=%d tighten=%d drop-rows=%d root-cuts=%d) reuse(seed=%d rep=%d rej=%d memo=%d delta=%d)",
 		s.Nodes, s.Relaxations, s.WarmHits, s.WarmAttempts, 100*s.WarmHitRate(),
 		s.WarmFallbacks, s.Pivots, s.PivotsPerRelaxation(),
-		s.DualReentries, s.DualPivots, s.Refactorizations, s.EtaLength,
+		s.DualReentries, s.DualPivots, s.Refactorizations, s.FactorReuses, s.EtaLength,
 		s.PresolveFixedVars, s.PresolveTightenedBounds, s.PresolveRemovedRows, s.RootCutBounds,
 		s.IncumbentSeeded, s.IncumbentRepaired, s.IncumbentRejected, s.MemoHits, s.DeltaSkippedEdges)
 }

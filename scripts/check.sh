@@ -11,9 +11,11 @@
 #                             # byte-identical decision logs across -workers {1,4},
 #                             # accounting + staleness-bound assertions, and a TCP
 #                             # daemon round trip with SIGINT clean shutdown
-#   scripts/check.sh -bench   # bench tier: fig7 workers {1,4} trajectory anchor,
-#                             # serve replay throughput + staleness percentiles,
-#                             # micro-benches; writes BENCH_PR9.json
+#   scripts/check.sh -bench   # bench tier: fig7 workers {1,4} + factor-reuse
+#                             # knob byte-compare matrix, serve replay
+#                             # throughput + staleness percentiles, micro-benches
+#                             # with the slot-loop allocs/op gate, CPU/allocs
+#                             # profile capture; writes BENCH_PR10.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -99,20 +101,49 @@ if [[ "${1:-}" == "-bench" ]]; then
 		cmp "$tmp/id_$1_w1.txt" "$tmp/id_$1_w4.txt"
 	}
 
-	echo "== fig7 -slots 150 (trajectory anchor, workers {1,4})"
-	for w in 1 4; do
+	# The trajectory anchor is wall-clock on a shared host (±10-30% between
+	# identical runs), so the workers=1 arm runs twice and the report keeps
+	# the faster one; both repetitions must print byte-identical results.
+	echo "== fig7 -slots 150 (trajectory anchor, workers {1,4}, min-of-2 serial)"
+	for arm in w1 w1b w4; do
+		w=1
+		[[ "$arm" == w4 ]] && w=4
 		"$tmp/birpbench" -exp fig7 -slots 150 -seed 1 -workers "$w" \
-			-solverstats -json "$tmp/fig7_w$w.json" >"$tmp/out_fig7_w$w.txt"
+			-solverstats -json "$tmp/fig7_$arm.json" >"$tmp/out_fig7_$arm.txt"
 	done
 	identical fig7
+	sed '/ completed in /d' "$tmp/out_fig7_w1b.txt" >"$tmp/id_fig7_w1b.txt"
+	cmp "$tmp/id_fig7_w1.txt" "$tmp/id_fig7_w1b.txt"
 
-	echo "== serve replay 10k (workers {1,4}, admitted/sec + staleness percentiles)"
-	for w in 1 4; do
-		"$tmp/birpserve" -gen 10000 -seed 1 -policy token-bucket -cap 64 -rate 48 \
-			-route least-loaded -workers "$w" -log "$tmp/serve_w$w.log" \
-			-json "$tmp/serve_w$w.json" >"$tmp/out_serve_w$w.txt"
+	# Factor-reuse knob matrix: -nofactorreuse may only move the two LU work
+	# counters (refactor=, factor-reuse=); plans, losses, node and pivot
+	# counts must be byte-identical. Normalize exactly those two fields and
+	# the wall-clock trailer, then demand identity with the workers=1 run.
+	echo "== fig7 -nofactorreuse (knob byte-compare: plans and search identical)"
+	"$tmp/birpbench" -exp fig7 -slots 150 -seed 1 -workers 1 -nofactorreuse \
+		-solverstats -json "$tmp/fig7_nofr.json" >"$tmp/out_fig7_nofr.txt"
+	for f in out_fig7_w1 out_fig7_nofr; do
+		sed -e '/ completed in /d' \
+			-e 's/refactor=[0-9]*/refactor=_/g' \
+			-e 's/factor-reuse=[0-9]*/factor-reuse=_/g' \
+			"$tmp/$f.txt" >"$tmp/knob_$f.txt"
 	done
-	cmp "$tmp/serve_w1.log" "$tmp/serve_w4.log"
+	cmp "$tmp/knob_out_fig7_w1.txt" "$tmp/knob_out_fig7_nofr.txt"
+
+	# Throughput is wall-clock: three repetitions per worker count, report
+	# keeps the best; every repetition's decision log must be byte-identical
+	# (within a worker count and across worker counts).
+	echo "== serve replay 10k (workers {1,4} x3, admitted/sec + staleness percentiles)"
+	for w in 1 4; do
+		for r in 1 2 3; do
+			"$tmp/birpserve" -gen 10000 -seed 1 -policy token-bucket -cap 64 -rate 48 \
+				-route least-loaded -workers "$w" -log "$tmp/serve_w${w}_r$r.log" \
+				-json "$tmp/serve_w${w}_r$r.json" >"$tmp/out_serve_w${w}_r$r.txt"
+		done
+		cmp "$tmp/serve_w${w}_r1.log" "$tmp/serve_w${w}_r2.log"
+		cmp "$tmp/serve_w${w}_r1.log" "$tmp/serve_w${w}_r3.log"
+	done
+	cmp "$tmp/serve_w1_r1.log" "$tmp/serve_w4_r1.log"
 
 	echo "== micro-benches (warm vs cold, LP box solve, warm re-entry, slot-loop allocs)"
 	go test . -run '^$' -bench 'BenchmarkWarmVsColdRelaxation' -benchtime 100x |
@@ -121,8 +152,32 @@ if [[ "${1:-}" == "-bench" ]]; then
 		tee -a "$tmp/micro.txt"
 	go test ./internal/core -run '^$' -bench 'BenchmarkSlotLoop' -benchtime 200x -benchmem |
 		tee -a "$tmp/micro.txt"
-	python3 scripts/benchreport.py "$tmp" >BENCH_PR9.json
-	echo "ok: wrote BENCH_PR9.json"
+
+	# Alloc gate: the steady-state slot loop must stay within the recorded
+	# allocs/op budget (TestSlotLoopAllocBudget enforces the same ceiling
+	# in-process; this guards the bench artifact itself).
+	python3 - "$tmp/micro.txt" <<-'EOF'
+		import re, sys
+		BUDGET = 300
+		for line in open(sys.argv[1]):
+		    m = re.match(r"^BenchmarkSlotLoop\b.* (\d+) allocs/op", line)
+		    if m:
+		        allocs = int(m.group(1))
+		        assert allocs <= BUDGET, f"slot loop {allocs} allocs/op > budget {BUDGET}"
+		        print(f"ok: slot loop {allocs} allocs/op <= budget {BUDGET}")
+		        break
+		else:
+		    sys.exit("BenchmarkSlotLoop missing from micro.txt")
+	EOF
+
+	echo "== profile capture (quick fig7, cpu + allocs) + frame report"
+	"$tmp/birpbench" -exp fig7 -quick -profile cpu -profdir "$tmp" >/dev/null
+	"$tmp/birpbench" -exp fig7 -quick -profile allocs -profdir "$tmp" >/dev/null
+	python3 scripts/profreport.py -n 12 "$tmp/fig7.cpu.pprof" "$tmp/fig7.allocs.pprof" \
+		>"$tmp/profile.json"
+
+	python3 scripts/benchreport.py "$tmp" >BENCH_PR10.json
+	echo "ok: wrote BENCH_PR10.json"
 	exit 0
 fi
 

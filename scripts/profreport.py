@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Summarize pprof profiles into a JSON fragment for the bench artifact.
+
+Usage:
+    profreport.py [-n TOPN] <profile.pprof> [more.pprof ...] > profile.json
+
+Each argument is a profile written by `birpbench -profile cpu|heap|allocs`
+(one `<exp>.<kind>.pprof` per experiment). For every file the report runs
+`go tool pprof -top -cum` and extracts the top-N frames by cumulative
+weight, so the bench artifact records *where* the run spent its CPU or its
+allocations — the reproducible profiling workflow: re-run the same birpbench
+command, re-run this script, diff the frame tables.
+
+The pprof text table looks like
+
+      flat  flat%   sum%        cum   cum%
+     0.57s 17.70% 17.70%      0.60s 18.63%  repro/internal/lp.(*luFactor).solve
+
+flat/cum units depend on the profile kind (seconds for cpu, bytes for
+heap/allocs); both the raw strings and the percentages are kept so the JSON
+stays unit-faithful without re-deriving pprof's formatting.
+"""
+import json
+import os
+import re
+import subprocess
+import sys
+
+ROW = re.compile(
+    r"^\s*(\S+)\s+([\d.]+)%\s+[\d.]+%\s+(\S+)\s+([\d.]+)%\s+(.+?)\s*$"
+)
+TOTAL = re.compile(r"([\d.]+\w*) total\s*$")
+
+
+def top_frames(path, n):
+    out = subprocess.run(
+        ["go", "tool", "pprof", "-top", "-cum", f"-nodecount={n}", path],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    frames, total = [], None
+    for line in out.splitlines():
+        m = TOTAL.search(line)
+        if m and total is None:
+            total = m.group(1)
+        m = ROW.match(line)
+        if not m or m.group(5) == "%   cum%":
+            continue
+        frames.append(
+            {
+                "func": m.group(5),
+                "flat": m.group(1),
+                "flat_pct": float(m.group(2)),
+                "cum": m.group(3),
+                "cum_pct": float(m.group(4)),
+            }
+        )
+    return {"total": total, "top_by_cum": frames}
+
+
+def main():
+    args = sys.argv[1:]
+    n = 15
+    if args and args[0] == "-n":
+        n = int(args[1])
+        args = args[2:]
+    if not args:
+        sys.exit("usage: profreport.py [-n TOPN] <profile.pprof>...")
+    report = {}
+    for path in args:
+        # fig7.cpu.pprof -> key "fig7.cpu"
+        key = os.path.basename(path)
+        if key.endswith(".pprof"):
+            key = key[: -len(".pprof")]
+        report[key] = top_frames(path, n)
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
